@@ -1,0 +1,43 @@
+// Ablation: bitmap masking and collision policy.
+// Separates the two error channels of the hash decode: zero-voxel aliasing
+// (fixed by masking) and non-zero/non-zero collisions (residual), and shows
+// the insertion policy barely matters.
+#include "bench/bench_util.hpp"
+#include "core/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spnerf;
+  ExperimentConfig cfg = bench::MakeConfig(argc, argv);
+  const Config c = Config::FromArgs(argc, argv);
+  if (!c.Has("scenes")) {
+    cfg.scenes = {SceneId::kChair, SceneId::kDrums, SceneId::kShip};
+  }
+
+  bench::PrintHeader("Ablation", "bitmap masking & collision policy");
+  std::printf("%-12s %-12s %10s %10s %10s\n", "scene", "policy", "pre-mask",
+              "post-mask", "alias");
+  bench::PrintRule();
+
+  for (SceneId id : cfg.scenes) {
+    for (CollisionPolicy policy :
+         {CollisionPolicy::kKeepFirst, CollisionPolicy::kOverwrite}) {
+      PipelineConfig pc = cfg.MakePipelineConfig(id);
+      pc.spnerf.collision_policy = policy;
+      const ScenePipeline p = ScenePipeline::Build(pc);
+      const Camera cam =
+          p.MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
+      const Image gt = p.RenderGroundTruth(cam);
+      const Image pre = p.RenderSpnerf(cam, /*bitmap_masking=*/false);
+      const Image post = p.RenderSpnerf(cam, /*bitmap_masking=*/true);
+      std::printf("%-12s %-12s %9.2f %9.2f %9.2f%%\n", SceneName(id),
+                  policy == CollisionPolicy::kKeepFirst ? "keep-first"
+                                                        : "overwrite",
+                  Psnr(gt, pre), Psnr(gt, post),
+                  p.Codec().NonZeroAliasRate() * 100.0);
+    }
+  }
+  bench::PrintRule();
+  std::printf("takeaway: masking recovers tens of dB; the insertion policy "
+              "only shuffles which colliding point survives\n");
+  return 0;
+}

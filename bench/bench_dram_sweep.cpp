@@ -1,0 +1,67 @@
+// DRAM model characterization: achieved bandwidth and row-buffer behaviour
+// across access patterns and burst sizes. Quantifies the memory-system
+// facts the SpNeRF design exploits: contiguous per-subgrid table streams run
+// near peak, while the irregular per-sample gathers of the restore-based
+// flow collapse to ~1/10 of peak — the paper's memory-bound diagnosis.
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "dram/lpddr.hpp"
+
+namespace {
+
+struct SweepResult {
+  double gbps = 0.0;
+  double hit_rate = 0.0;
+  double energy_pj_per_byte = 0.0;
+};
+
+SweepResult RunPattern(const spnerf::DramConfig& cfg, spnerf::u32 burst,
+                       bool random) {
+  using namespace spnerf;
+  LpddrModel dram(cfg);
+  const u64 total = 8ull * 1024 * 1024;
+  Rng rng(1);
+  for (u64 moved = 0; moved < total; moved += burst) {
+    const u64 addr = random ? (rng.NextBelow(1ull << 30) / burst) * burst
+                            : moved;
+    (void)dram.Access(addr, burst, false, 0);
+  }
+  SweepResult r;
+  r.gbps = static_cast<double>(total) /
+           static_cast<double>(dram.DrainCycle());
+  r.hit_rate = dram.Stats().RowHitRate();
+  r.energy_pj_per_byte =
+      dram.Stats().DynamicEnergyJ() * 1e12 / static_cast<double>(total);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace spnerf;
+  bench::PrintHeader("DRAM", "LPDDR model characterization");
+  for (const DramConfig& cfg : {Lpddr4_3200(), Lpddr4_1600(), Lpddr5_102()}) {
+    std::printf("\n%s (peak %.1f GB/s)\n", cfg.name.c_str(),
+                cfg.peak_bandwidth_gbps);
+    std::printf("%-12s %8s | %10s %9s %10s | %10s %9s %10s\n", "pattern",
+                "burst", "GB/s", "row hit", "pJ/B", "GB/s", "row hit",
+                "pJ/B");
+    std::printf("%-12s %8s | %31s | %31s\n", "", "", "sequential",
+                "random");
+    bench::PrintRule();
+    for (u32 burst : {32u, 64u, 256u, 1024u}) {
+      const SweepResult seq = RunPattern(cfg, burst, false);
+      const SweepResult rnd = RunPattern(cfg, burst, true);
+      std::printf("%-12s %7uB | %10.1f %8.1f%% %10.2f | %10.1f %8.1f%% %10.2f\n",
+                  "stream/gather", burst, seq.gbps, seq.hit_rate * 100.0,
+                  seq.energy_pj_per_byte, rnd.gbps, rnd.hit_rate * 100.0,
+                  rnd.energy_pj_per_byte);
+    }
+  }
+  bench::PrintRule();
+  std::printf("design consequence: SpNeRF streams its %s-granularity tables "
+              "sequentially (near-peak),\nwhile VQRF-restore gathers 32-64B "
+              "vertices randomly (~10%% of peak on LPDDR4).\n",
+              "256B");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fig 2(a): runtime breakdown of the VQRF rendering flow on A100/ONX/XNX.
+// Paper observation: edge platforms spend a 4.79x..5.14x larger share of
+// frame time on memory than the A100.
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spnerf;
+  const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
+  bench::PrintHeader("Fig 2(a)", "VQRF time distribution across platforms");
+  const auto rows = RunRuntimeBreakdown(cfg);
+  std::printf("%-8s %10s %10s %10s %12s\n", "platform", "memory", "compute",
+              "other", "VQRF fps");
+  bench::PrintRule();
+  double a100_mem = 0.0;
+  for (const RuntimeBreakdownRow& r : rows) {
+    std::printf("%-8s %9.1f%% %9.1f%% %9.1f%% %12.3f\n", r.platform.c_str(),
+                r.memory_share * 100.0, r.compute_share * 100.0,
+                r.overhead_share * 100.0, r.fps);
+    if (r.platform == "A100") a100_mem = r.memory_share;
+  }
+  bench::PrintRule();
+  for (const RuntimeBreakdownRow& r : rows) {
+    if (r.platform == "A100" || a100_mem <= 0.0) continue;
+    std::printf("%s memory-share vs A100: %.2fx   (paper: 4.79x..5.14x)\n",
+                r.platform.c_str(), r.memory_share / a100_mem);
+  }
+  return 0;
+}

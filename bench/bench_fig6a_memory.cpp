@@ -1,0 +1,29 @@
+// Fig 6(a): voxel-grid memory size, SpNeRF vs the original VQRF (restored
+// grid). Paper result: average 21.07x reduction.
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spnerf;
+  const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
+  bench::PrintHeader("Fig 6(a)", "memory size reduction vs original VQRF");
+  std::printf("%-12s %12s %12s %10s | %10s %10s %10s %10s\n", "scene",
+              "VQRF", "SpNeRF", "reduction", "hashtbl", "bitmap", "codebook",
+              "truegrid");
+  bench::PrintRule();
+  std::vector<double> reductions;
+  for (const MemoryRow& r : RunMemory(cfg)) {
+    std::printf("%-12s %12s %12s %9.2fx | %10s %10s %10s %10s\n",
+                r.scene.c_str(), FormatBytes(r.vqrf_restored_bytes).c_str(),
+                FormatBytes(r.spnerf_bytes).c_str(), r.reduction,
+                FormatBytes(r.hash_table_bytes).c_str(),
+                FormatBytes(r.bitmap_bytes).c_str(),
+                FormatBytes(r.codebook_bytes).c_str(),
+                FormatBytes(r.true_grid_bytes).c_str());
+    reductions.push_back(r.reduction);
+  }
+  bench::PrintRule();
+  std::printf("average reduction: %.2fx   (paper: 21.07x)\n",
+              MeanOf(reductions));
+  return 0;
+}

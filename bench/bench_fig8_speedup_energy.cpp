@@ -1,0 +1,53 @@
+// Fig 8: normalized speedup (a) and energy efficiency (b) of the SpNeRF
+// accelerator vs Jetson XNX and ONX running the VQRF flow.
+// Paper result: speedups 52.4x..157.1x (XNX, avg 95.1x) and
+// 34.9x..112.2x (ONX, avg 63.5x); energy-efficiency gains
+// 346.4x..1030.9x (XNX, avg 625.6x) and 288.7x..937.2x (ONX, avg 529.1x).
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spnerf;
+  const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
+  bench::PrintHeader("Fig 8", "speedup & energy efficiency vs edge GPUs");
+  const auto rows = RunHardwareComparison(cfg);
+
+  std::printf("(a) normalized speedup\n");
+  std::printf("%-12s %12s %10s %10s %12s %12s\n", "scene", "SpNeRF fps",
+              "XNX fps", "ONX fps", "vs XNX", "vs ONX");
+  bench::PrintRule();
+  std::vector<double> sx, so, ex, eo, fps;
+  for (const HardwareRow& r : rows) {
+    std::printf("%-12s %12.2f %10.3f %10.3f %11.1fx %11.1fx\n",
+                r.scene.c_str(), r.sim.fps, r.xnx.fps, r.onx.fps,
+                r.speedup_vs_xnx, r.speedup_vs_onx);
+    sx.push_back(r.speedup_vs_xnx);
+    so.push_back(r.speedup_vs_onx);
+    ex.push_back(r.energy_eff_gain_vs_xnx);
+    eo.push_back(r.energy_eff_gain_vs_onx);
+    fps.push_back(r.sim.fps);
+  }
+  bench::PrintRule();
+  std::printf("avg speedup: XNX %.1fx [%.1f..%.1f]  (paper 95.1x [52.4..157.1])\n",
+              MeanOf(sx), *std::min_element(sx.begin(), sx.end()),
+              *std::max_element(sx.begin(), sx.end()));
+  std::printf("             ONX %.1fx [%.1f..%.1f]  (paper 63.5x [34.9..112.2])\n",
+              MeanOf(so), *std::min_element(so.begin(), so.end()),
+              *std::max_element(so.begin(), so.end()));
+
+  std::printf("\n(b) normalized energy efficiency\n");
+  std::printf("%-12s %14s %14s\n", "scene", "vs XNX", "vs ONX");
+  bench::PrintRule();
+  for (const HardwareRow& r : rows) {
+    std::printf("%-12s %13.1fx %13.1fx\n", r.scene.c_str(),
+                r.energy_eff_gain_vs_xnx, r.energy_eff_gain_vs_onx);
+  }
+  bench::PrintRule();
+  std::printf("avg energy-eff gain: XNX %.1fx (paper 625.6x), ONX %.1fx "
+              "(paper 529.1x)\n",
+              MeanOf(ex), MeanOf(eo));
+  std::printf("mean SpNeRF frame rate: %.2f fps (paper Table II: 67.56)\n",
+              MeanOf(fps));
+  return 0;
+}

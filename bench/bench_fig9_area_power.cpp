@@ -1,0 +1,56 @@
+// Fig 9: area (a) and power (b) breakdown of the SpNeRF accelerator.
+// Paper observations: on-chip SRAM is only a small fraction of area (unlike
+// prior designs); the systolic array dominates power; totals 7.7 mm^2 / 3 W.
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spnerf;
+  const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
+  const auto rows = RunHardwareComparison(cfg);
+  const DesignReport rep = MakeDesignReport(cfg, rows);
+
+  bench::PrintHeader("Fig 9(a)", "area breakdown (TSMC 28nm model)");
+  const AreaBreakdown& a = rep.area;
+  const auto pct = [&](double v) { return 100.0 * v / a.total_mm2; };
+  std::printf("%-28s %10s %8s\n", "component", "mm^2", "share");
+  bench::PrintRule();
+  std::printf("%-28s %10.2f %7.1f%%\n", "systolic array (64x64 FP16)",
+              a.systolic_mm2, pct(a.systolic_mm2));
+  std::printf("%-28s %10.2f %7.1f%%\n", "SGPU logic (GID/BLU/HMU/TIU)",
+              a.sgpu_logic_mm2, pct(a.sgpu_logic_mm2));
+  std::printf("%-28s %10.2f %7.1f%%\n", "on-chip SRAM (0.61 MB)", a.sram_mm2,
+              pct(a.sram_mm2));
+  std::printf("%-28s %10.2f %7.1f%%\n", "DRAM controller + PHY",
+              a.dram_phy_mm2, pct(a.dram_phy_mm2));
+  std::printf("%-28s %10.2f %7.1f%%\n", "controller / NoC / misc",
+              a.controller_misc_mm2, pct(a.controller_misc_mm2));
+  bench::PrintRule();
+  std::printf("%-28s %10.2f          (paper: 7.7 mm^2)\n", "total",
+              a.total_mm2);
+  std::printf("SRAM share: %.1f%% — a small fraction, as the paper reports\n",
+              a.SramShare() * 100.0);
+
+  std::printf("\n");
+  bench::PrintHeader("Fig 9(b)", "power breakdown at the mean frame rate");
+  const PowerBreakdown& p = rep.power;
+  const auto ppct = [&](double v) { return 100.0 * v / p.total_w; };
+  std::printf("%-28s %10s %8s\n", "component", "power", "share");
+  bench::PrintRule();
+  std::printf("%-28s %10s %7.1f%%\n", "systolic array",
+              FormatWatts(p.systolic_w).c_str(), ppct(p.systolic_w));
+  std::printf("%-28s %10s %7.1f%%\n", "on-chip SRAM",
+              FormatWatts(p.sram_w).c_str(), ppct(p.sram_w));
+  std::printf("%-28s %10s %7.1f%%\n", "SGPU logic",
+              FormatWatts(p.sgpu_logic_w).c_str(), ppct(p.sgpu_logic_w));
+  std::printf("%-28s %10s %7.1f%%\n", "DRAM (dyn+bg+ctrl)",
+              FormatWatts(p.dram_w).c_str(), ppct(p.dram_w));
+  std::printf("%-28s %10s %7.1f%%\n", "leakage",
+              FormatWatts(p.leakage_w).c_str(), ppct(p.leakage_w));
+  std::printf("%-28s %10s %7.1f%%\n", "other (ctrl/NoC/act)",
+              FormatWatts(p.other_w).c_str(), ppct(p.other_w));
+  bench::PrintRule();
+  std::printf("%-28s %10s          (paper: 3 W, systolic dominant)\n", "total",
+              FormatWatts(p.total_w).c_str());
+  return 0;
+}

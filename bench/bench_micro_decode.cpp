@@ -1,0 +1,176 @@
+// Micro-benchmarks (google-benchmark): per-operation throughput of the
+// software components — spatial hash, online decode, trilinear sampling,
+// MLP forward (FP32/FP16), and the sparse-format lookups.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "encoding/sparse_formats.hpp"
+#include "encoding/spnerf_codec.hpp"
+#include "render/embedding.hpp"
+#include "render/field_source.hpp"
+#include "render/mlp.hpp"
+#include "scene/dataset.hpp"
+
+namespace spnerf {
+namespace {
+
+/// Shared fixture data built once (48^3 materials scene).
+struct MicroData {
+  SceneDataset dataset;
+  SpNeRFModel codec;
+  CooGrid coo;
+  CsrGrid csr;
+  CscGrid csc;
+  Mlp mlp;
+
+  MicroData() {
+    DatasetParams dp;
+    dp.resolution_override = 48;
+    dp.vqrf.codebook_size = 256;
+    dp.vqrf.kmeans_iterations = 3;
+    dataset = BuildDataset(SceneId::kMaterials, dp);
+    SpNeRFParams sp;
+    sp.subgrid_count = 16;
+    sp.table_size = 8192;
+    codec = SpNeRFModel::Preprocess(dataset.vqrf, sp);
+    coo = CooGrid::Build(dataset.vqrf);
+    csr = CsrGrid::Build(dataset.vqrf);
+    csc = CscGrid::Build(dataset.vqrf);
+    mlp = Mlp::Random(1);
+  }
+};
+
+MicroData& Data() {
+  static MicroData data;
+  return data;
+}
+
+void BM_SpatialHash(benchmark::State& state) {
+  Rng rng(1);
+  Vec3i p{rng.UniformInt(0, 255), rng.UniformInt(0, 255),
+          rng.UniformInt(0, 255)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpatialHash(p, 32768));
+    p.x = (p.x + 1) & 255;
+  }
+}
+BENCHMARK(BM_SpatialHash);
+
+void BM_OnlineDecode(benchmark::State& state) {
+  MicroData& d = Data();
+  Rng rng(2);
+  const GridDims& dims = d.codec.Dims();
+  std::vector<Vec3i> points;
+  for (int i = 0; i < 4096; ++i) {
+    points.push_back({rng.UniformInt(0, dims.nx - 1),
+                      rng.UniformInt(0, dims.ny - 1),
+                      rng.UniformInt(0, dims.nz - 1)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.codec.Decode(points[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_OnlineDecode);
+
+void BM_TrilinearSampleSpnerf(benchmark::State& state) {
+  MicroData& d = Data();
+  const SpNeRFFieldSource src(d.codec, false, false);
+  Rng rng(3);
+  std::vector<Vec3f> points;
+  for (int i = 0; i < 4096; ++i) {
+    points.push_back({rng.NextFloat(), rng.NextFloat(), rng.NextFloat()});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.Sample(points[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TrilinearSampleSpnerf);
+
+void BM_TrilinearSampleDense(benchmark::State& state) {
+  MicroData& d = Data();
+  const GridFieldSource src(d.dataset.full_grid);
+  Rng rng(4);
+  std::vector<Vec3f> points;
+  for (int i = 0; i < 4096; ++i) {
+    points.push_back({rng.NextFloat(), rng.NextFloat(), rng.NextFloat()});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.Sample(points[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TrilinearSampleDense);
+
+void BM_MlpForwardFp32(benchmark::State& state) {
+  MicroData& d = Data();
+  Rng rng(5);
+  std::array<float, kMlpInputDim> in{};
+  for (auto& v : in) v = rng.Uniform(-1.f, 1.f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.mlp.Forward(in));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(Mlp::MacsPerSample()));
+}
+BENCHMARK(BM_MlpForwardFp32);
+
+void BM_MlpForwardFp16(benchmark::State& state) {
+  MicroData& d = Data();
+  Rng rng(6);
+  std::array<float, kMlpInputDim> in{};
+  for (auto& v : in) v = rng.Uniform(-1.f, 1.f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.mlp.ForwardFp16(in));
+  }
+}
+BENCHMARK(BM_MlpForwardFp16);
+
+void BM_ViewEmbedding(benchmark::State& state) {
+  const Vec3f dir = Vec3f{0.3f, -0.5f, 0.8f}.Normalized();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmbedViewDirection(dir));
+  }
+}
+BENCHMARK(BM_ViewEmbedding);
+
+template <typename GridT>
+void LookupLoop(benchmark::State& state, const GridT& grid,
+                const GridDims& dims) {
+  Rng rng(7);
+  std::vector<Vec3i> points;
+  for (int i = 0; i < 4096; ++i) {
+    points.push_back({rng.UniformInt(0, dims.nx - 1),
+                      rng.UniformInt(0, dims.ny - 1),
+                      rng.UniformInt(0, dims.nz - 1)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.Lookup(points[i & 4095]));
+    ++i;
+  }
+}
+
+void BM_LookupCoo(benchmark::State& state) {
+  LookupLoop(state, Data().coo, Data().dataset.vqrf.Dims());
+}
+BENCHMARK(BM_LookupCoo);
+
+void BM_LookupCsr(benchmark::State& state) {
+  LookupLoop(state, Data().csr, Data().dataset.vqrf.Dims());
+}
+BENCHMARK(BM_LookupCsr);
+
+void BM_LookupCsc(benchmark::State& state) {
+  LookupLoop(state, Data().csc, Data().dataset.vqrf.Dims());
+}
+BENCHMARK(BM_LookupCsc);
+
+}  // namespace
+}  // namespace spnerf
+
+BENCHMARK_MAIN();

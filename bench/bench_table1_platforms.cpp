@@ -1,0 +1,20 @@
+// Table I: a summary of profiling computing platforms.
+#include "bench/bench_util.hpp"
+#include "model/platform.hpp"
+
+int main() {
+  using namespace spnerf;
+  bench::PrintHeader("Table I", "profiling computing platforms");
+  std::printf("%-10s %-6s %-8s %-28s %-10s %-10s %-10s %-8s\n", "Spec.",
+              "Tech.", "Power", "DRAM", "BW(GB/s)", "L2", "FP32", "FP16");
+  bench::PrintRule();
+  for (const PlatformSpec& p : TableIPlatforms()) {
+    std::printf("%-10s %-2d nm  %5.0f W  %-28s %-10.1f %-10s %5.2f TF  %5.2f TF\n",
+                p.name.c_str(), p.tech_nm, p.power_w, p.dram_kind.c_str(),
+                p.dram_bw_gbps, FormatBytes(p.l2_bytes).c_str(), p.fp32_tflops,
+                p.fp16_tflops);
+  }
+  std::printf("\npaper reference: A100 7nm/400W/1555GB/s/40MB, "
+              "ONX 8nm/25W/102.4GB/s/4MB, XNX 16nm/20W/59.7GB/s/512KB\n");
+  return 0;
+}

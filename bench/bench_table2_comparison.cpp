@@ -1,0 +1,35 @@
+// Table II: summary of comparisons between related work and SpNeRF.
+// Baseline rows are the published RT-NeRF.Edge / NeuRex.Edge operating
+// points; the SpNeRF row is computed by the cycle simulator + area/power
+// models over the full scene zoo.
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spnerf;
+  const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
+  const auto rows = RunHardwareComparison(cfg);
+  const DesignReport rep = MakeDesignReport(cfg, rows);
+
+  bench::PrintHeader("Table II", "comparison with related accelerators");
+  std::printf("%-16s %8s %8s %6s %8s %-14s %8s %10s %10s\n", "accelerator",
+              "SRAM MB", "mm^2", "nm", "power", "DRAM", "FPS", "FPS/W",
+              "FPS/mm^2");
+  bench::PrintRule();
+  for (const TableIIRow& r : rep.table2) {
+    std::printf("%-16s %8.2f %8.2f %6d %7.2fW %-14s %8.2f %10.2f %10.2f\n",
+                r.name.c_str(), r.sram_mb, r.area_mm2, r.tech_nm, r.power_w,
+                r.dram.c_str(), r.fps, r.energy_eff_fps_per_w,
+                r.area_eff_fps_per_mm2);
+  }
+  bench::PrintRule();
+  const TableIIRow& sp = rep.spnerf_row;
+  std::printf("paper SpNeRF row: 0.61 MB, 7.7 mm^2, 3 W, 67.56 FPS, "
+              "22.52 FPS/W, 6.36 FPS/mm^2\n");
+  std::printf("speedup vs RT-NeRF.Edge: %.2fx (paper 1.5x); vs NeuRex.Edge: "
+              "%.2fx (paper 10.3x)\n",
+              sp.fps / 45.0, sp.fps / 6.57);
+  std::printf("energy-eff gain vs RT-NeRF.Edge: %.2fx (paper 4x); vs "
+              "NeuRex.Edge: %.2fx (paper 4.37x)\n",
+              sp.energy_eff_fps_per_w / 5.63, sp.energy_eff_fps_per_w / 5.15);
+  return 0;
+}

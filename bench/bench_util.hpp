@@ -1,0 +1,45 @@
+// Shared helpers for the paper-reproduction bench binaries. Each bench is a
+// standalone executable that prints the rows/series of one table or figure.
+// All benches accept `key=value` overrides, e.g.:
+//   ./bench_fig6b_psnr scenes=2 res=96 img=64     # quick smoke run
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/units.hpp"
+#include "core/experiments.hpp"
+
+namespace spnerf::bench {
+
+/// Builds the default paper-scale experiment configuration, with optional
+/// command-line overrides:
+///   scenes=N   use only the first N zoo scenes (default all 8)
+///   res=R      override the voxel-grid resolution (default: paper scale)
+///   img=S      PSNR raster size (default 100)
+///   tile=S     workload-measurement tile (default 96)
+inline ExperimentConfig MakeConfig(int argc, const char* const* argv) {
+  const Config c = Config::FromArgs(argc, argv);
+  ExperimentConfig cfg;
+  const int nscenes = c.GetInt("scenes", static_cast<int>(cfg.scenes.size()));
+  if (nscenes > 0 && nscenes < static_cast<int>(cfg.scenes.size())) {
+    cfg.scenes.resize(static_cast<std::size_t>(nscenes));
+  }
+  cfg.resolution_override = c.GetInt("res", 0);
+  cfg.psnr_image_size = c.GetInt("img", 100);
+  cfg.tile_size = c.GetInt("tile", 96);
+  return cfg;
+}
+
+inline void PrintHeader(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+}  // namespace spnerf::bench

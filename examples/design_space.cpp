@@ -1,0 +1,81 @@
+// Design-space exploration with the cycle simulator: how frame rate, power
+// and area move as the systolic array, SGPU lane count and DRAM generation
+// change — the study an architect would run before committing to the
+// paper's 64x64/16-lane/LPDDR4-3200 design point.
+//
+// Usage: ./design_space [scene=lego] [res=128]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/units.hpp"
+#include "core/pipeline.hpp"
+#include "sim/accelerator.hpp"
+
+namespace {
+
+void Report(const char* label, const spnerf::SimResult& r) {
+  std::printf("  %-28s %8.2f fps  %7.2f W  %6.2f mm^2  %-12s %5.2f FPS/W\n",
+              label, r.fps, r.power.total_w, r.area.total_mm2,
+              r.bottleneck.c_str(), r.fps / r.power.total_w);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spnerf;
+  const Config args = Config::FromArgs(argc, argv);
+
+  PipelineConfig config;
+  config.scene_id = SceneFromName(args.GetString("scene", "lego"));
+  config.dataset.resolution_override = args.GetInt("res", 128);
+
+  std::printf("measuring workload for '%s'...\n", SceneName(config.scene_id));
+  const ScenePipeline pipeline = ScenePipeline::Build(config);
+  const FrameWorkload w = pipeline.MeasureWorkload();
+  std::printf("frame: %llu samples, %llu MLP evals, tables %s\n\n",
+              static_cast<unsigned long long>(w.samples),
+              static_cast<unsigned long long>(w.mlp_evals),
+              FormatBytes(w.table_bytes).c_str());
+
+  std::printf("systolic array sweep (16 SGPU lanes, LPDDR4-3200):\n");
+  for (int dim : {16, 32, 64, 128}) {
+    AcceleratorConfig cfg;
+    cfg.inventory.systolic_rows = dim;
+    cfg.inventory.systolic_cols = dim;
+    cfg.systolic.rows = dim;
+    cfg.systolic.cols = dim;
+    char label[64];
+    std::snprintf(label, sizeof(label), "%dx%d MAC array", dim, dim);
+    Report(label, AcceleratorSim(cfg).SimulateFrame(w));
+  }
+
+  std::printf("\nSGPU lane sweep (64x64 array):\n");
+  for (int lanes : {4, 8, 16, 32}) {
+    AcceleratorConfig cfg;
+    cfg.inventory.sgpu_lanes = lanes;
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d lookup lanes", lanes);
+    Report(label, AcceleratorSim(cfg).SimulateFrame(w));
+  }
+
+  std::printf("\nDRAM generation sweep (paper design point otherwise):\n");
+  {
+    AcceleratorConfig cfg;
+    cfg.dram = Lpddr4_1600();
+    Report("LPDDR4-1600 (17 GB/s)", AcceleratorSim(cfg).SimulateFrame(w));
+  }
+  {
+    AcceleratorConfig cfg;
+    cfg.dram = Lpddr4_3200();
+    Report("LPDDR4-3200 (59.7 GB/s)", AcceleratorSim(cfg).SimulateFrame(w));
+  }
+  {
+    AcceleratorConfig cfg;
+    cfg.dram = Lpddr5_102();
+    Report("LPDDR5 (102.4 GB/s)", AcceleratorSim(cfg).SimulateFrame(w));
+  }
+
+  std::printf("\npaper design point: 64x64 array, 16 lanes, LPDDR4-3200 -> "
+              "67.56 fps @ 3 W @ 7.7 mm^2\n");
+  return 0;
+}

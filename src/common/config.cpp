@@ -1,0 +1,106 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+std::string Trim(const std::string& s) {
+  auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Config Config::FromArgs(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    cfg.Set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return cfg;
+}
+
+Config Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  SPNERF_CHECK_MSG(in.good(), "cannot open config file " << path);
+  Config cfg;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    SPNERF_CHECK_MSG(eq != std::string::npos && eq > 0,
+                     "malformed config line " << lineno << " in " << path);
+    cfg.Set(Trim(line.substr(0, eq)), Trim(line.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int Config::GetInt(const std::string& key, int fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoi(it->second);
+  } catch (const std::exception&) {
+    throw SpnerfError("config key '" + key + "' is not an int: " + it->second);
+  }
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw SpnerfError("config key '" + key + "' is not a double: " + it->second);
+  }
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string v = Lower(it->second);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw SpnerfError("config key '" + key + "' is not a bool: " + it->second);
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [k, _] : values_) keys.push_back(k);
+  return keys;
+}
+
+}  // namespace spnerf

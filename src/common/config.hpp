@@ -1,0 +1,37 @@
+// Tiny key=value configuration store. Examples and benches accept overrides
+// as `key=value` command-line tokens or config files with one pair per line
+// ('#' starts a comment).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spnerf {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key=value` tokens; ignores tokens without '='.
+  static Config FromArgs(int argc, const char* const* argv);
+  /// Parses a config file; throws SpnerfError on malformed lines.
+  static Config FromFile(const std::string& path);
+
+  void Set(const std::string& key, const std::string& value);
+  [[nodiscard]] bool Has(const std::string& key) const;
+
+  [[nodiscard]] std::string GetString(const std::string& key,
+                                      const std::string& fallback) const;
+  [[nodiscard]] int GetInt(const std::string& key, int fallback) const;
+  [[nodiscard]] double GetDouble(const std::string& key, double fallback) const;
+  [[nodiscard]] bool GetBool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace spnerf

@@ -1,0 +1,44 @@
+// Lightweight runtime check macros. Library invariants throw; they never
+// abort the process, so callers (tests, tools) can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spnerf {
+
+/// Thrown when a library precondition or invariant is violated.
+class SpnerfError : public std::runtime_error {
+ public:
+  explicit SpnerfError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ThrowCheckFailure(const char* cond, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SPNERF_CHECK failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw SpnerfError(os.str());
+}
+}  // namespace detail
+
+}  // namespace spnerf
+
+#define SPNERF_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::spnerf::detail::ThrowCheckFailure(#cond, __FILE__, __LINE__, "");   \
+    }                                                                       \
+  } while (false)
+
+#define SPNERF_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream spnerf_os_;                                        \
+      spnerf_os_ << msg;                                                    \
+      ::spnerf::detail::ThrowCheckFailure(#cond, __FILE__, __LINE__,        \
+                                          spnerf_os_.str());                \
+    }                                                                       \
+  } while (false)

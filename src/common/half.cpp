@@ -1,0 +1,102 @@
+#include "common/half.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+
+namespace spnerf {
+namespace {
+
+std::uint32_t FloatBits(float f) { return std::bit_cast<std::uint32_t>(f); }
+float BitsToFloat(std::uint32_t b) { return std::bit_cast<float>(b); }
+
+}  // namespace
+
+std::uint16_t Half::FromFloat(float f) {
+  const std::uint32_t x = FloatBits(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7fffffffu;
+
+  // NaN / Inf.
+  if (abs >= 0x7f800000u) {
+    if (abs > 0x7f800000u) {
+      // NaN: keep top mantissa bits, force quiet bit so payload is non-zero.
+      std::uint32_t mant = (abs >> 13) & 0x03ffu;
+      return static_cast<std::uint16_t>(sign | 0x7c00u | mant | 0x0200u);
+    }
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  // Overflow to infinity: anything >= 2^16 - 2^4 (half max is 65504).
+  if (abs >= 0x477ff000u + 0x1000u) {
+    // >= 65520 rounds to inf; below handled by general path.
+  }
+  if (abs >= 0x47800000u) {  // >= 65536
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  // Normalised half range: exponent >= -14  <=>  abs >= 2^-14.
+  if (abs >= 0x38800000u) {
+    // Rebias exponent from 127 to 15 and round mantissa 23 -> 10 bits (RNE).
+    const std::uint32_t rebased = abs - 0x38000000u;  // subtract (127-15)<<23
+    std::uint32_t h = rebased >> 13;
+    const std::uint32_t rem = rebased & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+    if (h >= 0x7c00u) return static_cast<std::uint16_t>(sign | 0x7c00u);
+    return static_cast<std::uint16_t>(sign | h);
+  }
+
+  // Subnormal half range: 2^-24 <= |f| < 2^-14.
+  if (abs >= 0x33000000u) {  // >= 2^-25 (half of smallest subnormal)
+    const int exp = static_cast<int>(abs >> 23);
+    const std::uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
+    const int shift = 126 - exp;  // bits to drop (h = m * 2^(exp-126))
+    std::uint32_t h = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (h & 1u))) ++h;
+    return static_cast<std::uint16_t>(sign | h);
+  }
+
+  // Underflow to zero.
+  return static_cast<std::uint16_t>(sign);
+}
+
+float Half::ToFloatImpl(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1fu;
+  const std::uint32_t mant = bits & 0x03ffu;
+
+  if (exp == 0) {
+    if (mant == 0) return BitsToFloat(sign);  // +-0
+    // Subnormal: normalise.
+    int e = -1;
+    std::uint32_t m = mant;
+    while ((m & 0x0400u) == 0) {
+      m <<= 1;
+      ++e;
+    }
+    m &= 0x03ffu;
+    const std::uint32_t fexp = static_cast<std::uint32_t>(127 - 15 - e);
+    return BitsToFloat(sign | (fexp << 23) | (m << 13));
+  }
+  if (exp == 0x1fu) {
+    return BitsToFloat(sign | 0x7f800000u | (mant << 13));  // Inf / NaN
+  }
+  return BitsToFloat(sign | ((exp + 112u) << 23) | (mant << 13));
+}
+
+Half Half::Fma(Half a, Half b, Half c) {
+  // float has enough precision to represent any half*half product exactly
+  // (11-bit mantissas multiply into <=22 bits), and the sum of that with a
+  // half is exact in double; round once at the end.
+  const double r = static_cast<double>(a.ToFloat()) * b.ToFloat() + c.ToFloat();
+  return Half(static_cast<float>(r));
+}
+
+std::ostream& operator<<(std::ostream& os, Half h) {
+  return os << h.ToFloat();
+}
+
+}  // namespace spnerf

@@ -1,0 +1,102 @@
+// Software IEEE-754 binary16 ("half") implementation.
+//
+// The SpNeRF accelerator computes on-chip in FP16 (paper section IV-A), while
+// the true voxel grid lives off-chip in INT8. Simulating the datapath with a
+// faithful binary16 type lets the PSNR experiments account for on-chip
+// quantisation exactly as the hardware would.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace spnerf {
+
+/// IEEE-754 binary16 value. Conversions use round-to-nearest-even; arithmetic
+/// is performed by converting to float, operating, and rounding back — the
+/// same result a fused convert-compute-convert FP16 ALU produces for single
+/// operations.
+class Half {
+ public:
+  constexpr Half() = default;
+
+  /// Converts from float with round-to-nearest-even.
+  explicit Half(float f) : bits_(FromFloat(f)) {}
+
+  /// Reinterprets raw binary16 bits.
+  static constexpr Half FromBits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const { return bits_; }
+  [[nodiscard]] float ToFloat() const { return ToFloatImpl(bits_); }
+  explicit operator float() const { return ToFloat(); }
+
+  [[nodiscard]] constexpr bool IsNaN() const {
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x03ffu) != 0;
+  }
+  [[nodiscard]] constexpr bool IsInf() const {
+    return (bits_ & 0x7fffu) == 0x7c00u;
+  }
+  [[nodiscard]] constexpr bool IsZero() const {
+    return (bits_ & 0x7fffu) == 0;
+  }
+  [[nodiscard]] constexpr bool SignBit() const { return (bits_ & 0x8000u) != 0; }
+
+  friend Half operator+(Half a, Half b) {
+    return Half(a.ToFloat() + b.ToFloat());
+  }
+  friend Half operator-(Half a, Half b) {
+    return Half(a.ToFloat() - b.ToFloat());
+  }
+  friend Half operator*(Half a, Half b) {
+    return Half(a.ToFloat() * b.ToFloat());
+  }
+  friend Half operator/(Half a, Half b) {
+    return Half(a.ToFloat() / b.ToFloat());
+  }
+  friend Half operator-(Half a) { return FromBits(a.bits_ ^ 0x8000u); }
+
+  Half& operator+=(Half o) { return *this = *this + o; }
+  Half& operator-=(Half o) { return *this = *this - o; }
+  Half& operator*=(Half o) { return *this = *this * o; }
+  Half& operator/=(Half o) { return *this = *this / o; }
+
+  friend bool operator==(Half a, Half b) {
+    if (a.IsNaN() || b.IsNaN()) return false;
+    if (a.IsZero() && b.IsZero()) return true;  // +0 == -0
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(Half a, Half b) { return !(a == b); }
+  friend bool operator<(Half a, Half b) { return a.ToFloat() < b.ToFloat(); }
+  friend bool operator<=(Half a, Half b) { return a.ToFloat() <= b.ToFloat(); }
+  friend bool operator>(Half a, Half b) { return a.ToFloat() > b.ToFloat(); }
+  friend bool operator>=(Half a, Half b) { return a.ToFloat() >= b.ToFloat(); }
+
+  /// Fused multiply-add with a single final rounding, matching an FP16 FMA
+  /// unit (the TIU accumulates weighted color features this way).
+  static Half Fma(Half a, Half b, Half c);
+
+  /// Largest finite half: 65504.
+  static constexpr Half Max() { return FromBits(0x7bffu); }
+  /// Smallest positive normal: 2^-14.
+  static constexpr Half MinNormal() { return FromBits(0x0400u); }
+  /// Machine epsilon for binary16: 2^-10.
+  static constexpr Half Epsilon() { return FromBits(0x1400u); }
+  static constexpr Half Infinity() { return FromBits(0x7c00u); }
+  static constexpr Half QuietNaN() { return FromBits(0x7e00u); }
+
+ private:
+  static std::uint16_t FromFloat(float f);
+  static float ToFloatImpl(std::uint16_t bits);
+
+  std::uint16_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Half h);
+
+/// Round-trips a float through binary16 precision.
+inline float QuantizeToHalf(float f) { return Half(f).ToFloat(); }
+
+}  // namespace spnerf

@@ -1,0 +1,74 @@
+#include "common/image.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+namespace {
+std::size_t ValidatedPixelCount(int width, int height) {
+  SPNERF_CHECK_MSG(width > 0 && height > 0, "image dimensions must be positive");
+  return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+}
+}  // namespace
+
+Image::Image(int width, int height, Vec3f fill)
+    : width_(width),
+      height_(height),
+      pixels_(ValidatedPixelCount(width, height), fill) {}
+
+Vec3f& Image::At(int x, int y) {
+  SPNERF_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+const Vec3f& Image::At(int x, int y) const {
+  SPNERF_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void Image::WritePpm(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  SPNERF_CHECK_MSG(f != nullptr, "cannot open " << path << " for writing");
+  std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+  std::vector<unsigned char> row(static_cast<std::size_t>(width_) * 3);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Vec3f& p = pixels_[static_cast<std::size_t>(y) * width_ + x];
+      for (int c = 0; c < 3; ++c) {
+        const float v = Clamp(p[c], 0.0f, 1.0f);
+        row[static_cast<std::size_t>(x) * 3 + c] =
+            static_cast<unsigned char>(std::lround(v * 255.0f));
+      }
+    }
+    std::fwrite(row.data(), 1, row.size(), f);
+  }
+  std::fclose(f);
+}
+
+double Mse(const Image& a, const Image& b) {
+  SPNERF_CHECK_MSG(a.Width() == b.Width() && a.Height() == b.Height(),
+                   "image size mismatch");
+  SPNERF_CHECK_MSG(!a.Empty(), "MSE of empty images");
+  double acc = 0.0;
+  const auto& pa = a.Pixels();
+  const auto& pb = b.Pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (int c = 0; c < 3; ++c) {
+      const double d = static_cast<double>(pa[i][c]) - pb[i][c];
+      acc += d * d;
+    }
+  }
+  return acc / (static_cast<double>(pa.size()) * 3.0);
+}
+
+double Psnr(const Image& a, const Image& b) {
+  const double mse = Mse(a, b);
+  if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+}  // namespace spnerf

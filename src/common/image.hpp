@@ -1,0 +1,43 @@
+// RGB float image with PSNR/MSE metrics and PPM export (the repo has no
+// external image dependencies; PPM is enough to eyeball renders).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/vec.hpp"
+
+namespace spnerf {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Vec3f fill = {0.f, 0.f, 0.f});
+
+  [[nodiscard]] int Width() const { return width_; }
+  [[nodiscard]] int Height() const { return height_; }
+  [[nodiscard]] bool Empty() const { return pixels_.empty(); }
+
+  [[nodiscard]] Vec3f& At(int x, int y);
+  [[nodiscard]] const Vec3f& At(int x, int y) const;
+
+  [[nodiscard]] const std::vector<Vec3f>& Pixels() const { return pixels_; }
+  [[nodiscard]] std::vector<Vec3f>& Pixels() { return pixels_; }
+
+  /// Writes an 8-bit binary PPM (P6). Values are clamped to [0,1].
+  void WritePpm(const std::string& path) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Vec3f> pixels_;
+};
+
+/// Mean squared error over all channels. Images must match in size.
+double Mse(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB for images in [0,1].
+/// Returns +inf (represented as 99.0 dB cap optionally by callers) when MSE=0.
+double Psnr(const Image& a, const Image& b);
+
+}  // namespace spnerf

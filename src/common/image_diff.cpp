@@ -1,0 +1,52 @@
+#include "common/image_diff.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace spnerf {
+namespace {
+
+float PixelError(const Vec3f& a, const Vec3f& b) {
+  return (std::fabs(a.x - b.x) + std::fabs(a.y - b.y) + std::fabs(a.z - b.z)) /
+         3.0f;
+}
+
+/// Black -> red -> yellow -> white ramp.
+Vec3f HeatColor(float t) {
+  t = Clamp(t, 0.0f, 1.0f);
+  if (t < 1.0f / 3.0f) return {3.0f * t, 0.0f, 0.0f};
+  if (t < 2.0f / 3.0f) return {1.0f, 3.0f * t - 1.0f, 0.0f};
+  return {1.0f, 1.0f, 3.0f * t - 2.0f};
+}
+
+}  // namespace
+
+Image ErrorHeatmap(const Image& a, const Image& b, float gain) {
+  SPNERF_CHECK_MSG(a.Width() == b.Width() && a.Height() == b.Height(),
+                   "image size mismatch");
+  Image out(a.Width(), a.Height());
+  for (int y = 0; y < a.Height(); ++y) {
+    for (int x = 0; x < a.Width(); ++x) {
+      out.At(x, y) = HeatColor(gain * PixelError(a.At(x, y), b.At(x, y)));
+    }
+  }
+  return out;
+}
+
+double ErrorPixelFraction(const Image& a, const Image& b, float threshold) {
+  SPNERF_CHECK_MSG(a.Width() == b.Width() && a.Height() == b.Height(),
+                   "image size mismatch");
+  SPNERF_CHECK_MSG(!a.Empty(), "empty images");
+  u64 bad = 0;
+  for (int y = 0; y < a.Height(); ++y) {
+    for (int x = 0; x < a.Width(); ++x) {
+      if (PixelError(a.At(x, y), b.At(x, y)) > threshold) ++bad;
+    }
+  }
+  return static_cast<double>(bad) /
+         static_cast<double>(a.Pixels().size());
+}
+
+}  // namespace spnerf

@@ -1,0 +1,17 @@
+// Visual error analysis: per-pixel absolute-error heatmap between a render
+// and its reference, for eyeballing where hash-collision artifacts land
+// (surfaces for post-mask renders, empty space for pre-mask ones).
+#pragma once
+
+#include "common/image.hpp"
+
+namespace spnerf {
+
+/// Per-pixel mean |a-b| over RGB, color-mapped (black -> red -> yellow ->
+/// white) with `gain` scaling before clamping to [0,1].
+Image ErrorHeatmap(const Image& a, const Image& b, float gain = 4.0f);
+
+/// Fraction of pixels whose mean absolute error exceeds `threshold`.
+double ErrorPixelFraction(const Image& a, const Image& b, float threshold);
+
+}  // namespace spnerf

@@ -1,0 +1,49 @@
+// Minimal leveled logger writing to stderr. Benches/examples keep stdout for
+// result tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spnerf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+void LogLine(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace spnerf
+
+#define SPNERF_LOG(level)                                      \
+  if (static_cast<int>(::spnerf::LogLevel::level) <            \
+      static_cast<int>(::spnerf::GetLogLevel())) {             \
+  } else                                                       \
+    ::spnerf::detail::LogMessage(::spnerf::LogLevel::level)
+
+#define SPNERF_LOG_DEBUG SPNERF_LOG(kDebug)
+#define SPNERF_LOG_INFO SPNERF_LOG(kInfo)
+#define SPNERF_LOG_WARN SPNERF_LOG(kWarn)
+#define SPNERF_LOG_ERROR SPNERF_LOG(kError)

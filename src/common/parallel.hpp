@@ -1,0 +1,41 @@
+// Deterministic fork-join parallel-for over an index range. Work is split
+// into contiguous chunks, one per worker; results must be written to
+// disjoint, pre-sized outputs so runs are bit-reproducible regardless of the
+// thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace spnerf {
+
+/// Invokes fn(begin, end) on contiguous chunks of [0, n) across worker
+/// threads. fn must only touch state disjoint per index.
+inline void ParallelFor(std::size_t n,
+                        const std::function<void(std::size_t, std::size_t)>& fn,
+                        unsigned max_threads = 0) {
+  if (n == 0) return;
+  unsigned workers = max_threads ? max_threads
+                                 : std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, n));
+  if (workers <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (unsigned t = 0; t < workers; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace spnerf

@@ -1,0 +1,82 @@
+// Deterministic PRNG (xoshiro256**) used everywhere randomness is needed so
+// every experiment in the repo is exactly reproducible from a seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace spnerf {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// Uniform in [lo, hi).
+  float Uniform(float lo, float hi) { return lo + (hi - lo) * NextFloat(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t NextBelow(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    if (n == 0) return 0;
+    const std::uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  int UniformInt(int lo, int hi_inclusive) {
+    return lo + static_cast<int>(
+                    NextBelow(static_cast<std::uint64_t>(hi_inclusive - lo) + 1));
+  }
+
+  /// Standard normal via Box–Muller (no cached second value; cheap enough).
+  float Normal() {
+    float u1 = NextFloat();
+    while (u1 <= 1e-12f) u1 = NextFloat();
+    const float u2 = NextFloat();
+    return std::sqrt(-2.0f * std::log(u1)) *
+           std::cos(6.28318530717958647692f * u2);
+  }
+
+  // UniformRandomBitGenerator interface for <algorithm> shuffles.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return NextU64(); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace spnerf

@@ -1,0 +1,72 @@
+#include "common/ssim.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace spnerf {
+namespace {
+
+double Luma(const Vec3f& rgb) {
+  return 0.2126 * rgb.x + 0.7152 * rgb.y + 0.0722 * rgb.z;
+}
+
+}  // namespace
+
+double Ssim(const Image& a, const Image& b, const SsimParams& params) {
+  SPNERF_CHECK_MSG(a.Width() == b.Width() && a.Height() == b.Height(),
+                   "image size mismatch");
+  SPNERF_CHECK_MSG(params.window > 1, "window must be > 1");
+  SPNERF_CHECK_MSG(a.Width() >= params.window && a.Height() >= params.window,
+                   "image smaller than the SSIM window");
+
+  const int w = a.Width(), h = a.Height(), win = params.window;
+  std::vector<double> la(static_cast<std::size_t>(w) * h);
+  std::vector<double> lb(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      la[static_cast<std::size_t>(y) * w + x] = Luma(a.At(x, y));
+      lb[static_cast<std::size_t>(y) * w + x] = Luma(b.At(x, y));
+    }
+  }
+
+  const double c1 = (params.k1 * params.dynamic_range) *
+                    (params.k1 * params.dynamic_range);
+  const double c2 = (params.k2 * params.dynamic_range) *
+                    (params.k2 * params.dynamic_range);
+  const double n = static_cast<double>(win) * win;
+
+  double total = 0.0;
+  u64 windows = 0;
+  for (int y0 = 0; y0 + win <= h; y0 += win) {
+    for (int x0 = 0; x0 + win <= w; x0 += win) {
+      double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+      for (int y = y0; y < y0 + win; ++y) {
+        for (int x = x0; x < x0 + win; ++x) {
+          const double va = la[static_cast<std::size_t>(y) * w + x];
+          const double vb = lb[static_cast<std::size_t>(y) * w + x];
+          sum_a += va;
+          sum_b += vb;
+          sum_aa += va * va;
+          sum_bb += vb * vb;
+          sum_ab += va * vb;
+        }
+      }
+      const double mu_a = sum_a / n;
+      const double mu_b = sum_b / n;
+      const double var_a = sum_aa / n - mu_a * mu_a;
+      const double var_b = sum_bb / n - mu_b * mu_b;
+      const double cov = sum_ab / n - mu_a * mu_b;
+      const double num = (2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2);
+      const double den =
+          (mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2);
+      total += num / den;
+      ++windows;
+    }
+  }
+  return windows ? total / static_cast<double>(windows) : 1.0;
+}
+
+}  // namespace spnerf

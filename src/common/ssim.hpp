@@ -1,0 +1,22 @@
+// Structural similarity (SSIM) between two RGB images — the second quality
+// metric customarily reported alongside PSNR in NeRF evaluations. Computed
+// on the luma channel with the standard 8x8 sliding window and K1=0.01,
+// K2=0.03 constants (Wang et al., 2004).
+#pragma once
+
+#include "common/image.hpp"
+
+namespace spnerf {
+
+struct SsimParams {
+  int window = 8;        // square window side
+  double k1 = 0.01;
+  double k2 = 0.03;
+  double dynamic_range = 1.0;  // images in [0,1]
+};
+
+/// Mean SSIM over all full windows. Images must match in size and be at
+/// least one window large. Returns a value in [-1, 1]; 1 means identical.
+double Ssim(const Image& a, const Image& b, const SsimParams& params = {});
+
+}  // namespace spnerf

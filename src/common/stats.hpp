@@ -1,0 +1,77 @@
+// Streaming statistics helpers used by the profiler, the cycle simulator and
+// the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spnerf {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  [[nodiscard]] std::size_t Count() const { return n_; }
+  [[nodiscard]] double Mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double Variance() const;  // population variance
+  [[nodiscard]] double StdDev() const;
+  [[nodiscard]] double Min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double Max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double Sum() const { return sum_; }
+
+  void Merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  [[nodiscard]] std::size_t BucketCount() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t BucketValue(std::size_t i) const {
+    return counts_[i];
+  }
+  [[nodiscard]] double BucketLow(std::size_t i) const;
+  [[nodiscard]] std::uint64_t Total() const { return total_; }
+  /// Linear-interpolated quantile in [0,1].
+  [[nodiscard]] double Quantile(double q) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Named monotonically increasing counters, e.g. simulator event counts.
+class CounterSet {
+ public:
+  void Inc(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+  [[nodiscard]] std::uint64_t Get(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& All() const {
+    return counters_;
+  }
+  void Clear() { counters_.clear(); }
+  void Merge(const CounterSet& other);
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace spnerf

@@ -1,0 +1,44 @@
+// Common fixed-width aliases and small helper types used across SpNeRF.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spnerf {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/// Linear index into a flattened voxel grid. 64-bit: grids up to 1024^3.
+using VoxelIndex = u64;
+
+/// Cycle count in the hardware simulator (1 GHz clock => 1 cycle = 1 ns).
+using Cycle = u64;
+
+/// Number of color-feature channels in the VQRF/DVGO voxel grid.
+inline constexpr int kColorFeatureDim = 12;
+
+/// Codebook rows (paper: "color codebook size of 4096 x 12").
+inline constexpr int kCodebookSize = 4096;
+
+/// Unified addressing width for codebook + true voxel grid (paper: 18-bit).
+inline constexpr int kUnifiedIndexBits = 18;
+inline constexpr u32 kUnifiedIndexSpace = 1u << kUnifiedIndexBits;  // 262144
+
+/// MLP geometry (paper: 3 layers with channel sizes 128, 128, 3; input is the
+/// 12-d interpolated color feature concatenated with the 27-d view-direction
+/// frequency embedding => 39).
+inline constexpr int kMlpInputDim = 39;
+inline constexpr int kMlpHiddenDim = 128;
+inline constexpr int kMlpOutputDim = 3;
+inline constexpr int kMlpBatch = 64;  // paper: batch processing, batch size 64
+
+}  // namespace spnerf

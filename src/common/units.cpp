@@ -1,0 +1,70 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace spnerf {
+namespace {
+
+std::string FormatScaled(double value, const char* const* suffixes,
+                         std::size_t n_suffixes, double base) {
+  std::size_t i = 0;
+  double v = value;
+  while (std::fabs(v) >= base && i + 1 < n_suffixes) {
+    v /= base;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[i]);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(std::uint64_t bytes) {
+  static const char* kSuffix[] = {"B", "KB", "MB", "GB", "TB"};
+  return FormatScaled(static_cast<double>(bytes), kSuffix, 5, 1024.0);
+}
+
+std::string FormatCount(double count) {
+  static const char* kSuffix[] = {"", "K", "M", "G", "T"};
+  return FormatScaled(count, kSuffix, 5, 1000.0);
+}
+
+std::string FormatWatts(double watts) {
+  char buf[64];
+  if (std::fabs(watts) < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f uW", watts * 1e6);
+  } else if (std::fabs(watts) < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f mW", watts * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f W", watts);
+  }
+  return buf;
+}
+
+std::string FormatJoules(double joules) {
+  char buf[64];
+  const double a = std::fabs(joules);
+  if (a < 1e-9) {
+    std::snprintf(buf, sizeof(buf), "%.2f pJ", joules * 1e12);
+  } else if (a < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.2f nJ", joules * 1e9);
+  } else if (a < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f uJ", joules * 1e6);
+  } else if (a < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f mJ", joules * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f J", joules);
+  }
+  return buf;
+}
+
+std::string FormatPercent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,30 @@
+// Human-readable formatting of bytes / cycles / energy and the fixed unit
+// constants used by the hardware models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spnerf {
+
+/// "1.5 KB", "21.3 MB", ... (binary prefixes, KB = 1024 B as in the paper's
+/// SRAM sizing).
+std::string FormatBytes(std::uint64_t bytes);
+
+/// "123.4 K", "5.6 M" for plain counts.
+std::string FormatCount(double count);
+
+/// "3.21 mW", "1.2 W".
+std::string FormatWatts(double watts);
+
+/// "12.3 pJ", "4.5 uJ", "7.8 mJ".
+std::string FormatJoules(double joules);
+
+/// Fixed-point percentage "12.34%".
+std::string FormatPercent(double fraction);
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+}  // namespace spnerf

@@ -1,0 +1,125 @@
+// Small fixed-size vector types for geometry (positions, directions, colors).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace spnerf {
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+  static constexpr Vec3 Splat(T v) { return {v, v, v}; }
+
+  constexpr T& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(Vec3 a, T s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend constexpr Vec3 operator*(T s, Vec3 a) { return a * s; }
+  friend constexpr Vec3 operator*(Vec3 a, Vec3 b) {
+    return {a.x * b.x, a.y * b.y, a.z * b.z};
+  }
+  friend constexpr Vec3 operator/(Vec3 a, T s) {
+    return {a.x / s, a.y / s, a.z / s};
+  }
+  friend constexpr Vec3 operator-(Vec3 a) { return {-a.x, -a.y, -a.z}; }
+
+  Vec3& operator+=(Vec3 o) { return *this = *this + o; }
+  Vec3& operator-=(Vec3 o) { return *this = *this - o; }
+  Vec3& operator*=(T s) { return *this = *this * s; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  [[nodiscard]] constexpr T Dot(Vec3 o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 Cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] T Norm() const { return std::sqrt(Dot(*this)); }
+  [[nodiscard]] constexpr T Norm2() const { return Dot(*this); }
+  [[nodiscard]] Vec3 Normalized() const {
+    const T n = Norm();
+    return n > T(0) ? *this / n : Vec3{};
+  }
+  [[nodiscard]] constexpr Vec3 Abs() const {
+    return {x < T(0) ? -x : x, y < T(0) ? -y : y, z < T(0) ? -z : z};
+  }
+  [[nodiscard]] constexpr T MaxComponent() const {
+    return x > y ? (x > z ? x : z) : (y > z ? y : z);
+  }
+  [[nodiscard]] constexpr T MinComponent() const {
+    return x < y ? (x < z ? x : z) : (y < z ? y : z);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec3 v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+using Vec3f = Vec3<float>;
+using Vec3d = Vec3<double>;
+using Vec3i = Vec3<std::int32_t>;
+
+template <typename T>
+constexpr Vec3<T> Min(Vec3<T> a, Vec3<T> b) {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+}
+template <typename T>
+constexpr Vec3<T> Max(Vec3<T> a, Vec3<T> b) {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+}
+template <typename T>
+constexpr T Clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+template <typename T>
+constexpr Vec3<T> Clamp(Vec3<T> v, Vec3<T> lo, Vec3<T> hi) {
+  return {Clamp(v.x, lo.x, hi.x), Clamp(v.y, lo.y, hi.y),
+          Clamp(v.z, lo.z, hi.z)};
+}
+template <typename T>
+constexpr T Lerp(T a, T b, T t) {
+  return a + (b - a) * t;
+}
+
+inline Vec3i Floor(Vec3f v) {
+  return {static_cast<std::int32_t>(std::floor(v.x)),
+          static_cast<std::int32_t>(std::floor(v.y)),
+          static_cast<std::int32_t>(std::floor(v.z))};
+}
+
+inline Vec3f ToFloat(Vec3i v) {
+  return {static_cast<float>(v.x), static_cast<float>(v.y),
+          static_cast<float>(v.z)};
+}
+
+/// Axis-aligned bounding box in world space.
+struct Aabb {
+  Vec3f lo{0.f, 0.f, 0.f};
+  Vec3f hi{1.f, 1.f, 1.f};
+
+  [[nodiscard]] Vec3f Extent() const { return hi - lo; }
+  [[nodiscard]] Vec3f Center() const { return (lo + hi) * 0.5f; }
+  [[nodiscard]] bool Contains(Vec3f p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+};
+
+}  // namespace spnerf

@@ -1,0 +1,126 @@
+// Experiment runners: one function per table/figure of the paper. Each
+// returns plain row structs; the bench binaries format them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "model/comparison.hpp"
+#include "model/gpu_roofline.hpp"
+#include "model/platform.hpp"
+#include "sim/accelerator.hpp"
+
+namespace spnerf {
+
+struct ExperimentConfig {
+  std::vector<SceneId> scenes = AllScenes();
+  /// 0 = paper-scale per-scene resolution; tests use small values.
+  int resolution_override = 0;
+  /// Raster size for PSNR measurements.
+  int psnr_image_size = 100;
+  /// Tile size for hardware workload measurement.
+  int tile_size = 96;
+  int frame_width = 800;
+  int frame_height = 800;
+  VqrfBuildParams vqrf;
+  SpNeRFParams spnerf;
+  RenderOptions render;
+  AcceleratorConfig accel;
+  u64 mlp_seed = 2025;
+
+  [[nodiscard]] PipelineConfig MakePipelineConfig(SceneId id) const;
+};
+
+// ----------------------------------------------------------- Fig 2(b) ----
+struct SparsityRow {
+  std::string scene;
+  u64 total_voxels = 0;
+  u64 nonzero_voxels = 0;
+  double nonzero_fraction = 0.0;
+};
+std::vector<SparsityRow> RunSparsity(const ExperimentConfig& cfg);
+
+// ----------------------------------------------------------- Fig 6(a) ----
+struct MemoryRow {
+  std::string scene;
+  u64 vqrf_restored_bytes = 0;
+  u64 spnerf_bytes = 0;
+  u64 hash_table_bytes = 0;
+  u64 bitmap_bytes = 0;
+  u64 codebook_bytes = 0;
+  u64 true_grid_bytes = 0;
+  double reduction = 0.0;  // vqrf / spnerf
+};
+std::vector<MemoryRow> RunMemory(const ExperimentConfig& cfg);
+
+// ----------------------------------------------------------- Fig 6(b) ----
+struct PsnrRow {
+  std::string scene;
+  double vqrf_psnr = 0.0;
+  double spnerf_premask_psnr = 0.0;
+  double spnerf_postmask_psnr = 0.0;
+  double vqrf_ssim = 0.0;
+  double spnerf_postmask_ssim = 0.0;
+  double build_collision_rate = 0.0;  // hash build: losing insertions
+  double nonzero_alias_rate = 0.0;    // residual post-mask error source
+};
+std::vector<PsnrRow> RunPsnr(const ExperimentConfig& cfg);
+
+// ------------------------------------------------------------- Fig 7 ----
+struct SweepPoint {
+  int subgrid_count = 0;
+  u32 table_size = 0;
+  double mean_psnr = 0.0;     // over cfg.scenes, post-mask
+  double alias_rate = 0.0;    // mean non-zero alias rate
+  u64 spnerf_bytes = 0;       // mean encoded size
+};
+/// Fig 7(a): PSNR vs subgrid count at fixed table size.
+std::vector<SweepPoint> RunSubgridSweep(const ExperimentConfig& cfg,
+                                        const std::vector<int>& subgrid_counts,
+                                        u32 table_size);
+/// Fig 7(b): PSNR vs table size at fixed subgrid count.
+std::vector<SweepPoint> RunTableSweep(const ExperimentConfig& cfg,
+                                      int subgrid_count,
+                                      const std::vector<u32>& table_sizes);
+
+// ----------------------------------------------------------- Fig 2(a) ----
+struct RuntimeBreakdownRow {
+  std::string platform;
+  double memory_share = 0.0;
+  double compute_share = 0.0;
+  double overhead_share = 0.0;
+  double fps = 0.0;
+};
+/// VQRF flow on A100/ONX/XNX, averaged over cfg.scenes.
+std::vector<RuntimeBreakdownRow> RunRuntimeBreakdown(const ExperimentConfig& cfg);
+
+// ------------------------------------------------- Fig 8 + Table II -----
+struct HardwareRow {
+  std::string scene;
+  SimResult sim;                 // SpNeRF accelerator
+  GpuRooflineResult xnx;         // VQRF on Jetson XNX
+  GpuRooflineResult onx;         // VQRF on Jetson ONX
+  double speedup_vs_xnx = 0.0;
+  double speedup_vs_onx = 0.0;
+  double energy_eff_gain_vs_xnx = 0.0;
+  double energy_eff_gain_vs_onx = 0.0;
+};
+std::vector<HardwareRow> RunHardwareComparison(const ExperimentConfig& cfg);
+
+struct DesignReport {
+  AreaBreakdown area;
+  PowerBreakdown power;   // at the mean achieved FPS
+  EnergyLedger mean_ledger;
+  double mean_fps = 0.0;
+  TableIIRow spnerf_row;
+  std::vector<TableIIRow> table2;
+};
+/// Fig 9 + Table II, from already-computed hardware rows.
+DesignReport MakeDesignReport(const ExperimentConfig& cfg,
+                              const std::vector<HardwareRow>& rows);
+
+/// Geometric-mean helper used for paper-style "x..y, avg z" summaries.
+double MeanOf(const std::vector<double>& values);
+
+}  // namespace spnerf

@@ -1,0 +1,90 @@
+#include "core/pipeline.hpp"
+
+#include "common/error.hpp"
+#include "render/field_source.hpp"
+
+namespace spnerf {
+
+ScenePipeline ScenePipeline::Build(const PipelineConfig& config) {
+  ScenePipeline p;
+  p.config_ = config;
+  p.dataset_ =
+      std::make_shared<SceneDataset>(BuildDataset(config.scene_id, config.dataset));
+  p.codec_ = SpNeRFModel::Preprocess(p.dataset_->vqrf, config.spnerf);
+  p.mlp_ = Mlp::Random(config.mlp_seed);
+  // Coarse skip from the full grid's occupancy: a superset of every lossy
+  // representation, so all pipelines march identical rays.
+  p.coarse_ = CoarseOccupancy::Build(BitGrid::FromGrid(p.dataset_->full_grid),
+                                     config.coarse_factor);
+  return p;
+}
+
+Camera ScenePipeline::MakeCamera(int width, int height, int view,
+                                 int n_views) const {
+  SPNERF_CHECK_MSG(view >= 0 && view < n_views, "view index out of range");
+  const auto cams = OrbitCameras(n_views, Vec3f{0.5f, 0.45f, 0.5f},
+                                 config_.camera_radius,
+                                 config_.camera_elevation_deg,
+                                 config_.camera_fov_deg, width, height);
+  return cams[static_cast<std::size_t>(view)];
+}
+
+RenderOptions ScenePipeline::OptionsWithSkip() const {
+  RenderOptions opt = config_.render;
+  opt.coarse_skip = &coarse_;
+  return opt;
+}
+
+Image ScenePipeline::RenderGroundTruth(const Camera& camera) const {
+  const AnalyticFieldSource source(dataset_->scene);
+  return VolumeRenderer(OptionsWithSkip()).Render(source, mlp_, camera);
+}
+
+Image ScenePipeline::RenderVqrf(const Camera& camera) const {
+  if (!restored_) {
+    restored_ = std::make_shared<DenseGrid>(dataset_->vqrf.Restore());
+  }
+  const GridFieldSource source(*restored_);
+  return VolumeRenderer(OptionsWithSkip()).Render(source, mlp_, camera);
+}
+
+Image ScenePipeline::RenderSpnerf(const Camera& camera, bool bitmap_masking,
+                                  RenderStats* stats,
+                                  DecodeCounters* counters) const {
+  const bool collect = counters != nullptr;
+  SpNeRFFieldSource source(codec_, config_.render.fp16_mlp, collect);
+  source.SetMasking(bitmap_masking);
+  Image img;
+  if (collect && stats == nullptr) {
+    // Counters require a sequential render; force it via a stats sink.
+    RenderStats sink;
+    img = VolumeRenderer(OptionsWithSkip()).Render(source, mlp_, camera, &sink);
+  } else {
+    img = VolumeRenderer(OptionsWithSkip()).Render(source, mlp_, camera, stats);
+  }
+  if (counters) *counters = source.Counters();
+  return img;
+}
+
+FrameWorkload ScenePipeline::MeasureWorkload(int tile_size, int frame_width,
+                                             int frame_height) const {
+  const Camera tile_cam = MakeCamera(tile_size, tile_size);
+  RenderStats stats;
+  DecodeCounters counters;
+  (void)RenderSpnerf(tile_cam, /*bitmap_masking=*/true, &stats, &counters);
+  return BuildFrameWorkload(codec_, stats, counters,
+                            SceneName(config_.scene_id), frame_width,
+                            frame_height);
+}
+
+GpuFrameWorkload ScenePipeline::MeasureGpuWorkload(int tile_size,
+                                                   int frame_width,
+                                                   int frame_height) const {
+  const Camera tile_cam = MakeCamera(tile_size, tile_size);
+  RenderStats stats;
+  DecodeCounters counters;
+  (void)RenderSpnerf(tile_cam, /*bitmap_masking=*/true, &stats, &counters);
+  return BuildGpuWorkload(dataset_->vqrf, stats, frame_width, frame_height);
+}
+
+}  // namespace spnerf

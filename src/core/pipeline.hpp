@@ -1,0 +1,82 @@
+// Top-level per-scene pipeline: builds the dataset (procedural scene ->
+// dense grid -> VQRF model), runs the SpNeRF preprocessing, and exposes the
+// three rendering paths the paper compares:
+//   ground truth (analytic), VQRF (restored dense grid), SpNeRF (online
+//   decode, with or without bitmap masking).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/image.hpp"
+#include "encoding/spnerf_codec.hpp"
+#include "grid/occupancy.hpp"
+#include "render/camera.hpp"
+#include "render/mlp.hpp"
+#include "render/volume_renderer.hpp"
+#include "scene/dataset.hpp"
+#include "sim/workload.hpp"
+
+namespace spnerf {
+
+struct PipelineConfig {
+  SceneId scene_id = SceneId::kChair;
+  DatasetParams dataset;
+  SpNeRFParams spnerf;
+  u64 mlp_seed = 2025;
+  RenderOptions render;
+  /// Fine voxels per coarse skip cell.
+  int coarse_factor = 4;
+  float camera_radius = 1.35f;
+  float camera_elevation_deg = 25.0f;
+  float camera_fov_deg = 35.0f;
+};
+
+class ScenePipeline {
+ public:
+  static ScenePipeline Build(const PipelineConfig& config);
+
+  [[nodiscard]] const PipelineConfig& Config() const { return config_; }
+  [[nodiscard]] const SceneDataset& Dataset() const { return *dataset_; }
+  [[nodiscard]] const SpNeRFModel& Codec() const { return codec_; }
+  [[nodiscard]] const Mlp& GetMlp() const { return mlp_; }
+  [[nodiscard]] const CoarseOccupancy& Skip() const { return coarse_; }
+
+  /// Orbit camera `view` of `n_views` at the configured radius/elevation.
+  [[nodiscard]] Camera MakeCamera(int width, int height, int view = 0,
+                                  int n_views = 8) const;
+
+  [[nodiscard]] Image RenderGroundTruth(const Camera& camera) const;
+  /// Renders from the restored dense grid (the original VQRF flow). The
+  /// restored grid is materialised on first use and cached.
+  [[nodiscard]] Image RenderVqrf(const Camera& camera) const;
+  /// Renders via online decoding. `stats`/`counters` make the render
+  /// sequential and collect the hardware workload.
+  [[nodiscard]] Image RenderSpnerf(const Camera& camera, bool bitmap_masking,
+                                   RenderStats* stats = nullptr,
+                                   DecodeCounters* counters = nullptr) const;
+
+  /// Tile-render with statistics and scale to a full frame (sim input).
+  [[nodiscard]] FrameWorkload MeasureWorkload(int tile_size = 96,
+                                              int frame_width = 800,
+                                              int frame_height = 800) const;
+  /// Same measurement mapped onto the VQRF GPU flow.
+  [[nodiscard]] GpuFrameWorkload MeasureGpuWorkload(int tile_size = 96,
+                                                    int frame_width = 800,
+                                                    int frame_height = 800) const;
+
+  /// Drops the cached restored grid (it is large: full-resolution FP32).
+  void ReleaseRestored() const { restored_.reset(); }
+
+ private:
+  PipelineConfig config_;
+  std::shared_ptr<SceneDataset> dataset_;  // stable address for codec_
+  SpNeRFModel codec_;
+  Mlp mlp_;
+  CoarseOccupancy coarse_;
+  mutable std::shared_ptr<DenseGrid> restored_;
+
+  [[nodiscard]] RenderOptions OptionsWithSkip() const;
+};
+
+}  // namespace spnerf

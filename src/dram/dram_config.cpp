@@ -1,0 +1,53 @@
+#include "dram/dram_config.hpp"
+
+namespace spnerf {
+
+DramConfig Lpddr4_3200() {
+  DramConfig c;
+  c.name = "LPDDR4-3200";
+  c.peak_bandwidth_gbps = 59.7;
+  c.channels = 4;  // 128-bit interface as 4 x 32-bit channels
+  c.banks_per_channel = 8;
+  c.row_bytes = 2048;
+  c.timings = {18.0, 18.0, 18.0, 42.0};
+  c.energy = {2.0, 1.5, 2.5, 60.0};
+  return c;
+}
+
+DramConfig Lpddr4_1600() {
+  DramConfig c;
+  c.name = "LPDDR4-1600";
+  c.peak_bandwidth_gbps = 17.0;
+  c.channels = 2;
+  c.banks_per_channel = 8;
+  c.row_bytes = 2048;
+  c.timings = {18.0, 18.0, 18.0, 42.0};
+  c.energy = {2.0, 1.5, 2.5, 40.0};
+  return c;
+}
+
+DramConfig Lpddr5_102() {
+  DramConfig c;
+  c.name = "LPDDR5";
+  c.peak_bandwidth_gbps = 102.4;
+  c.channels = 4;
+  c.banks_per_channel = 16;
+  c.row_bytes = 2048;
+  c.timings = {15.0, 15.0, 15.0, 34.0};
+  c.energy = {1.8, 1.2, 2.0, 70.0};
+  return c;
+}
+
+DramConfig Hbm2_A100() {
+  DramConfig c;
+  c.name = "HBM2";
+  c.peak_bandwidth_gbps = 1555.0;
+  c.channels = 40;  // 5120-bit interface
+  c.banks_per_channel = 16;
+  c.row_bytes = 1024;
+  c.timings = {14.0, 14.0, 14.0, 33.0};
+  c.energy = {1.2, 0.8, 1.0, 4000.0};
+  return c;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,50 @@
+// DRAM device configurations. The paper evaluates SpNeRF with
+// Ramulator-derived LPDDR4-3200 timing/power (59.7 GB/s); RT-NeRF.Edge uses
+// LPDDR4-1600 (17 GB/s). Timing parameters follow JEDEC-class datasheet
+// values; energy parameters use the per-operation figures commonly used in
+// accelerator papers for LPDDR4-class parts.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace spnerf {
+
+struct DramTimings {
+  double t_rcd_ns = 18.0;  // row-to-column delay
+  double t_rp_ns = 18.0;   // row precharge
+  double t_cl_ns = 18.0;   // CAS latency
+  double t_ras_ns = 42.0;  // row active minimum
+};
+
+struct DramEnergyParams {
+  double activate_nj = 2.0;       // per row activation (ACT+PRE pair)
+  double rdwr_pj_per_bit = 1.5;   // array read/write energy
+  double io_pj_per_bit = 2.5;     // interface/IO energy
+  double background_mw = 60.0;    // static + refresh per device
+};
+
+struct DramConfig {
+  std::string name;
+  double peak_bandwidth_gbps = 59.7;  // GB/s
+  int channels = 4;
+  int banks_per_channel = 8;
+  u32 row_bytes = 2048;  // row-buffer size per bank
+  DramTimings timings;
+  DramEnergyParams energy;
+
+  /// Bytes the whole device moves per nanosecond at peak.
+  [[nodiscard]] double BytesPerNs() const { return peak_bandwidth_gbps; }
+};
+
+/// SpNeRF / NeuRex.Edge / Jetson XNX memory system: LPDDR4-3200, 59.7 GB/s.
+DramConfig Lpddr4_3200();
+/// RT-NeRF.Edge memory system: LPDDR4-1600, 17 GB/s.
+DramConfig Lpddr4_1600();
+/// Jetson ONX memory system: LPDDR5, 102.4 GB/s.
+DramConfig Lpddr5_102();
+/// A100 HBM2 (only used by the GPU roofline model): 1555 GB/s.
+DramConfig Hbm2_A100();
+
+}  // namespace spnerf

@@ -1,0 +1,87 @@
+// Request-level LPDDR model with per-bank row-buffer state, bandwidth
+// occupancy and an energy ledger. Fast substitute for Ramulator: it captures
+// the behaviours the paper's evaluation depends on — row hit/miss latency,
+// channel bandwidth saturation, and per-bit + per-activation energy.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/dram_config.hpp"
+
+namespace spnerf {
+
+/// Outcome of one memory request.
+struct DramAccessResult {
+  Cycle issue_cycle = 0;     // when the channel accepted the request
+  Cycle complete_cycle = 0;  // when the last beat arrived
+  bool row_hit = false;
+};
+
+struct DramStats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 bytes_read = 0;
+  u64 bytes_written = 0;
+  u64 row_hits = 0;
+  u64 row_misses = 0;
+
+  double activate_energy_j = 0.0;
+  double rdwr_energy_j = 0.0;
+  double io_energy_j = 0.0;
+
+  [[nodiscard]] u64 TotalBytes() const { return bytes_read + bytes_written; }
+  [[nodiscard]] double RowHitRate() const {
+    const u64 total = row_hits + row_misses;
+    return total ? static_cast<double>(row_hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+  /// Dynamic energy only; background power is added by the caller over the
+  /// simulated wall-clock.
+  [[nodiscard]] double DynamicEnergyJ() const {
+    return activate_energy_j + rdwr_energy_j + io_energy_j;
+  }
+};
+
+/// One memory device (all channels). Cycle domain: the accelerator's 1 GHz
+/// clock (1 cycle = 1 ns), so timing parameters in ns convert 1:1.
+class LpddrModel {
+ public:
+  explicit LpddrModel(DramConfig config);
+
+  [[nodiscard]] const DramConfig& Config() const { return config_; }
+
+  /// Issues a request of `bytes` at byte address `addr` no earlier than
+  /// `now`. Requests to a busy bank/channel queue behind it.
+  DramAccessResult Access(u64 addr, u32 bytes, bool is_write, Cycle now);
+
+  /// Earliest cycle at which every in-flight request has completed.
+  [[nodiscard]] Cycle DrainCycle() const;
+
+  [[nodiscard]] const DramStats& Stats() const { return stats_; }
+  void ResetStats() { stats_ = DramStats{}; }
+
+  /// Background (static + refresh) energy over a simulated duration.
+  [[nodiscard]] double BackgroundEnergyJ(double seconds) const {
+    return config_.energy.background_mw * 1e-3 * seconds;
+  }
+
+  /// Minimum cycles to move `bytes` at peak bandwidth (roofline floor).
+  [[nodiscard]] double MinTransferCycles(u64 bytes) const {
+    return static_cast<double>(bytes) / config_.BytesPerNs();
+  }
+
+ private:
+  struct BankState {
+    i64 open_row = -1;
+    Cycle busy_until = 0;
+    Cycle activate_allowed_at = 0;  // tRC spacing between activations
+  };
+
+  DramConfig config_;
+  std::vector<BankState> banks_;       // channels * banks_per_channel
+  std::vector<Cycle> channel_free_at_; // data-bus occupancy per channel
+  DramStats stats_;
+};
+
+}  // namespace spnerf

@@ -1,0 +1,27 @@
+// Spatial hash function, Equation (1) of the paper (from instant-ngp):
+//   h(p) = (x*pi1 XOR y*pi2 XOR z*pi3) mod T
+// with pi1 = 1, pi2 = 2654435761, pi3 = 805459861.
+#pragma once
+
+#include "common/types.hpp"
+#include "common/vec.hpp"
+
+namespace spnerf {
+
+inline constexpr u32 kHashPi1 = 1u;
+inline constexpr u32 kHashPi2 = 2654435761u;
+inline constexpr u32 kHashPi3 = 805459861u;
+
+/// Raw 32-bit spatial hash before the table-size modulo.
+constexpr u32 SpatialHashRaw(Vec3i p) {
+  return (static_cast<u32>(p.x) * kHashPi1) ^
+         (static_cast<u32>(p.y) * kHashPi2) ^
+         (static_cast<u32>(p.z) * kHashPi3);
+}
+
+/// Equation (1): hash index into a table with `table_size` entries.
+constexpr u32 SpatialHash(Vec3i p, u32 table_size) {
+  return SpatialHashRaw(p) % table_size;
+}
+
+}  // namespace spnerf

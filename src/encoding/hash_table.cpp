@@ -1,0 +1,33 @@
+#include "encoding/hash_table.hpp"
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+SubgridHashTable::SubgridHashTable(u32 table_size) : entries_(table_size) {
+  SPNERF_CHECK_MSG(table_size > 0, "hash table size must be positive");
+  SPNERF_CHECK_MSG(table_size <= (1u << 26),
+                   "hash table size unreasonably large: " << table_size);
+}
+
+bool SubgridHashTable::Insert(Vec3i position, u32 payload, i8 density_q,
+                              CollisionPolicy policy) {
+  SPNERF_CHECK_MSG(payload < HashEntry::kEmptyPayload,
+                   "payload " << payload << " collides with the empty marker");
+  HashEntry& slot = entries_[SpatialHash(position, TableSize())];
+  if (!slot.Occupied()) {
+    slot.payload = payload;
+    slot.density_q = density_q;
+    ++stats_.inserted;
+    ++stats_.occupied_slots;
+    return true;
+  }
+  ++stats_.collisions;
+  if (policy == CollisionPolicy::kOverwrite) {
+    slot.payload = payload;
+    slot.density_q = density_q;
+  }
+  return false;
+}
+
+}  // namespace spnerf

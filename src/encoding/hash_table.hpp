@@ -1,0 +1,84 @@
+// Per-subgrid spatial hash table (paper III-A). Each entry stores the 18-bit
+// unified payload index (codebook row if < 4096, else true-voxel-grid slot)
+// plus the voxel's INT8 density — this pair is what the hardware Index and
+// Density Buffer holds. There is no stored key and no probing: a collision
+// simply leaves one point's data in the slot, and queries of the losing
+// point read the winner's payload. Bitmap masking (outside this class)
+// removes the zero-point side of that error.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/vec.hpp"
+#include "encoding/hash.hpp"
+
+namespace spnerf {
+
+/// What a hash-table slot holds. `kEmptyPayload` marks never-written slots.
+struct HashEntry {
+  u32 payload = kEmptyPayload;  // 18-bit unified index
+  i8 density_q = 0;
+
+  static constexpr u32 kEmptyPayload = kUnifiedIndexSpace - 1;
+  [[nodiscard]] bool Occupied() const { return payload != kEmptyPayload; }
+};
+
+/// How insertion resolves two non-zero points hashing to one slot.
+enum class CollisionPolicy {
+  kKeepFirst,  // first inserted point wins (deterministic for sorted input)
+  kOverwrite,  // last inserted point wins
+};
+
+struct HashBuildStats {
+  u64 inserted = 0;    // points that own a slot
+  u64 collisions = 0;  // points that lost their slot to another point
+  u64 occupied_slots = 0;
+
+  [[nodiscard]] double CollisionRate() const {
+    const u64 total = inserted + collisions;
+    return total ? static_cast<double>(collisions) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class SubgridHashTable {
+ public:
+  SubgridHashTable() = default;
+  explicit SubgridHashTable(u32 table_size);
+
+  [[nodiscard]] u32 TableSize() const {
+    return static_cast<u32>(entries_.size());
+  }
+
+  /// Inserts a point's payload. Returns false when the slot was already
+  /// owned and the policy kept the incumbent (a build-time collision).
+  bool Insert(Vec3i position, u32 payload, i8 density_q,
+              CollisionPolicy policy);
+
+  /// Hash lookup: returns whatever occupies the point's slot. The caller
+  /// cannot tell a correct hit from a collision alias — exactly the
+  /// hardware's behaviour.
+  [[nodiscard]] const HashEntry& Lookup(Vec3i position) const {
+    return entries_[SpatialHash(position, TableSize())];
+  }
+
+  [[nodiscard]] const HashEntry& EntryAt(u32 slot) const {
+    return entries_[slot];
+  }
+
+  [[nodiscard]] const HashBuildStats& BuildStats() const { return stats_; }
+
+  /// Storage in bits: (18-bit payload + 8-bit density) per entry. The paper
+  /// counts packed widths, not host-struct sizes.
+  [[nodiscard]] u64 SizeBits() const {
+    return static_cast<u64>(entries_.size()) * (kUnifiedIndexBits + 8);
+  }
+  [[nodiscard]] u64 SizeBytes() const { return (SizeBits() + 7) / 8; }
+
+ private:
+  std::vector<HashEntry> entries_;
+  HashBuildStats stats_;
+};
+
+}  // namespace spnerf

@@ -1,0 +1,164 @@
+#include "encoding/sparse_formats.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+u32 Unified(const VoxelRecord& rec, int codebook_size) {
+  return rec.kept ? static_cast<u32>(codebook_size) + rec.payload_id
+                  : rec.payload_id;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- COO ----
+
+CooGrid CooGrid::Build(const VqrfModel& vqrf) {
+  CooGrid g;
+  g.dims_ = vqrf.Dims();
+  SPNERF_CHECK_MSG(g.dims_.nx <= 65536 && g.dims_.ny <= 65536 &&
+                       g.dims_.nz <= 65536,
+                   "COO 16-bit coordinates overflow");
+  const int cb = vqrf.GetCodebook().Size();
+  g.coords_.reserve(vqrf.Records().size());
+  g.payloads_.reserve(vqrf.Records().size());
+  for (const VoxelRecord& rec : vqrf.Records()) {  // already index-ascending
+    const Vec3i p = g.dims_.Unflatten(rec.index);
+    g.coords_.push_back({static_cast<u16>(p.x), static_cast<u16>(p.y),
+                         static_cast<u16>(p.z)});
+    g.payloads_.push_back({Unified(rec, cb), rec.density_q});
+  }
+  return g;
+}
+
+LookupResult CooGrid::Lookup(Vec3i p) const {
+  LookupResult r;
+  if (!dims_.Contains(p)) return r;
+  const VoxelIndex target = dims_.Flatten(p);
+  // Binary search over the sorted coordinate list; every midpoint read is a
+  // memory probe.
+  std::size_t lo = 0, hi = coords_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    ++r.probes;
+    const Coord16& c = coords_[mid];
+    const VoxelIndex idx = dims_.Flatten({c.x, c.y, c.z});
+    if (idx == target) {
+      r.value = payloads_[mid];
+      ++r.probes;  // payload fetch
+      return r;
+    }
+    if (idx < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------- CSR ----
+
+CsrGrid CsrGrid::Build(const VqrfModel& vqrf) {
+  CsrGrid g;
+  g.dims_ = vqrf.Dims();
+  SPNERF_CHECK_MSG(g.dims_.nz <= 65536, "CSR 16-bit column index overflow");
+  const int cb = vqrf.GetCodebook().Size();
+  const u64 rows = static_cast<u64>(g.dims_.nx) * g.dims_.ny;
+  g.row_ptr_.assign(rows + 1, 0);
+  // Records are index-ascending and Flatten is (x*ny + y)*nz + z, so they are
+  // already grouped by row with ascending z.
+  for (const VoxelRecord& rec : vqrf.Records()) {
+    const Vec3i p = g.dims_.Unflatten(rec.index);
+    const u64 row = static_cast<u64>(p.x) * g.dims_.ny + p.y;
+    ++g.row_ptr_[row + 1];
+    g.cols_.push_back(static_cast<u16>(p.z));
+    g.payloads_.push_back({Unified(rec, cb), rec.density_q});
+  }
+  for (std::size_t r = 1; r < g.row_ptr_.size(); ++r)
+    g.row_ptr_[r] += g.row_ptr_[r - 1];
+  return g;
+}
+
+LookupResult CsrGrid::Lookup(Vec3i p) const {
+  LookupResult r;
+  if (!dims_.Contains(p)) return r;
+  const u64 row = static_cast<u64>(p.x) * dims_.ny + p.y;
+  ++r.probes;  // row_ptr[row] fetch (row_ptr[row+1] shares the line)
+  u32 lo = row_ptr_[row], hi = row_ptr_[row + 1];
+  while (lo < hi) {
+    const u32 mid = lo + (hi - lo) / 2;
+    ++r.probes;
+    const u16 col = cols_[mid];
+    if (col == static_cast<u16>(p.z)) {
+      r.value = payloads_[mid];
+      ++r.probes;  // payload fetch
+      return r;
+    }
+    if (col < static_cast<u16>(p.z)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------- CSC ----
+
+CscGrid CscGrid::Build(const VqrfModel& vqrf) {
+  CscGrid g;
+  g.dims_ = vqrf.Dims();
+  const int cb = vqrf.GetCodebook().Size();
+  const u64 cols = static_cast<u64>(g.dims_.nz);
+  g.col_ptr_.assign(cols + 1, 0);
+
+  // Count per column, then scatter (classic two-pass CSC construction).
+  std::vector<u32> counts(cols, 0);
+  for (const VoxelRecord& rec : vqrf.Records()) {
+    const Vec3i p = g.dims_.Unflatten(rec.index);
+    ++counts[static_cast<std::size_t>(p.z)];
+  }
+  for (u64 c = 0; c < cols; ++c) g.col_ptr_[c + 1] = g.col_ptr_[c] + counts[c];
+  g.rows_.resize(vqrf.Records().size());
+  g.payloads_.resize(vqrf.Records().size());
+  std::vector<u32> cursor(g.col_ptr_.begin(), g.col_ptr_.end() - 1);
+  for (const VoxelRecord& rec : vqrf.Records()) {
+    const Vec3i p = g.dims_.Unflatten(rec.index);
+    const u32 at = cursor[static_cast<std::size_t>(p.z)]++;
+    g.rows_[at] = static_cast<u32>(static_cast<u64>(p.x) * g.dims_.ny + p.y);
+    g.payloads_[at] = {Unified(rec, cb), rec.density_q};
+  }
+  return g;
+}
+
+LookupResult CscGrid::Lookup(Vec3i p) const {
+  LookupResult r;
+  if (!dims_.Contains(p)) return r;
+  ++r.probes;  // col_ptr fetch
+  u32 lo = col_ptr_[static_cast<std::size_t>(p.z)];
+  u32 hi = col_ptr_[static_cast<std::size_t>(p.z) + 1];
+  const u32 want = static_cast<u32>(static_cast<u64>(p.x) * dims_.ny + p.y);
+  // Row ids within one column are ascending (records inserted in ascending
+  // flattened order), so binary search applies.
+  while (lo < hi) {
+    const u32 mid = lo + (hi - lo) / 2;
+    ++r.probes;
+    if (rows_[mid] == want) {
+      r.value = payloads_[mid];
+      ++r.probes;
+      return r;
+    }
+    if (rows_[mid] < want) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return r;
+}
+
+}  // namespace spnerf

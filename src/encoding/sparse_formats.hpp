@@ -1,0 +1,116 @@
+// Baseline sparse encodings (paper II-B): COO, CSR and CSC over the
+// non-zero voxel set. The paper rejects these because coordinate storage is
+// expensive (COO: ~630 KB extra per scene) and irregular, per-sample lookups
+// need many probes. We implement all three with exact memory accounting and
+// probe counting so the benches can reproduce that argument quantitatively.
+//
+// The 3-D grid is viewed as a 2-D sparse matrix: row = x*ny + y, col = z.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/vec.hpp"
+#include "grid/vqrf_model.hpp"
+
+namespace spnerf {
+
+/// Payload stored per non-zero element in every baseline format: the 18-bit
+/// unified index plus INT8 density (same as a hash-table entry).
+struct SparsePayload {
+  u32 payload = 0;
+  i8 density_q = 0;
+};
+
+/// Result of a baseline lookup: the payload (when the position is non-zero)
+/// and the number of sequential memory probes the lookup needed.
+struct LookupResult {
+  std::optional<SparsePayload> value;
+  u32 probes = 0;
+};
+
+/// Coordinate format: per element (x, y, z) as 16-bit each + payload.
+class CooGrid {
+ public:
+  static CooGrid Build(const VqrfModel& vqrf);
+
+  [[nodiscard]] u64 ElementCount() const { return coords_.size(); }
+  [[nodiscard]] LookupResult Lookup(Vec3i p) const;  // binary search
+
+  /// Coordinate overhead alone (the paper's "extra 630 KB" number):
+  /// 3 x 16-bit per element.
+  [[nodiscard]] u64 CoordinateBytes() const { return coords_.size() * 6; }
+  /// Payload storage: 18-bit + 8-bit per element, bit-packed.
+  [[nodiscard]] u64 PayloadBytes() const {
+    return (payloads_.size() * (kUnifiedIndexBits + 8) + 7) / 8;
+  }
+  [[nodiscard]] u64 TotalBytes() const {
+    return CoordinateBytes() + PayloadBytes();
+  }
+
+ private:
+  struct Coord16 {
+    u16 x, y, z;
+  };
+  GridDims dims_;
+  std::vector<Coord16> coords_;  // sorted by flattened index
+  std::vector<SparsePayload> payloads_;
+};
+
+/// Compressed sparse row: rows = x*ny + y, cols = z.
+class CsrGrid {
+ public:
+  static CsrGrid Build(const VqrfModel& vqrf);
+
+  [[nodiscard]] u64 ElementCount() const { return cols_.size(); }
+  /// Row-direction lookup: row pointer + binary search within the row.
+  [[nodiscard]] LookupResult Lookup(Vec3i p) const;
+
+  [[nodiscard]] u64 RowPtrBytes() const {
+    return (row_ptr_.size()) * sizeof(u32);
+  }
+  [[nodiscard]] u64 ColIndexBytes() const { return cols_.size() * sizeof(u16); }
+  [[nodiscard]] u64 PayloadBytes() const {
+    return (payloads_.size() * (kUnifiedIndexBits + 8) + 7) / 8;
+  }
+  [[nodiscard]] u64 TotalBytes() const {
+    return RowPtrBytes() + ColIndexBytes() + PayloadBytes();
+  }
+
+ private:
+  GridDims dims_;
+  std::vector<u32> row_ptr_;  // (nx*ny + 1) entries
+  std::vector<u16> cols_;     // z coordinate per element
+  std::vector<SparsePayload> payloads_;
+};
+
+/// Compressed sparse column: cols = z, rows = x*ny + y. Lookup along a
+/// column must scan/binary-search the whole column — the paper's "struggles
+/// with row-wise access" cost made explicit.
+class CscGrid {
+ public:
+  static CscGrid Build(const VqrfModel& vqrf);
+
+  [[nodiscard]] u64 ElementCount() const { return rows_.size(); }
+  [[nodiscard]] LookupResult Lookup(Vec3i p) const;
+
+  [[nodiscard]] u64 ColPtrBytes() const {
+    return (col_ptr_.size()) * sizeof(u32);
+  }
+  [[nodiscard]] u64 RowIndexBytes() const { return rows_.size() * sizeof(u32); }
+  [[nodiscard]] u64 PayloadBytes() const {
+    return (payloads_.size() * (kUnifiedIndexBits + 8) + 7) / 8;
+  }
+  [[nodiscard]] u64 TotalBytes() const {
+    return ColPtrBytes() + RowIndexBytes() + PayloadBytes();
+  }
+
+ private:
+  GridDims dims_;
+  std::vector<u32> col_ptr_;  // (nz + 1) entries
+  std::vector<u32> rows_;     // x*ny + y per element
+  std::vector<SparsePayload> payloads_;
+};
+
+}  // namespace spnerf

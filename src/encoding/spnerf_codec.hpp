@@ -1,0 +1,106 @@
+// SpNeRF encoded model: the output of the hash-mapping preprocessing step
+// (paper III-A) plus the online decoding procedure (paper III-B).
+//
+// Preprocessing: non-zero voxels of a VQRF model are partitioned into K
+// subgrids by x coordinate; each subgrid maps its points into a private
+// hash table whose entries carry the 18-bit unified payload index and the
+// INT8 density. The full grid is never restored.
+//
+// Online decode (per voxel vertex):
+//   1. bitmap test              — zero bit => zero voxel (masking);
+//   2. Eq. (1) hash             — slot in the subgrid's table;
+//   3. unified 18-bit dispatch  — payload < 4096: codebook row,
+//                                 else: true-voxel-grid slot (payload-4096);
+//   4. INT8 -> float de-quantisation with the shared scale.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "encoding/hash_table.hpp"
+#include "encoding/subgrid.hpp"
+#include "grid/vqrf_model.hpp"
+
+namespace spnerf {
+
+struct SpNeRFParams {
+  /// K: number of x-partitioned subgrids (paper's design point: 64).
+  int subgrid_count = 64;
+  /// T: entries per subgrid hash table (paper's design point: 32k).
+  u32 table_size = 32 * 1024;
+  /// Bitmap masking on/off (paper Fig 6(b) compares both).
+  bool bitmap_masking = true;
+  CollisionPolicy collision_policy = CollisionPolicy::kKeepFirst;
+};
+
+/// Counters accumulated across Decode() calls; mirrors what the SGPU units
+/// touch so the cycle simulator and benches can account traffic.
+struct DecodeCounters {
+  u64 queries = 0;
+  u64 bitmap_zero = 0;      // masked out by the bitmap
+  u64 empty_slot = 0;       // bitmap said non-zero is off OR slot never filled
+  u64 codebook_hits = 0;    // payload dispatched to the color codebook
+  u64 true_grid_hits = 0;   // payload dispatched to the true voxel grid
+};
+
+class SpNeRFModel {
+ public:
+  SpNeRFModel() = default;
+
+  /// The preprocessing step. Throws if kept voxels overflow the 18-bit
+  /// unified space.
+  static SpNeRFModel Preprocess(const VqrfModel& vqrf,
+                                const SpNeRFParams& params);
+
+  [[nodiscard]] const SpNeRFParams& Params() const { return params_; }
+  [[nodiscard]] const GridDims& Dims() const { return dims_; }
+  [[nodiscard]] const SubgridPartition& Partition() const { return partition_; }
+  [[nodiscard]] const std::vector<SubgridHashTable>& Tables() const {
+    return tables_;
+  }
+  [[nodiscard]] const BitGrid& Bitmap() const { return bitmap_; }
+  [[nodiscard]] const VqrfModel& Source() const { return *source_; }
+
+  /// Online decode of one voxel vertex. Out-of-range positions decode to
+  /// zero. `counters`, when provided, accumulates unit activity.
+  [[nodiscard]] VoxelData Decode(Vec3i position,
+                                 DecodeCounters* counters = nullptr) const {
+    return Decode(position, params_.bitmap_masking, counters);
+  }
+
+  /// Decode with an explicit masking setting (Fig 6(b) compares the same
+  /// tables with masking on and off).
+  [[nodiscard]] VoxelData Decode(Vec3i position, bool bitmap_masking,
+                                 DecodeCounters* counters) const;
+
+  /// Aggregate build-time collision statistics over all subgrid tables.
+  [[nodiscard]] HashBuildStats AggregateBuildStats() const;
+
+  /// Fraction of non-zero voxels whose decode returns the wrong payload
+  /// (they lost their hash slot to another non-zero point). This is the
+  /// residual error bitmap masking cannot remove.
+  [[nodiscard]] double NonZeroAliasRate() const;
+
+  // --- Memory accounting (Fig 6(a)) ------------------------------------
+  /// Hash tables: K * T * (18 + 8) bits.
+  [[nodiscard]] u64 HashTableBytes() const;
+  /// Occupancy bitmap: 1 bit per voxel.
+  [[nodiscard]] u64 BitmapBytes() const;
+  /// Color codebook, INT8.
+  [[nodiscard]] u64 CodebookBytes() const;
+  /// True voxel grid (kept features), INT8.
+  [[nodiscard]] u64 TrueGridBytes() const;
+  /// Everything SpNeRF keeps for rendering (the Fig 6(a) numerator).
+  [[nodiscard]] u64 TotalBytes() const;
+
+ private:
+  SpNeRFParams params_;
+  GridDims dims_;
+  SubgridPartition partition_;
+  std::vector<SubgridHashTable> tables_;
+  BitGrid bitmap_;
+  const VqrfModel* source_ = nullptr;  // non-owning; payload stores live here
+};
+
+}  // namespace spnerf

@@ -1,0 +1,43 @@
+#include "encoding/subgrid.hpp"
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+SubgridPartition::SubgridPartition(GridDims dims, int subgrid_count)
+    : dims_(dims), count_(subgrid_count) {
+  SPNERF_CHECK_MSG(subgrid_count > 0, "subgrid count must be positive");
+  SPNERF_CHECK_MSG(dims.nx > 0, "grid must be non-empty");
+  // ceil so K subgrids always cover [0, nx).
+  width_ = (dims.nx + subgrid_count - 1) / subgrid_count;
+  if (width_ == 0) width_ = 1;
+}
+
+int SubgridPartition::SubgridOfX(int x) const {
+  SPNERF_CHECK_MSG(x >= 0 && x < dims_.nx, "x out of grid: " << x);
+  const int k = x / width_;
+  return k < count_ ? k : count_ - 1;
+}
+
+int SubgridPartition::SubgridOf(Vec3i p) const { return SubgridOfX(p.x); }
+
+std::pair<int, int> SubgridPartition::XRange(int k) const {
+  SPNERF_CHECK_MSG(k >= 0 && k < count_, "subgrid id out of range: " << k);
+  const int first = k * width_;
+  int last = (k + 1) * width_ - 1;
+  if (k == count_ - 1 || last >= dims_.nx) last = dims_.nx - 1;
+  return {first, last};
+}
+
+std::vector<std::vector<VoxelIndex>> SubgridPartition::Bucket(
+    const std::vector<VoxelIndex>& indices) const {
+  std::vector<std::vector<VoxelIndex>> buckets(
+      static_cast<std::size_t>(count_));
+  for (VoxelIndex idx : indices) {
+    const Vec3i p = dims_.Unflatten(idx);
+    buckets[static_cast<std::size_t>(SubgridOf(p))].push_back(idx);
+  }
+  return buckets;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,44 @@
+// Voxel-grid partitioning into K subgrids along the x axis (paper III-A):
+//   S_k = { p_i | floor(x_i / w) = k },  k in [0, K)
+// where w is the subgrid width. Each subgrid gets its own hash table, which
+// bounds per-table load and lets the hardware hold one subgrid's bitmap and
+// table slice on chip at a time.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/vec.hpp"
+#include "grid/dense_grid.hpp"
+
+namespace spnerf {
+
+class SubgridPartition {
+ public:
+  SubgridPartition() = default;
+  SubgridPartition(GridDims dims, int subgrid_count);
+
+  [[nodiscard]] int SubgridCount() const { return count_; }
+  [[nodiscard]] int Width() const { return width_; }
+  [[nodiscard]] const GridDims& Dims() const { return dims_; }
+
+  /// Subgrid id of a voxel position: floor(x / w), clamped to [0, K).
+  [[nodiscard]] int SubgridOf(Vec3i p) const;
+  [[nodiscard]] int SubgridOfX(int x) const;
+
+  /// The x-range [first, last] covered by subgrid k (last inclusive; the
+  /// final subgrid may be narrower than `w`).
+  [[nodiscard]] std::pair<int, int> XRange(int k) const;
+
+  /// Buckets voxel indices by subgrid. Input must be flattened indices of
+  /// `dims`; output has exactly SubgridCount() buckets, order-preserving.
+  [[nodiscard]] std::vector<std::vector<VoxelIndex>> Bucket(
+      const std::vector<VoxelIndex>& indices) const;
+
+ private:
+  GridDims dims_;
+  int count_ = 0;
+  int width_ = 0;
+};
+
+}  // namespace spnerf

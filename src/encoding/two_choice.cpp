@@ -1,0 +1,147 @@
+#include "encoding/two_choice.hpp"
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+u32 UnifiedPayload(const VoxelRecord& rec, int codebook_size) {
+  return rec.kept ? static_cast<u32>(codebook_size) + rec.payload_id
+                  : rec.payload_id;
+}
+
+}  // namespace
+
+TwoChoiceTable::TwoChoiceTable(u32 table_size) : entries_(table_size) {
+  SPNERF_CHECK_MSG(table_size > 0, "table size must be positive");
+}
+
+bool TwoChoiceTable::Insert(Vec3i position, u32 payload, i8 density_q) {
+  SPNERF_CHECK_MSG(payload < TwoChoiceEntry::kEmpty,
+                   "payload collides with the empty marker");
+  const u8 tag = PointTag(position);
+  TwoChoiceEntry& first = entries_[SpatialHash(position, TableSize())];
+  if (!first.Occupied()) {
+    first = {payload, density_q, tag};
+    ++stats_.placed_first;
+    return true;
+  }
+  TwoChoiceEntry& second = entries_[SpatialHash2(position, TableSize())];
+  if (!second.Occupied() && &second != &first) {
+    second = {payload, density_q, tag};
+    ++stats_.placed_second;
+    return true;
+  }
+  ++stats_.dropped;
+  return false;
+}
+
+const TwoChoiceEntry* TwoChoiceTable::Lookup(Vec3i position) const {
+  const u8 tag = PointTag(position);
+  const TwoChoiceEntry& first = entries_[SpatialHash(position, TableSize())];
+  if (first.Occupied() && first.tag == tag) return &first;
+  const TwoChoiceEntry& second =
+      entries_[SpatialHash2(position, TableSize())];
+  if (second.Occupied() && second.tag == tag) return &second;
+  return nullptr;
+}
+
+TwoChoiceCodec TwoChoiceCodec::Preprocess(const VqrfModel& vqrf,
+                                          int subgrid_count, u32 table_size) {
+  SPNERF_CHECK_MSG(subgrid_count > 0, "subgrid_count must be positive");
+  TwoChoiceCodec codec;
+  codec.dims_ = vqrf.Dims();
+  codec.partition_ = SubgridPartition(codec.dims_, subgrid_count);
+  codec.tables_.assign(static_cast<std::size_t>(subgrid_count),
+                       TwoChoiceTable(table_size));
+  codec.source_ = &vqrf;
+
+  const int codebook_size = vqrf.GetCodebook().Size();
+  for (const VoxelRecord& rec : vqrf.Records()) {
+    const Vec3i p = codec.dims_.Unflatten(rec.index);
+    codec.tables_[static_cast<std::size_t>(codec.partition_.SubgridOf(p))]
+        .Insert(p, UnifiedPayload(rec, codebook_size), rec.density_q);
+  }
+  return codec;
+}
+
+VoxelData TwoChoiceCodec::Decode(Vec3i position) const {
+  SPNERF_CHECK_MSG(source_ != nullptr, "decode on an empty codec");
+  if (!dims_.Contains(position)) return {};
+  // Bitmap masking, as in the baseline codec.
+  if (!source_->OccupancyBitmap().Test(position)) return {};
+
+  const int k = partition_.SubgridOf(position);
+  const TwoChoiceEntry* entry =
+      tables_[static_cast<std::size_t>(k)].Lookup(position);
+  if (entry == nullptr) return {};  // dropped point -> explicit zero
+
+  const VqrfModel& src = *source_;
+  VoxelData out;
+  out.density = src.DensityQuantizer().Dequantize(entry->density_q);
+  const int codebook_size = src.GetCodebook().Size();
+  if (entry->payload < static_cast<u32>(codebook_size)) {
+    const auto base =
+        static_cast<std::size_t>(entry->payload) * kColorFeatureDim;
+    for (int c = 0; c < kColorFeatureDim; ++c)
+      out.features[c] =
+          src.FeatureQuantizer().Dequantize(src.CodebookInt8()[base + c]);
+  } else {
+    const auto slot = static_cast<std::size_t>(
+        entry->payload - static_cast<u32>(codebook_size));
+    const auto base = slot * kColorFeatureDim;
+    SPNERF_CHECK_MSG(base + kColorFeatureDim <= src.KeptFeatures().size(),
+                     "true-grid slot out of range");
+    for (int c = 0; c < kColorFeatureDim; ++c)
+      out.features[c] =
+          src.FeatureQuantizer().Dequantize(src.KeptFeatures()[base + c]);
+  }
+  return out;
+}
+
+TwoChoiceBuildStats TwoChoiceCodec::AggregateBuildStats() const {
+  TwoChoiceBuildStats agg;
+  for (const auto& t : tables_) {
+    agg.placed_first += t.BuildStats().placed_first;
+    agg.placed_second += t.BuildStats().placed_second;
+    agg.dropped += t.BuildStats().dropped;
+  }
+  return agg;
+}
+
+double TwoChoiceCodec::ErrorRate() const {
+  SPNERF_CHECK_MSG(source_ != nullptr, "error rate on an empty codec");
+  const int codebook_size = source_->GetCodebook().Size();
+  u64 wrong = 0;
+  const auto& records = source_->Records();
+  for (const VoxelRecord& rec : records) {
+    const Vec3i p = dims_.Unflatten(rec.index);
+    const TwoChoiceEntry* e =
+        tables_[static_cast<std::size_t>(partition_.SubgridOf(p))].Lookup(p);
+    if (e == nullptr || e->payload != UnifiedPayload(rec, codebook_size)) {
+      ++wrong;
+    }
+  }
+  return records.empty() ? 0.0
+                         : static_cast<double>(wrong) /
+                               static_cast<double>(records.size());
+}
+
+double TwoChoiceCodec::DropRate() const {
+  return AggregateBuildStats().DropRate();
+}
+
+u64 TwoChoiceCodec::HashTableBytes() const {
+  u64 bits = 0;
+  for (const auto& t : tables_) bits += t.SizeBits();
+  return (bits + 7) / 8;
+}
+
+u64 TwoChoiceCodec::TotalBytes() const {
+  SPNERF_CHECK_MSG(source_ != nullptr, "size of an empty codec");
+  return HashTableBytes() + source_->OccupancyBitmap().SizeBytes() +
+         source_->CodebookInt8().size() + source_->KeptFeatures().size() +
+         2 * sizeof(float);
+}
+
+}  // namespace spnerf

@@ -1,0 +1,123 @@
+// Extension beyond the paper: two-choice hashing with short tags.
+//
+// The paper's single-probe table silently aliases when two non-zero points
+// collide — the residual PSNR loss that bitmap masking cannot remove
+// (Fig 6(b)/Fig 7). This variant gives every point two candidate slots
+// (independent spatial hashes) and stores a 6-bit tag derived from the
+// point's raw hash:
+//   * insertion takes the first empty candidate; if both are taken the
+//     point is dropped (decodes to zero — a visible but unbiased error);
+//   * lookup probes both candidates and accepts the one whose tag matches.
+//
+// Cost: 32 bits/entry instead of 26, and up to two probes per lookup
+// (trivially pipelined in an HMU with a second hash unit). Benefit: silent
+// wrong-payload aliases become either correct hits or explicit dropouts,
+// and only a tag collision (~1/64 per conflicting pair) can still alias.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "encoding/hash.hpp"
+#include "encoding/subgrid.hpp"
+#include "grid/vqrf_model.hpp"
+
+namespace spnerf {
+
+/// Second independent spatial hash (primes permuted relative to Eq. 1).
+constexpr u32 SpatialHash2Raw(Vec3i p) {
+  return (static_cast<u32>(p.x) * kHashPi2) ^
+         (static_cast<u32>(p.y) * kHashPi3) ^
+         (static_cast<u32>(p.z) * 0x9e3779b1u);
+}
+constexpr u32 SpatialHash2(Vec3i p, u32 table_size) {
+  return SpatialHash2Raw(p) % table_size;
+}
+
+/// 6-bit discriminating tag from the primary raw hash's high bits.
+constexpr u8 PointTag(Vec3i p) {
+  return static_cast<u8>(SpatialHashRaw(p) >> 26);
+}
+
+struct TwoChoiceEntry {
+  u32 payload = kEmpty;
+  i8 density_q = 0;
+  u8 tag = 0;
+
+  static constexpr u32 kEmpty = kUnifiedIndexSpace - 1;
+  [[nodiscard]] bool Occupied() const { return payload != kEmpty; }
+};
+
+struct TwoChoiceBuildStats {
+  u64 placed_first = 0;   // stored in the h1 slot
+  u64 placed_second = 0;  // stored in the h2 slot
+  u64 dropped = 0;        // both candidates taken
+
+  [[nodiscard]] u64 Total() const {
+    return placed_first + placed_second + dropped;
+  }
+  [[nodiscard]] double DropRate() const {
+    return Total() ? static_cast<double>(dropped) /
+                         static_cast<double>(Total())
+                   : 0.0;
+  }
+};
+
+class TwoChoiceTable {
+ public:
+  TwoChoiceTable() = default;
+  explicit TwoChoiceTable(u32 table_size);
+
+  [[nodiscard]] u32 TableSize() const {
+    return static_cast<u32>(entries_.size());
+  }
+
+  /// Returns false when the point was dropped (both candidates occupied).
+  bool Insert(Vec3i position, u32 payload, i8 density_q);
+
+  /// Tag-checked lookup: the matching candidate, or nullptr when neither
+  /// tag matches (the point is absent or was dropped).
+  [[nodiscard]] const TwoChoiceEntry* Lookup(Vec3i position) const;
+
+  [[nodiscard]] const TwoChoiceBuildStats& BuildStats() const { return stats_; }
+
+  /// 18-bit payload + 8-bit density + 6-bit tag per entry.
+  [[nodiscard]] u64 SizeBits() const {
+    return static_cast<u64>(entries_.size()) * (kUnifiedIndexBits + 8 + 6);
+  }
+
+ private:
+  std::vector<TwoChoiceEntry> entries_;
+  TwoChoiceBuildStats stats_;
+};
+
+/// SpNeRF codec with two-choice tables (bitmap masking always on).
+class TwoChoiceCodec {
+ public:
+  TwoChoiceCodec() = default;
+
+  static TwoChoiceCodec Preprocess(const VqrfModel& vqrf, int subgrid_count,
+                                   u32 table_size);
+
+  [[nodiscard]] const GridDims& Dims() const { return dims_; }
+  [[nodiscard]] VoxelData Decode(Vec3i position) const;
+
+  [[nodiscard]] TwoChoiceBuildStats AggregateBuildStats() const;
+
+  /// Fraction of surviving voxels whose decode is wrong: dropped points
+  /// (decode to zero) plus rare tag-collision aliases.
+  [[nodiscard]] double ErrorRate() const;
+  /// Dropped points only (the explicit error class).
+  [[nodiscard]] double DropRate() const;
+
+  [[nodiscard]] u64 HashTableBytes() const;
+  [[nodiscard]] u64 TotalBytes() const;
+
+ private:
+  GridDims dims_;
+  SubgridPartition partition_;
+  std::vector<TwoChoiceTable> tables_;
+  const VqrfModel* source_ = nullptr;
+};
+
+}  // namespace spnerf

@@ -1,0 +1,49 @@
+// Packed 3-D occupancy bitmap: one bit per voxel grid point indicating
+// zero (0) / non-zero (1). This is the paper's bitmap-masking structure
+// (section III-B) and the backing store of the hardware Bitmap Lookup Unit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/dense_grid.hpp"
+
+namespace spnerf {
+
+class BitGrid {
+ public:
+  BitGrid() = default;
+  explicit BitGrid(GridDims dims);
+
+  /// Builds the occupancy bitmap of a dense grid.
+  static BitGrid FromGrid(const DenseGrid& grid);
+
+  /// Reconstructs a bitmap from its packed words (deserialization).
+  static BitGrid FromWords(GridDims dims, std::vector<u64> words);
+
+  [[nodiscard]] const GridDims& Dims() const { return dims_; }
+
+  [[nodiscard]] bool Test(VoxelIndex i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ull;
+  }
+  [[nodiscard]] bool Test(Vec3i p) const {
+    return dims_.Contains(p) && Test(dims_.Flatten(p));
+  }
+  void Set(VoxelIndex i, bool value);
+  void Set(Vec3i p, bool value) { Set(dims_.Flatten(p), value); }
+
+  [[nodiscard]] u64 CountSet() const;
+
+  /// Exact storage: 1 bit per voxel, rounded up to bytes (the paper counts
+  /// "a single bit for each voxel grid point").
+  [[nodiscard]] u64 SizeBytes() const { return (dims_.VoxelCount() + 7) / 8; }
+
+  [[nodiscard]] const std::vector<u64>& Words() const { return words_; }
+
+ private:
+  GridDims dims_;
+  std::vector<u64> words_;
+};
+
+}  // namespace spnerf

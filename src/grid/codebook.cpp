@@ -1,0 +1,122 @@
+#include "grid/codebook.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace spnerf {
+namespace {
+
+float Dist2(const FeatureVec& a, const FeatureVec& b) {
+  float acc = 0.0f;
+  for (int c = 0; c < kColorFeatureDim; ++c) {
+    const float d = a[c] - b[c];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Codebook::Codebook(std::vector<FeatureVec> rows) : rows_(std::move(rows)) {
+  SPNERF_CHECK_MSG(!rows_.empty(), "codebook cannot be empty");
+}
+
+Codebook Codebook::Train(std::span<const FeatureVec> samples, int size,
+                         int iterations, Rng& rng) {
+  SPNERF_CHECK_MSG(size > 0, "codebook size must be positive");
+  SPNERF_CHECK_MSG(!samples.empty(), "cannot train a codebook on zero samples");
+
+  std::vector<FeatureVec> centroids;
+  centroids.reserve(static_cast<std::size_t>(size));
+
+  // k-means++ seeding: first centroid uniform, then proportional to D^2.
+  centroids.push_back(samples[rng.NextBelow(samples.size())]);
+  std::vector<float> d2(samples.size(), std::numeric_limits<float>::max());
+  while (static_cast<int>(centroids.size()) < size) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      d2[i] = std::min(d2[i], Dist2(samples[i], centroids.back()));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All samples coincide with existing centroids: replicate a sample.
+      centroids.push_back(samples[rng.NextBelow(samples.size())]);
+      continue;
+    }
+    double r = rng.NextDouble() * total;
+    std::size_t pick = samples.size() - 1;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(samples[pick]);
+  }
+
+  // Lloyd iterations (assignment step parallelised; deterministic).
+  std::vector<int> assign(samples.size(), 0);
+  std::vector<int> next_assign(samples.size(), 0);
+  std::vector<FeatureVec> sums(static_cast<std::size_t>(size));
+  std::vector<u64> counts(static_cast<std::size_t>(size));
+  Codebook book(std::move(centroids));
+  for (int it = 0; it < iterations; ++it) {
+    ParallelFor(samples.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        next_assign[i] = book.Nearest(samples[i]);
+      }
+    });
+    bool changed = false;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (next_assign[i] != assign[i]) {
+        assign[i] = next_assign[i];
+        changed = true;
+      }
+    }
+    if (!changed && it > 0) break;
+    for (auto& s : sums) s.fill(0.0f);
+    std::fill(counts.begin(), counts.end(), 0ull);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      auto& s = sums[static_cast<std::size_t>(assign[i])];
+      for (int c = 0; c < kColorFeatureDim; ++c) s[c] += samples[i][c];
+      ++counts[static_cast<std::size_t>(assign[i])];
+    }
+    for (int k = 0; k < size; ++k) {
+      if (counts[static_cast<std::size_t>(k)] == 0) continue;  // keep old row
+      FeatureVec& row = book.rows_[static_cast<std::size_t>(k)];
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<std::size_t>(k)]);
+      for (int c = 0; c < kColorFeatureDim; ++c)
+        row[c] = sums[static_cast<std::size_t>(k)][c] * inv;
+    }
+  }
+  return book;
+}
+
+const FeatureVec& Codebook::Row(int id) const {
+  SPNERF_CHECK_MSG(id >= 0 && id < Size(), "codebook row out of range: " << id);
+  return rows_[static_cast<std::size_t>(id)];
+}
+
+int Codebook::Nearest(const FeatureVec& f) const {
+  int best = 0;
+  float bestd = std::numeric_limits<float>::max();
+  for (int k = 0; k < Size(); ++k) {
+    const float d = Dist2(f, rows_[static_cast<std::size_t>(k)]);
+    if (d < bestd) {
+      bestd = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+float Codebook::QuantizationError(const FeatureVec& f) const {
+  return Dist2(f, rows_[static_cast<std::size_t>(Nearest(f))]);
+}
+
+}  // namespace spnerf

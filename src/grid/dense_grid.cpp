@@ -1,0 +1,60 @@
+#include "grid/dense_grid.hpp"
+
+namespace spnerf {
+
+DenseGrid::DenseGrid(GridDims dims) : dims_(dims) {
+  SPNERF_CHECK_MSG(dims.nx > 0 && dims.ny > 0 && dims.nz > 0,
+                   "grid dims must be positive");
+  density_.assign(dims.VoxelCount(), 0.0f);
+  features_.assign(dims.VoxelCount() * kColorFeatureDim, 0.0f);
+}
+
+VoxelData DenseGrid::Voxel(Vec3i p) const {
+  SPNERF_CHECK_MSG(dims_.Contains(p), "voxel out of bounds: " << p);
+  const VoxelIndex i = dims_.Flatten(p);
+  VoxelData v;
+  v.density = density_[i];
+  const float* f = Features(i);
+  for (int c = 0; c < kColorFeatureDim; ++c) v.features[c] = f[c];
+  return v;
+}
+
+void DenseGrid::SetVoxel(Vec3i p, const VoxelData& v) {
+  SPNERF_CHECK_MSG(dims_.Contains(p), "voxel out of bounds: " << p);
+  const VoxelIndex i = dims_.Flatten(p);
+  density_[i] = v.density;
+  float* f = MutableFeatures(i);
+  for (int c = 0; c < kColorFeatureDim; ++c) f[c] = v.features[c];
+}
+
+bool DenseGrid::IsNonZero(VoxelIndex i) const {
+  if (density_[i] != 0.0f) return true;
+  const float* f = Features(i);
+  for (int c = 0; c < kColorFeatureDim; ++c)
+    if (f[c] != 0.0f) return true;
+  return false;
+}
+
+u64 DenseGrid::CountNonZero() const {
+  u64 n = 0;
+  const u64 total = VoxelCount();
+  for (VoxelIndex i = 0; i < total; ++i)
+    if (IsNonZero(i)) ++n;
+  return n;
+}
+
+double DenseGrid::NonZeroFraction() const {
+  const u64 total = VoxelCount();
+  return total ? static_cast<double>(CountNonZero()) / static_cast<double>(total)
+               : 0.0;
+}
+
+std::vector<VoxelIndex> DenseGrid::NonZeroIndices() const {
+  std::vector<VoxelIndex> out;
+  const u64 total = VoxelCount();
+  for (VoxelIndex i = 0; i < total; ++i)
+    if (IsNonZero(i)) out.push_back(i);
+  return out;
+}
+
+}  // namespace spnerf

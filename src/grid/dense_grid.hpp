@@ -1,0 +1,104 @@
+// Dense volumetric grid: per-voxel density plus a 12-channel color feature
+// vector, matching the DVGO/VQRF voxel-grid representation the paper builds
+// on (density grid + k0 color-feature grid).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "common/vec.hpp"
+
+namespace spnerf {
+
+/// Integer grid dimensions.
+struct GridDims {
+  int nx = 0, ny = 0, nz = 0;
+
+  [[nodiscard]] u64 VoxelCount() const {
+    return static_cast<u64>(nx) * static_cast<u64>(ny) * static_cast<u64>(nz);
+  }
+  [[nodiscard]] bool Contains(Vec3i p) const {
+    return p.x >= 0 && p.x < nx && p.y >= 0 && p.y < ny && p.z >= 0 && p.z < nz;
+  }
+  /// x-major flattening (x slowest) so the paper's x-partitioned subgrids map
+  /// to contiguous index ranges.
+  [[nodiscard]] VoxelIndex Flatten(Vec3i p) const {
+    return (static_cast<VoxelIndex>(p.x) * ny + p.y) * nz + p.z;
+  }
+  [[nodiscard]] Vec3i Unflatten(VoxelIndex idx) const {
+    const auto z = static_cast<i32>(idx % nz);
+    const auto y = static_cast<i32>((idx / nz) % ny);
+    const auto x = static_cast<i32>(idx / (static_cast<u64>(ny) * nz));
+    return {x, y, z};
+  }
+  friend bool operator==(const GridDims&, const GridDims&) = default;
+};
+
+/// Per-voxel payload: raw (pre-activation) density plus color features.
+struct VoxelData {
+  float density = 0.0f;
+  std::array<float, kColorFeatureDim> features{};
+
+  [[nodiscard]] bool IsZero() const {
+    if (density != 0.0f) return false;
+    for (float f : features)
+      if (f != 0.0f) return false;
+    return true;
+  }
+};
+
+/// Dense float voxel grid (structure-of-arrays). This is both the
+/// "ground-truth" full-precision field and VQRF's restored grid format.
+class DenseGrid {
+ public:
+  DenseGrid() = default;
+  explicit DenseGrid(GridDims dims);
+
+  [[nodiscard]] const GridDims& Dims() const { return dims_; }
+  [[nodiscard]] u64 VoxelCount() const { return dims_.VoxelCount(); }
+
+  [[nodiscard]] float Density(VoxelIndex i) const { return density_[i]; }
+  void SetDensity(VoxelIndex i, float d) { density_[i] = d; }
+
+  [[nodiscard]] const float* Features(VoxelIndex i) const {
+    return &features_[i * kColorFeatureDim];
+  }
+  float* MutableFeatures(VoxelIndex i) {
+    return &features_[i * kColorFeatureDim];
+  }
+
+  [[nodiscard]] VoxelData Voxel(Vec3i p) const;
+  void SetVoxel(Vec3i p, const VoxelData& v);
+
+  /// A voxel is "non-zero" when its density or any feature is non-zero.
+  [[nodiscard]] bool IsNonZero(VoxelIndex i) const;
+
+  /// Count of non-zero voxels (the paper's sparsity metric, Fig 2(b)).
+  [[nodiscard]] u64 CountNonZero() const;
+  [[nodiscard]] double NonZeroFraction() const;
+
+  /// Linear indices of all non-zero voxels, ascending (so x-partition ranges
+  /// are contiguous).
+  [[nodiscard]] std::vector<VoxelIndex> NonZeroIndices() const;
+
+  /// Memory footprint of this grid if materialised as VQRF restores it:
+  /// FP32 density + FP32 x 12 features per voxel.
+  [[nodiscard]] u64 RestoredBytes() const {
+    return VoxelCount() * (sizeof(float) * (1 + kColorFeatureDim));
+  }
+
+  [[nodiscard]] const std::vector<float>& DensityRaw() const { return density_; }
+  [[nodiscard]] const std::vector<float>& FeaturesRaw() const {
+    return features_;
+  }
+
+ private:
+  GridDims dims_;
+  std::vector<float> density_;
+  std::vector<float> features_;  // kColorFeatureDim per voxel
+};
+
+}  // namespace spnerf

@@ -1,0 +1,38 @@
+// Coarse occupancy grid for empty-space skipping: OR-reduction of the fine
+// occupancy bitmap over `factor`-sized blocks, dilated by one coarse cell so
+// trilinear stencils near block borders stay safe. DVGO/VQRF skip empty
+// space the same way on GPU; the accelerator's BLU serves the equivalent
+// role with the per-subgrid bitmap.
+#pragma once
+
+#include "grid/bitmap.hpp"
+
+namespace spnerf {
+
+class CoarseOccupancy {
+ public:
+  CoarseOccupancy() = default;
+
+  /// Builds from a fine bitmap. `factor` fine cells per coarse cell per axis.
+  static CoarseOccupancy Build(const BitGrid& fine, int factor);
+
+  [[nodiscard]] int Factor() const { return factor_; }
+  [[nodiscard]] const GridDims& CoarseDims() const { return coarse_.Dims(); }
+  [[nodiscard]] const BitGrid& Bits() const { return coarse_; }
+
+  /// Is the coarse cell containing world point `p` (in [0,1]^3) occupied?
+  /// Out-of-range points report unoccupied.
+  [[nodiscard]] bool OccupiedAtWorld(Vec3f p) const;
+
+  /// Coarse cell containing a world point (clamped).
+  [[nodiscard]] Vec3i CellOfWorld(Vec3f p) const;
+
+  /// World-space bounds of a coarse cell.
+  [[nodiscard]] Aabb CellBounds(Vec3i cell) const;
+
+ private:
+  BitGrid coarse_;
+  int factor_ = 1;
+};
+
+}  // namespace spnerf

@@ -1,0 +1,39 @@
+#include "grid/quantization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+Int8Quantizer::Int8Quantizer(float scale) : scale_(scale) {
+  SPNERF_CHECK_MSG(scale > 0.0f && std::isfinite(scale),
+                   "quantizer scale must be positive and finite");
+}
+
+Int8Quantizer Int8Quantizer::FitAbsMax(std::span<const float> values) {
+  float absmax = 0.0f;
+  for (float v : values) absmax = std::max(absmax, std::fabs(v));
+  if (absmax == 0.0f) absmax = 1.0f;  // all-zero tensor: any scale works
+  return Int8Quantizer(absmax / 127.0f);
+}
+
+i8 Int8Quantizer::Quantize(float x) const {
+  const float q = std::nearbyint(x / scale_);
+  return static_cast<i8>(std::clamp(q, -127.0f, 127.0f));
+}
+
+void Int8Quantizer::QuantizeSpan(std::span<const float> in,
+                                 std::span<i8> out) const {
+  SPNERF_CHECK_MSG(in.size() == out.size(), "span size mismatch");
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = Quantize(in[i]);
+}
+
+void Int8Quantizer::DequantizeSpan(std::span<const i8> in,
+                                   std::span<float> out) const {
+  SPNERF_CHECK_MSG(in.size() == out.size(), "span size mismatch");
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = Dequantize(in[i]);
+}
+
+}  // namespace spnerf

@@ -1,0 +1,41 @@
+// Symmetric INT8 quantisation with a single scale factor, as used for the
+// off-chip "true voxel grid" (paper section IV-A: "the true voxel grid data
+// is saved in INT8 format on off-chip memory"; the TIU de-quantises by
+// multiplying lookup results with the scale factor).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace spnerf {
+
+/// Symmetric per-tensor INT8 quantiser: q = clamp(round(x / scale), -127, 127).
+class Int8Quantizer {
+ public:
+  Int8Quantizer() = default;
+  explicit Int8Quantizer(float scale);
+
+  /// Picks a scale covering the absolute maximum of `values`.
+  static Int8Quantizer FitAbsMax(std::span<const float> values);
+
+  [[nodiscard]] float Scale() const { return scale_; }
+
+  [[nodiscard]] i8 Quantize(float x) const;
+  [[nodiscard]] float Dequantize(i8 q) const {
+    return static_cast<float>(q) * scale_;
+  }
+
+  void QuantizeSpan(std::span<const float> in, std::span<i8> out) const;
+  void DequantizeSpan(std::span<const i8> in, std::span<float> out) const;
+
+  /// Worst-case absolute rounding error (= scale / 2) for in-range values.
+  [[nodiscard]] float MaxRoundingError() const { return scale_ * 0.5f; }
+
+ private:
+  float scale_ = 1.0f;
+};
+
+}  // namespace spnerf

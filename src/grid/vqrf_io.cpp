@@ -1,0 +1,164 @@
+#include "grid/vqrf_io.hpp"
+
+#include <fstream>
+
+#include "common/binary_io.hpp"
+
+namespace spnerf {
+namespace {
+
+/// Record fields are serialized as parallel arrays so the on-disk format is
+/// independent of the host struct layout/padding.
+struct RecordArrays {
+  std::vector<u64> indices;
+  std::vector<u8> kept;
+  std::vector<u32> payloads;
+  std::vector<i8> densities;
+};
+
+RecordArrays SplitRecords(const std::vector<VoxelRecord>& records) {
+  RecordArrays a;
+  a.indices.reserve(records.size());
+  a.kept.reserve(records.size());
+  a.payloads.reserve(records.size());
+  a.densities.reserve(records.size());
+  for (const VoxelRecord& r : records) {
+    a.indices.push_back(r.index);
+    a.kept.push_back(r.kept ? 1 : 0);
+    a.payloads.push_back(r.payload_id);
+    a.densities.push_back(r.density_q);
+  }
+  return a;
+}
+
+}  // namespace
+
+void SaveVqrfModel(const VqrfModel& model, std::ostream& out) {
+  WritePod<u32>(out, kVqrfMagic);
+  WritePod<u32>(out, kVqrfVersion);
+
+  WritePod<i32>(out, model.dims_.nx);
+  WritePod<i32>(out, model.dims_.ny);
+  WritePod<i32>(out, model.dims_.nz);
+
+  // Codebook: full-precision rows (the INT8 view is re-derivable but cheap
+  // to store; both are written for bit-exact round trips).
+  WritePod<i32>(out, model.codebook_.Size());
+  for (const FeatureVec& row : model.codebook_.Rows()) {
+    out.write(reinterpret_cast<const char*>(row.data()),
+              sizeof(float) * kColorFeatureDim);
+  }
+  WriteVector(out, model.codebook_int8_);
+
+  WritePod<float>(out, model.feature_quant_.Scale());
+  WritePod<float>(out, model.density_quant_.Scale());
+
+  const RecordArrays arrays = SplitRecords(model.records_);
+  WriteVector(out, arrays.indices);
+  WriteVector(out, arrays.kept);
+  WriteVector(out, arrays.payloads);
+  WriteVector(out, arrays.densities);
+
+  WriteVector(out, model.kept_features_);
+  WritePod<u64>(out, model.kept_count_);
+  WriteVector(out, model.bitmap_.Words());
+  SPNERF_CHECK_MSG(out.good(), "VQRF model write failed");
+}
+
+void SaveVqrfModel(const VqrfModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SPNERF_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  SaveVqrfModel(model, out);
+}
+
+VqrfModel LoadVqrfModel(std::istream& in) {
+  SPNERF_CHECK_MSG(ReadPod<u32>(in) == kVqrfMagic,
+                   "not a SpNeRF VQRF model (bad magic)");
+  const u32 version = ReadPod<u32>(in);
+  SPNERF_CHECK_MSG(version == kVqrfVersion,
+                   "unsupported VQRF model version " << version);
+
+  VqrfModel model;
+  model.dims_.nx = ReadPod<i32>(in);
+  model.dims_.ny = ReadPod<i32>(in);
+  model.dims_.nz = ReadPod<i32>(in);
+  SPNERF_CHECK_MSG(model.dims_.nx > 0 && model.dims_.ny > 0 &&
+                       model.dims_.nz > 0,
+                   "corrupt model: non-positive dims");
+
+  const i32 book_size = ReadPod<i32>(in);
+  SPNERF_CHECK_MSG(book_size > 0 && book_size <= (1 << 20),
+                   "corrupt model: codebook size " << book_size);
+  std::vector<FeatureVec> rows(static_cast<std::size_t>(book_size));
+  for (FeatureVec& row : rows) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            sizeof(float) * kColorFeatureDim);
+  }
+  SPNERF_CHECK_MSG(in.good(), "truncated codebook");
+  model.codebook_ = Codebook(std::move(rows));
+  model.codebook_int8_ = ReadVector<i8>(in);
+  SPNERF_CHECK_MSG(model.codebook_int8_.size() ==
+                       static_cast<std::size_t>(book_size) * kColorFeatureDim,
+                   "corrupt model: INT8 codebook size mismatch");
+
+  model.feature_quant_ = Int8Quantizer(ReadPod<float>(in));
+  model.density_quant_ = Int8Quantizer(ReadPod<float>(in));
+
+  const std::vector<u64> indices = ReadVector<u64>(in);
+  const std::vector<u8> kept = ReadVector<u8>(in);
+  const std::vector<u32> payloads = ReadVector<u32>(in);
+  const std::vector<i8> densities = ReadVector<i8>(in);
+  SPNERF_CHECK_MSG(kept.size() == indices.size() &&
+                       payloads.size() == indices.size() &&
+                       densities.size() == indices.size(),
+                   "corrupt model: record array length mismatch");
+
+  model.records_.reserve(indices.size());
+  const u64 voxel_count = model.dims_.VoxelCount();
+  u64 prev_plus_one = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    SPNERF_CHECK_MSG(indices[i] < voxel_count,
+                     "corrupt model: record index out of grid");
+    SPNERF_CHECK_MSG(indices[i] + 1 > prev_plus_one,
+                     "corrupt model: records not ascending");
+    prev_plus_one = indices[i] + 1;
+    VoxelRecord rec;
+    rec.index = indices[i];
+    rec.kept = kept[i] != 0;
+    rec.payload_id = payloads[i];
+    rec.density_q = densities[i];
+    model.record_by_index_[rec.index] = static_cast<u32>(i);
+    model.records_.push_back(rec);
+  }
+
+  model.kept_features_ = ReadVector<i8>(in);
+  model.kept_count_ = ReadPod<u64>(in);
+  SPNERF_CHECK_MSG(model.kept_features_.size() ==
+                       model.kept_count_ * kColorFeatureDim,
+                   "corrupt model: kept-feature size mismatch");
+  SPNERF_CHECK_MSG(model.kept_count_ <= model.records_.size(),
+                   "corrupt model: kept count exceeds records");
+
+  std::vector<u64> words = ReadVector<u64>(in);
+  model.bitmap_ = BitGrid::FromWords(model.dims_, std::move(words));
+
+  // Cross-check payload ranges against the loaded stores.
+  for (const VoxelRecord& rec : model.records_) {
+    if (rec.kept) {
+      SPNERF_CHECK_MSG(rec.payload_id < model.kept_count_,
+                       "corrupt model: kept slot out of range");
+    } else {
+      SPNERF_CHECK_MSG(rec.payload_id < static_cast<u32>(book_size),
+                       "corrupt model: codebook row out of range");
+    }
+  }
+  return model;
+}
+
+VqrfModel LoadVqrfModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SPNERF_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  return LoadVqrfModel(in);
+}
+
+}  // namespace spnerf

@@ -1,0 +1,25 @@
+// Binary serialization of VQRF models ("compressed model on disk") — this is
+// the artifact the SpNeRF preprocessing consumes on device, so the package
+// round-trips the full compressed representation exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/vqrf_model.hpp"
+
+namespace spnerf {
+
+/// Format magic and version ("SPNF" + version byte).
+inline constexpr u32 kVqrfMagic = 0x53504e46u;
+inline constexpr u32 kVqrfVersion = 1;
+
+void SaveVqrfModel(const VqrfModel& model, std::ostream& out);
+void SaveVqrfModel(const VqrfModel& model, const std::string& path);
+
+/// Loads a model saved by SaveVqrfModel. Throws SpnerfError on a bad magic,
+/// version mismatch, truncation, or internally inconsistent contents.
+VqrfModel LoadVqrfModel(std::istream& in);
+VqrfModel LoadVqrfModel(const std::string& path);
+
+}  // namespace spnerf

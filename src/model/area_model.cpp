@@ -1,0 +1,72 @@
+#include "model/area_model.hpp"
+
+namespace spnerf {
+
+u64 HardwareInventory::SgpuSramBytes() const {
+  u64 total = 0;
+  for (const auto& m : sgpu_srams) total += m.TotalBytes();
+  return total;
+}
+
+u64 HardwareInventory::MlpSramBytes() const {
+  u64 total = 0;
+  for (const auto& m : mlp_srams) total += m.TotalBytes();
+  return total;
+}
+
+u64 HardwareInventory::TotalSramBytes() const {
+  return SgpuSramBytes() + MlpSramBytes();
+}
+
+HardwareInventory DefaultInventory() {
+  HardwareInventory inv;
+  inv.systolic_rows = 64;
+  inv.systolic_cols = 64;
+  inv.sgpu_lanes = 16;
+  // SGPU SRAM: 571 KB total (paper V-C). One subgrid hash table is
+  // 32k x 26 bits = 104 KB.
+  inv.sgpu_srams = {
+      {"index+density buffer", 104 * 1024, true},  // per-subgrid hash table
+      {"bitmap buffer", 48 * 1024, true},          // per-subgrid bitmap slice
+      {"color codebook", 48 * 1024, false},        // 4096 x 12 INT8
+      {"true voxel grid cache", 192 * 1024, false},
+      {"position buffer", 8 * 1024, true},
+      {"interp output FIFO", 11 * 1024, false},
+  };
+  // MLP buffers: 58 KB total (paper V-C): INT8 weights + block-circulant
+  // input buffer (double-buffered) + output buffer.
+  inv.mlp_srams = {
+      {"weight buffer", 44 * 1024, false},
+      {"input buffer (block-circulant)", 5 * 1024, true},
+      {"output buffer", 4 * 1024, false},
+  };
+  return inv;
+}
+
+AreaBreakdown EstimateArea(const HardwareInventory& inv, const Tech28& tech) {
+  AreaBreakdown a;
+
+  const double ctrl = 1.0 + tech.control_overhead_frac;
+  a.systolic_mm2 =
+      inv.SystolicMacs() * tech.fp16_mac_area_um2 * 1e-6 * ctrl;
+
+  // Per lane: GID (6 FP16 mul/sub pairs for Eq. 2 weights + round/ceil),
+  // HMU (one hash unit), TIU (13 FP16 FMAs: 12 feature channels + density),
+  // BLU (negligible logic, bit probe).
+  const double lane_um2 = 6.0 * tech.fp16_alu_area_um2 +
+                          tech.hash_unit_area_um2 +
+                          13.0 * tech.fp16_mac_area_um2;
+  a.sgpu_logic_mm2 = inv.sgpu_lanes * lane_um2 * 1e-6 * ctrl;
+
+  for (const auto& m : inv.sgpu_srams) a.sram_mm2 += tech.SramAreaMm2(m.TotalBytes());
+  for (const auto& m : inv.mlp_srams) a.sram_mm2 += tech.SramAreaMm2(m.TotalBytes());
+
+  a.dram_phy_mm2 = inv.dram_phy_mm2;
+  a.controller_misc_mm2 = inv.controller_misc_mm2;
+
+  a.total_mm2 = a.systolic_mm2 + a.sgpu_logic_mm2 + a.sram_mm2 +
+                a.dram_phy_mm2 + a.controller_misc_mm2;
+  return a;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,65 @@
+// 28 nm area model of the SpNeRF accelerator (Fig 9(a), Table II). The
+// component inventory mirrors the architecture of Fig 4; SRAM sizing follows
+// the paper exactly: 571 KB in the SGPU and 58 KB of MLP buffers, 0.61 MB
+// total.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "model/tech28.hpp"
+
+namespace spnerf {
+
+struct SramMacroSpec {
+  std::string name;
+  u64 bytes = 0;
+  /// Double-buffered macros hold two copies (paper IV-A: "all buffers in
+  /// the system are double-buffered").
+  bool double_buffered = false;
+
+  [[nodiscard]] u64 TotalBytes() const {
+    return double_buffered ? 2 * bytes : bytes;
+  }
+};
+
+/// The accelerator's physical inventory (design point of the paper).
+struct HardwareInventory {
+  int systolic_rows = 64;
+  int systolic_cols = 64;
+  /// Parallel vertex-lookup lanes in the SGPU (GID/BLU/HMU/TIU each).
+  int sgpu_lanes = 16;
+  std::vector<SramMacroSpec> sgpu_srams;
+  std::vector<SramMacroSpec> mlp_srams;
+  /// Fixed blocks.
+  double dram_phy_mm2 = 1.95;
+  double controller_misc_mm2 = 1.40;
+
+  [[nodiscard]] u64 SgpuSramBytes() const;
+  [[nodiscard]] u64 MlpSramBytes() const;
+  [[nodiscard]] u64 TotalSramBytes() const;
+  [[nodiscard]] int SystolicMacs() const {
+    return systolic_rows * systolic_cols;
+  }
+};
+
+/// The paper's design point: 64x64 FP16 output-stationary array, 16 SGPU
+/// lanes, 571 KB SGPU SRAM + 58 KB MLP buffers.
+HardwareInventory DefaultInventory();
+
+struct AreaBreakdown {
+  double systolic_mm2 = 0.0;
+  double sgpu_logic_mm2 = 0.0;
+  double sram_mm2 = 0.0;       // all on-chip SRAM macros
+  double dram_phy_mm2 = 0.0;
+  double controller_misc_mm2 = 0.0;
+  double total_mm2 = 0.0;
+
+  [[nodiscard]] double SramShare() const { return sram_mm2 / total_mm2; }
+};
+
+AreaBreakdown EstimateArea(const HardwareInventory& inv,
+                           const Tech28& tech = DefaultTech28());
+
+}  // namespace spnerf

@@ -1,0 +1,40 @@
+#include "model/baseline_accel.hpp"
+
+namespace spnerf {
+
+AcceleratorOperatingPoint RtNerfEdge() {
+  AcceleratorOperatingPoint p;
+  p.name = "RT-NeRF.Edge";
+  p.sram_mb = 3.5;
+  p.area_mm2 = 18.85;
+  p.tech_nm = 28;
+  p.power_w = 8.0;
+  p.dram = "LPDDR4-1600";
+  p.dram_bw_gbps = 17.0;
+  p.fps = 45.0;
+  p.energy_eff_fps_per_w = 5.63;
+  p.area_eff_fps_per_mm2 = 2.38;
+  return p;
+}
+
+AcceleratorOperatingPoint NeurexEdge() {
+  AcceleratorOperatingPoint p;
+  p.name = "NeuRex.Edge";
+  p.sram_mb = 0.86;
+  p.area_mm2 = 1.31;
+  p.tech_nm = 28;
+  p.power_w = 1.31;
+  p.dram = "LPDDR4-3200";
+  p.dram_bw_gbps = 59.7;
+  p.fps = 6.57;
+  p.energy_eff_fps_per_w = 5.15;
+  p.area_eff_fps_per_mm2 = 2.09;
+  p.fps_inferred = true;
+  return p;
+}
+
+std::vector<AcceleratorOperatingPoint> TableIIBaselines() {
+  return {RtNerfEdge(), NeurexEdge()};
+}
+
+}  // namespace spnerf

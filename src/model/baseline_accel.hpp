@@ -1,0 +1,33 @@
+// Published operating points of the edge-accelerator baselines the paper
+// compares against in Table II. The paper compares against these works'
+// reported numbers (it does not re-implement them), so we store the table
+// verbatim: RT-NeRF.Edge (ICCAD'22) and NeuRex.Edge (ISCA'23; its FPS is
+// inferred from Jetson XNX rendering speed, as the paper's footnote states).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spnerf {
+
+struct AcceleratorOperatingPoint {
+  std::string name;
+  double sram_mb = 0.0;
+  double area_mm2 = 0.0;
+  int tech_nm = 28;
+  double power_w = 0.0;
+  std::string dram;
+  double dram_bw_gbps = 0.0;
+  double fps = 0.0;
+  double energy_eff_fps_per_w = 0.0;   // as published in Table II
+  double area_eff_fps_per_mm2 = 0.0;   // as published in Table II
+  bool fps_inferred = false;           // NeuRex.Edge footnote
+};
+
+AcceleratorOperatingPoint RtNerfEdge();
+AcceleratorOperatingPoint NeurexEdge();
+
+/// Both baselines in Table II order.
+std::vector<AcceleratorOperatingPoint> TableIIBaselines();
+
+}  // namespace spnerf

@@ -1,0 +1,45 @@
+#include "model/comparison.hpp"
+
+namespace spnerf {
+
+TableIIRow RowFromBaseline(const AcceleratorOperatingPoint& p) {
+  TableIIRow r;
+  r.name = p.name;
+  r.sram_mb = p.sram_mb;
+  r.area_mm2 = p.area_mm2;
+  r.tech_nm = p.tech_nm;
+  r.power_w = p.power_w;
+  r.dram = p.dram;
+  r.dram_bw_gbps = p.dram_bw_gbps;
+  r.fps = p.fps;
+  r.energy_eff_fps_per_w = p.energy_eff_fps_per_w;
+  r.area_eff_fps_per_mm2 = p.area_eff_fps_per_mm2;
+  return r;
+}
+
+TableIIRow SpnerfRow(const HardwareInventory& inv, const AreaBreakdown& area,
+                     const PowerBreakdown& power, double fps,
+                     const std::string& dram_name, double dram_bw_gbps) {
+  TableIIRow r;
+  r.name = "SpNeRF (Ours)";
+  r.sram_mb =
+      static_cast<double>(inv.TotalSramBytes()) / (1024.0 * 1024.0);
+  r.area_mm2 = area.total_mm2;
+  r.tech_nm = 28;
+  r.power_w = power.total_w;
+  r.dram = dram_name;
+  r.dram_bw_gbps = dram_bw_gbps;
+  r.fps = fps;
+  r.energy_eff_fps_per_w = fps / power.total_w;
+  r.area_eff_fps_per_mm2 = fps / area.total_mm2;
+  return r;
+}
+
+std::vector<TableIIRow> AssembleTableII(const TableIIRow& spnerf) {
+  std::vector<TableIIRow> rows;
+  for (const auto& b : TableIIBaselines()) rows.push_back(RowFromBaseline(b));
+  rows.push_back(spnerf);
+  return rows;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,37 @@
+// Table II assembly: related-work operating points plus the SpNeRF row
+// computed from the cycle simulator and the area/power models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/area_model.hpp"
+#include "model/baseline_accel.hpp"
+#include "model/power_model.hpp"
+
+namespace spnerf {
+
+struct TableIIRow {
+  std::string name;
+  double sram_mb = 0.0;
+  double area_mm2 = 0.0;
+  int tech_nm = 28;
+  double power_w = 0.0;
+  std::string dram;
+  double dram_bw_gbps = 0.0;
+  double fps = 0.0;
+  double energy_eff_fps_per_w = 0.0;
+  double area_eff_fps_per_mm2 = 0.0;
+};
+
+TableIIRow RowFromBaseline(const AcceleratorOperatingPoint& p);
+
+/// SpNeRF row from measured quantities.
+TableIIRow SpnerfRow(const HardwareInventory& inv, const AreaBreakdown& area,
+                     const PowerBreakdown& power, double fps,
+                     const std::string& dram_name, double dram_bw_gbps);
+
+/// Full table: RT-NeRF.Edge, NeuRex.Edge, SpNeRF.
+std::vector<TableIIRow> AssembleTableII(const TableIIRow& spnerf);
+
+}  // namespace spnerf

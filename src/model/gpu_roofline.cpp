@@ -1,0 +1,66 @@
+#include "model/gpu_roofline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+GpuRooflineResult EvaluateVqrfOnGpu(const PlatformSpec& platform,
+                                    const GpuFrameWorkload& workload,
+                                    const GpuRooflineParams& params) {
+  SPNERF_CHECK_MSG(platform.dram_bw_gbps > 0, "platform needs DRAM bandwidth");
+  SPNERF_CHECK_MSG(workload.samples > 0, "empty GPU workload");
+
+  const double bw = platform.dram_bw_gbps * 1e9;  // B/s
+
+  // --- restore step: stream the compressed model in, the dense grid out ---
+  const double restore_bytes =
+      static_cast<double>(workload.compressed_bytes) +
+      params.restore_traffic_factor *
+          static_cast<double>(workload.restored_grid_bytes);
+  const double restore_time =
+      restore_bytes / (bw * platform.streaming_efficiency);
+
+  // --- per-sample gather: L2 reuse discounts raw vertex traffic ---
+  const double capacity_ratio = std::min(
+      1.0, static_cast<double>(platform.l2_bytes) /
+               std::max<double>(1.0, static_cast<double>(
+                                         workload.restored_grid_bytes)));
+  const double reuse = std::min(
+      0.98, params.base_l2_reuse + params.capacity_reuse_gain * capacity_ratio);
+  const double gather_bytes = static_cast<double>(workload.samples) *
+                              params.gather_bytes_per_sample * (1.0 - reuse);
+  const double gather_time = gather_bytes / (bw * platform.gather_efficiency);
+
+  // --- materialised intermediates between kernels ---
+  const double tensor_bytes =
+      static_cast<double>(workload.samples) * params.tensor_bytes_per_sample +
+      static_cast<double>(workload.mlp_evals) * params.tensor_bytes_per_eval;
+  const double tensor_time =
+      tensor_bytes * (1.0 - platform.tensor_cache_discount) /
+      (bw * platform.streaming_efficiency);
+
+  // --- compute ---
+  const double flops =
+      static_cast<double>(workload.mlp_evals) * params.flops_per_eval +
+      static_cast<double>(workload.samples) * params.flops_per_sample;
+  // The PyTorch VQRF flow computes in FP32 (no autocast in the reference
+  // implementation).
+  const double peak_flops = platform.fp32_tflops * 1e12;
+  const double compute_time =
+      flops / (peak_flops * platform.compute_utilization);
+
+  GpuRooflineResult r;
+  r.memory_time_s = restore_time + gather_time + tensor_time;
+  r.compute_time_s = compute_time;
+  r.overhead_time_s = platform.frame_overhead_s;
+  r.total_time_s = r.memory_time_s + r.compute_time_s + r.overhead_time_s;
+  r.fps = 1.0 / r.total_time_s;
+  r.memory_share = r.memory_time_s / r.total_time_s;
+  r.energy_per_frame_j = platform.power_w * r.total_time_s;
+  r.fps_per_watt = r.fps / platform.power_w;
+  return r;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,74 @@
+// Roofline-style execution model of the *original VQRF flow* on GPUs
+// (restore the full voxel grid, then sample it per ray). Reproduces the
+// paper's profiling conclusions (Fig 2(a)): edge platforms are memory-bound,
+// spending a 4.8-5.1x larger share of frame time on memory than the A100,
+// and the absolute frame rates the speedup/energy comparisons (Fig 8) are
+// normalised against.
+//
+// The model charges three traffic classes, reflecting how the PyTorch VQRF
+// pipeline executes:
+//   * restore   — streaming write (+readback) of the restored dense grid;
+//   * gather    — irregular per-sample voxel fetches (8 vertices/sample),
+//                 discounted by L2 reuse, paid at gather efficiency;
+//   * tensors   — materialised intermediates between kernels (features,
+//                 embeddings, MLP activations), paid at streaming rate.
+#pragma once
+
+#include "common/types.hpp"
+#include "model/platform.hpp"
+
+namespace spnerf {
+
+/// Per-frame workload of the VQRF GPU flow for one scene.
+struct GpuFrameWorkload {
+  u64 rays = 0;
+  u64 samples = 0;           // fine field samples (after empty-space skip)
+  u64 mlp_evals = 0;         // samples reaching the MLP
+  u64 restored_grid_bytes = 0;  // working set: the restored dense grid
+  u64 compressed_bytes = 0;     // VQRF model read during restore
+};
+
+struct GpuRooflineParams {
+  /// Raw bytes gathered per sample: 8 vertices x (density 4B + 12 feature
+  /// channels x 4B FP32).
+  double gather_bytes_per_sample = 8.0 * 52.0;
+  /// Baseline L2/texture-cache reuse from ray-coherent access (vertices
+  /// shared between adjacent samples), independent of cache size.
+  double base_l2_reuse = 0.30;
+  /// Additional reuse when the cache can hold a meaningful slice of the
+  /// working set (scaled by l2_bytes / restored_grid_bytes, capped).
+  double capacity_reuse_gain = 0.65;
+  /// Materialised intermediate traffic per sample (gathered feature tensor
+  /// write+read, position/weight tensors).
+  double tensor_bytes_per_sample = 600.0;
+  /// Materialised intermediate traffic per MLP eval (activations between
+  /// unfused layers, FP16).
+  double tensor_bytes_per_eval = 2048.0;
+  /// FLOPs per MLP eval: 2 * MACs (matches render::Mlp::MacsPerSample()).
+  double flops_per_eval = 2.0 * (39.0 * 128 + 128.0 * 128 + 128.0 * 3);
+  /// Interpolation + compositing FLOPs per sample.
+  double flops_per_sample = 400.0;
+  /// The restored grid is written once and re-read over the frame; this
+  /// charges the restore step itself (write + one streaming readback).
+  double restore_traffic_factor = 6.0;
+};
+
+struct GpuRooflineResult {
+  double memory_time_s = 0.0;
+  double compute_time_s = 0.0;
+  double overhead_time_s = 0.0;
+  double total_time_s = 0.0;
+  double fps = 0.0;
+  /// Fraction of total time spent on memory (Fig 2(a)'s quantity).
+  double memory_share = 0.0;
+  double energy_per_frame_j = 0.0;  // at the platform's module power
+  double fps_per_watt = 0.0;
+};
+
+/// Evaluates the VQRF flow on one platform. Memory and compute overlap
+/// poorly in the unfused kernel-per-op execution, so times add.
+GpuRooflineResult EvaluateVqrfOnGpu(const PlatformSpec& platform,
+                                    const GpuFrameWorkload& workload,
+                                    const GpuRooflineParams& params = {});
+
+}  // namespace spnerf

@@ -1,0 +1,63 @@
+#include "model/platform.hpp"
+
+namespace spnerf {
+
+PlatformSpec NvidiaA100() {
+  PlatformSpec p;
+  p.name = "A100";
+  p.tech_nm = 7;
+  p.power_w = 400.0;
+  p.dram_kind = "5120-bit 40 GB HBM2";
+  p.dram_bw_gbps = 1555.0;
+  p.l2_bytes = 40ull * 1024 * 1024;
+  p.fp32_tflops = 19.5;
+  p.fp16_tflops = 78.0;
+  p.compute_utilization = 0.17;  // small per-kernel batches underfill A100
+  p.streaming_efficiency = 0.85;
+  p.gather_efficiency = 0.45;  // large L2 + many MCs soak up irregularity
+  p.frame_overhead_s = 0.004;
+  p.tensor_cache_discount = 0.85;  // 40 MB L2 holds the hot intermediates
+  return p;
+}
+
+PlatformSpec JetsonOnx() {
+  PlatformSpec p;
+  p.name = "ONX";
+  p.tech_nm = 8;
+  p.power_w = 25.0;
+  p.dram_kind = "128-bit 16 GB LPDDR5";
+  p.dram_bw_gbps = 102.4;
+  p.l2_bytes = 4ull * 1024 * 1024;
+  p.fp16_tflops = 3.8;
+  p.fp32_tflops = 1.9;
+  p.compute_utilization = 0.28;
+  p.streaming_efficiency = 0.45;
+  p.gather_efficiency = 0.07;
+  p.frame_overhead_s = 0.060;
+  p.tensor_cache_discount = 0.05;
+  return p;
+}
+
+PlatformSpec JetsonXnx() {
+  PlatformSpec p;
+  p.name = "XNX";
+  p.tech_nm = 16;
+  p.power_w = 20.0;
+  p.dram_kind = "128-bit 16 GB LPDDR4";
+  p.dram_bw_gbps = 59.7;
+  p.l2_bytes = 512ull * 1024;
+  p.fp16_tflops = 1.69;
+  p.fp32_tflops = 0.885;
+  p.compute_utilization = 0.25;
+  p.streaming_efficiency = 0.45;
+  p.gather_efficiency = 0.095;
+  p.frame_overhead_s = 0.060;
+  p.tensor_cache_discount = 0.0;
+  return p;
+}
+
+std::vector<PlatformSpec> TableIPlatforms() {
+  return {NvidiaA100(), JetsonOnx(), JetsonXnx()};
+}
+
+}  // namespace spnerf

@@ -1,0 +1,46 @@
+// Computing-platform database (Table I of the paper) plus derived helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace spnerf {
+
+struct PlatformSpec {
+  std::string name;
+  int tech_nm = 0;
+  double power_w = 0.0;        // module power (Table I "Power")
+  std::string dram_kind;       // e.g. "128-bit 16 GB LPDDR4"
+  double dram_bw_gbps = 0.0;   // GB/s
+  u64 l2_bytes = 0;
+  double fp32_tflops = 0.0;
+  double fp16_tflops = 0.0;
+
+  // --- execution-model calibration (not in Table I) ---
+  /// Fraction of peak FLOPS achieved on the batched MLP GEMMs.
+  double compute_utilization = 0.35;
+  /// Fraction of peak bandwidth achieved on sequential streams.
+  double streaming_efficiency = 0.80;
+  /// Fraction of peak bandwidth achieved on irregular per-sample gathers
+  /// (the paper's "irregular memory access" penalty).
+  double gather_efficiency = 0.20;
+  /// Fixed per-frame host/framework overhead (kernel launches, sync).
+  double frame_overhead_s = 0.0;
+  /// Fraction of materialised-intermediate traffic absorbed by the LLC
+  /// (large L2/L3 keeps producer-consumer tensors on chip).
+  double tensor_cache_discount = 0.0;
+};
+
+/// NVIDIA A100 (Table I column 1).
+PlatformSpec NvidiaA100();
+/// Jetson Orin NX 16 GB (Table I column 2).
+PlatformSpec JetsonOnx();
+/// Jetson Xavier NX 16 GB (Table I column 3).
+PlatformSpec JetsonXnx();
+
+/// All Table I platforms in paper order.
+std::vector<PlatformSpec> TableIPlatforms();
+
+}  // namespace spnerf

@@ -1,0 +1,55 @@
+#include "model/power_model.hpp"
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+EnergyLedger& EnergyLedger::operator+=(const EnergyLedger& o) {
+  systolic_j += o.systolic_j;
+  sram_j += o.sram_j;
+  sgpu_logic_j += o.sgpu_logic_j;
+  dram_dynamic_j += o.dram_dynamic_j;
+  dram_background_j += o.dram_background_j;
+  other_j += o.other_j;
+  return *this;
+}
+
+PowerBreakdown EstimatePower(const EnergyLedger& per_frame, double fps,
+                             const AreaBreakdown& area, const Tech28& tech) {
+  SPNERF_CHECK_MSG(fps > 0.0, "fps must be positive");
+  PowerBreakdown p;
+  p.systolic_w = per_frame.systolic_j * fps;
+  p.sram_w = per_frame.sram_j * fps;
+  p.sgpu_logic_w = per_frame.sgpu_logic_j * fps;
+  p.dram_w = (per_frame.dram_dynamic_j + per_frame.dram_background_j) * fps;
+  p.other_w = per_frame.other_j * fps;
+  p.leakage_w = area.total_mm2 * tech.leakage_mw_per_mm2 * 1e-3;
+  p.total_w = p.systolic_w + p.sram_w + p.sgpu_logic_w + p.dram_w +
+              p.other_w + p.leakage_w;
+  return p;
+}
+
+DvfsPoint ScaleWithDvfs(const PowerBreakdown& nominal, double nominal_fps,
+                        double freq_ratio) {
+  SPNERF_CHECK_MSG(freq_ratio > 0.0, "frequency ratio must be positive");
+  const double v = 0.7 + 0.3 * freq_ratio;  // V/V0
+  const double dyn = freq_ratio * v * v;
+
+  DvfsPoint p;
+  p.freq_ratio = freq_ratio;
+  p.fps = nominal_fps * freq_ratio;
+  p.power.systolic_w = nominal.systolic_w * dyn;
+  p.power.sram_w = nominal.sram_w * dyn;
+  p.power.sgpu_logic_w = nominal.sgpu_logic_w * dyn;
+  p.power.other_w = nominal.other_w * dyn;
+  // DRAM runs on its own clock: device power is frequency-independent, but
+  // per-frame DRAM energy at higher fps means proportionally more power.
+  p.power.dram_w = nominal.dram_w * freq_ratio;
+  p.power.leakage_w = nominal.leakage_w * v;
+  p.power.total_w = p.power.systolic_w + p.power.sram_w +
+                    p.power.sgpu_logic_w + p.power.other_w + p.power.dram_w +
+                    p.power.leakage_w;
+  return p;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,59 @@
+// Power accounting (Fig 9(b), Table II). The cycle simulator fills an
+// EnergyLedger per frame; this model converts it to average power at the
+// achieved frame rate and adds area-dependent leakage.
+#pragma once
+
+#include "model/area_model.hpp"
+#include "model/tech28.hpp"
+
+namespace spnerf {
+
+/// Dynamic energy per frame, in joules, by component.
+struct EnergyLedger {
+  double systolic_j = 0.0;    // MAC array switching
+  double sram_j = 0.0;        // all on-chip buffer accesses
+  double sgpu_logic_j = 0.0;  // GID + HMU + BLU + TIU datapaths
+  double dram_dynamic_j = 0.0;
+  double dram_background_j = 0.0;
+  double other_j = 0.0;  // controller, NoC, activation unit
+
+  [[nodiscard]] double TotalJ() const {
+    return systolic_j + sram_j + sgpu_logic_j + dram_dynamic_j +
+           dram_background_j + other_j;
+  }
+  EnergyLedger& operator+=(const EnergyLedger& o);
+};
+
+struct PowerBreakdown {
+  double systolic_w = 0.0;
+  double sram_w = 0.0;
+  double sgpu_logic_w = 0.0;
+  double dram_w = 0.0;  // device dynamic + background + controller share
+  double leakage_w = 0.0;
+  double other_w = 0.0;
+  double total_w = 0.0;
+
+  [[nodiscard]] double SystolicShare() const { return systolic_w / total_w; }
+  [[nodiscard]] double SramShare() const { return sram_w / total_w; }
+};
+
+/// Converts a per-frame ledger at `fps` into average power; leakage comes
+/// from the area model.
+PowerBreakdown EstimatePower(const EnergyLedger& per_frame, double fps,
+                             const AreaBreakdown& area,
+                             const Tech28& tech = DefaultTech28());
+
+/// DVFS projection from the 1 GHz design point: at frequency ratio r the
+/// supply scales as V/V0 = 0.7 + 0.3 r (linear approximation around the
+/// nominal corner), dynamic power as r * (V/V0)^2, and leakage as (V/V0).
+/// Throughput of the compute-bound pipeline scales as r.
+struct DvfsPoint {
+  double freq_ratio = 1.0;
+  double fps = 0.0;
+  PowerBreakdown power;
+  [[nodiscard]] double FpsPerWatt() const { return fps / power.total_w; }
+};
+DvfsPoint ScaleWithDvfs(const PowerBreakdown& nominal, double nominal_fps,
+                        double freq_ratio);
+
+}  // namespace spnerf

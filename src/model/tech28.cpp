@@ -1,0 +1,30 @@
+#include "model/tech28.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spnerf {
+
+double Tech28::SramReadPjPerByte(u64 macro_bytes) const {
+  // 32 KB macro: ~0.35 pJ/B, growing ~0.10 pJ/B per doubling.
+  const double kb = std::max(1.0, static_cast<double>(macro_bytes) / 1024.0);
+  const double doublings = std::max(0.0, std::log2(kb / 32.0));
+  return 0.35 + 0.10 * doublings;
+}
+
+double Tech28::SramWritePjPerByte(u64 macro_bytes) const {
+  return 1.15 * SramReadPjPerByte(macro_bytes);
+}
+
+double Tech28::SramAreaMm2(u64 macro_bytes) const {
+  // ~0.45 mm^2 per MB of high-density 6T SRAM plus fixed periphery.
+  const double mb = static_cast<double>(macro_bytes) / (1024.0 * 1024.0);
+  return mb * 0.45 + 0.003;
+}
+
+const Tech28& DefaultTech28() {
+  static const Tech28 tech{};
+  return tech;
+}
+
+}  // namespace spnerf

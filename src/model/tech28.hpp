@@ -1,0 +1,42 @@
+// TSMC 28 nm-class technology constants: per-operation energy, SRAM macro
+// energy/area, logic area. Values follow the per-op figures customarily used
+// in accelerator evaluations (Horowitz ISSCC'14 scaling and memory-compiler
+// style macro models), anchored so the complete SpNeRF design lands on the
+// paper's published totals (7.7 mm^2, ~3 W at 1 GHz, 0.61 MB SRAM).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace spnerf {
+
+struct Tech28 {
+  // ---- dynamic energy per operation (pJ) ----
+  double fp16_mac_pj = 0.72;   // fused multiply-add incl. pipeline overhead
+  double fp16_add_pj = 0.20;
+  double fp16_mul_pj = 0.35;
+  double int8_op_pj = 0.08;    // INT8 scale/convert ops in the TIU
+  double hash_unit_pj = 0.90;  // Eq.(1): two 32-bit mults + xors + mod
+  double bit_probe_pj = 0.05;  // bitmap bit extraction (mux tree)
+
+  // ---- leakage ----
+  double leakage_mw_per_mm2 = 30.0;
+
+  // ---- logic area (um^2) ----
+  double fp16_mac_area_um2 = 780.0;
+  double fp16_alu_area_um2 = 420.0;   // mul/sub pair in the GID
+  double hash_unit_area_um2 = 5200.0; // multipliers dominate
+  double control_overhead_frac = 0.12;  // per-block control/wiring overhead
+
+  /// SRAM read energy (pJ per byte) as a function of macro size; larger
+  /// macros burn more per access (longer bit/word lines).
+  [[nodiscard]] double SramReadPjPerByte(u64 macro_bytes) const;
+  [[nodiscard]] double SramWritePjPerByte(u64 macro_bytes) const;
+
+  /// SRAM macro area in mm^2 (6T high-density + periphery).
+  [[nodiscard]] double SramAreaMm2(u64 macro_bytes) const;
+};
+
+/// The default calibrated technology model used across the repo.
+const Tech28& DefaultTech28();
+
+}  // namespace spnerf

@@ -1,0 +1,85 @@
+#include "render/camera.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+Camera::Camera(Vec3f position, Vec3f look_at, Vec3f up, float fov_y_deg,
+               int width, int height)
+    : position_(position), width_(width), height_(height) {
+  SPNERF_CHECK_MSG(width > 0 && height > 0, "camera needs positive resolution");
+  SPNERF_CHECK_MSG(fov_y_deg > 0.0f && fov_y_deg < 180.0f,
+                   "fov must be in (0, 180)");
+  forward_ = (look_at - position).Normalized();
+  SPNERF_CHECK_MSG(forward_.Norm2() > 0.0f, "camera position equals look_at");
+  right_ = up.Cross(forward_).Normalized();
+  SPNERF_CHECK_MSG(right_.Norm2() > 0.0f, "up is parallel to view direction");
+  up_ = forward_.Cross(right_);
+  tan_half_fov_ = std::tan(fov_y_deg * 0.5f * 3.14159265358979f / 180.0f);
+}
+
+Ray Camera::PixelRay(int px, int py) const {
+  SPNERF_CHECK(px >= 0 && px < width_ && py >= 0 && py < height_);
+  const float aspect = static_cast<float>(width_) / static_cast<float>(height_);
+  const float u =
+      (2.0f * (static_cast<float>(px) + 0.5f) / static_cast<float>(width_) -
+       1.0f) *
+      tan_half_fov_ * aspect;
+  // Image y grows downward; world up is +up_.
+  const float v =
+      (1.0f -
+       2.0f * (static_cast<float>(py) + 0.5f) / static_cast<float>(height_)) *
+      tan_half_fov_;
+  Ray ray;
+  ray.origin = position_;
+  ray.direction = (forward_ + right_ * u + up_ * v).Normalized();
+  return ray;
+}
+
+std::vector<Camera> OrbitCameras(int count, Vec3f center, float radius,
+                                 float elevation_deg, float fov_y_deg,
+                                 int width, int height) {
+  SPNERF_CHECK_MSG(count > 0, "need at least one camera");
+  std::vector<Camera> cams;
+  cams.reserve(static_cast<std::size_t>(count));
+  const float el = elevation_deg * 3.14159265358979f / 180.0f;
+  for (int i = 0; i < count; ++i) {
+    const float az =
+        2.0f * 3.14159265358979f * static_cast<float>(i) / static_cast<float>(count);
+    const Vec3f pos{center.x + radius * std::cos(el) * std::cos(az),
+                    center.y + radius * std::sin(el),
+                    center.z + radius * std::cos(el) * std::sin(az)};
+    cams.emplace_back(pos, center, Vec3f{0.f, 1.f, 0.f}, fov_y_deg, width,
+                      height);
+  }
+  return cams;
+}
+
+bool IntersectAabb(const Ray& ray, const Aabb& box, float& t_near,
+                   float& t_far) {
+  float t0 = 0.0f;
+  float t1 = std::numeric_limits<float>::max();
+  for (int axis = 0; axis < 3; ++axis) {
+    const float o = ray.origin[axis];
+    const float d = ray.direction[axis];
+    const float lo = box.lo[axis];
+    const float hi = box.hi[axis];
+    if (std::fabs(d) < 1e-12f) {
+      if (o < lo || o > hi) return false;
+      continue;
+    }
+    float ta = (lo - o) / d;
+    float tb = (hi - o) / d;
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return false;
+  }
+  t_near = t0;
+  t_far = t1;
+  return true;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,52 @@
+// Pinhole camera with look-at pose and ray generation, plus the ring of
+// test poses used in place of the Synthetic-NeRF validation cameras.
+#pragma once
+
+#include <vector>
+
+#include "common/vec.hpp"
+
+namespace spnerf {
+
+struct Ray {
+  Vec3f origin;
+  Vec3f direction;  // unit length
+
+  [[nodiscard]] Vec3f At(float t) const { return origin + direction * t; }
+};
+
+class Camera {
+ public:
+  Camera() = default;
+  /// `fov_y_deg` is the full vertical field of view.
+  Camera(Vec3f position, Vec3f look_at, Vec3f up, float fov_y_deg, int width,
+         int height);
+
+  [[nodiscard]] int Width() const { return width_; }
+  [[nodiscard]] int Height() const { return height_; }
+  [[nodiscard]] Vec3f Position() const { return position_; }
+  [[nodiscard]] Vec3f Forward() const { return forward_; }
+
+  /// Ray through pixel center (px + 0.5, py + 0.5).
+  [[nodiscard]] Ray PixelRay(int px, int py) const;
+
+ private:
+  Vec3f position_;
+  Vec3f forward_, right_, up_;
+  float tan_half_fov_ = 0.0f;
+  int width_ = 0, height_ = 0;
+};
+
+/// `count` poses on a circle of radius `radius` around `center` at elevation
+/// angle `elevation_deg`, all looking at the center — the standard NeRF
+/// validation orbit.
+std::vector<Camera> OrbitCameras(int count, Vec3f center, float radius,
+                                 float elevation_deg, float fov_y_deg,
+                                 int width, int height);
+
+/// Ray / AABB intersection; returns false when the ray misses. On hit,
+/// [t_near, t_far] covers the inside segment (t_near clamped to >= 0).
+bool IntersectAabb(const Ray& ray, const Aabb& box, float& t_near,
+                   float& t_far);
+
+}  // namespace spnerf

@@ -1,0 +1,34 @@
+#include "render/embedding.hpp"
+
+#include <cmath>
+
+namespace spnerf {
+
+ViewEmbedding EmbedViewDirection(Vec3f dir) {
+  ViewEmbedding e{};
+  e[0] = dir.x;
+  e[1] = dir.y;
+  e[2] = dir.z;
+  int at = 3;
+  for (int k = 0; k < kViewEmbedFreqs; ++k) {
+    const float scale = static_cast<float>(1 << k);
+    for (int c = 0; c < 3; ++c) {
+      e[at++] = std::sin(scale * dir[c]);
+    }
+    for (int c = 0; c < 3; ++c) {
+      e[at++] = std::cos(scale * dir[c]);
+    }
+  }
+  return e;
+}
+
+std::array<float, kMlpInputDim> AssembleMlpInput(
+    const std::array<float, kColorFeatureDim>& feature,
+    const ViewEmbedding& view) {
+  std::array<float, kMlpInputDim> in{};
+  for (int c = 0; c < kColorFeatureDim; ++c) in[c] = feature[c];
+  for (int c = 0; c < kViewEmbedDim; ++c) in[kColorFeatureDim + c] = view[c];
+  return in;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,28 @@
+// View-direction frequency embedding. The MLP input is the 12-d interpolated
+// color feature concatenated with this 27-d embedding (3 raw components +
+// sin/cos at 4 octaves x 3 components), giving the paper's 39-element MLP
+// input vector.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "common/vec.hpp"
+
+namespace spnerf {
+
+inline constexpr int kViewEmbedFreqs = 4;
+inline constexpr int kViewEmbedDim = 3 + 2 * kViewEmbedFreqs * 3;  // 27
+static_assert(kColorFeatureDim + kViewEmbedDim == kMlpInputDim);
+
+using ViewEmbedding = std::array<float, kViewEmbedDim>;
+
+/// Embeds a (unit) view direction: [d, sin(2^k d), cos(2^k d)] for k < 4.
+ViewEmbedding EmbedViewDirection(Vec3f dir);
+
+/// Assembles the full 39-d MLP input from a feature vector and embedding.
+std::array<float, kMlpInputDim> AssembleMlpInput(
+    const std::array<float, kColorFeatureDim>& feature,
+    const ViewEmbedding& view);
+
+}  // namespace spnerf

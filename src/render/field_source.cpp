@@ -1,0 +1,94 @@
+#include "render/field_source.hpp"
+
+#include <cmath>
+
+#include "common/half.hpp"
+
+namespace spnerf {
+namespace {
+
+struct VertexPayload {
+  float density;
+  std::array<float, kColorFeatureDim> features;
+};
+
+}  // namespace
+
+FieldSample AnalyticFieldSource::Sample(Vec3f world) const {
+  FieldSample s;
+  s.density = scene_->Density(world);
+  if (s.density > 0.0f) s.features = scene_->ColorFeature(world);
+  return s;
+}
+
+FieldSample GridFieldSource::Sample(Vec3f world) const {
+  FieldSample out;
+  Vec3i base;
+  Vec3f frac;
+  if (!detail::SetupTrilinear(grid_->Dims(), world, base, frac)) return out;
+
+  for (int corner = 0; corner < 8; ++corner) {
+    const Vec3i v{base.x + (corner & 1), base.y + ((corner >> 1) & 1),
+                  base.z + ((corner >> 2) & 1)};
+    // Eq. (2): w = (1-|xp-xg|)(1-|yp-yg|)(1-|zp-zg|) in grid units.
+    const float wx = (corner & 1) ? frac.x : 1.0f - frac.x;
+    const float wy = ((corner >> 1) & 1) ? frac.y : 1.0f - frac.y;
+    const float wz = ((corner >> 2) & 1) ? frac.z : 1.0f - frac.z;
+    const float w = wx * wy * wz;
+    if (w == 0.0f) continue;
+    const VoxelIndex idx = grid_->Dims().Flatten(v);
+    out.density += w * grid_->Density(idx);
+    const float* f = grid_->Features(idx);
+    for (int c = 0; c < kColorFeatureDim; ++c) out.features[c] += w * f[c];
+  }
+  return out;
+}
+
+FieldSample SpNeRFFieldSource::Sample(Vec3f world) const {
+  FieldSample out;
+  Vec3i base;
+  Vec3f frac;
+  if (!detail::SetupTrilinear(model_->Dims(), world, base, frac)) return out;
+
+  DecodeCounters* counters = collect_counters_ ? &counters_ : nullptr;
+  if (!fp16_tiu_) {
+    for (int corner = 0; corner < 8; ++corner) {
+      const Vec3i v{base.x + (corner & 1), base.y + ((corner >> 1) & 1),
+                    base.z + ((corner >> 2) & 1)};
+      const float wx = (corner & 1) ? frac.x : 1.0f - frac.x;
+      const float wy = ((corner >> 1) & 1) ? frac.y : 1.0f - frac.y;
+      const float wz = ((corner >> 2) & 1) ? frac.z : 1.0f - frac.z;
+      const float w = wx * wy * wz;
+      if (w == 0.0f) continue;
+      const VoxelData d = model_->Decode(v, masking_, counters);
+      out.density += w * d.density;
+      for (int c = 0; c < kColorFeatureDim; ++c)
+        out.features[c] += w * d.features[c];
+    }
+    return out;
+  }
+
+  // FP16 TIU path: weights from the GID's FP16 multipliers, accumulation via
+  // FP16 FMAs (C_interp = sum_i w_i * (s * C_i), paper IV-B).
+  Half density_acc(0.0f);
+  Half feat_acc[kColorFeatureDim] = {};
+  for (int corner = 0; corner < 8; ++corner) {
+    const Vec3i v{base.x + (corner & 1), base.y + ((corner >> 1) & 1),
+                  base.z + ((corner >> 2) & 1)};
+    const Half wx((corner & 1) ? frac.x : 1.0f - frac.x);
+    const Half wy(((corner >> 1) & 1) ? frac.y : 1.0f - frac.y);
+    const Half wz(((corner >> 2) & 1) ? frac.z : 1.0f - frac.z);
+    const Half w = wx * wy * wz;
+    if (w.IsZero()) continue;
+    const VoxelData d = model_->Decode(v, masking_, counters);
+    density_acc = Half::Fma(w, Half(d.density), density_acc);
+    for (int c = 0; c < kColorFeatureDim; ++c)
+      feat_acc[c] = Half::Fma(w, Half(d.features[c]), feat_acc[c]);
+  }
+  out.density = density_acc.ToFloat();
+  for (int c = 0; c < kColorFeatureDim; ++c)
+    out.features[c] = feat_acc[c].ToFloat();
+  return out;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,150 @@
+// Field sources: where the volume renderer gets (density, color feature)
+// samples from. One renderer, four sources:
+//   * AnalyticFieldSource — the procedural scene itself (ground truth);
+//   * GridFieldSource     — trilinear interpolation over a dense grid
+//                           (full-precision grid, or VQRF's restored grid);
+//   * SpNeRFFieldSource   — the paper's pipeline: per-vertex online hash
+//                           decode + trilinear interpolation, optionally with
+//                           the TIU's FP16/INT8 arithmetic.
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "encoding/spnerf_codec.hpp"
+#include "grid/dense_grid.hpp"
+#include "scene/scene.hpp"
+
+namespace spnerf {
+
+struct FieldSample {
+  float density = 0.0f;
+  std::array<float, kColorFeatureDim> features{};
+};
+
+class FieldSource {
+ public:
+  virtual ~FieldSource() = default;
+  /// Samples the field at a world position in [0,1]^3.
+  [[nodiscard]] virtual FieldSample Sample(Vec3f world) const = 0;
+  [[nodiscard]] virtual const char* Name() const = 0;
+};
+
+/// Ground truth: evaluates the analytic scene fields directly.
+class AnalyticFieldSource final : public FieldSource {
+ public:
+  explicit AnalyticFieldSource(const Scene& scene) : scene_(&scene) {}
+  [[nodiscard]] FieldSample Sample(Vec3f world) const override;
+  [[nodiscard]] const char* Name() const override { return "analytic"; }
+
+ private:
+  const Scene* scene_;
+};
+
+/// Trilinear interpolation over a dense voxel grid (corner-aligned
+/// vertices). Used both for the full-precision grid and for VQRF's restored
+/// grid.
+class GridFieldSource final : public FieldSource {
+ public:
+  explicit GridFieldSource(const DenseGrid& grid) : grid_(&grid) {}
+  [[nodiscard]] FieldSample Sample(Vec3f world) const override;
+  [[nodiscard]] const char* Name() const override { return "dense-grid"; }
+
+ private:
+  const DenseGrid* grid_;
+};
+
+/// The SpNeRF online-decoding path: each of the 8 surrounding vertices is
+/// decoded through bitmap + hash table + unified 18-bit lookup, then
+/// trilinearly blended with Eq. (2) weights.
+class SpNeRFFieldSource final : public FieldSource {
+ public:
+  /// When `fp16_tiu` is set, interpolation weights and accumulation are
+  /// rounded to binary16, matching the hardware TIU exactly. Counter
+  /// collection is not thread-safe; disable it (`collect_counters=false`)
+  /// when sampling from multiple threads.
+  explicit SpNeRFFieldSource(const SpNeRFModel& model, bool fp16_tiu = false,
+                             bool collect_counters = true)
+      : model_(&model),
+        fp16_tiu_(fp16_tiu),
+        collect_counters_(collect_counters),
+        masking_(model.Params().bitmap_masking) {}
+
+  /// Overrides the model's bitmap-masking setting for this source (used by
+  /// the Fig 6(b) pre-mask vs post-mask comparison).
+  void SetMasking(bool masking) { masking_ = masking; }
+  [[nodiscard]] bool Masking() const { return masking_; }
+
+  [[nodiscard]] FieldSample Sample(Vec3f world) const override;
+  [[nodiscard]] const char* Name() const override { return "spnerf"; }
+
+  [[nodiscard]] const DecodeCounters& Counters() const { return counters_; }
+  void ResetCounters() { counters_ = {}; }
+
+ private:
+  const SpNeRFModel* model_;
+  bool fp16_tiu_;
+  bool collect_counters_;
+  bool masking_;
+  mutable DecodeCounters counters_;
+};
+
+namespace detail {
+
+/// Computes the base vertex and interpolation fractions for a world position
+/// (corner-aligned vertices); false when outside [0,1]^3.
+inline bool SetupTrilinear(const GridDims& dims, Vec3f world, Vec3i& base,
+                           Vec3f& frac) {
+  if (world.x < 0.f || world.x > 1.f || world.y < 0.f || world.y > 1.f ||
+      world.z < 0.f || world.z > 1.f) {
+    return false;
+  }
+  const Vec3f g{world.x * static_cast<float>(dims.nx - 1),
+                world.y * static_cast<float>(dims.ny - 1),
+                world.z * static_cast<float>(dims.nz - 1)};
+  base = Floor(g);
+  base.x = Clamp(base.x, 0, dims.nx - 2);
+  base.y = Clamp(base.y, 0, dims.ny - 2);
+  base.z = Clamp(base.z, 0, dims.nz - 2);
+  frac = g - ToFloat(base);
+  frac = Clamp(frac, Vec3f{0.f, 0.f, 0.f}, Vec3f{1.f, 1.f, 1.f});
+  return true;
+}
+
+}  // namespace detail
+
+/// Generic trilinear field source over any codec exposing
+/// `Dims()` and `VoxelData Decode(Vec3i)` — used by encoding extensions
+/// (e.g. the two-choice codec) so they plug into the same renderer.
+template <typename Codec>
+class CodecFieldSource final : public FieldSource {
+ public:
+  explicit CodecFieldSource(const Codec& codec) : codec_(&codec) {}
+
+  [[nodiscard]] FieldSample Sample(Vec3f world) const override {
+    FieldSample out;
+    Vec3i base;
+    Vec3f frac;
+    if (!detail::SetupTrilinear(codec_->Dims(), world, base, frac)) return out;
+    for (int corner = 0; corner < 8; ++corner) {
+      const Vec3i v{base.x + (corner & 1), base.y + ((corner >> 1) & 1),
+                    base.z + ((corner >> 2) & 1)};
+      const float wx = (corner & 1) ? frac.x : 1.0f - frac.x;
+      const float wy = ((corner >> 1) & 1) ? frac.y : 1.0f - frac.y;
+      const float wz = ((corner >> 2) & 1) ? frac.z : 1.0f - frac.z;
+      const float w = wx * wy * wz;
+      if (w == 0.0f) continue;
+      const VoxelData d = codec_->Decode(v);
+      out.density += w * d.density;
+      for (int c = 0; c < kColorFeatureDim; ++c)
+        out.features[c] += w * d.features[c];
+    }
+    return out;
+  }
+  [[nodiscard]] const char* Name() const override { return "codec"; }
+
+ private:
+  const Codec* codec_;
+};
+
+}  // namespace spnerf

@@ -1,0 +1,107 @@
+#include "render/mlp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+
+namespace spnerf {
+namespace {
+
+void InitXavier(std::vector<float>& w, int fan_in, int fan_out, Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : w) v = rng.Uniform(-bound, bound);
+}
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Mlp Mlp::Random(u64 seed) {
+  Mlp mlp;
+  Rng rng(seed);
+  const int dims[4] = {kMlpInputDim, kMlpHiddenDim, kMlpHiddenDim,
+                       kMlpOutputDim};
+  for (int layer = 0; layer < 3; ++layer) {
+    mlp.w_[layer].resize(static_cast<std::size_t>(dims[layer + 1]) *
+                         static_cast<std::size_t>(dims[layer]));
+    mlp.b_[layer].assign(static_cast<std::size_t>(dims[layer + 1]), 0.0f);
+    InitXavier(mlp.w_[layer], dims[layer], dims[layer + 1], rng);
+    for (float& b : mlp.b_[layer]) b = rng.Uniform(-0.05f, 0.05f);
+  }
+  return mlp;
+}
+
+Vec3f Mlp::Forward(const std::array<float, kMlpInputDim>& in) const {
+  SPNERF_CHECK_MSG(!w_[0].empty(), "MLP is uninitialised");
+  float h1[kMlpHiddenDim];
+  for (int o = 0; o < kMlpHiddenDim; ++o) {
+    float acc = b_[0][static_cast<std::size_t>(o)];
+    const float* row = &w_[0][static_cast<std::size_t>(o) * kMlpInputDim];
+    for (int i = 0; i < kMlpInputDim; ++i) acc += row[i] * in[static_cast<std::size_t>(i)];
+    h1[o] = acc > 0.0f ? acc : 0.0f;
+  }
+  float h2[kMlpHiddenDim];
+  for (int o = 0; o < kMlpHiddenDim; ++o) {
+    float acc = b_[1][static_cast<std::size_t>(o)];
+    const float* row = &w_[1][static_cast<std::size_t>(o) * kMlpHiddenDim];
+    for (int i = 0; i < kMlpHiddenDim; ++i) acc += row[i] * h1[i];
+    h2[o] = acc > 0.0f ? acc : 0.0f;
+  }
+  Vec3f rgb;
+  for (int o = 0; o < kMlpOutputDim; ++o) {
+    float acc = b_[2][static_cast<std::size_t>(o)];
+    const float* row = &w_[2][static_cast<std::size_t>(o) * kMlpHiddenDim];
+    for (int i = 0; i < kMlpHiddenDim; ++i) acc += row[i] * h2[i];
+    rgb[o] = Sigmoid(acc);
+  }
+  return rgb;
+}
+
+Vec3f Mlp::ForwardFp16(const std::array<float, kMlpInputDim>& in) const {
+  SPNERF_CHECK_MSG(!w_[0].empty(), "MLP is uninitialised");
+  // Inputs, weights and every accumulation step are rounded to binary16,
+  // matching an FP16 output-stationary MAC array.
+  float h1[kMlpHiddenDim];
+  for (int o = 0; o < kMlpHiddenDim; ++o) {
+    Half acc(b_[0][static_cast<std::size_t>(o)]);
+    const float* row = &w_[0][static_cast<std::size_t>(o) * kMlpInputDim];
+    for (int i = 0; i < kMlpInputDim; ++i) {
+      acc = Half::Fma(Half(row[i]), Half(in[static_cast<std::size_t>(i)]), acc);
+    }
+    const float a = acc.ToFloat();
+    h1[o] = a > 0.0f ? a : 0.0f;
+  }
+  float h2[kMlpHiddenDim];
+  for (int o = 0; o < kMlpHiddenDim; ++o) {
+    Half acc(b_[1][static_cast<std::size_t>(o)]);
+    const float* row = &w_[1][static_cast<std::size_t>(o) * kMlpHiddenDim];
+    for (int i = 0; i < kMlpHiddenDim; ++i) {
+      acc = Half::Fma(Half(row[i]), Half(h1[i]), acc);
+    }
+    const float a = acc.ToFloat();
+    h2[o] = a > 0.0f ? a : 0.0f;
+  }
+  Vec3f rgb;
+  for (int o = 0; o < kMlpOutputDim; ++o) {
+    Half acc(b_[2][static_cast<std::size_t>(o)]);
+    const float* row = &w_[2][static_cast<std::size_t>(o) * kMlpHiddenDim];
+    for (int i = 0; i < kMlpHiddenDim; ++i) {
+      acc = Half::Fma(Half(row[i]), Half(h2[i]), acc);
+    }
+    rgb[o] = Sigmoid(acc.ToFloat());
+  }
+  return rgb;
+}
+
+const std::vector<float>& Mlp::W(int layer) const {
+  SPNERF_CHECK(layer >= 0 && layer < 3);
+  return w_[layer];
+}
+
+const std::vector<float>& Mlp::B(int layer) const {
+  SPNERF_CHECK(layer >= 0 && layer < 3);
+  return b_[layer];
+}
+
+}  // namespace spnerf

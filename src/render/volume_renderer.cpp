@@ -1,0 +1,122 @@
+#include "render/volume_renderer.hpp"
+
+#include <cmath>
+
+#include "common/parallel.hpp"
+#include "render/embedding.hpp"
+
+namespace spnerf {
+namespace {
+
+/// Distance along `ray` at which it exits `cell` (entered at parameter `t`).
+float CellExitT(const Ray& ray, const Aabb& cell, float t) {
+  float exit_t = std::numeric_limits<float>::max();
+  for (int axis = 0; axis < 3; ++axis) {
+    const float d = ray.direction[axis];
+    if (std::fabs(d) < 1e-12f) continue;
+    const float boundary = d > 0.f ? cell.hi[axis] : cell.lo[axis];
+    const float tx = (boundary - ray.origin[axis]) / d;
+    if (tx > t && tx < exit_t) exit_t = tx;
+  }
+  return exit_t == std::numeric_limits<float>::max() ? t : exit_t;
+}
+
+}  // namespace
+
+Vec3f VolumeRenderer::RenderRay(const FieldSource& source, const Mlp& mlp,
+                                const Ray& ray, RenderStats* stats) const {
+  const Aabb scene_box{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}};
+  float t_near = 0.f, t_far = 0.f;
+  if (stats) ++stats->rays;
+  if (!IntersectAabb(ray, scene_box, t_near, t_far)) {
+    if (stats) {
+      ++stats->missed_rays;
+      stats->steps_per_ray.Add(0.0);
+      stats->evals_per_ray.Add(0.0);
+    }
+    return options_.background;
+  }
+
+  const ViewEmbedding view = EmbedViewDirection(ray.direction);
+  Vec3f color{0.f, 0.f, 0.f};
+  float transmittance = 1.0f;
+  u64 ray_steps = 0;
+  u64 ray_evals = 0;
+  bool terminated = false;
+
+  float t = t_near;
+  while (t < t_far) {
+    // Empty-space skipping: jump to the exit of unoccupied supervoxels.
+    if (options_.coarse_skip != nullptr) {
+      const Vec3f p = ray.At(t);
+      if (!options_.coarse_skip->OccupiedAtWorld(p)) {
+        const Aabb cell = options_.coarse_skip->CellBounds(
+            options_.coarse_skip->CellOfWorld(p));
+        const float exit_t = CellExitT(ray, cell, t);
+        t = std::max(exit_t + 1e-5f, t + options_.step_size);
+        if (stats) ++stats->coarse_skips;
+        continue;
+      }
+    }
+
+    ++ray_steps;
+    const FieldSample s = source.Sample(ray.At(t));
+    t += options_.step_size;
+
+    // Stored density is post-activation sigma; negative values (possible
+    // after lossy decode) clamp to zero.
+    const float sigma = s.density > 0.0f ? s.density : 0.0f;
+    const float alpha = 1.0f - std::exp(-sigma * options_.step_size);
+    if (alpha <= options_.alpha_threshold) continue;
+
+    ++ray_evals;
+    const auto in = AssembleMlpInput(s.features, view);
+    const Vec3f rgb = options_.fp16_mlp ? mlp.ForwardFp16(in) : mlp.Forward(in);
+    const float weight = transmittance * alpha;
+    color += rgb * weight;
+    transmittance *= 1.0f - alpha;
+    if (transmittance < options_.termination_transmittance) {
+      terminated = true;
+      break;
+    }
+  }
+
+  color += options_.background * transmittance;
+  if (stats) {
+    stats->steps += ray_steps;
+    stats->mlp_evals += ray_evals;
+    if (terminated) ++stats->terminated_rays;
+    stats->steps_per_ray.Add(static_cast<double>(ray_steps));
+    stats->evals_per_ray.Add(static_cast<double>(ray_evals));
+  }
+  return color;
+}
+
+Image VolumeRenderer::Render(const FieldSource& source, const Mlp& mlp,
+                             const Camera& camera, RenderStats* stats) const {
+  Image img(camera.Width(), camera.Height());
+  if (stats != nullptr) {
+    // Sequential: deterministic statistics accumulation.
+    for (int y = 0; y < camera.Height(); ++y) {
+      for (int x = 0; x < camera.Width(); ++x) {
+        img.At(x, y) = RenderRay(source, mlp, camera.PixelRay(x, y), stats);
+      }
+    }
+    return img;
+  }
+  // Statless renders parallelise over scanlines (sources must be sampled
+  // with counter collection off; see SpNeRFFieldSource).
+  ParallelFor(static_cast<std::size_t>(camera.Height()),
+              [&](std::size_t y_begin, std::size_t y_end) {
+                for (std::size_t y = y_begin; y < y_end; ++y) {
+                  for (int x = 0; x < camera.Width(); ++x) {
+                    img.At(x, static_cast<int>(y)) = RenderRay(
+                        source, mlp,
+                        camera.PixelRay(x, static_cast<int>(y)), nullptr);
+                  }
+                }
+              });
+  return img;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,69 @@
+// Volume rendering with alpha compositing, empty-space skipping and early
+// ray termination — the per-frame loop the SpNeRF accelerator executes
+// (ray sampling -> online decode -> trilinear interpolation -> MLP ->
+// compositing). Rendering statistics feed the hardware workload model.
+#pragma once
+
+#include "common/image.hpp"
+#include "common/stats.hpp"
+#include "grid/occupancy.hpp"
+#include "render/camera.hpp"
+#include "render/field_source.hpp"
+#include "render/mlp.hpp"
+
+namespace spnerf {
+
+struct RenderOptions {
+  /// Ray-march step in world units ([0,1]^3 scene box). ~half a voxel at
+  /// 160^3 resolution.
+  float step_size = 0.003f;
+  /// Samples whose alpha falls below this skip the MLP (DVGO's
+  /// fast_color_thres); their contribution is negligible by construction.
+  float alpha_threshold = 2e-3f;
+  /// Stop marching when transmittance falls below this.
+  float termination_transmittance = 2e-3f;
+  /// Composite over this background (Synthetic-NeRF uses white).
+  Vec3f background{1.0f, 1.0f, 1.0f};
+  /// Use the FP16 systolic-array MLP path.
+  bool fp16_mlp = false;
+  /// Optional coarse occupancy for empty-space skipping (non-owning). All
+  /// compared pipelines use the same skip structure, as DVGO/VQRF do.
+  const CoarseOccupancy* coarse_skip = nullptr;
+};
+
+/// Per-frame statistics. `mlp_evals` and the per-ray distributions drive the
+/// cycle-level simulator's workload.
+struct RenderStats {
+  u64 rays = 0;
+  u64 steps = 0;           // field samples taken
+  u64 coarse_skips = 0;    // supervoxels jumped over without sampling
+  u64 mlp_evals = 0;       // samples that passed the alpha threshold
+  u64 terminated_rays = 0; // rays stopped by early termination
+  u64 missed_rays = 0;     // rays that never hit the scene box
+  RunningStats steps_per_ray;
+  RunningStats evals_per_ray;
+
+  void Reset() { *this = RenderStats{}; }
+};
+
+class VolumeRenderer {
+ public:
+  explicit VolumeRenderer(RenderOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] const RenderOptions& Options() const { return options_; }
+
+  /// Renders one view. `stats`, when given, accumulates workload counters.
+  [[nodiscard]] Image Render(const FieldSource& source, const Mlp& mlp,
+                             const Camera& camera,
+                             RenderStats* stats = nullptr) const;
+
+  /// Renders a single ray; exposed for tests and the trace generator.
+  [[nodiscard]] Vec3f RenderRay(const FieldSource& source, const Mlp& mlp,
+                                const Ray& ray,
+                                RenderStats* stats = nullptr) const;
+
+ private:
+  RenderOptions options_;
+};
+
+}  // namespace spnerf

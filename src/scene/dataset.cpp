@@ -1,0 +1,68 @@
+#include "scene/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace spnerf {
+
+Vec3f VoxelVertexPosition(const GridDims& dims, Vec3i v) {
+  return {static_cast<float>(v.x) / static_cast<float>(dims.nx - 1),
+          static_cast<float>(v.y) / static_cast<float>(dims.ny - 1),
+          static_cast<float>(v.z) / static_cast<float>(dims.nz - 1)};
+}
+
+DenseGrid VoxelizeScene(const Scene& scene, const VoxelizeParams& params) {
+  SPNERF_CHECK_MSG(params.resolution >= 2, "resolution must be >= 2");
+  const GridDims dims{params.resolution, params.resolution, params.resolution};
+  DenseGrid grid(dims);
+
+  // Restrict the scan to the scene bounds, padded by the density band, so
+  // voxelisation cost scales with occupied volume.
+  Aabb bounds = scene.Bounds();
+  const float pad = scene.FieldParams().density_band + 2.0f / params.resolution;
+  bounds.lo -= Vec3f::Splat(pad);
+  bounds.hi += Vec3f::Splat(pad);
+
+  const auto to_cell = [&](float w, int n) {
+    return std::clamp(static_cast<int>(w * static_cast<float>(n - 1)), 0, n - 1);
+  };
+  const Vec3i lo{to_cell(bounds.lo.x, dims.nx), to_cell(bounds.lo.y, dims.ny),
+                 to_cell(bounds.lo.z, dims.nz)};
+  const Vec3i hi{to_cell(bounds.hi.x, dims.nx), to_cell(bounds.hi.y, dims.ny),
+                 to_cell(bounds.hi.z, dims.nz)};
+
+  for (int x = lo.x; x <= hi.x; ++x) {
+    for (int y = lo.y; y <= hi.y; ++y) {
+      for (int z = lo.z; z <= hi.z; ++z) {
+        const Vec3i v{x, y, z};
+        const Vec3f p = VoxelVertexPosition(dims, v);
+        const float density = scene.Density(p);
+        if (density <= 0.0f) continue;
+        VoxelData data;
+        data.density = density;
+        data.features = scene.ColorFeature(p);
+        grid.SetVoxel(v, data);
+      }
+    }
+  }
+  return grid;
+}
+
+SceneDataset BuildDataset(SceneId id, const DatasetParams& params) {
+  SceneDataset ds;
+  ds.id = id;
+  ds.scene = BuildScene(id);
+  VoxelizeParams vp;
+  vp.resolution = params.resolution_override > 0 ? params.resolution_override
+                                                 : SceneDefaultResolution(id);
+  ds.full_grid = VoxelizeScene(ds.scene, vp);
+  ds.vqrf = VqrfModel::Build(ds.full_grid, params.vqrf);
+  SPNERF_LOG_DEBUG << "dataset " << SceneName(id) << ": res " << vp.resolution
+                   << ", non-zero " << ds.full_grid.CountNonZero() << " ("
+                   << ds.full_grid.NonZeroFraction() * 100.0 << "%)";
+  return ds;
+}
+
+}  // namespace spnerf

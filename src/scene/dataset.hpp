@@ -1,0 +1,40 @@
+// Voxelisation of procedural scenes into DVGO-style dense grids, plus the
+// per-scene dataset bundle (full grid + VQRF compression) used by the
+// experiments.
+#pragma once
+
+#include "grid/dense_grid.hpp"
+#include "grid/vqrf_model.hpp"
+#include "scene/scene.hpp"
+#include "scene/scene_zoo.hpp"
+
+namespace spnerf {
+
+struct VoxelizeParams {
+  int resolution = 160;  // cubic grid (nx = ny = nz)
+};
+
+/// Samples the analytic density/feature fields at voxel vertices
+/// (corner-aligned: vertex i at i/(n-1) in [0,1]).
+DenseGrid VoxelizeScene(const Scene& scene, const VoxelizeParams& params);
+
+/// World position of a voxel vertex under the corner-aligned convention.
+Vec3f VoxelVertexPosition(const GridDims& dims, Vec3i v);
+
+/// Everything the experiments need for one scene.
+struct SceneDataset {
+  SceneId id{};
+  Scene scene;
+  DenseGrid full_grid;  // ground-truth full-precision voxel grid
+  VqrfModel vqrf;       // compressed model (the SpNeRF input)
+};
+
+struct DatasetParams {
+  /// <= 0 means "use SceneDefaultResolution(id)". Tests use small values.
+  int resolution_override = 0;
+  VqrfBuildParams vqrf;
+};
+
+SceneDataset BuildDataset(SceneId id, const DatasetParams& params = {});
+
+}  // namespace spnerf

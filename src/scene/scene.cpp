@@ -1,0 +1,86 @@
+#include "scene/scene.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+Scene::Scene(std::string name, std::vector<ScenePrimitive> primitives,
+             SceneFieldParams params)
+    : name_(std::move(name)),
+      primitives_(std::move(primitives)),
+      params_(params) {
+  SPNERF_CHECK_MSG(!primitives_.empty(), "scene needs at least one primitive");
+}
+
+float Scene::SignedDistance(Vec3f p, int* nearest) const {
+  float best = std::numeric_limits<float>::max();
+  int best_i = 0;
+  for (std::size_t i = 0; i < primitives_.size(); ++i) {
+    const float d = SdfEval(primitives_[i].shape, p);
+    if (d < best) {
+      best = d;
+      best_i = static_cast<int>(i);
+    }
+  }
+  if (nearest) *nearest = best_i;
+  return best;
+}
+
+float Scene::Density(Vec3f p) const {
+  const float d = SignedDistance(p);
+  if (d >= 0.0f) return 0.0f;
+  // Ramp from 0 at the surface to peak at `band` inside, then plateau. This
+  // mimics the sharp-but-finite boundaries of trained density grids.
+  const float t = Clamp(-d / params_.density_band, 0.0f, 1.0f);
+  return params_.density_peak * t;
+}
+
+FeatureVec Scene::ColorFeature(Vec3f p) const {
+  FeatureVec f{};
+  int nearest = 0;
+  const float d = SignedDistance(p, &nearest);
+  if (d >= 0.0f) return f;  // outside: exact zero, keeps the grid sparse
+
+  const ScenePrimitive& prim = primitives_[static_cast<std::size_t>(nearest)];
+  const float freq = params_.texture_frequency;
+  const float phase = prim.feature_phase;
+
+  // Albedo channels with a gentle procedural texture.
+  const float tex =
+      0.85f + 0.15f * std::sin(freq * p.x + phase) *
+                  std::cos(freq * 1.3f * p.z + 0.7f * phase);
+  f[0] = prim.base_color.x * tex;
+  f[1] = prim.base_color.y * tex;
+  f[2] = prim.base_color.z * tex;
+
+  // Harmonic channels: smooth positional signals of increasing frequency.
+  const float a = params_.harmonic_amplitude;
+  for (int c = 3; c < kColorFeatureDim; ++c) {
+    const float fc = freq * (0.5f + 0.25f * static_cast<float>(c - 3));
+    const float axis = (c % 3 == 0) ? p.x : (c % 3 == 1 ? p.y : p.z);
+    f[c] = a * std::sin(fc * axis + phase + 0.9f * static_cast<float>(c));
+  }
+  return f;
+}
+
+double Scene::PrimitiveVolume() const {
+  double v = 0.0;
+  for (const auto& prim : primitives_) v += SdfVolume(prim.shape);
+  return v;
+}
+
+Aabb Scene::Bounds() const {
+  Vec3f lo = Vec3f::Splat(std::numeric_limits<float>::max());
+  Vec3f hi = Vec3f::Splat(std::numeric_limits<float>::lowest());
+  for (const auto& prim : primitives_) {
+    const Aabb b = SdfBounds(prim.shape);
+    lo = Min(lo, b.lo);
+    hi = Max(hi, b.hi);
+  }
+  return {lo, hi};
+}
+
+}  // namespace spnerf

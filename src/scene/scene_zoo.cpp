@@ -1,0 +1,305 @@
+#include "scene/scene_zoo.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+Scene MakeChair() {
+  std::vector<ScenePrimitive> prims;
+  // Seat.
+  prims.push_back({BoxSdf{{0.50f, 0.46f, 0.50f}, {0.22f, 0.02f, 0.22f}, 0.005f},
+                   {0.55f, 0.35f, 0.20f},
+                   0.1f});
+  // Cushion.
+  prims.push_back({BoxSdf{{0.50f, 0.50f, 0.50f}, {0.20f, 0.03f, 0.20f}, 0.01f},
+                   {0.75f, 0.15f, 0.15f},
+                   1.3f});
+  // Backrest.
+  prims.push_back({BoxSdf{{0.50f, 0.64f, 0.70f}, {0.22f, 0.15f, 0.02f}, 0.005f},
+                   {0.55f, 0.35f, 0.20f},
+                   2.2f});
+  // Four legs.
+  const float leg_r = 0.025f;
+  const float top = 0.44f, bottom = 0.14f;
+  for (int ix = 0; ix < 2; ++ix) {
+    for (int iz = 0; iz < 2; ++iz) {
+      const float x = ix ? 0.68f : 0.32f;
+      const float z = iz ? 0.68f : 0.32f;
+      prims.push_back({CapsuleSdf{{x, bottom, z}, {x, top, z}, leg_r},
+                       {0.45f, 0.28f, 0.16f},
+                       3.0f + static_cast<float>(ix * 2 + iz)});
+    }
+  }
+  return Scene("chair", std::move(prims));
+}
+
+Scene MakeDrums() {
+  std::vector<ScenePrimitive> prims;
+  // Bass drum.
+  prims.push_back({CylinderSdf{{0.50f, 0.30f, 0.46f}, 0.16f, 0.08f},
+                   {0.80f, 0.10f, 0.12f},
+                   0.4f});
+  // Two toms.
+  prims.push_back({CylinderSdf{{0.34f, 0.46f, 0.58f}, 0.12f, 0.07f},
+                   {0.85f, 0.75f, 0.25f},
+                   1.1f});
+  prims.push_back({CylinderSdf{{0.66f, 0.46f, 0.58f}, 0.12f, 0.07f},
+                   {0.25f, 0.55f, 0.85f},
+                   2.6f});
+  // Cymbals (thin discs).
+  prims.push_back({CylinderSdf{{0.28f, 0.66f, 0.40f}, 0.10f, 0.012f},
+                   {0.90f, 0.80f, 0.35f},
+                   3.8f});
+  prims.push_back({CylinderSdf{{0.72f, 0.66f, 0.40f}, 0.10f, 0.012f},
+                   {0.90f, 0.80f, 0.35f},
+                   4.9f});
+  // Small percussion spheres.
+  prims.push_back({SphereSdf{{0.50f, 0.58f, 0.66f}, 0.06f},
+                   {0.95f, 0.90f, 0.85f},
+                   5.5f});
+  prims.push_back({SphereSdf{{0.50f, 0.22f, 0.70f}, 0.06f},
+                   {0.30f, 0.30f, 0.32f},
+                   6.1f});
+  return Scene("drums", std::move(prims));
+}
+
+Scene MakeFicus() {
+  std::vector<ScenePrimitive> prims;
+  // Pot.
+  prims.push_back({CylinderSdf{{0.50f, 0.16f, 0.50f}, 0.11f, 0.065f},
+                   {0.60f, 0.30f, 0.18f},
+                   0.2f});
+  // Trunk.
+  prims.push_back(
+      {CapsuleSdf{{0.50f, 0.20f, 0.50f}, {0.50f, 0.62f, 0.50f}, 0.030f},
+       {0.42f, 0.26f, 0.12f},
+       1.0f});
+  // Foliage: a deterministic cloud of leaf-cluster spheres.
+  const int kLeaves = 30;
+  for (int i = 0; i < kLeaves; ++i) {
+    const float t = static_cast<float>(i) / kLeaves;
+    const float ang = 6.2831853f * 2.618f * static_cast<float>(i);  // golden
+    const float rad = 0.06f + 0.13f * t;
+    const float x = 0.50f + rad * std::cos(ang);
+    const float z = 0.50f + rad * std::sin(ang);
+    const float y = 0.56f + 0.20f * t;
+    prims.push_back({SphereSdf{{x, y, z}, 0.063f},
+                     {0.18f, 0.50f + 0.2f * t, 0.16f},
+                     2.0f + static_cast<float>(i) * 0.37f});
+  }
+  return Scene("ficus", std::move(prims));
+}
+
+Scene MakeHotdog() {
+  std::vector<ScenePrimitive> prims;
+  // Plate.
+  prims.push_back({CylinderSdf{{0.50f, 0.24f, 0.50f}, 0.30f, 0.025f},
+                   {0.92f, 0.92f, 0.95f},
+                   0.3f});
+  // Bun.
+  prims.push_back({EllipsoidSdf{{0.50f, 0.32f, 0.50f}, {0.25f, 0.10f, 0.14f}},
+                   {0.85f, 0.62f, 0.30f},
+                   1.5f});
+  // Two sausages.
+  prims.push_back(
+      {CapsuleSdf{{0.33f, 0.42f, 0.46f}, {0.68f, 0.42f, 0.46f}, 0.055f},
+       {0.70f, 0.22f, 0.10f},
+       2.7f});
+  prims.push_back(
+      {CapsuleSdf{{0.33f, 0.42f, 0.56f}, {0.68f, 0.42f, 0.56f}, 0.055f},
+       {0.72f, 0.24f, 0.11f},
+       3.9f});
+  return Scene("hotdog", std::move(prims));
+}
+
+Scene MakeLego() {
+  std::vector<ScenePrimitive> prims;
+  // Base chassis.
+  prims.push_back({BoxSdf{{0.50f, 0.34f, 0.50f}, {0.22f, 0.06f, 0.14f}, 0.004f},
+                   {0.85f, 0.70f, 0.15f},
+                   0.5f});
+  // Cab.
+  prims.push_back({BoxSdf{{0.58f, 0.50f, 0.50f}, {0.12f, 0.09f, 0.11f}, 0.004f},
+                   {0.85f, 0.70f, 0.15f},
+                   1.6f});
+  // Blade.
+  prims.push_back({BoxSdf{{0.24f, 0.32f, 0.50f}, {0.03f, 0.07f, 0.16f}, 0.004f},
+                   {0.75f, 0.75f, 0.20f},
+                   2.8f});
+  // Tracks.
+  prims.push_back({BoxSdf{{0.50f, 0.26f, 0.34f}, {0.22f, 0.045f, 0.03f}, 0.01f},
+                   {0.25f, 0.25f, 0.28f},
+                   3.4f});
+  prims.push_back({BoxSdf{{0.50f, 0.26f, 0.66f}, {0.22f, 0.045f, 0.03f}, 0.01f},
+                   {0.25f, 0.25f, 0.28f},
+                   4.1f});
+  // Lift arms.
+  prims.push_back(
+      {CapsuleSdf{{0.38f, 0.44f, 0.38f}, {0.25f, 0.36f, 0.44f}, 0.02f},
+       {0.55f, 0.55f, 0.58f},
+       5.2f});
+  prims.push_back(
+      {CapsuleSdf{{0.38f, 0.44f, 0.62f}, {0.25f, 0.36f, 0.56f}, 0.02f},
+       {0.55f, 0.55f, 0.58f},
+       6.3f});
+  return Scene("lego", std::move(prims));
+}
+
+Scene MakeMaterials() {
+  std::vector<ScenePrimitive> prims;
+  // Two rows of four shaded balls.
+  const Vec3f palette[8] = {
+      {0.85f, 0.20f, 0.18f}, {0.20f, 0.60f, 0.85f}, {0.25f, 0.75f, 0.30f},
+      {0.90f, 0.75f, 0.20f}, {0.70f, 0.30f, 0.75f}, {0.90f, 0.50f, 0.20f},
+      {0.35f, 0.35f, 0.40f}, {0.90f, 0.90f, 0.92f}};
+  for (int i = 0; i < 8; ++i) {
+    const int row = i / 4;
+    const int col = i % 4;
+    const float x = 0.26f + 0.16f * static_cast<float>(col);
+    const float z = 0.42f + 0.18f * static_cast<float>(row);
+    prims.push_back({SphereSdf{{x, 0.40f, z}, 0.09f},
+                     palette[i],
+                     0.9f * static_cast<float>(i)});
+  }
+  return Scene("materials", std::move(prims));
+}
+
+Scene MakeMic() {
+  std::vector<ScenePrimitive> prims;
+  // Head.
+  prims.push_back({SphereSdf{{0.55f, 0.62f, 0.52f}, 0.145f},
+                   {0.75f, 0.75f, 0.78f},
+                   0.6f});
+  // Handle.
+  prims.push_back(
+      {CapsuleSdf{{0.49f, 0.50f, 0.50f}, {0.36f, 0.28f, 0.46f}, 0.062f},
+       {0.22f, 0.22f, 0.24f},
+       1.8f});
+  // Stand column.
+  prims.push_back(
+      {CapsuleSdf{{0.40f, 0.12f, 0.48f}, {0.37f, 0.30f, 0.47f}, 0.030f},
+       {0.30f, 0.30f, 0.32f},
+       2.9f});
+  // Base.
+  prims.push_back({CylinderSdf{{0.42f, 0.10f, 0.48f}, 0.19f, 0.045f},
+                   {0.28f, 0.28f, 0.30f},
+                   4.0f});
+  return Scene("mic", std::move(prims));
+}
+
+Scene MakeShip() {
+  std::vector<ScenePrimitive> prims;
+  // Water surface (thin, wide slab — this is why ship is the densest grid).
+  prims.push_back({BoxSdf{{0.50f, 0.22f, 0.50f}, {0.42f, 0.032f, 0.42f}, 0.0f},
+                   {0.15f, 0.35f, 0.45f},
+                   0.2f});
+  // Hull.
+  prims.push_back({EllipsoidSdf{{0.50f, 0.30f, 0.50f}, {0.32f, 0.10f, 0.15f}},
+                   {0.45f, 0.30f, 0.20f},
+                   1.4f});
+  // Deck.
+  prims.push_back({BoxSdf{{0.50f, 0.38f, 0.50f}, {0.26f, 0.03f, 0.11f}, 0.004f},
+                   {0.60f, 0.45f, 0.28f},
+                   2.5f});
+  // Cabin.
+  prims.push_back({BoxSdf{{0.60f, 0.46f, 0.50f}, {0.08f, 0.05f, 0.06f}, 0.004f},
+                   {0.65f, 0.50f, 0.32f},
+                   3.6f});
+  // Masts.
+  prims.push_back(
+      {CapsuleSdf{{0.38f, 0.40f, 0.50f}, {0.38f, 0.78f, 0.50f}, 0.025f},
+       {0.40f, 0.28f, 0.18f},
+       4.7f});
+  prims.push_back(
+      {CapsuleSdf{{0.56f, 0.40f, 0.50f}, {0.56f, 0.72f, 0.50f}, 0.025f},
+       {0.40f, 0.28f, 0.18f},
+       5.8f});
+  return Scene("ship", std::move(prims));
+}
+
+}  // namespace
+
+std::vector<SceneId> AllScenes() {
+  return {SceneId::kChair,     SceneId::kDrums, SceneId::kFicus,
+          SceneId::kHotdog,    SceneId::kLego,  SceneId::kMaterials,
+          SceneId::kMic,       SceneId::kShip};
+}
+
+const char* SceneName(SceneId id) {
+  switch (id) {
+    case SceneId::kChair:
+      return "chair";
+    case SceneId::kDrums:
+      return "drums";
+    case SceneId::kFicus:
+      return "ficus";
+    case SceneId::kHotdog:
+      return "hotdog";
+    case SceneId::kLego:
+      return "lego";
+    case SceneId::kMaterials:
+      return "materials";
+    case SceneId::kMic:
+      return "mic";
+    case SceneId::kShip:
+      return "ship";
+  }
+  return "?";
+}
+
+SceneId SceneFromName(const std::string& name) {
+  for (SceneId id : AllScenes()) {
+    if (name == SceneName(id)) return id;
+  }
+  throw SpnerfError("unknown scene: " + name);
+}
+
+int SceneDefaultResolution(SceneId id) {
+  // DVGO-style resolutions; slightly varied per scene as trained grids are.
+  switch (id) {
+    case SceneId::kChair:
+      return 160;
+    case SceneId::kDrums:
+      return 160;
+    case SceneId::kFicus:
+      return 144;
+    case SceneId::kHotdog:
+      return 160;
+    case SceneId::kLego:
+      return 160;
+    case SceneId::kMaterials:
+      return 152;
+    case SceneId::kMic:
+      return 152;
+    case SceneId::kShip:
+      return 176;
+  }
+  return 160;
+}
+
+Scene BuildScene(SceneId id) {
+  switch (id) {
+    case SceneId::kChair:
+      return MakeChair();
+    case SceneId::kDrums:
+      return MakeDrums();
+    case SceneId::kFicus:
+      return MakeFicus();
+    case SceneId::kHotdog:
+      return MakeHotdog();
+    case SceneId::kLego:
+      return MakeLego();
+    case SceneId::kMaterials:
+      return MakeMaterials();
+    case SceneId::kMic:
+      return MakeMic();
+    case SceneId::kShip:
+      return MakeShip();
+  }
+  throw SpnerfError("unknown scene id");
+}
+
+}  // namespace spnerf

@@ -1,0 +1,41 @@
+// The 8-scene zoo standing in for the Synthetic-NeRF dataset (chair, drums,
+// ficus, hotdog, lego, materials, mic, ship). Each procedural scene is
+// designed so its voxelised occupancy lands inside the paper's measured
+// sparsity band (non-zero fraction 2.01%..6.48%, Fig 2(b)) with the same
+// qualitative spread: ficus/mic sparse, ship densest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scene/scene.hpp"
+
+namespace spnerf {
+
+enum class SceneId {
+  kChair = 0,
+  kDrums,
+  kFicus,
+  kHotdog,
+  kLego,
+  kMaterials,
+  kMic,
+  kShip,
+};
+
+inline constexpr int kSceneCount = 8;
+
+/// All scene ids in dataset order.
+std::vector<SceneId> AllScenes();
+
+const char* SceneName(SceneId id);
+SceneId SceneFromName(const std::string& name);  // throws on unknown name
+
+/// Default voxel-grid resolution used for this scene in the paper-scale
+/// experiments (DVGO-style grids, ~160^3).
+int SceneDefaultResolution(SceneId id);
+
+/// Builds the procedural scene geometry + fields.
+Scene BuildScene(SceneId id);
+
+}  // namespace spnerf

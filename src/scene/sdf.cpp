@@ -1,0 +1,118 @@
+#include "scene/sdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spnerf {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+float Eval(const SphereSdf& s, Vec3f p) {
+  return (p - s.center).Norm() - s.radius;
+}
+
+float Eval(const BoxSdf& s, Vec3f p) {
+  const Vec3f q = (p - s.center).Abs() - s.half_extent;
+  const Vec3f qpos = Max(q, Vec3f{0.f, 0.f, 0.f});
+  const float outside = qpos.Norm();
+  const float inside = std::min(q.MaxComponent(), 0.0f);
+  return outside + inside - s.round;
+}
+
+float Eval(const CapsuleSdf& s, Vec3f p) {
+  const Vec3f pa = p - s.a;
+  const Vec3f ba = s.b - s.a;
+  const float denom = ba.Norm2();
+  const float h = denom > 0.f ? Clamp(pa.Dot(ba) / denom, 0.0f, 1.0f) : 0.0f;
+  return (pa - ba * h).Norm() - s.radius;
+}
+
+float Eval(const CylinderSdf& s, Vec3f p) {
+  const Vec3f q = p - s.center;
+  const float dxz = std::sqrt(q.x * q.x + q.z * q.z) - s.radius;
+  const float dy = std::fabs(q.y) - s.half_height;
+  const float outside = std::sqrt(std::max(dxz, 0.f) * std::max(dxz, 0.f) +
+                                  std::max(dy, 0.f) * std::max(dy, 0.f));
+  return outside + std::min(std::max(dxz, dy), 0.0f);
+}
+
+float Eval(const TorusSdf& s, Vec3f p) {
+  const Vec3f q = p - s.center;
+  const float qxz = std::sqrt(q.x * q.x + q.z * q.z) - s.major_radius;
+  return std::sqrt(qxz * qxz + q.y * q.y) - s.minor_radius;
+}
+
+float Eval(const EllipsoidSdf& s, Vec3f p) {
+  // Standard bound-preserving approximation (iq): k0*(k0-1)/k1.
+  const Vec3f q = p - s.center;
+  const Vec3f k{q.x / s.radii.x, q.y / s.radii.y, q.z / s.radii.z};
+  const Vec3f k2{q.x / (s.radii.x * s.radii.x), q.y / (s.radii.y * s.radii.y),
+                 q.z / (s.radii.z * s.radii.z)};
+  const float k0 = k.Norm();
+  const float k1 = k2.Norm();
+  if (k1 == 0.f) return -s.radii.MinComponent();
+  return k0 * (k0 - 1.0f) / k1;
+}
+
+Aabb Bounds(const SphereSdf& s) {
+  return {s.center - Vec3f::Splat(s.radius), s.center + Vec3f::Splat(s.radius)};
+}
+Aabb Bounds(const BoxSdf& s) {
+  const Vec3f e = s.half_extent + Vec3f::Splat(s.round);
+  return {s.center - e, s.center + e};
+}
+Aabb Bounds(const CapsuleSdf& s) {
+  return {Min(s.a, s.b) - Vec3f::Splat(s.radius),
+          Max(s.a, s.b) + Vec3f::Splat(s.radius)};
+}
+Aabb Bounds(const CylinderSdf& s) {
+  const Vec3f e{s.radius, s.half_height, s.radius};
+  return {s.center - e, s.center + e};
+}
+Aabb Bounds(const TorusSdf& s) {
+  const float r = s.major_radius + s.minor_radius;
+  const Vec3f e{r, s.minor_radius, r};
+  return {s.center - e, s.center + e};
+}
+Aabb Bounds(const EllipsoidSdf& s) {
+  return {s.center - s.radii, s.center + s.radii};
+}
+
+double Volume(const SphereSdf& s) {
+  return 4.0 / 3.0 * kPi * std::pow(s.radius, 3);
+}
+double Volume(const BoxSdf& s) {
+  // Ignores rounding (small for our scenes).
+  return 8.0 * s.half_extent.x * s.half_extent.y * s.half_extent.z;
+}
+double Volume(const CapsuleSdf& s) {
+  const double len = (s.b - s.a).Norm();
+  return kPi * s.radius * s.radius * len +
+         4.0 / 3.0 * kPi * std::pow(s.radius, 3);
+}
+double Volume(const CylinderSdf& s) {
+  return kPi * s.radius * s.radius * 2.0 * s.half_height;
+}
+double Volume(const TorusSdf& s) {
+  return 2.0 * kPi * kPi * s.major_radius * s.minor_radius * s.minor_radius;
+}
+double Volume(const EllipsoidSdf& s) {
+  return 4.0 / 3.0 * kPi * s.radii.x * s.radii.y * s.radii.z;
+}
+
+}  // namespace
+
+float SdfEval(const SdfShape& shape, Vec3f p) {
+  return std::visit([p](const auto& s) { return Eval(s, p); }, shape);
+}
+
+Aabb SdfBounds(const SdfShape& shape) {
+  return std::visit([](const auto& s) { return Bounds(s); }, shape);
+}
+
+double SdfVolume(const SdfShape& shape) {
+  return std::visit([](const auto& s) { return Volume(s); }, shape);
+}
+
+}  // namespace spnerf

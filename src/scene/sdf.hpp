@@ -1,0 +1,66 @@
+// Signed-distance primitives used to build procedural stand-ins for the
+// Synthetic-NeRF scenes. Negative distance = inside. All primitives live in
+// the unit cube [0,1]^3 world space.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "common/vec.hpp"
+
+namespace spnerf {
+
+struct SphereSdf {
+  Vec3f center;
+  float radius;
+};
+
+/// Axis-aligned box given by center and half extents, optionally rounded.
+struct BoxSdf {
+  Vec3f center;
+  Vec3f half_extent;
+  float round = 0.0f;
+};
+
+/// Capsule (line segment swept by a sphere).
+struct CapsuleSdf {
+  Vec3f a;
+  Vec3f b;
+  float radius;
+};
+
+/// Capped cylinder around the +y axis.
+struct CylinderSdf {
+  Vec3f center;   // mid-height center
+  float radius;
+  float half_height;
+};
+
+/// Torus in the xz-plane around +y through `center`.
+struct TorusSdf {
+  Vec3f center;
+  float major_radius;
+  float minor_radius;
+};
+
+/// Ellipsoid (approximate SDF, exact at axes).
+struct EllipsoidSdf {
+  Vec3f center;
+  Vec3f radii;
+};
+
+using SdfShape = std::variant<SphereSdf, BoxSdf, CapsuleSdf, CylinderSdf,
+                              TorusSdf, EllipsoidSdf>;
+
+/// Signed distance of `p` to a shape.
+float SdfEval(const SdfShape& shape, Vec3f p);
+
+/// Conservative bounding box of a shape (used to skip voxelization work).
+Aabb SdfBounds(const SdfShape& shape);
+
+/// Exact volume of the shape where cheap (sphere/box/capsule/cylinder/
+/// torus/ellipsoid all have closed forms); used by scene-design tests to
+/// keep occupancy in the paper's sparsity band.
+double SdfVolume(const SdfShape& shape);
+
+}  // namespace spnerf

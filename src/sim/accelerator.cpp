@@ -1,0 +1,203 @@
+#include "sim/accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "render/mlp.hpp"
+#include "sim/sram.hpp"
+
+namespace spnerf {
+namespace {
+
+/// Streams `bytes` sequentially starting at `base` through the DRAM model.
+void StreamDma(LpddrModel& dram, u64 base, u64 bytes, u32 burst, bool write,
+               Cycle now) {
+  for (u64 off = 0; off < bytes; off += burst) {
+    const u32 chunk = static_cast<u32>(std::min<u64>(burst, bytes - off));
+    dram.Access(base + off, chunk, write, now);
+  }
+}
+
+}  // namespace
+
+AcceleratorSim::AcceleratorSim(AcceleratorConfig config)
+    : config_(std::move(config)) {
+  SPNERF_CHECK_MSG(config_.clock_ghz > 0, "clock must be positive");
+  SPNERF_CHECK_MSG(config_.mlp_batch > 0, "batch must be positive");
+}
+
+SimResult AcceleratorSim::SimulateFrame(const FrameWorkload& w) const {
+  SPNERF_CHECK_MSG(w.rays > 0 && w.samples > 0, "empty frame workload");
+  const Tech28& tech = DefaultTech28();
+
+  SimResult r;
+  r.scene = w.scene;
+
+  // ---------------- SGPU activity & timing ----------------
+  SgpuActivity act;
+  act.samples = w.samples;
+  act.coarse_skip_probes = w.coarse_skips;
+  act.vertex_lookups = w.VertexLookups();
+  act.bitmap_zero =
+      static_cast<u64>(w.bitmap_zero_frac * static_cast<double>(act.vertex_lookups));
+  act.hash_lookups = act.vertex_lookups - act.bitmap_zero;
+  act.codebook_fetches =
+      static_cast<u64>(w.codebook_frac * static_cast<double>(act.vertex_lookups));
+  act.true_grid_fetches =
+      static_cast<u64>(w.true_grid_frac * static_cast<double>(act.vertex_lookups));
+  act.interpolated_samples = w.mlp_evals;
+  r.activity = act;
+
+  const SgpuModel sgpu(config_.inventory.sgpu_lanes);
+  const SgpuTiming sgpu_time = sgpu.Time(act);
+  r.sgpu_cycles = sgpu_time.cycles;
+  r.sgpu_lane_utilization = sgpu_time.lane_utilization;
+
+  // ---------------- MLP unit timing ----------------
+  const SystolicArray array(config_.systolic);
+  const u64 batches =
+      (w.mlp_evals + static_cast<u64>(config_.mlp_batch) - 1) /
+      static_cast<u64>(config_.mlp_batch);
+  const u64 cycles_per_batch =
+      array.CyclesPerMlpBatch(config_.mlp_batch, config_.input_layout);
+  r.mlp_cycles = batches * cycles_per_batch;
+  {
+    const u64 useful_macs = w.mlp_evals * Mlp::MacsPerSample();
+    const double capacity = static_cast<double>(r.mlp_cycles) *
+                            config_.systolic.rows * config_.systolic.cols;
+    r.systolic_utilization =
+        capacity > 0 ? static_cast<double>(useful_macs) / capacity : 0.0;
+  }
+
+  // ---------------- DRAM traffic ----------------
+  LpddrModel dram(config_.dram);
+  // Address map regions (byte offsets in device space).
+  const u64 kTableBase = 0;
+  const u64 kBitmapBase = kTableBase + w.table_bytes;
+  const u64 kCodebookBase = kBitmapBase + w.bitmap_bytes;
+  const u64 kWeightBase = kCodebookBase + w.codebook_bytes;
+  const u64 kTrueGridBase = kWeightBase + w.weight_bytes;
+  const u64 kFrameBase = kTrueGridBase + w.true_grid_bytes;
+
+  // Per-subgrid streaming of the hash table and bitmap slice (sequential,
+  // double-buffered so it overlaps compute).
+  StreamDma(dram, kTableBase, w.table_bytes, config_.dma_burst_bytes, false, 0);
+  StreamDma(dram, kBitmapBase, w.bitmap_bytes, config_.dma_burst_bytes, false,
+            0);
+  StreamDma(dram, kCodebookBase, w.codebook_bytes, config_.dma_burst_bytes,
+            false, 0);
+  StreamDma(dram, kWeightBase, w.weight_bytes, config_.dma_burst_bytes, false,
+            0);
+  // On-demand true-grid fetches that miss the on-chip cache: 32 B random
+  // accesses across the true-grid region.
+  const u64 misses = static_cast<u64>(
+      static_cast<double>(act.true_grid_fetches) *
+      (1.0 - config_.true_grid_cache_hit));
+  Rng rng(config_.seed);
+  if (w.true_grid_bytes > 32) {
+    for (u64 i = 0; i < misses; ++i) {
+      const u64 addr =
+          kTrueGridBase + (rng.NextBelow(w.true_grid_bytes - 32) & ~31ull);
+      dram.Access(addr, 32, false, 0);
+    }
+  }
+  // Rendered frame writeback.
+  StreamDma(dram, kFrameBase, w.OutputBytes(), config_.dma_burst_bytes, true,
+            0);
+  r.dram_cycles = dram.DrainCycle();
+  r.dram = dram.Stats();
+
+  // ---------------- frame composition ----------------
+  // Fill: the first subgrid's table+bitmap slice must arrive before the SGPU
+  // starts, plus the pipeline depth through SGPU -> input buffer -> array.
+  const u64 first_slice =
+      w.subgrid_count > 0
+          ? (w.table_bytes + w.bitmap_bytes) / static_cast<u64>(w.subgrid_count)
+          : 0;
+  const u64 fill_dma = static_cast<u64>(
+      std::ceil(static_cast<double>(first_slice) / config_.dram.BytesPerNs()));
+  const u64 pipeline_depth =
+      64 + static_cast<u64>(config_.systolic.rows + config_.systolic.cols);
+  r.fill_cycles = fill_dma + pipeline_depth;
+
+  const u64 steady = std::max({r.sgpu_cycles, r.mlp_cycles, r.dram_cycles});
+  r.frame_cycles = steady + r.fill_cycles;
+  if (steady == r.mlp_cycles) {
+    r.bottleneck = "mlp-systolic";
+  } else if (steady == r.sgpu_cycles) {
+    r.bottleneck = "sgpu";
+  } else {
+    r.bottleneck = "dram";
+  }
+
+  r.frame_seconds =
+      static_cast<double>(r.frame_cycles) / (config_.clock_ghz * 1e9);
+  r.fps = 1.0 / r.frame_seconds;
+
+  // ---------------- energy ----------------
+  EnergyLedger& e = r.ledger;
+  e.systolic_j = static_cast<double>(w.mlp_evals) *
+                 static_cast<double>(Mlp::MacsPerSample()) *
+                 tech.fp16_mac_pj * 1e-12;
+  e.sgpu_logic_j = sgpu.LogicEnergyJ(act, tech);
+
+  // SRAM ledger via macro models.
+  {
+    SramModel index_density("index+density", 104 * 1024);
+    SramModel bitmap("bitmap", 48 * 1024);
+    SramModel codebook("codebook", 48 * 1024);
+    SramModel true_cache("true-grid cache", 192 * 1024);
+    SramModel position("position", 8 * 1024);
+    SramModel input_buf("input buffer", 5 * 1024);
+    SramModel weight_buf("weights", 44 * 1024);
+    SramModel output_buf("output", 4 * 1024);
+
+    // DMA fills (once per frame).
+    index_density.Write(w.table_bytes);
+    bitmap.Write(w.bitmap_bytes);
+    codebook.Write(w.codebook_bytes);
+    weight_buf.Write(w.weight_bytes);
+
+    // Per-lookup activity. Hash-table entry: 26 bits ~ 4 B read granule;
+    // bitmap probe reads one byte-granule.
+    index_density.Read(4, act.hash_lookups);
+    bitmap.Read(1, act.vertex_lookups + act.coarse_skip_probes);
+    codebook.Read(kColorFeatureDim, act.codebook_fetches);
+    true_cache.Read(kColorFeatureDim, act.true_grid_fetches);
+    true_cache.Write(32, misses);
+
+    // Position buffer: write+read per sample (3 x FP16).
+    position.Write(6, w.samples);
+    position.Read(6, w.samples);
+
+    // MLP input buffer: one 80 B vector written and read per eval.
+    const BlockCirculantBuffer ibuf(config_.mlp_batch, config_.input_layout);
+    input_buf.Write(ibuf.BytesPerVector(), w.mlp_evals);
+    input_buf.Read(ibuf.BytesPerVector(), w.mlp_evals);
+
+    // Weight streaming: all INT8 weights stream through the array per batch.
+    weight_buf.Read(w.weight_bytes, batches);
+
+    // Output buffer: RGB FP16 per eval, drained once.
+    output_buf.Write(6, w.mlp_evals);
+    output_buf.Read(6, w.mlp_evals);
+
+    e.sram_j = index_density.EnergyJ(tech) + bitmap.EnergyJ(tech) +
+               codebook.EnergyJ(tech) + true_cache.EnergyJ(tech) +
+               position.EnergyJ(tech) + input_buf.EnergyJ(tech) +
+               weight_buf.EnergyJ(tech) + output_buf.EnergyJ(tech);
+  }
+
+  e.dram_dynamic_j = r.dram.DynamicEnergyJ();
+  e.dram_background_j = dram.BackgroundEnergyJ(r.frame_seconds);
+  e.other_j = config_.other_power_w * r.frame_seconds;
+
+  // ---------------- area & power ----------------
+  r.area = EstimateArea(config_.inventory, tech);
+  r.power = EstimatePower(e, r.fps, r.area, tech);
+  return r;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,66 @@
+// Bounded FIFO with occupancy/stall accounting, used by pipeline stages of
+// the accelerator simulator and its tests.
+#pragma once
+
+#include <deque>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace spnerf {
+
+template <typename T>
+class BoundedFifo {
+ public:
+  explicit BoundedFifo(std::size_t capacity) : capacity_(capacity) {
+    SPNERF_CHECK_MSG(capacity > 0, "FIFO capacity must be positive");
+  }
+
+  [[nodiscard]] bool Full() const { return items_.size() >= capacity_; }
+  [[nodiscard]] bool Empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t Size() const { return items_.size(); }
+  [[nodiscard]] std::size_t Capacity() const { return capacity_; }
+
+  /// Returns false (and counts a stall) when full.
+  bool TryPush(T value) {
+    if (Full()) {
+      ++push_stalls_;
+      return false;
+    }
+    items_.push_back(std::move(value));
+    max_occupancy_ = std::max(max_occupancy_, items_.size());
+    ++pushes_;
+    return true;
+  }
+
+  /// Returns false (and counts a stall) when empty.
+  bool TryPop(T& out) {
+    if (Empty()) {
+      ++pop_stalls_;
+      return false;
+    }
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  [[nodiscard]] const T& Front() const {
+    SPNERF_CHECK_MSG(!Empty(), "Front() on empty FIFO");
+    return items_.front();
+  }
+
+  [[nodiscard]] u64 Pushes() const { return pushes_; }
+  [[nodiscard]] u64 PushStalls() const { return push_stalls_; }
+  [[nodiscard]] u64 PopStalls() const { return pop_stalls_; }
+  [[nodiscard]] std::size_t MaxOccupancy() const { return max_occupancy_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  u64 pushes_ = 0;
+  u64 push_stalls_ = 0;
+  u64 pop_stalls_ = 0;
+  std::size_t max_occupancy_ = 0;
+};
+
+}  // namespace spnerf

@@ -1,0 +1,108 @@
+#include "sim/input_buffer.hpp"
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+constexpr int kNaivePadded = 64;  // pad to the systolic input dimension
+constexpr int kNaiveBlocks = kNaivePadded / kInputBufBlock;  // 16
+
+}  // namespace
+
+BlockCirculantBuffer::BlockCirculantBuffer(int capacity_vectors,
+                                           InputLayout layout)
+    : capacity_(capacity_vectors), layout_(layout) {
+  SPNERF_CHECK_MSG(capacity_vectors > 0, "buffer capacity must be positive");
+  // Rows per bank: block-circulant stores one block per vector per bank;
+  // padded-naive needs two rows per vector in some banks.
+  const int rows = layout == InputLayout::kBlockCirculant
+                       ? capacity_vectors
+                       : capacity_vectors * 2;
+  banks_.assign(kInputBufBanks,
+                std::vector<Slot>(static_cast<std::size_t>(rows) *
+                                  kInputBufBlock));
+}
+
+int BlockCirculantBuffer::BankOfBlock(int v_idx, int block) const {
+  if (layout_ == InputLayout::kBlockCirculant) {
+    // Fig 5: adjacent blocks in neighbouring banks, rotated per vector so
+    // vector v starts at bank v % 10.
+    return (block + v_idx) % kInputBufBanks;
+  }
+  return block % kInputBufBanks;
+}
+
+void BlockCirculantBuffer::WriteVector(
+    int v_idx, const std::array<float, kMlpInputDim>& values) {
+  SPNERF_CHECK_MSG(v_idx >= 0 && v_idx < capacity_,
+                   "vector index out of range: " << v_idx);
+  const int blocks = layout_ == InputLayout::kBlockCirculant
+                         ? kInputBufBanks
+                         : kNaiveBlocks;
+  for (int b = 0; b < blocks; ++b) {
+    const int bank = BankOfBlock(v_idx, b);
+    const int row = layout_ == InputLayout::kBlockCirculant
+                        ? v_idx
+                        : v_idx * 2 + b / kInputBufBanks;
+    for (int lane = 0; lane < kInputBufBlock; ++lane) {
+      const int elem = b * kInputBufBlock + lane;
+      Slot& slot = banks_[static_cast<std::size_t>(bank)]
+                         [static_cast<std::size_t>(row) * kInputBufBlock +
+                          static_cast<std::size_t>(lane)];
+      slot.value = elem < kMlpInputDim ? values[static_cast<std::size_t>(elem)]
+                                       : 0.0f;  // zero padding
+      slot.valid = true;
+    }
+  }
+}
+
+std::array<float, kMlpInputDim> BlockCirculantBuffer::ReadVector(
+    int v_idx) const {
+  SPNERF_CHECK_MSG(v_idx >= 0 && v_idx < capacity_,
+                   "vector index out of range: " << v_idx);
+  std::array<float, kMlpInputDim> out{};
+  const int blocks = layout_ == InputLayout::kBlockCirculant
+                         ? kInputBufBanks
+                         : kNaiveBlocks;
+  for (int b = 0; b < blocks; ++b) {
+    const int bank = BankOfBlock(v_idx, b);  // the read-side block shift
+    const int row = layout_ == InputLayout::kBlockCirculant
+                        ? v_idx
+                        : v_idx * 2 + b / kInputBufBanks;
+    for (int lane = 0; lane < kInputBufBlock; ++lane) {
+      const int elem = b * kInputBufBlock + lane;
+      if (elem >= kMlpInputDim) continue;
+      const Slot& slot = banks_[static_cast<std::size_t>(bank)]
+                               [static_cast<std::size_t>(row) * kInputBufBlock +
+                                static_cast<std::size_t>(lane)];
+      SPNERF_CHECK_MSG(slot.valid, "reading unwritten input-buffer slot");
+      out[static_cast<std::size_t>(elem)] = slot.value;
+    }
+  }
+  return out;
+}
+
+std::vector<int> BlockCirculantBuffer::WriteBanksOf(int v_idx) const {
+  std::vector<int> banks;
+  const int blocks = layout_ == InputLayout::kBlockCirculant
+                         ? kInputBufBanks
+                         : kNaiveBlocks;
+  banks.reserve(static_cast<std::size_t>(blocks));
+  for (int b = 0; b < blocks; ++b) banks.push_back(BankOfBlock(v_idx, b));
+  return banks;
+}
+
+int BlockCirculantBuffer::ReadCyclesPerVector() const {
+  if (layout_ == InputLayout::kBlockCirculant) return 1;
+  // 16 blocks over 10 banks: two bank cycles.
+  return (kNaiveBlocks + kInputBufBanks - 1) / kInputBufBanks;
+}
+
+u64 BlockCirculantBuffer::BytesPerVector() const {
+  const int padded =
+      layout_ == InputLayout::kBlockCirculant ? kInputVectorPadded : kNaivePadded;
+  return static_cast<u64>(padded) * 2;  // FP16
+}
+
+}  // namespace spnerf

@@ -1,0 +1,75 @@
+// Block-circulant MLP input buffer (paper Fig 5). The 39x1 interpolation
+// output (padded to 40) is split into 10 blocks of 4 elements; block b of
+// vector v is written to bank (b + v) % 10, so all 10 banks are touched
+// exactly once per vector and a whole vector is read in a single cycle, with
+// shift logic rotating the banks' outputs back into order.
+//
+// The ablation alternative (kPaddedNaive) pads each vector to the systolic
+// array input dimension (64) and stores it bank-aligned without rotation:
+// 1.6x the SRAM footprint and 2 read cycles per vector.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace spnerf {
+
+enum class InputLayout {
+  kBlockCirculant,  // paper Fig 5
+  kPaddedNaive,     // ablation baseline
+};
+
+inline constexpr int kInputBufBanks = 10;
+inline constexpr int kInputBufBlock = 4;  // elements per block
+inline constexpr int kInputVectorPadded =
+    kInputBufBanks * kInputBufBlock;  // 40
+
+/// Functional + timing model of the input buffer for one batch of vectors.
+class BlockCirculantBuffer {
+ public:
+  /// `capacity_vectors` per buffer half (the hardware double-buffers).
+  explicit BlockCirculantBuffer(int capacity_vectors,
+                                InputLayout layout = InputLayout::kBlockCirculant);
+
+  [[nodiscard]] InputLayout Layout() const { return layout_; }
+  [[nodiscard]] int CapacityVectors() const { return capacity_; }
+
+  /// Writes vector `v_idx` (39 elements; element 39 is zero-padded).
+  void WriteVector(int v_idx, const std::array<float, kMlpInputDim>& values);
+
+  /// Reads vector `v_idx` back in order (exercises the shift logic).
+  [[nodiscard]] std::array<float, kMlpInputDim> ReadVector(int v_idx) const;
+
+  /// Banks touched by writing one vector; the block-circulant layout makes
+  /// this a permutation of all banks (no conflicts).
+  [[nodiscard]] std::vector<int> WriteBanksOf(int v_idx) const;
+
+  /// Read cycles per vector: 1 for block-circulant, 2 for the padded-naive
+  /// layout (64 elements / 40 bank-width).
+  [[nodiscard]] int ReadCyclesPerVector() const;
+
+  /// Buffer bytes per stored vector (FP16): 80 (block-circulant) or 128.
+  [[nodiscard]] u64 BytesPerVector() const;
+
+  /// Total feed cycles for a batch of `n` vectors.
+  [[nodiscard]] u64 FeedCycles(u64 n) const {
+    return n * static_cast<u64>(ReadCyclesPerVector());
+  }
+
+ private:
+  struct Slot {
+    float value = 0.0f;
+    bool valid = false;
+  };
+
+  [[nodiscard]] int BankOfBlock(int v_idx, int block) const;
+
+  int capacity_;
+  InputLayout layout_;
+  // banks_[bank][row * kInputBufBlock + lane]
+  std::vector<std::vector<Slot>> banks_;
+};
+
+}  // namespace spnerf

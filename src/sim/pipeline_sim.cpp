@@ -1,0 +1,143 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+PipelineSim::PipelineSim(PipelineSimConfig config) : config_(config) {
+  SPNERF_CHECK_MSG(config.sgpu_lanes > 0, "lanes must be positive");
+  SPNERF_CHECK_MSG(config.batch_samples > 0, "batch_samples must be positive");
+  SPNERF_CHECK_MSG(config.fifo_depth > 0, "fifo_depth must be positive");
+}
+
+PipelineSimResult PipelineSim::Run(const FrameWorkload& w) const {
+  SPNERF_CHECK_MSG(w.samples > 0 && w.rays > 0, "empty workload");
+  PipelineSimResult r;
+
+  // ---- 1. Table DMA schedule: double-buffered per-subgrid streaming. ----
+  // DMA for subgrid k may start once the buffer half used by subgrid k-2 is
+  // free, i.e. once the SGPU begins processing subgrid k-1. We approximate
+  // buffer release with the DMA-chain ordering (the SGPU is never the
+  // laggard at the design point; cross-validated against AcceleratorSim).
+  const int subgrids = std::max(1, w.subgrid_count);
+  const u64 slice_bytes =
+      (w.table_bytes + w.bitmap_bytes) / static_cast<u64>(subgrids);
+  LpddrModel dram(config_.dram);
+  std::vector<Cycle> table_ready(static_cast<std::size_t>(subgrids), 0);
+  {
+    u64 addr = 0;
+    for (int k = 0; k < subgrids; ++k) {
+      Cycle done = 0;
+      for (u64 off = 0; off < slice_bytes; off += config_.dma_burst_bytes) {
+        const u32 chunk = static_cast<u32>(
+            std::min<u64>(config_.dma_burst_bytes, slice_bytes - off));
+        done = dram.Access(addr + off, chunk, false, 0).complete_cycle;
+      }
+      addr += slice_bytes;
+      table_ready[static_cast<std::size_t>(k)] = done;
+      r.dma_bytes += slice_bytes;
+    }
+    r.last_table_ready = table_ready.empty() ? 0 : table_ready.back();
+  }
+
+  // ---- 2. Token streams. ----
+  // Samples are spread uniformly across subgrids (rays traverse the x range);
+  // each SGPU token covers `batch_samples` samples and yields a
+  // proportional share of MLP evaluations.
+  const u64 n_tokens =
+      (w.samples + config_.batch_samples - 1) / config_.batch_samples;
+  const double evals_per_token =
+      static_cast<double>(w.mlp_evals) / static_cast<double>(n_tokens);
+  const u64 skip_probes_per_token =
+      w.coarse_skips / std::max<u64>(1, n_tokens);
+
+  const u64 lookups_per_token = config_.batch_samples * 8;
+  const u64 sgpu_service =
+      (lookups_per_token + skip_probes_per_token +
+       static_cast<u64>(config_.sgpu_lanes) - 1) /
+      static_cast<u64>(config_.sgpu_lanes);
+
+  const SystolicArray array(config_.systolic);
+  const u64 mlp_service =
+      array.CyclesPerMlpBatch(config_.mlp_batch, config_.input_layout);
+
+  // ---- 3. Dataflow loop with bounded FIFO backpressure. ----
+  // fifo_pop_times holds the start cycles of the most recent MLP batches;
+  // an SGPU token may only finish into the FIFO if fewer than fifo_depth
+  // batches are waiting.
+  Cycle sgpu_free = 0;
+  Cycle mlp_free = 0;
+  double evals_accumulated = 0.0;
+  u64 mlp_batches_launched = 0;
+  std::deque<Cycle> fifo_entries;  // finish times of tokens waiting in FIFO
+
+  const u64 tokens_per_subgrid =
+      (n_tokens + static_cast<u64>(subgrids) - 1) / static_cast<u64>(subgrids);
+
+  for (u64 t = 0; t < n_tokens; ++t) {
+    const int subgrid = static_cast<int>(
+        std::min<u64>(t / std::max<u64>(1, tokens_per_subgrid),
+                      static_cast<u64>(subgrids - 1)));
+
+    // SGPU start: unit free, this subgrid's table resident, FIFO not full.
+    Cycle start = std::max(sgpu_free,
+                           table_ready[static_cast<std::size_t>(subgrid)]);
+    if (fifo_entries.size() >=
+        config_.fifo_depth * static_cast<std::size_t>(config_.mlp_batch) /
+            std::max<u64>(1, config_.batch_samples)) {
+      // FIFO full: wait until the MLP drains one entry.
+      const Cycle drained = fifo_entries.front();
+      if (drained > start) {
+        r.sgpu_backpressure_cycles += drained - start;
+        start = drained;
+      }
+      fifo_entries.pop_front();
+    }
+    const Cycle finish = start + sgpu_service;
+    sgpu_free = finish;
+    r.sgpu.busy_cycles += sgpu_service;
+    if (r.sgpu.tokens == 0) r.sgpu.first_start = start;
+    r.sgpu.last_finish = finish;
+    ++r.sgpu.tokens;
+
+    // Evals produced by this token feed the MLP accumulator.
+    evals_accumulated += evals_per_token;
+    while (evals_accumulated >=
+           static_cast<double>((mlp_batches_launched + 1) *
+                               static_cast<u64>(config_.mlp_batch))) {
+      // The batch is data-ready when this token finishes.
+      Cycle mlp_start = std::max(mlp_free, finish);
+      if (mlp_start > mlp_free) r.mlp_starve_cycles += mlp_start - mlp_free;
+      const Cycle mlp_finish = mlp_start + mlp_service;
+      mlp_free = mlp_finish;
+      r.mlp.busy_cycles += mlp_service;
+      if (r.mlp.tokens == 0) r.mlp.first_start = mlp_start;
+      r.mlp.last_finish = mlp_finish;
+      ++r.mlp.tokens;
+      ++mlp_batches_launched;
+      fifo_entries.push_back(mlp_finish);
+      if (fifo_entries.size() > config_.fifo_depth) fifo_entries.pop_front();
+    }
+  }
+
+  // Flush the final partial MLP batch.
+  if (evals_accumulated >
+      static_cast<double>(mlp_batches_launched *
+                          static_cast<u64>(config_.mlp_batch))) {
+    const Cycle mlp_start = std::max(mlp_free, sgpu_free);
+    mlp_free = mlp_start + mlp_service;
+    r.mlp.busy_cycles += mlp_service;
+    r.mlp.last_finish = mlp_free;
+    ++r.mlp.tokens;
+  }
+
+  r.frame_cycles = std::max({sgpu_free, mlp_free, r.last_table_ready});
+  return r;
+}
+
+}  // namespace spnerf

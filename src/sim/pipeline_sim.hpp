@@ -1,0 +1,72 @@
+// Event-driven dataflow simulation of the accelerator pipeline, at sample-
+// batch token granularity with explicit backpressure:
+//
+//   table DMA (double-buffered, per subgrid)
+//        v
+//   SGPU (lookup lanes)  -> bounded FIFO ->  MLP unit (systolic array)
+//
+// This is the fine-grained counterpart to AcceleratorSim's steady-state
+// composition (frame = max(stages) + fill): here every token's start time
+// honours upstream data readiness, per-subgrid table arrival, downstream
+// FIFO space, and unit occupancy. The two models cross-validate each other
+// the way the paper validates its simulator against RTL — see
+// tests/test_pipeline_sim.cpp and bench_pipeline_validation.
+#pragma once
+
+#include "dram/lpddr.hpp"
+#include "sim/systolic.hpp"
+#include "sim/workload.hpp"
+
+namespace spnerf {
+
+struct PipelineSimConfig {
+  int sgpu_lanes = 16;
+  SystolicConfig systolic{};
+  InputLayout input_layout = InputLayout::kBlockCirculant;
+  int mlp_batch = kMlpBatch;
+  /// Samples per SGPU token (one position-buffer drain).
+  u64 batch_samples = 64;
+  /// SGPU -> MLP FIFO depth, in MLP batches.
+  std::size_t fifo_depth = 8;
+  DramConfig dram = Lpddr4_3200();
+  u32 dma_burst_bytes = 256;
+};
+
+struct StageActivity {
+  u64 tokens = 0;
+  u64 busy_cycles = 0;
+  Cycle first_start = 0;
+  Cycle last_finish = 0;
+
+  [[nodiscard]] double BusyFraction(Cycle frame) const {
+    return frame ? static_cast<double>(busy_cycles) / static_cast<double>(frame)
+                 : 0.0;
+  }
+};
+
+struct PipelineSimResult {
+  Cycle frame_cycles = 0;
+  StageActivity sgpu;
+  StageActivity mlp;
+  u64 dma_bytes = 0;
+  Cycle last_table_ready = 0;
+  /// Cycles MLP batches waited on upstream evals (starvation) and SGPU
+  /// tokens waited on downstream FIFO space (backpressure).
+  u64 mlp_starve_cycles = 0;
+  u64 sgpu_backpressure_cycles = 0;
+};
+
+class PipelineSim {
+ public:
+  explicit PipelineSim(PipelineSimConfig config = {});
+
+  [[nodiscard]] const PipelineSimConfig& Config() const { return config_; }
+
+  /// Simulates one frame of the workload token-by-token.
+  [[nodiscard]] PipelineSimResult Run(const FrameWorkload& workload) const;
+
+ private:
+  PipelineSimConfig config_;
+};
+
+}  // namespace spnerf

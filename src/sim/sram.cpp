@@ -1,0 +1,12 @@
+#include "sim/sram.hpp"
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+SramModel::SramModel(std::string name, u64 bytes)
+    : name_(std::move(name)), bytes_(bytes) {
+  SPNERF_CHECK_MSG(bytes > 0, "SRAM capacity must be positive");
+}
+
+}  // namespace spnerf

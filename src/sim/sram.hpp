@@ -1,0 +1,55 @@
+// On-chip SRAM macro model: access counting plus tech-derived energy. All
+// accelerator buffers are instances of this; the double-buffering flag only
+// affects capacity/area, not per-access energy.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "model/tech28.hpp"
+
+namespace spnerf {
+
+class SramModel {
+ public:
+  SramModel() = default;
+  SramModel(std::string name, u64 bytes);
+
+  [[nodiscard]] const std::string& Name() const { return name_; }
+  [[nodiscard]] u64 CapacityBytes() const { return bytes_; }
+
+  void Read(u64 bytes, u64 times = 1) {
+    reads_ += times;
+    bytes_read_ += bytes * times;
+  }
+  void Write(u64 bytes, u64 times = 1) {
+    writes_ += times;
+    bytes_written_ += bytes * times;
+  }
+
+  [[nodiscard]] u64 Reads() const { return reads_; }
+  [[nodiscard]] u64 Writes() const { return writes_; }
+  [[nodiscard]] u64 BytesRead() const { return bytes_read_; }
+  [[nodiscard]] u64 BytesWritten() const { return bytes_written_; }
+
+  [[nodiscard]] double EnergyJ(const Tech28& tech) const {
+    return (static_cast<double>(bytes_read_) * tech.SramReadPjPerByte(bytes_) +
+            static_cast<double>(bytes_written_) *
+                tech.SramWritePjPerByte(bytes_)) *
+           1e-12;
+  }
+
+  void ResetCounters() {
+    reads_ = writes_ = bytes_read_ = bytes_written_ = 0;
+  }
+
+ private:
+  std::string name_;
+  u64 bytes_ = 0;
+  u64 reads_ = 0;
+  u64 writes_ = 0;
+  u64 bytes_read_ = 0;
+  u64 bytes_written_ = 0;
+};
+
+}  // namespace spnerf

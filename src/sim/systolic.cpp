@@ -1,0 +1,64 @@
+#include "sim/systolic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+SystolicArray::SystolicArray(SystolicConfig config) : config_(config) {
+  SPNERF_CHECK_MSG(config.rows > 0 && config.cols > 0,
+                   "systolic array dims must be positive");
+}
+
+LayerTiming SystolicArray::TimeGemm(int m, int k, int n) const {
+  SPNERF_CHECK_MSG(m > 0 && k > 0 && n > 0, "GEMM dims must be positive");
+  const int tiles_m = (m + config_.rows - 1) / config_.rows;
+  const int tiles_n = (n + config_.cols - 1) / config_.cols;
+  const u64 tiles = static_cast<u64>(tiles_m) * static_cast<u64>(tiles_n);
+  LayerTiming t;
+  t.cycles = tiles * (static_cast<u64>(k) +
+                      static_cast<u64>(config_.tile_overhead_cycles));
+  t.macs = static_cast<u64>(m) * static_cast<u64>(k) * static_cast<u64>(n);
+  const double capacity = static_cast<double>(t.cycles) * config_.rows *
+                          static_cast<double>(config_.cols);
+  t.utilization = capacity > 0 ? static_cast<double>(t.macs) / capacity : 0.0;
+  return t;
+}
+
+u64 SystolicArray::CyclesPerMlpBatch(int batch, InputLayout layout) const {
+  const u64 compute = TimeGemm(batch, kMlpInputDim, kMlpHiddenDim).cycles +
+                      TimeGemm(batch, kMlpHiddenDim, kMlpHiddenDim).cycles +
+                      TimeGemm(batch, kMlpHiddenDim, kMlpOutputDim).cycles;
+  const BlockCirculantBuffer buf(batch, layout);
+  const u64 feed = buf.FeedCycles(static_cast<u64>(batch));
+  return std::max(compute, feed);
+}
+
+std::vector<float> SystolicArray::ComputeLayerFp16(
+    const std::vector<float>& in, int m, int k, const std::vector<float>& w,
+    const std::vector<float>& bias, int n, bool relu) {
+  SPNERF_CHECK_MSG(in.size() == static_cast<std::size_t>(m) * k,
+                   "input shape mismatch");
+  SPNERF_CHECK_MSG(w.size() == static_cast<std::size_t>(n) * k,
+                   "weight shape mismatch");
+  SPNERF_CHECK_MSG(bias.size() == static_cast<std::size_t>(n),
+                   "bias shape mismatch");
+  std::vector<float> out(static_cast<std::size_t>(m) * n);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < n; ++c) {
+      Half acc(bias[static_cast<std::size_t>(c)]);
+      const float* wrow = &w[static_cast<std::size_t>(c) * k];
+      const float* irow = &in[static_cast<std::size_t>(r) * k];
+      for (int i = 0; i < k; ++i) {
+        acc = Half::Fma(Half(wrow[i]), Half(irow[i]), acc);
+      }
+      float v = acc.ToFloat();
+      if (relu && v < 0.0f) v = 0.0f;
+      out[static_cast<std::size_t>(r) * n + c] = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace spnerf

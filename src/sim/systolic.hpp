@@ -1,0 +1,56 @@
+// Output-stationary systolic array model (the MLP Unit's core, paper IV-C).
+// Timing: an R x C array holds an R x C output tile; operands stream through
+// for K cycles per tile plus a fill/drain skew. Function: FP16 MACs in the
+// same accumulation order as the renderer's ForwardFp16 path, so the
+// simulator's arithmetic is bit-identical to the algorithm model.
+#pragma once
+
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/types.hpp"
+#include "sim/input_buffer.hpp"
+
+namespace spnerf {
+
+struct SystolicConfig {
+  int rows = 64;
+  int cols = 64;
+  /// Per-tile pipeline skew charged once per tile (operand fill + partial
+  /// output drain that cannot be hidden).
+  int tile_overhead_cycles = 8;
+};
+
+struct LayerTiming {
+  u64 cycles = 0;
+  u64 macs = 0;          // useful MACs
+  double utilization = 0.0;  // useful MACs / (cycles * rows * cols)
+};
+
+class SystolicArray {
+ public:
+  explicit SystolicArray(SystolicConfig config = {});
+
+  [[nodiscard]] const SystolicConfig& Config() const { return config_; }
+
+  /// Cycles/MACs to compute an [M x K] * [K x N] product.
+  [[nodiscard]] LayerTiming TimeGemm(int m, int k, int n) const;
+
+  /// Cycles for one 3-layer MLP batch (paper: 39->128->128->3, batch 64),
+  /// including the input-buffer feed (overlapped: the batch takes
+  /// max(feed, compute) in steady state).
+  [[nodiscard]] u64 CyclesPerMlpBatch(int batch, InputLayout layout) const;
+
+  /// Functional FP16 GEMM + bias + optional ReLU, accumulating over k in
+  /// ascending order (output-stationary order). Inputs/outputs row-major.
+  static std::vector<float> ComputeLayerFp16(const std::vector<float>& in,
+                                             int m, int k,
+                                             const std::vector<float>& w,
+                                             const std::vector<float>& bias,
+                                             int n, bool relu);
+
+ private:
+  SystolicConfig config_;
+};
+
+}  // namespace spnerf

@@ -1,0 +1,66 @@
+#include "sim/workload.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+u64 ScaleCount(u64 tile_count, double ray_scale) {
+  return static_cast<u64>(std::llround(static_cast<double>(tile_count) *
+                                       ray_scale));
+}
+
+}  // namespace
+
+FrameWorkload BuildFrameWorkload(const SpNeRFModel& model,
+                                 const RenderStats& tile_stats,
+                                 const DecodeCounters& tile_counters,
+                                 const std::string& scene_name, int width,
+                                 int height) {
+  SPNERF_CHECK_MSG(tile_stats.rays > 0, "tile statistics are empty");
+  FrameWorkload w;
+  w.scene = scene_name;
+  w.width = width;
+  w.height = height;
+  w.rays = static_cast<u64>(width) * static_cast<u64>(height);
+
+  const double scale = static_cast<double>(w.rays) /
+                       static_cast<double>(tile_stats.rays);
+  w.samples = ScaleCount(tile_stats.steps, scale);
+  w.coarse_skips = ScaleCount(tile_stats.coarse_skips, scale);
+  w.mlp_evals = ScaleCount(tile_stats.mlp_evals, scale);
+
+  w.table_bytes = model.HashTableBytes();
+  w.bitmap_bytes = model.BitmapBytes();
+  w.codebook_bytes = model.CodebookBytes();
+  w.true_grid_bytes = model.TrueGridBytes();
+  w.weight_bytes = Mlp::WeightBytesFp16() / 2;  // INT8 weight buffer
+  w.subgrid_count = model.Params().subgrid_count;
+
+  if (tile_counters.queries > 0) {
+    const auto q = static_cast<double>(tile_counters.queries);
+    w.bitmap_zero_frac = static_cast<double>(tile_counters.bitmap_zero) / q;
+    w.codebook_frac = static_cast<double>(tile_counters.codebook_hits) / q;
+    w.true_grid_frac = static_cast<double>(tile_counters.true_grid_hits) / q;
+  }
+  return w;
+}
+
+GpuFrameWorkload BuildGpuWorkload(const VqrfModel& vqrf,
+                                  const RenderStats& tile_stats, int width,
+                                  int height) {
+  SPNERF_CHECK_MSG(tile_stats.rays > 0, "tile statistics are empty");
+  GpuFrameWorkload w;
+  w.rays = static_cast<u64>(width) * static_cast<u64>(height);
+  const double scale =
+      static_cast<double>(w.rays) / static_cast<double>(tile_stats.rays);
+  w.samples = ScaleCount(tile_stats.steps, scale);
+  w.mlp_evals = ScaleCount(tile_stats.mlp_evals, scale);
+  w.restored_grid_bytes = vqrf.RestoredBytes();
+  w.compressed_bytes = vqrf.CompressedBytes();
+  return w;
+}
+
+}  // namespace spnerf

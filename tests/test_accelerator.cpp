@@ -1,0 +1,208 @@
+#include "sim/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+/// A representative 800x800 frame workload (hand-authored so the simulator
+/// can be tested without building a scene).
+FrameWorkload TypicalWorkload() {
+  FrameWorkload w;
+  w.scene = "synthetic";
+  w.rays = 640000;
+  w.samples = 12'000'000;
+  w.coarse_skips = 9'000'000;
+  w.mlp_evals = 2'000'000;
+  w.table_bytes = 64ull * 32768 * 26 / 8;  // K=64, T=32k
+  w.bitmap_bytes = 512000;
+  w.codebook_bytes = 4096 * 12;
+  w.true_grid_bytes = 300000;
+  w.weight_bytes = 43779;
+  w.subgrid_count = 64;
+  w.bitmap_zero_frac = 0.55;
+  w.codebook_frac = 0.36;
+  w.true_grid_frac = 0.09;
+  return w;
+}
+
+TEST(Accelerator, SimulatesTypicalFrame) {
+  const AcceleratorSim sim;
+  const SimResult r = sim.SimulateFrame(TypicalWorkload());
+  EXPECT_GT(r.fps, 10.0);
+  EXPECT_LT(r.fps, 500.0);
+  EXPECT_GT(r.frame_cycles, 0u);
+  EXPECT_NEAR(r.frame_seconds, static_cast<double>(r.frame_cycles) * 1e-9,
+              1e-12);
+  EXPECT_EQ(r.scene, "synthetic");
+}
+
+TEST(Accelerator, FrameIsMaxOfStagesPlusFill) {
+  const AcceleratorSim sim;
+  const SimResult r = sim.SimulateFrame(TypicalWorkload());
+  const u64 steady = std::max({r.sgpu_cycles, r.mlp_cycles, r.dram_cycles});
+  EXPECT_EQ(r.frame_cycles, steady + r.fill_cycles);
+  EXPECT_FALSE(r.bottleneck.empty());
+}
+
+TEST(Accelerator, MlpBoundForEvalHeavyFrames) {
+  FrameWorkload w = TypicalWorkload();
+  w.mlp_evals = 5'000'000;
+  const AcceleratorSim sim;
+  const SimResult r = sim.SimulateFrame(w);
+  EXPECT_EQ(r.bottleneck, "mlp-systolic");
+  EXPECT_GE(r.mlp_cycles, r.sgpu_cycles);
+}
+
+TEST(Accelerator, SgpuBoundForSampleHeavyFrames) {
+  FrameWorkload w = TypicalWorkload();
+  w.samples = 60'000'000;
+  w.mlp_evals = 100'000;
+  // Sample-heavy frames traverse mostly empty space: nearly every vertex
+  // lookup is answered by the bitmap, so DRAM sees few true-grid fetches.
+  w.bitmap_zero_frac = 0.97;
+  w.codebook_frac = 0.025;
+  w.true_grid_frac = 0.005;
+  const AcceleratorSim sim;
+  const SimResult r = sim.SimulateFrame(w);
+  EXPECT_EQ(r.bottleneck, "sgpu");
+}
+
+TEST(Accelerator, MoreEvalsMoreCyclesAndEnergy) {
+  const AcceleratorSim sim;
+  FrameWorkload w = TypicalWorkload();
+  const SimResult base = sim.SimulateFrame(w);
+  w.mlp_evals *= 2;
+  const SimResult heavy = sim.SimulateFrame(w);
+  EXPECT_GT(heavy.mlp_cycles, base.mlp_cycles);
+  EXPECT_GT(heavy.ledger.systolic_j, base.ledger.systolic_j * 1.9);
+}
+
+TEST(Accelerator, SystolicEnergyDominates) {
+  // Fig 9(b): "the systolic array accounts for the dominant portion of
+  // overall power consumption".
+  const AcceleratorSim sim;
+  const SimResult r = sim.SimulateFrame(TypicalWorkload());
+  EXPECT_GT(r.power.systolic_w, r.power.sram_w);
+  EXPECT_GT(r.power.systolic_w, r.power.sgpu_logic_w);
+  EXPECT_GT(r.power.systolic_w, r.power.dram_w);
+  EXPECT_GT(r.power.SystolicShare(), 0.4);
+}
+
+TEST(Accelerator, SramIsSmallAreaFraction) {
+  // Fig 9(a): "on-chip SRAM occupies only a small fraction of the area".
+  const AcceleratorSim sim;
+  const SimResult r = sim.SimulateFrame(TypicalWorkload());
+  EXPECT_LT(r.area.SramShare(), 0.10);
+  EXPECT_NEAR(r.area.total_mm2, 7.7, 0.8);  // Table II: 7.7 mm^2
+}
+
+TEST(Accelerator, SramBudgetMatchesTableII) {
+  const AcceleratorConfig cfg;
+  // 571 KB SGPU + 58 KB MLP buffers = 0.61 MB (paper V-C / Table II).
+  EXPECT_EQ(cfg.inventory.SgpuSramBytes(), 571u * 1024);
+  EXPECT_EQ(cfg.inventory.MlpSramBytes(), 58u * 1024);
+  EXPECT_NEAR(static_cast<double>(cfg.inventory.TotalSramBytes()) / 1048576.0,
+              0.61, 0.01);
+}
+
+TEST(Accelerator, DramTrafficIncludesAllStructures) {
+  const AcceleratorSim sim;
+  const FrameWorkload w = TypicalWorkload();
+  const SimResult r = sim.SimulateFrame(w);
+  const u64 stream = w.table_bytes + w.bitmap_bytes + w.codebook_bytes +
+                     w.weight_bytes;
+  EXPECT_GE(r.dram.bytes_read, stream);
+  EXPECT_GE(r.dram.bytes_written, w.OutputBytes());
+}
+
+TEST(Accelerator, TrueGridCacheHitReducesTraffic) {
+  AcceleratorConfig hi;
+  hi.true_grid_cache_hit = 0.95;
+  AcceleratorConfig lo;
+  lo.true_grid_cache_hit = 0.05;
+  const FrameWorkload w = TypicalWorkload();
+  const SimResult rh = AcceleratorSim(hi).SimulateFrame(w);
+  const SimResult rl = AcceleratorSim(lo).SimulateFrame(w);
+  EXPECT_LT(rh.dram.bytes_read, rl.dram.bytes_read);
+}
+
+TEST(Accelerator, BlockCirculantNoSlowerThanNaive) {
+  AcceleratorConfig bc;
+  bc.input_layout = InputLayout::kBlockCirculant;
+  AcceleratorConfig naive;
+  naive.input_layout = InputLayout::kPaddedNaive;
+  const FrameWorkload w = TypicalWorkload();
+  EXPECT_LE(AcceleratorSim(bc).SimulateFrame(w).mlp_cycles,
+            AcceleratorSim(naive).SimulateFrame(w).mlp_cycles);
+}
+
+TEST(Accelerator, SlowerDramLengthensDramPhase) {
+  AcceleratorConfig fast;
+  fast.dram = Lpddr4_3200();
+  AcceleratorConfig slow;
+  slow.dram = Lpddr4_1600();
+  const FrameWorkload w = TypicalWorkload();
+  EXPECT_GT(AcceleratorSim(slow).SimulateFrame(w).dram_cycles,
+            AcceleratorSim(fast).SimulateFrame(w).dram_cycles);
+}
+
+TEST(Accelerator, DramHiddenBehindComputeAtDesignPoint) {
+  // The headline architectural claim: streaming the compact encoded model
+  // never bottlenecks the pipeline at LPDDR4-3200.
+  const AcceleratorSim sim;
+  const SimResult r = sim.SimulateFrame(TypicalWorkload());
+  EXPECT_LT(r.dram_cycles, std::max(r.mlp_cycles, r.sgpu_cycles));
+}
+
+TEST(Accelerator, PowerNearPaperDesignPoint) {
+  const AcceleratorSim sim;
+  const SimResult r = sim.SimulateFrame(TypicalWorkload());
+  EXPECT_GT(r.power.total_w, 1.5);
+  EXPECT_LT(r.power.total_w, 4.5);  // Table II: 3 W
+}
+
+TEST(Accelerator, DeterministicAcrossRuns) {
+  const AcceleratorSim sim;
+  const SimResult a = sim.SimulateFrame(TypicalWorkload());
+  const SimResult b = sim.SimulateFrame(TypicalWorkload());
+  EXPECT_EQ(a.frame_cycles, b.frame_cycles);
+  EXPECT_EQ(a.dram.bytes_read, b.dram.bytes_read);
+  EXPECT_DOUBLE_EQ(a.ledger.TotalJ(), b.ledger.TotalJ());
+}
+
+TEST(Accelerator, EmptyWorkloadThrows) {
+  const AcceleratorSim sim;
+  const FrameWorkload empty;
+  EXPECT_THROW(sim.SimulateFrame(empty), SpnerfError);
+}
+
+TEST(Accelerator, UtilizationsAreInUnitRange) {
+  const AcceleratorSim sim;
+  const SimResult r = sim.SimulateFrame(TypicalWorkload());
+  EXPECT_GT(r.sgpu_lane_utilization, 0.0);
+  EXPECT_LE(r.sgpu_lane_utilization, 1.0);
+  EXPECT_GT(r.systolic_utilization, 0.0);
+  EXPECT_LE(r.systolic_utilization, 1.0);
+}
+
+class LaneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LaneSweep, MoreLanesNeverSlower) {
+  AcceleratorConfig narrow;
+  narrow.inventory.sgpu_lanes = GetParam();
+  AcceleratorConfig wide;
+  wide.inventory.sgpu_lanes = GetParam() * 2;
+  FrameWorkload w = TypicalWorkload();
+  w.samples = 50'000'000;  // make the SGPU the constraint
+  w.mlp_evals = 200'000;
+  EXPECT_GE(AcceleratorSim(narrow).SimulateFrame(w).frame_cycles,
+            AcceleratorSim(wide).SimulateFrame(w).frame_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, LaneSweep, ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,149 @@
+#include "model/area_model.hpp"
+#include "model/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(AreaModel, DefaultInventoryMatchesPaperSram) {
+  const HardwareInventory inv = DefaultInventory();
+  EXPECT_EQ(inv.SgpuSramBytes(), 571u * 1024);  // paper V-C
+  EXPECT_EQ(inv.MlpSramBytes(), 58u * 1024);    // paper V-C
+  EXPECT_EQ(inv.TotalSramBytes(), 629u * 1024);  // 0.61 MB in Table II
+  EXPECT_EQ(inv.SystolicMacs(), 64 * 64);
+  EXPECT_EQ(inv.sgpu_lanes, 16);
+}
+
+TEST(AreaModel, DoubleBufferedMacrosCountTwice) {
+  SramMacroSpec single{"a", 1024, false};
+  SramMacroSpec dbl{"b", 1024, true};
+  EXPECT_EQ(single.TotalBytes(), 1024u);
+  EXPECT_EQ(dbl.TotalBytes(), 2048u);
+}
+
+TEST(AreaModel, TotalNearPaperDesignPoint) {
+  const AreaBreakdown a = EstimateArea(DefaultInventory());
+  EXPECT_NEAR(a.total_mm2, 7.7, 0.8);  // Table II: 7.7 mm^2
+  EXPECT_NEAR(a.total_mm2,
+              a.systolic_mm2 + a.sgpu_logic_mm2 + a.sram_mm2 +
+                  a.dram_phy_mm2 + a.controller_misc_mm2,
+              1e-9);
+}
+
+TEST(AreaModel, SystolicIsLargestLogicBlock) {
+  const AreaBreakdown a = EstimateArea(DefaultInventory());
+  EXPECT_GT(a.systolic_mm2, a.sgpu_logic_mm2);
+  EXPECT_GT(a.systolic_mm2, a.sram_mm2);
+}
+
+TEST(AreaModel, SramIsSmallShare) {
+  // Fig 9(a): on-chip SRAM occupies only a small fraction — the paper's
+  // contrast with prior SRAM-dominated designs.
+  const AreaBreakdown a = EstimateArea(DefaultInventory());
+  EXPECT_LT(a.SramShare(), 0.10);
+  EXPECT_GT(a.SramShare(), 0.01);
+}
+
+TEST(AreaModel, MoreMacsMoreArea) {
+  HardwareInventory big = DefaultInventory();
+  big.systolic_rows = 128;
+  const AreaBreakdown a = EstimateArea(DefaultInventory());
+  const AreaBreakdown b = EstimateArea(big);
+  EXPECT_GT(b.systolic_mm2, a.systolic_mm2 * 1.8);
+}
+
+TEST(PowerModel, LedgerAccumulates) {
+  EnergyLedger a;
+  a.systolic_j = 1.0;
+  a.sram_j = 0.5;
+  EnergyLedger b;
+  b.systolic_j = 2.0;
+  b.dram_dynamic_j = 0.25;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.systolic_j, 3.0);
+  EXPECT_DOUBLE_EQ(a.sram_j, 0.5);
+  EXPECT_DOUBLE_EQ(a.dram_dynamic_j, 0.25);
+  EXPECT_DOUBLE_EQ(a.TotalJ(), 3.75);
+}
+
+TEST(PowerModel, PowerIsEnergyTimesFps) {
+  EnergyLedger ledger;
+  ledger.systolic_j = 30e-3;  // 30 mJ per frame
+  ledger.sram_j = 2e-3;
+  const AreaBreakdown area = EstimateArea(DefaultInventory());
+  const PowerBreakdown p = EstimatePower(ledger, 60.0, area);
+  EXPECT_NEAR(p.systolic_w, 1.8, 1e-9);
+  EXPECT_NEAR(p.sram_w, 0.12, 1e-9);
+  EXPECT_GT(p.leakage_w, 0.0);
+  EXPECT_NEAR(p.total_w,
+              p.systolic_w + p.sram_w + p.sgpu_logic_w + p.dram_w +
+                  p.other_w + p.leakage_w,
+              1e-12);
+}
+
+TEST(PowerModel, LeakageIndependentOfFps) {
+  EnergyLedger ledger;
+  ledger.systolic_j = 1e-3;
+  const AreaBreakdown area = EstimateArea(DefaultInventory());
+  const PowerBreakdown slow = EstimatePower(ledger, 10.0, area);
+  const PowerBreakdown fast = EstimatePower(ledger, 100.0, area);
+  EXPECT_DOUBLE_EQ(slow.leakage_w, fast.leakage_w);
+  EXPECT_GT(fast.systolic_w, slow.systolic_w);
+}
+
+TEST(PowerModel, ZeroFpsThrows) {
+  const AreaBreakdown area = EstimateArea(DefaultInventory());
+  EXPECT_THROW(EstimatePower(EnergyLedger{}, 0.0, area), SpnerfError);
+}
+
+TEST(Dvfs, NominalRatioIsIdentity) {
+  EnergyLedger ledger;
+  ledger.systolic_j = 30e-3;
+  const AreaBreakdown area = EstimateArea(DefaultInventory());
+  const PowerBreakdown nominal = EstimatePower(ledger, 60.0, area);
+  const DvfsPoint pt = ScaleWithDvfs(nominal, 60.0, 1.0);
+  EXPECT_NEAR(pt.fps, 60.0, 1e-9);
+  EXPECT_NEAR(pt.power.total_w, nominal.total_w, 1e-9);
+}
+
+TEST(Dvfs, LowerClockImprovesEfficiency) {
+  EnergyLedger ledger;
+  ledger.systolic_j = 30e-3;
+  const AreaBreakdown area = EstimateArea(DefaultInventory());
+  const PowerBreakdown nominal = EstimatePower(ledger, 60.0, area);
+  const DvfsPoint slow = ScaleWithDvfs(nominal, 60.0, 0.6);
+  const DvfsPoint fast = ScaleWithDvfs(nominal, 60.0, 1.4);
+  EXPECT_LT(slow.fps, fast.fps);
+  EXPECT_LT(slow.power.total_w, fast.power.total_w);
+  EXPECT_GT(slow.FpsPerWatt(), fast.FpsPerWatt());  // voltage-squared win
+}
+
+TEST(Dvfs, PowerSuperlinearInFrequency) {
+  EnergyLedger ledger;
+  ledger.systolic_j = 30e-3;
+  const AreaBreakdown area = EstimateArea(DefaultInventory());
+  const PowerBreakdown nominal = EstimatePower(ledger, 60.0, area);
+  const DvfsPoint doubled = ScaleWithDvfs(nominal, 60.0, 2.0);
+  EXPECT_GT(doubled.power.systolic_w, nominal.systolic_w * 2.0);
+}
+
+TEST(Dvfs, InvalidRatioThrows) {
+  const PowerBreakdown nominal{};
+  EXPECT_THROW(ScaleWithDvfs(nominal, 60.0, 0.0), SpnerfError);
+}
+
+TEST(PowerModel, SharesComputed) {
+  EnergyLedger ledger;
+  ledger.systolic_j = 40e-3;
+  ledger.sram_j = 4e-3;
+  const AreaBreakdown area = EstimateArea(DefaultInventory());
+  const PowerBreakdown p = EstimatePower(ledger, 50.0, area);
+  EXPECT_GT(p.SystolicShare(), 0.5);
+  EXPECT_LT(p.SramShare(), 0.2);
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,153 @@
+#include "render/camera.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(Camera, CenterRayPointsForward) {
+  const Camera cam({0.f, 0.f, -2.f}, {0.f, 0.f, 0.f}, {0.f, 1.f, 0.f}, 45.f,
+                   101, 101);
+  const Ray r = cam.PixelRay(50, 50);
+  EXPECT_NEAR(r.direction.z, 1.f, 1e-3f);
+  EXPECT_NEAR(r.direction.x, 0.f, 2e-2f);  // half-pixel offset
+  EXPECT_NEAR(r.direction.y, 0.f, 2e-2f);
+  EXPECT_EQ(r.origin, (Vec3f{0.f, 0.f, -2.f}));
+}
+
+TEST(Camera, RaysAreUnitLength) {
+  const Camera cam({1.f, 2.f, 3.f}, {0.5f, 0.5f, 0.5f}, {0.f, 1.f, 0.f}, 60.f,
+                   32, 24);
+  for (int y = 0; y < 24; y += 5) {
+    for (int x = 0; x < 32; x += 5) {
+      EXPECT_NEAR(cam.PixelRay(x, y).direction.Norm(), 1.f, 1e-5f);
+    }
+  }
+}
+
+TEST(Camera, ImageYGrowsDownward) {
+  const Camera cam({0.f, 0.f, -2.f}, {0.f, 0.f, 0.f}, {0.f, 1.f, 0.f}, 45.f,
+                   64, 64);
+  EXPECT_GT(cam.PixelRay(32, 0).direction.y, cam.PixelRay(32, 63).direction.y);
+  EXPECT_LT(cam.PixelRay(0, 32).direction.x, cam.PixelRay(63, 32).direction.x);
+}
+
+TEST(Camera, FovControlsSpread) {
+  const Camera narrow({0.f, 0.f, -2.f}, {0.f, 0.f, 0.f}, {0.f, 1.f, 0.f}, 20.f,
+                      64, 64);
+  const Camera wide({0.f, 0.f, -2.f}, {0.f, 0.f, 0.f}, {0.f, 1.f, 0.f}, 90.f,
+                    64, 64);
+  const float n = narrow.PixelRay(63, 32).direction.x;
+  const float w = wide.PixelRay(63, 32).direction.x;
+  EXPECT_GT(w, n);
+}
+
+TEST(Camera, InvalidConstructionThrows) {
+  EXPECT_THROW(Camera({0.f, 0.f, 0.f}, {0.f, 0.f, 0.f}, {0.f, 1.f, 0.f}, 45.f,
+                      8, 8),
+               SpnerfError);  // position == look_at
+  EXPECT_THROW(Camera({0.f, 0.f, -1.f}, {0.f, 0.f, 0.f}, {0.f, 0.f, 1.f}, 45.f,
+                      8, 8),
+               SpnerfError);  // up parallel to view
+  EXPECT_THROW(Camera({0.f, 0.f, -1.f}, {0.f, 0.f, 0.f}, {0.f, 1.f, 0.f}, 0.f,
+                      8, 8),
+               SpnerfError);
+  EXPECT_THROW(Camera({0.f, 0.f, -1.f}, {0.f, 0.f, 0.f}, {0.f, 1.f, 0.f}, 45.f,
+                      0, 8),
+               SpnerfError);
+}
+
+TEST(Camera, PixelOutOfRangeThrows) {
+  const Camera cam({0.f, 0.f, -2.f}, {0.f, 0.f, 0.f}, {0.f, 1.f, 0.f}, 45.f, 8,
+                   8);
+  EXPECT_THROW((void)cam.PixelRay(8, 0), SpnerfError);
+  EXPECT_THROW((void)cam.PixelRay(0, -1), SpnerfError);
+}
+
+TEST(OrbitCameras, AllLookAtCenter) {
+  const Vec3f center{0.5f, 0.45f, 0.5f};
+  const auto cams = OrbitCameras(8, center, 1.5f, 30.f, 40.f, 16, 16);
+  ASSERT_EQ(cams.size(), 8u);
+  for (const Camera& cam : cams) {
+    EXPECT_NEAR((cam.Position() - center).Norm(), 1.5f, 1e-4f);
+    const Vec3f to_center = (center - cam.Position()).Normalized();
+    EXPECT_NEAR(to_center.Dot(cam.Forward()), 1.f, 1e-5f);
+  }
+}
+
+TEST(OrbitCameras, DistinctPositions) {
+  const auto cams = OrbitCameras(4, {0.5f, 0.5f, 0.5f}, 1.f, 0.f, 40.f, 8, 8);
+  for (std::size_t i = 0; i < cams.size(); ++i) {
+    for (std::size_t j = i + 1; j < cams.size(); ++j) {
+      EXPECT_GT((cams[i].Position() - cams[j].Position()).Norm(), 0.5f);
+    }
+  }
+}
+
+TEST(IntersectAabb, HitFromOutside) {
+  const Aabb box{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}};
+  Ray r;
+  r.origin = {-1.f, 0.5f, 0.5f};
+  r.direction = {1.f, 0.f, 0.f};
+  float t0 = 0.f, t1 = 0.f;
+  ASSERT_TRUE(IntersectAabb(r, box, t0, t1));
+  EXPECT_FLOAT_EQ(t0, 1.f);
+  EXPECT_FLOAT_EQ(t1, 2.f);
+}
+
+TEST(IntersectAabb, MissReturnsFalse) {
+  const Aabb box{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}};
+  Ray r;
+  r.origin = {-1.f, 2.f, 0.5f};
+  r.direction = {1.f, 0.f, 0.f};
+  float t0 = 0.f, t1 = 0.f;
+  EXPECT_FALSE(IntersectAabb(r, box, t0, t1));
+}
+
+TEST(IntersectAabb, OriginInsideClampsNearToZero) {
+  const Aabb box{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}};
+  Ray r;
+  r.origin = {0.5f, 0.5f, 0.5f};
+  r.direction = {0.f, 1.f, 0.f};
+  float t0 = -1.f, t1 = 0.f;
+  ASSERT_TRUE(IntersectAabb(r, box, t0, t1));
+  EXPECT_FLOAT_EQ(t0, 0.f);
+  EXPECT_FLOAT_EQ(t1, 0.5f);
+}
+
+TEST(IntersectAabb, AxisParallelRayInsideSlab) {
+  const Aabb box{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}};
+  Ray r;
+  r.origin = {0.5f, 0.5f, -3.f};
+  r.direction = {0.f, 0.f, 1.f};
+  float t0 = 0.f, t1 = 0.f;
+  ASSERT_TRUE(IntersectAabb(r, box, t0, t1));
+  EXPECT_FLOAT_EQ(t0, 3.f);
+  EXPECT_FLOAT_EQ(t1, 4.f);
+  // Parallel but outside the slab:
+  r.origin = {1.5f, 0.5f, -3.f};
+  EXPECT_FALSE(IntersectAabb(r, box, t0, t1));
+}
+
+TEST(IntersectAabb, BehindOriginMisses) {
+  const Aabb box{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}};
+  Ray r;
+  r.origin = {2.f, 0.5f, 0.5f};
+  r.direction = {1.f, 0.f, 0.f};  // box is behind
+  float t0 = 0.f, t1 = 0.f;
+  EXPECT_FALSE(IntersectAabb(r, box, t0, t1));
+}
+
+TEST(Ray, AtEvaluatesParametrically) {
+  Ray r;
+  r.origin = {1.f, 2.f, 3.f};
+  r.direction = {0.f, 1.f, 0.f};
+  EXPECT_EQ(r.At(0.f), r.origin);
+  EXPECT_EQ(r.At(2.5f), (Vec3f{1.f, 4.5f, 3.f}));
+}
+
+}  // namespace
+}  // namespace spnerf

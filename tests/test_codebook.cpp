@@ -1,0 +1,138 @@
+#include "grid/codebook.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+FeatureVec MakeVec(float base) {
+  FeatureVec f{};
+  for (int c = 0; c < kColorFeatureDim; ++c)
+    f[c] = base + 0.01f * static_cast<float>(c);
+  return f;
+}
+
+TEST(Codebook, EmptyThrows) {
+  EXPECT_THROW(Codebook(std::vector<FeatureVec>{}), SpnerfError);
+}
+
+TEST(Codebook, NearestFindsExactMatch) {
+  std::vector<FeatureVec> rows{MakeVec(0.f), MakeVec(1.f), MakeVec(2.f)};
+  const Codebook book(rows);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(book.Nearest(rows[static_cast<std::size_t>(k)]), k);
+    EXPECT_FLOAT_EQ(
+        book.QuantizationError(rows[static_cast<std::size_t>(k)]), 0.0f);
+  }
+}
+
+TEST(Codebook, NearestPicksClosest) {
+  const Codebook book({MakeVec(0.f), MakeVec(10.f)});
+  EXPECT_EQ(book.Nearest(MakeVec(1.f)), 0);
+  EXPECT_EQ(book.Nearest(MakeVec(9.f)), 1);
+  EXPECT_EQ(book.Nearest(MakeVec(4.9f)), 0);
+  EXPECT_EQ(book.Nearest(MakeVec(5.1f)), 1);
+}
+
+TEST(Codebook, RowOutOfRangeThrows) {
+  const Codebook book({MakeVec(0.f)});
+  EXPECT_THROW((void)book.Row(-1), SpnerfError);
+  EXPECT_THROW((void)book.Row(1), SpnerfError);
+}
+
+TEST(Codebook, SizeBytesIsInt8PerChannel) {
+  const Codebook book({MakeVec(0.f), MakeVec(1.f)});
+  EXPECT_EQ(book.SizeBytes(), 2u * kColorFeatureDim);
+}
+
+TEST(CodebookTrain, RecoverWellSeparatedClusters) {
+  // Three tight clusters; k-means with k=3 must place one centroid in each.
+  Rng rng(5);
+  std::vector<FeatureVec> samples;
+  const float centers[3] = {0.f, 5.f, 10.f};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 200; ++i) {
+      FeatureVec f = MakeVec(centers[c]);
+      for (int d = 0; d < kColorFeatureDim; ++d) f[d] += rng.Uniform(-0.05f, 0.05f);
+      samples.push_back(f);
+    }
+  }
+  const Codebook book = Codebook::Train(samples, 3, 20, rng);
+  // Every sample must be within cluster noise of its centroid.
+  for (const auto& s : samples) {
+    EXPECT_LT(book.QuantizationError(s), 0.1f);
+  }
+  // And the three centroids must be distinct clusters.
+  std::set<int> assigned;
+  assigned.insert(book.Nearest(MakeVec(0.f)));
+  assigned.insert(book.Nearest(MakeVec(5.f)));
+  assigned.insert(book.Nearest(MakeVec(10.f)));
+  EXPECT_EQ(assigned.size(), 3u);
+}
+
+TEST(CodebookTrain, Deterministic) {
+  Rng rng1(9), rng2(9);
+  std::vector<FeatureVec> samples;
+  Rng gen(1);
+  for (int i = 0; i < 300; ++i) samples.push_back(MakeVec(gen.Uniform(0.f, 10.f)));
+  const Codebook a = Codebook::Train(samples, 16, 8, rng1);
+  const Codebook b = Codebook::Train(samples, 16, 8, rng2);
+  ASSERT_EQ(a.Size(), b.Size());
+  for (int k = 0; k < a.Size(); ++k) {
+    for (int c = 0; c < kColorFeatureDim; ++c) {
+      EXPECT_EQ(a.Row(k)[static_cast<std::size_t>(c)],
+                b.Row(k)[static_cast<std::size_t>(c)]);
+    }
+  }
+}
+
+TEST(CodebookTrain, MoreCentroidsNeverWorse) {
+  Rng gen(2);
+  std::vector<FeatureVec> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(MakeVec(gen.Uniform(0.f, 20.f)));
+  auto total_err = [&](int k) {
+    Rng rng(3);
+    const Codebook book = Codebook::Train(samples, k, 15, rng);
+    double err = 0.0;
+    for (const auto& s : samples) err += book.QuantizationError(s);
+    return err;
+  };
+  const double e4 = total_err(4);
+  const double e32 = total_err(32);
+  EXPECT_LT(e32, e4);
+}
+
+TEST(CodebookTrain, HandlesFewerSamplesThanCentroids) {
+  Rng rng(4);
+  std::vector<FeatureVec> samples{MakeVec(0.f), MakeVec(1.f)};
+  const Codebook book = Codebook::Train(samples, 8, 5, rng);
+  EXPECT_EQ(book.Size(), 8);
+  EXPECT_LT(book.QuantizationError(MakeVec(0.f)), 1e-6f);
+  EXPECT_LT(book.QuantizationError(MakeVec(1.f)), 1e-6f);
+}
+
+TEST(CodebookTrain, IdenticalSamplesConverge) {
+  Rng rng(6);
+  std::vector<FeatureVec> samples(50, MakeVec(3.f));
+  const Codebook book = Codebook::Train(samples, 4, 5, rng);
+  EXPECT_LT(book.QuantizationError(MakeVec(3.f)), 1e-10f);
+}
+
+TEST(CodebookTrain, ZeroSamplesThrows) {
+  Rng rng(7);
+  EXPECT_THROW(Codebook::Train({}, 4, 5, rng), SpnerfError);
+}
+
+TEST(CodebookTrain, InvalidSizeThrows) {
+  Rng rng(8);
+  std::vector<FeatureVec> samples{MakeVec(0.f)};
+  EXPECT_THROW(Codebook::Train(samples, 0, 5, rng), SpnerfError);
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,75 @@
+#include "model/comparison.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spnerf {
+namespace {
+
+TEST(Baselines, RtNerfEdgePublishedNumbers) {
+  const AcceleratorOperatingPoint p = RtNerfEdge();
+  EXPECT_DOUBLE_EQ(p.sram_mb, 3.5);
+  EXPECT_DOUBLE_EQ(p.area_mm2, 18.85);
+  EXPECT_EQ(p.tech_nm, 28);
+  EXPECT_DOUBLE_EQ(p.power_w, 8.0);
+  EXPECT_DOUBLE_EQ(p.fps, 45.0);
+  EXPECT_DOUBLE_EQ(p.energy_eff_fps_per_w, 5.63);
+  EXPECT_DOUBLE_EQ(p.area_eff_fps_per_mm2, 2.38);
+  EXPECT_EQ(p.dram, "LPDDR4-1600");
+  EXPECT_FALSE(p.fps_inferred);
+}
+
+TEST(Baselines, NeurexEdgePublishedNumbers) {
+  const AcceleratorOperatingPoint p = NeurexEdge();
+  EXPECT_DOUBLE_EQ(p.sram_mb, 0.86);
+  EXPECT_DOUBLE_EQ(p.area_mm2, 1.31);
+  EXPECT_DOUBLE_EQ(p.power_w, 1.31);
+  EXPECT_DOUBLE_EQ(p.fps, 6.57);
+  EXPECT_TRUE(p.fps_inferred);  // Table II footnote
+  EXPECT_EQ(p.dram, "LPDDR4-3200");
+}
+
+TEST(TableII, RowFromBaselineCopiesFields) {
+  const TableIIRow r = RowFromBaseline(RtNerfEdge());
+  EXPECT_EQ(r.name, "RT-NeRF.Edge");
+  EXPECT_DOUBLE_EQ(r.fps, 45.0);
+  EXPECT_DOUBLE_EQ(r.dram_bw_gbps, 17.0);
+}
+
+TEST(TableII, SpnerfRowComputesEfficiencies) {
+  const HardwareInventory inv = DefaultInventory();
+  const AreaBreakdown area = EstimateArea(inv);
+  EnergyLedger ledger;
+  ledger.systolic_j = 30e-3;
+  const PowerBreakdown power = EstimatePower(ledger, 67.56, area);
+  const TableIIRow r =
+      SpnerfRow(inv, area, power, 67.56, "LPDDR4-3200", 59.7);
+  EXPECT_EQ(r.name, "SpNeRF (Ours)");
+  EXPECT_NEAR(r.sram_mb, 0.61, 0.01);
+  EXPECT_NEAR(r.energy_eff_fps_per_w, 67.56 / power.total_w, 1e-9);
+  EXPECT_NEAR(r.area_eff_fps_per_mm2, 67.56 / area.total_mm2, 1e-9);
+  EXPECT_EQ(r.tech_nm, 28);
+}
+
+TEST(TableII, AssemblesThreeRowsInOrder) {
+  TableIIRow sp;
+  sp.name = "SpNeRF (Ours)";
+  const auto rows = AssembleTableII(sp);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "RT-NeRF.Edge");
+  EXPECT_EQ(rows[1].name, "NeuRex.Edge");
+  EXPECT_EQ(rows[2].name, "SpNeRF (Ours)");
+}
+
+TEST(TableII, PaperEfficiencyGapsReproduce) {
+  // The paper claims 4x-4.37x energy-efficiency and 2.67x-3.04x
+  // area-efficiency gains; with the paper's own SpNeRF row (22.52 FPS/W,
+  // 6.36 FPS/mm^2) those ratios follow from the baseline table we store.
+  const double spnerf_ee = 22.52, spnerf_ae = 6.36;
+  EXPECT_NEAR(spnerf_ee / RtNerfEdge().energy_eff_fps_per_w, 4.0, 0.05);
+  EXPECT_NEAR(spnerf_ee / NeurexEdge().energy_eff_fps_per_w, 4.37, 0.05);
+  EXPECT_NEAR(spnerf_ae / RtNerfEdge().area_eff_fps_per_mm2, 2.67, 0.05);
+  EXPECT_NEAR(spnerf_ae / NeurexEdge().area_eff_fps_per_mm2, 3.04, 0.05);
+}
+
+}  // namespace
+}  // namespace spnerf

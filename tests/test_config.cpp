@@ -1,0 +1,92 @@
+#include "common/config.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(Config, FromArgsParsesPairs) {
+  const char* argv[] = {"prog", "alpha=1", "name=spnerf", "ratio=2.5",
+                        "flag=true", "not-a-pair"};
+  const Config c = Config::FromArgs(6, argv);
+  EXPECT_EQ(c.GetInt("alpha", 0), 1);
+  EXPECT_EQ(c.GetString("name", ""), "spnerf");
+  EXPECT_DOUBLE_EQ(c.GetDouble("ratio", 0.0), 2.5);
+  EXPECT_TRUE(c.GetBool("flag", false));
+  EXPECT_FALSE(c.Has("not-a-pair"));
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const Config c;
+  EXPECT_EQ(c.GetInt("x", 7), 7);
+  EXPECT_EQ(c.GetString("y", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(c.GetDouble("z", 1.5), 1.5);
+  EXPECT_TRUE(c.GetBool("w", true));
+}
+
+TEST(Config, BoolSpellings) {
+  Config c;
+  for (const char* t : {"1", "true", "yes", "on", "TRUE", "Yes"}) {
+    c.Set("k", t);
+    EXPECT_TRUE(c.GetBool("k", false)) << t;
+  }
+  for (const char* f : {"0", "false", "no", "off", "False"}) {
+    c.Set("k", f);
+    EXPECT_FALSE(c.GetBool("k", true)) << f;
+  }
+  c.Set("k", "maybe");
+  EXPECT_THROW((void)c.GetBool("k", false), SpnerfError);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  Config c;
+  c.Set("k", "abc");
+  EXPECT_THROW((void)c.GetInt("k", 0), SpnerfError);
+  EXPECT_THROW((void)c.GetDouble("k", 0.0), SpnerfError);
+}
+
+TEST(Config, SetOverwrites) {
+  Config c;
+  c.Set("k", "1");
+  c.Set("k", "2");
+  EXPECT_EQ(c.GetInt("k", 0), 2);
+  EXPECT_EQ(c.Keys().size(), 1u);
+}
+
+TEST(Config, FromFileParsesAndIgnoresComments) {
+  const std::string path = ::testing::TempDir() + "/spnerf_cfg.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "alpha = 3\n"
+        << "  beta=4.5  # trailing comment\n"
+        << "\n"
+        << "name = hello world\n";
+  }
+  const Config c = Config::FromFile(path);
+  EXPECT_EQ(c.GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(c.GetDouble("beta", 0.0), 4.5);
+  EXPECT_EQ(c.GetString("name", ""), "hello world");
+  std::remove(path.c_str());
+}
+
+TEST(Config, FromFileMalformedThrows) {
+  const std::string path = ::testing::TempDir() + "/spnerf_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "this line has no equals\n";
+  }
+  EXPECT_THROW(Config::FromFile(path), SpnerfError);
+  std::remove(path.c_str());
+}
+
+TEST(Config, MissingFileThrows) {
+  EXPECT_THROW(Config::FromFile("/nonexistent/path/cfg"), SpnerfError);
+}
+
+}  // namespace
+}  // namespace spnerf

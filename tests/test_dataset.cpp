@@ -1,0 +1,98 @@
+#include "scene/dataset.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+DatasetParams SmallParams() {
+  DatasetParams p;
+  p.resolution_override = 48;
+  p.vqrf.codebook_size = 128;
+  p.vqrf.kmeans_iterations = 3;
+  p.vqrf.max_vq_train_samples = 3000;
+  return p;
+}
+
+TEST(Voxelize, VertexPositionsCornerAligned) {
+  const GridDims dims{9, 9, 9};
+  EXPECT_EQ(VoxelVertexPosition(dims, {0, 0, 0}), (Vec3f{0.f, 0.f, 0.f}));
+  EXPECT_EQ(VoxelVertexPosition(dims, {8, 8, 8}), (Vec3f{1.f, 1.f, 1.f}));
+  EXPECT_EQ(VoxelVertexPosition(dims, {4, 4, 4}), (Vec3f{0.5f, 0.5f, 0.5f}));
+}
+
+TEST(Voxelize, GridMatchesAnalyticFieldAtVertices) {
+  const Scene scene = BuildScene(SceneId::kMaterials);
+  const DenseGrid grid = VoxelizeScene(scene, {64});
+  const GridDims& dims = grid.Dims();
+  // Every voxel must equal the field sampled at its vertex position.
+  for (VoxelIndex i = 0; i < dims.VoxelCount(); i += 97) {
+    const Vec3i v = dims.Unflatten(i);
+    const Vec3f p = VoxelVertexPosition(dims, v);
+    EXPECT_EQ(grid.Density(i), scene.Density(p)) << v;
+    const FeatureVec want =
+        scene.Density(p) > 0.f ? scene.ColorFeature(p) : FeatureVec{};
+    const float* f = grid.Features(i);
+    for (int c = 0; c < kColorFeatureDim; ++c) {
+      EXPECT_EQ(f[c], want[static_cast<std::size_t>(c)]);
+    }
+  }
+}
+
+TEST(Voxelize, HigherResolutionKeepsFractionStable) {
+  const Scene scene = BuildScene(SceneId::kChair);
+  const double f48 = VoxelizeScene(scene, {48}).NonZeroFraction();
+  const double f96 = VoxelizeScene(scene, {96}).NonZeroFraction();
+  // Occupied fraction measures volume: refinement changes it only mildly.
+  EXPECT_NEAR(f48, f96, 0.35 * f96);
+}
+
+TEST(Voxelize, InvalidResolutionThrows) {
+  const Scene scene = BuildScene(SceneId::kMic);
+  EXPECT_THROW(VoxelizeScene(scene, {1}), SpnerfError);
+}
+
+TEST(BuildDataset, ProducesConsistentBundle) {
+  const SceneDataset ds = BuildDataset(SceneId::kDrums, SmallParams());
+  EXPECT_EQ(ds.id, SceneId::kDrums);
+  EXPECT_EQ(ds.full_grid.Dims(), (GridDims{48, 48, 48}));
+  EXPECT_EQ(ds.vqrf.Dims(), ds.full_grid.Dims());
+  EXPECT_GT(ds.vqrf.NonZeroCount(), 0u);
+  EXPECT_LE(ds.vqrf.NonZeroCount(), ds.full_grid.CountNonZero());
+}
+
+TEST(BuildDataset, DefaultResolutionUsedWhenNoOverride) {
+  DatasetParams p = SmallParams();
+  p.resolution_override = 0;
+  p.vqrf.codebook_size = 64;
+  // Use the smallest-resolution scene to keep this quick.
+  const SceneDataset ds = BuildDataset(SceneId::kFicus, p);
+  const int expect = SceneDefaultResolution(SceneId::kFicus);
+  EXPECT_EQ(ds.full_grid.Dims().nx, expect);
+}
+
+TEST(BuildDataset, DeterministicAcrossCalls) {
+  const SceneDataset a = BuildDataset(SceneId::kMic, SmallParams());
+  const SceneDataset b = BuildDataset(SceneId::kMic, SmallParams());
+  EXPECT_EQ(a.full_grid.CountNonZero(), b.full_grid.CountNonZero());
+  ASSERT_EQ(a.vqrf.Records().size(), b.vqrf.Records().size());
+  for (std::size_t i = 0; i < a.vqrf.Records().size(); i += 53) {
+    EXPECT_EQ(a.vqrf.Records()[i].index, b.vqrf.Records()[i].index);
+    EXPECT_EQ(a.vqrf.Records()[i].payload_id, b.vqrf.Records()[i].payload_id);
+  }
+}
+
+TEST(BuildDataset, KeptCountWithin18BitBudget) {
+  for (SceneId id : AllScenes()) {
+    const SceneDataset ds = BuildDataset(id, SmallParams());
+    EXPECT_LE(ds.vqrf.KeptCount(),
+              kUnifiedIndexSpace - static_cast<u64>(ds.vqrf.GetCodebook().Size()))
+        << SceneName(id);
+  }
+}
+
+}  // namespace
+}  // namespace spnerf

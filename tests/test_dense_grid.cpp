@@ -1,0 +1,121 @@
+#include "grid/dense_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(GridDims, FlattenUnflattenRoundTrip) {
+  const GridDims d{5, 7, 11};
+  for (int x = 0; x < d.nx; ++x) {
+    for (int y = 0; y < d.ny; ++y) {
+      for (int z = 0; z < d.nz; ++z) {
+        const Vec3i p{x, y, z};
+        EXPECT_EQ(d.Unflatten(d.Flatten(p)), p);
+      }
+    }
+  }
+}
+
+TEST(GridDims, FlattenIsXMajor) {
+  // Consecutive x values must be separated by ny*nz so x-partitioned
+  // subgrids are contiguous index ranges (the preprocessing step depends
+  // on this).
+  const GridDims d{4, 3, 5};
+  EXPECT_EQ(d.Flatten({1, 0, 0}) - d.Flatten({0, 0, 0}),
+            static_cast<VoxelIndex>(d.ny) * d.nz);
+  EXPECT_EQ(d.Flatten({0, 1, 0}) - d.Flatten({0, 0, 0}),
+            static_cast<VoxelIndex>(d.nz));
+  EXPECT_EQ(d.Flatten({0, 0, 1}) - d.Flatten({0, 0, 0}), 1u);
+}
+
+TEST(GridDims, ContainsChecksBounds) {
+  const GridDims d{2, 2, 2};
+  EXPECT_TRUE(d.Contains({0, 0, 0}));
+  EXPECT_TRUE(d.Contains({1, 1, 1}));
+  EXPECT_FALSE(d.Contains({2, 0, 0}));
+  EXPECT_FALSE(d.Contains({0, -1, 0}));
+}
+
+TEST(GridDims, VoxelCount) {
+  EXPECT_EQ((GridDims{10, 20, 30}).VoxelCount(), 6000u);
+  EXPECT_EQ((GridDims{160, 160, 160}).VoxelCount(), 4096000u);
+}
+
+TEST(DenseGrid, StartsAllZero) {
+  DenseGrid g({4, 4, 4});
+  EXPECT_EQ(g.CountNonZero(), 0u);
+  EXPECT_EQ(g.NonZeroFraction(), 0.0);
+  EXPECT_TRUE(g.NonZeroIndices().empty());
+}
+
+TEST(DenseGrid, SetAndGetVoxel) {
+  DenseGrid g({4, 4, 4});
+  VoxelData v;
+  v.density = 2.5f;
+  v.features[0] = 1.0f;
+  v.features[11] = -0.5f;
+  g.SetVoxel({1, 2, 3}, v);
+  const VoxelData out = g.Voxel({1, 2, 3});
+  EXPECT_EQ(out.density, 2.5f);
+  EXPECT_EQ(out.features[0], 1.0f);
+  EXPECT_EQ(out.features[11], -0.5f);
+  EXPECT_EQ(g.CountNonZero(), 1u);
+}
+
+TEST(DenseGrid, NonZeroDetectsFeatureOnlyVoxels) {
+  DenseGrid g({2, 2, 2});
+  VoxelData v;
+  v.density = 0.0f;
+  v.features[5] = 0.1f;  // zero density but non-zero feature
+  g.SetVoxel({0, 0, 1}, v);
+  EXPECT_TRUE(g.IsNonZero(g.Dims().Flatten({0, 0, 1})));
+  EXPECT_EQ(g.CountNonZero(), 1u);
+}
+
+TEST(DenseGrid, NonZeroIndicesAscending) {
+  DenseGrid g({8, 8, 8});
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    VoxelData v;
+    v.density = 1.0f;
+    g.SetVoxel({rng.UniformInt(0, 7), rng.UniformInt(0, 7), rng.UniformInt(0, 7)},
+               v);
+  }
+  const auto idx = g.NonZeroIndices();
+  for (std::size_t i = 1; i < idx.size(); ++i) EXPECT_LT(idx[i - 1], idx[i]);
+  EXPECT_EQ(idx.size(), g.CountNonZero());
+}
+
+TEST(DenseGrid, OutOfBoundsThrows) {
+  DenseGrid g({2, 2, 2});
+  EXPECT_THROW((void)g.Voxel({2, 0, 0}), SpnerfError);
+  EXPECT_THROW(g.SetVoxel({0, 0, -1}, {}), SpnerfError);
+}
+
+TEST(DenseGrid, InvalidDimsThrow) {
+  EXPECT_THROW(DenseGrid({0, 4, 4}), SpnerfError);
+  EXPECT_THROW(DenseGrid({4, -1, 4}), SpnerfError);
+}
+
+TEST(DenseGrid, RestoredBytesIsFp32Layout) {
+  DenseGrid g({10, 10, 10});
+  // FP32 density + 12 FP32 features per voxel.
+  EXPECT_EQ(g.RestoredBytes(), 1000u * 4 * 13);
+}
+
+TEST(DenseGrid, VoxelDataIsZeroHelper) {
+  VoxelData v;
+  EXPECT_TRUE(v.IsZero());
+  v.density = 1e-9f;
+  EXPECT_FALSE(v.IsZero());
+  v.density = 0.0f;
+  v.features[3] = -1e-9f;
+  EXPECT_FALSE(v.IsZero());
+}
+
+}  // namespace
+}  // namespace spnerf

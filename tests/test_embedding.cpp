@@ -1,0 +1,73 @@
+#include "render/embedding.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace spnerf {
+namespace {
+
+TEST(Embedding, DimensionsMatchPaper) {
+  // 12 features + 27 view embedding = the paper's 39-element MLP input.
+  EXPECT_EQ(kViewEmbedDim, 27);
+  EXPECT_EQ(kColorFeatureDim + kViewEmbedDim, 39);
+  EXPECT_EQ(kMlpInputDim, 39);
+}
+
+TEST(Embedding, FirstThreeAreRawDirection) {
+  const Vec3f d = Vec3f{0.3f, -0.5f, 0.81f}.Normalized();
+  const ViewEmbedding e = EmbedViewDirection(d);
+  EXPECT_EQ(e[0], d.x);
+  EXPECT_EQ(e[1], d.y);
+  EXPECT_EQ(e[2], d.z);
+}
+
+TEST(Embedding, SinCosOctaves) {
+  const Vec3f d{0.1f, 0.2f, 0.3f};
+  const ViewEmbedding e = EmbedViewDirection(d);
+  int at = 3;
+  for (int k = 0; k < kViewEmbedFreqs; ++k) {
+    const float s = static_cast<float>(1 << k);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(e[static_cast<std::size_t>(at++)], std::sin(s * d[c]));
+    }
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(e[static_cast<std::size_t>(at++)], std::cos(s * d[c]));
+    }
+  }
+  EXPECT_EQ(at, kViewEmbedDim);
+}
+
+TEST(Embedding, BoundedByOne) {
+  for (float ang = 0.f; ang < 6.28f; ang += 0.1f) {
+    const Vec3f d{std::cos(ang), std::sin(ang), 0.5f};
+    for (float v : EmbedViewDirection(d.Normalized())) {
+      EXPECT_LE(std::fabs(v), 1.0f);
+    }
+  }
+}
+
+TEST(Embedding, DistinctDirectionsDistinctEmbeddings) {
+  const ViewEmbedding a = EmbedViewDirection({1.f, 0.f, 0.f});
+  const ViewEmbedding b = EmbedViewDirection({0.f, 1.f, 0.f});
+  float diff = 0.f;
+  for (int i = 0; i < kViewEmbedDim; ++i)
+    diff += std::fabs(a[static_cast<std::size_t>(i)] - b[static_cast<std::size_t>(i)]);
+  EXPECT_GT(diff, 1.0f);
+}
+
+TEST(Embedding, AssembleConcatenatesInOrder) {
+  std::array<float, kColorFeatureDim> feat{};
+  for (int c = 0; c < kColorFeatureDim; ++c) feat[static_cast<std::size_t>(c)] = 0.1f * static_cast<float>(c);
+  const ViewEmbedding view = EmbedViewDirection({0.f, 0.f, 1.f});
+  const auto in = AssembleMlpInput(feat, view);
+  for (int c = 0; c < kColorFeatureDim; ++c) {
+    EXPECT_EQ(in[static_cast<std::size_t>(c)], feat[static_cast<std::size_t>(c)]);
+  }
+  for (int c = 0; c < kViewEmbedDim; ++c) {
+    EXPECT_EQ(in[static_cast<std::size_t>(kColorFeatureDim + c)],
+              view[static_cast<std::size_t>(c)]);
+  }
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,141 @@
+// Experiment-runner integration tests at reduced scale: every figure/table
+// runner must produce rows with the paper's qualitative shape.
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spnerf {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.scenes = {SceneId::kMaterials, SceneId::kMic};
+  cfg.resolution_override = 56;
+  cfg.psnr_image_size = 40;
+  cfg.tile_size = 32;
+  cfg.vqrf.codebook_size = 256;
+  cfg.vqrf.kmeans_iterations = 3;
+  cfg.spnerf.subgrid_count = 16;
+  cfg.spnerf.table_size = 8192;
+  return cfg;
+}
+
+TEST(Experiments, SparsityRowsInBand) {
+  const auto rows = RunSparsity(SmallConfig());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.nonzero_fraction, 0.005) << r.scene;
+    EXPECT_LT(r.nonzero_fraction, 0.10) << r.scene;
+    EXPECT_EQ(r.total_voxels, 56u * 56 * 56);
+    EXPECT_NEAR(static_cast<double>(r.nonzero_voxels) /
+                    static_cast<double>(r.total_voxels),
+                r.nonzero_fraction, 1e-12);
+  }
+}
+
+TEST(Experiments, MemoryRowsShowReduction) {
+  const auto rows = RunMemory(SmallConfig());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.reduction, 3.0) << r.scene;  // small grids reduce less
+    EXPECT_EQ(r.spnerf_bytes, r.hash_table_bytes + r.bitmap_bytes +
+                                  r.codebook_bytes + r.true_grid_bytes + 8);
+    EXPECT_NEAR(r.reduction,
+                static_cast<double>(r.vqrf_restored_bytes) /
+                    static_cast<double>(r.spnerf_bytes),
+                1e-9);
+  }
+}
+
+TEST(Experiments, PsnrRowsHavePaperShape) {
+  const auto rows = RunPsnr(SmallConfig());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) {
+    // post-mask ~ VQRF >> pre-mask (Fig 6(b)).
+    EXPECT_GT(r.spnerf_postmask_psnr, r.spnerf_premask_psnr + 4.0) << r.scene;
+    EXPECT_GT(r.spnerf_postmask_psnr, r.vqrf_psnr - 4.0) << r.scene;
+    EXPECT_GE(r.build_collision_rate, 0.0);
+    EXPECT_LE(r.nonzero_alias_rate, r.build_collision_rate + 1e-9);
+  }
+}
+
+TEST(Experiments, TableSweepSaturates) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.scenes = {SceneId::kDrums};
+  cfg.resolution_override = 96;
+  cfg.psnr_image_size = 64;
+  const auto pts = RunTableSweep(cfg, 16, {256u, 4096u, 65536u});
+  ASSERT_EQ(pts.size(), 3u);
+  // PSNR improves with table size (Fig 7(b) rising curve)...
+  EXPECT_GT(pts[2].mean_psnr, pts[0].mean_psnr + 1.0);
+  // ...while alias rate falls and memory grows.
+  EXPECT_LT(pts[2].alias_rate, pts[0].alias_rate);
+  EXPECT_GT(pts[2].spnerf_bytes, pts[0].spnerf_bytes);
+}
+
+TEST(Experiments, SubgridSweepImprovesPsnr) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.scenes = {SceneId::kMaterials};
+  cfg.psnr_image_size = 32;
+  const auto pts = RunSubgridSweep(cfg, {1, 8, 32}, 2048);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_GT(pts[2].mean_psnr, pts[0].mean_psnr);  // Fig 7(a) rising curve
+  EXPECT_LT(pts[2].alias_rate, pts[0].alias_rate);
+}
+
+TEST(Experiments, RuntimeBreakdownMatchesFig2a) {
+  const auto rows = RunRuntimeBreakdown(SmallConfig());
+  ASSERT_EQ(rows.size(), 3u);  // A100, ONX, XNX
+  double a100_mem = 0, onx_mem = 0, xnx_mem = 0;
+  for (const auto& r : rows) {
+    EXPECT_NEAR(r.memory_share + r.compute_share + r.overhead_share, 1.0,
+                1e-6);
+    if (r.platform == "A100") a100_mem = r.memory_share;
+    if (r.platform == "ONX") onx_mem = r.memory_share;
+    if (r.platform == "XNX") xnx_mem = r.memory_share;
+  }
+  // Edge platforms spend a multiple of the A100's share on memory.
+  EXPECT_GT(xnx_mem / a100_mem, 2.5);
+  EXPECT_GT(onx_mem / a100_mem, 2.5);
+}
+
+TEST(Experiments, HardwareComparisonShape) {
+  const auto rows = RunHardwareComparison(SmallConfig());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) {
+    // SpNeRF is orders of magnitude faster than both edge GPUs (Fig 8).
+    EXPECT_GT(r.speedup_vs_xnx, 10.0) << r.scene;
+    EXPECT_GT(r.speedup_vs_onx, 5.0) << r.scene;
+    // XNX speedup exceeds ONX speedup (ONX is the faster baseline).
+    EXPECT_GT(r.speedup_vs_xnx, r.speedup_vs_onx) << r.scene;
+    // Energy-efficiency gains exceed speedups (edge GPUs burn 20-25 W).
+    EXPECT_GT(r.energy_eff_gain_vs_xnx, r.speedup_vs_xnx) << r.scene;
+    EXPECT_GT(r.sim.fps, 1.0);
+  }
+}
+
+TEST(Experiments, DesignReportAssemblesTableII) {
+  const ExperimentConfig cfg = SmallConfig();
+  const auto rows = RunHardwareComparison(cfg);
+  const DesignReport rep = MakeDesignReport(cfg, rows);
+  ASSERT_EQ(rep.table2.size(), 3u);
+  EXPECT_EQ(rep.table2[2].name, "SpNeRF (Ours)");
+  EXPECT_NEAR(rep.table2[2].sram_mb, 0.61, 0.01);
+  EXPECT_GT(rep.mean_fps, 0.0);
+  EXPECT_GT(rep.power.total_w, 0.5);
+  EXPECT_NEAR(rep.area.total_mm2, 7.7, 0.8);
+  // The small-scale workload still shows the Fig 9(b) shape.
+  EXPECT_GT(rep.power.SystolicShare(), 0.3);
+}
+
+TEST(Experiments, MeanOfHelper) {
+  EXPECT_DOUBLE_EQ(MeanOf({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanOf({}), 0.0);
+}
+
+TEST(Experiments, MakeDesignReportEmptyThrows) {
+  EXPECT_THROW(MakeDesignReport(SmallConfig(), {}), SpnerfError);
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,81 @@
+#include "sim/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include <string>
+
+namespace spnerf {
+namespace {
+
+TEST(BoundedFifo, PushPopFifoOrder) {
+  BoundedFifo<int> f(4);
+  EXPECT_TRUE(f.TryPush(1));
+  EXPECT_TRUE(f.TryPush(2));
+  EXPECT_TRUE(f.TryPush(3));
+  int v = 0;
+  EXPECT_TRUE(f.TryPop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(f.TryPop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(f.TryPop(v));
+  EXPECT_EQ(v, 3);
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(BoundedFifo, FullRejectsAndCountsStall) {
+  BoundedFifo<int> f(2);
+  EXPECT_TRUE(f.TryPush(1));
+  EXPECT_TRUE(f.TryPush(2));
+  EXPECT_TRUE(f.Full());
+  EXPECT_FALSE(f.TryPush(3));
+  EXPECT_EQ(f.PushStalls(), 1u);
+  EXPECT_EQ(f.Size(), 2u);
+}
+
+TEST(BoundedFifo, EmptyPopCountsStall) {
+  BoundedFifo<int> f(2);
+  int v = 0;
+  EXPECT_FALSE(f.TryPop(v));
+  EXPECT_EQ(f.PopStalls(), 1u);
+}
+
+TEST(BoundedFifo, MaxOccupancyTracked) {
+  BoundedFifo<int> f(8);
+  for (int i = 0; i < 5; ++i) f.TryPush(i);
+  int v;
+  f.TryPop(v);
+  f.TryPop(v);
+  for (int i = 0; i < 3; ++i) f.TryPush(i);
+  EXPECT_EQ(f.MaxOccupancy(), 6u);
+  EXPECT_EQ(f.Pushes(), 8u);
+}
+
+TEST(BoundedFifo, FrontPeeksWithoutRemoving) {
+  BoundedFifo<std::string> f(2);
+  f.TryPush("a");
+  f.TryPush("b");
+  EXPECT_EQ(f.Front(), "a");
+  EXPECT_EQ(f.Size(), 2u);
+}
+
+TEST(BoundedFifo, FrontOnEmptyThrows) {
+  BoundedFifo<int> f(1);
+  EXPECT_THROW((void)f.Front(), SpnerfError);
+}
+
+TEST(BoundedFifo, ZeroCapacityThrows) {
+  EXPECT_THROW(BoundedFifo<int>(0), SpnerfError);
+}
+
+TEST(BoundedFifo, MoveOnlyTypesWork) {
+  BoundedFifo<std::unique_ptr<int>> f(2);
+  EXPECT_TRUE(f.TryPush(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(f.TryPop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,165 @@
+#include "common/half.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(Half, ZeroRoundTrips) {
+  EXPECT_EQ(Half(0.0f).bits(), 0u);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000u);
+  EXPECT_TRUE(Half(0.0f).IsZero());
+  EXPECT_TRUE(Half(-0.0f).IsZero());
+  EXPECT_EQ(Half(0.0f), Half(-0.0f));  // +0 == -0
+}
+
+TEST(Half, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(Half(f).ToFloat(), f) << "integer " << i;
+  }
+}
+
+TEST(Half, ExactPowersOfTwo) {
+  for (int e = -14; e <= 15; ++e) {
+    const float f = std::ldexp(1.0f, e);
+    EXPECT_EQ(Half(f).ToFloat(), f) << "2^" << e;
+  }
+}
+
+TEST(Half, MaxFiniteValue) {
+  EXPECT_EQ(Half::Max().ToFloat(), 65504.0f);
+  EXPECT_EQ(Half(65504.0f).bits(), Half::Max().bits());
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(Half(65536.0f).IsInf());
+  EXPECT_TRUE(Half(1e10f).IsInf());
+  EXPECT_TRUE(Half(-1e10f).IsInf());
+  EXPECT_TRUE(Half(-1e10f).SignBit());
+}
+
+TEST(Half, RoundToNearestEvenAtOverflowBoundary) {
+  // 65519.99 rounds down to 65504; 65520 rounds to infinity (ties to even
+  // would give 2^16 which is out of range).
+  EXPECT_EQ(Half(65519.0f).ToFloat(), 65504.0f);
+  EXPECT_TRUE(Half(65520.0f).IsInf());
+}
+
+TEST(Half, SubnormalsRepresentable) {
+  const float min_subnormal = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Half(min_subnormal).ToFloat(), min_subnormal);
+  const float below_half_min = std::ldexp(1.0f, -26);
+  EXPECT_TRUE(Half(below_half_min).IsZero());
+}
+
+TEST(Half, SubnormalRoundTripAll) {
+  // Every subnormal bit pattern converts to float and back unchanged.
+  for (std::uint16_t bits = 1; bits < 0x0400u; ++bits) {
+    const Half h = Half::FromBits(bits);
+    EXPECT_EQ(Half(h.ToFloat()).bits(), bits) << "bits " << bits;
+  }
+}
+
+TEST(Half, AllFiniteBitPatternsRoundTrip) {
+  for (std::uint32_t b = 0; b < 0x10000u; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const Half h = Half::FromBits(bits);
+    if (h.IsNaN()) continue;
+    const Half back(h.ToFloat());
+    if (h.IsZero()) {
+      EXPECT_TRUE(back.IsZero());
+    } else {
+      EXPECT_EQ(back.bits(), bits) << "bits " << bits;
+    }
+  }
+}
+
+TEST(Half, NaNPropagates) {
+  const Half nan = Half::QuietNaN();
+  EXPECT_TRUE(nan.IsNaN());
+  EXPECT_TRUE(std::isnan(nan.ToFloat()));
+  EXPECT_TRUE(Half(std::nanf("")).IsNaN());
+  EXPECT_FALSE(nan == nan);  // IEEE: NaN != NaN
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half; it must
+  // round to even mantissa (1.0).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(Half(halfway).ToFloat(), 1.0f);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even is 1+2^-9.
+  const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(Half(halfway2).ToFloat(), 1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Half, ArithmeticMatchesRoundedFloat) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const Half a(rng.Uniform(-100.f, 100.f));
+    const Half b(rng.Uniform(-100.f, 100.f));
+    EXPECT_EQ((a + b).bits(), Half(a.ToFloat() + b.ToFloat()).bits());
+    EXPECT_EQ((a * b).bits(), Half(a.ToFloat() * b.ToFloat()).bits());
+    EXPECT_EQ((a - b).bits(), Half(a.ToFloat() - b.ToFloat()).bits());
+  }
+}
+
+TEST(Half, FmaSingleRounding) {
+  // Choose operands where separate rounding differs from fused: a*b is not
+  // representable, and adding c pushes across a rounding boundary.
+  const Half a(1.0009765625f);  // 1 + 2^-10
+  const Half b(1.0009765625f);
+  const Half c(-1.0f);
+  const Half fused = Half::Fma(a, b, c);
+  const double exact = static_cast<double>(a.ToFloat()) * b.ToFloat() + c.ToFloat();
+  EXPECT_NEAR(fused.ToFloat(), exact, 1e-6);
+}
+
+TEST(Half, ComparisonOperators) {
+  EXPECT_LT(Half(1.0f), Half(2.0f));
+  EXPECT_GT(Half(-1.0f), Half(-2.0f));
+  EXPECT_LE(Half(1.0f), Half(1.0f));
+  EXPECT_GE(Half(3.5f), Half(3.5f));
+  EXPECT_NE(Half(1.0f), Half(1.5f));
+}
+
+TEST(Half, NegationFlipsSignBitOnly) {
+  const Half h(3.14f);
+  EXPECT_EQ((-h).bits(), h.bits() ^ 0x8000u);
+  EXPECT_EQ((-(-h)).bits(), h.bits());
+}
+
+TEST(Half, EpsilonIsCorrect) {
+  // eps = 2^-10: 1 + eps must be the next representable value after 1.
+  EXPECT_EQ((Half(1.0f) + Half::Epsilon()).bits(), Half::FromBits(0x3c01).bits());
+}
+
+TEST(Half, QuantizeToHalfIdempotent) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = rng.Uniform(-1000.f, 1000.f);
+    const float q = QuantizeToHalf(f);
+    EXPECT_EQ(QuantizeToHalf(q), q);
+  }
+}
+
+/// Property sweep: quantisation error is bounded by eps/2 relative.
+class HalfErrorBound : public ::testing::TestWithParam<float> {};
+
+TEST_P(HalfErrorBound, RelativeErrorWithinHalfUlp) {
+  const float f = GetParam();
+  const float q = Half(f).ToFloat();
+  const float rel = std::fabs(q - f) / std::fabs(f);
+  EXPECT_LE(rel, std::ldexp(1.0f, -11) * 1.0001f) << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, HalfErrorBound,
+                         ::testing::Values(1.1f, -2.7f, 3.14159f, 999.5f,
+                                           -0.0001234f, 0.06251f, 64000.f,
+                                           1e-4f, -6.1e-5f, 0.333333f));
+
+}  // namespace
+}  // namespace spnerf

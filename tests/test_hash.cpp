@@ -1,0 +1,104 @@
+#include "encoding/hash.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(SpatialHash, MatchesEquationOne) {
+  // h(p) = (x*1 XOR y*pi2 XOR z*pi3) mod T, computed by hand.
+  const Vec3i p{3, 5, 7};
+  const u32 expect =
+      ((3u * 1u) ^ (5u * 2654435761u) ^ (7u * 805459861u)) % 1024u;
+  EXPECT_EQ(SpatialHash(p, 1024), expect);
+}
+
+TEST(SpatialHash, PrimesAreThePaperConstants) {
+  EXPECT_EQ(kHashPi1, 1u);
+  EXPECT_EQ(kHashPi2, 2654435761u);
+  EXPECT_EQ(kHashPi3, 805459861u);
+}
+
+TEST(SpatialHash, WithinTableSize) {
+  Rng rng(1);
+  for (u32 t : {1u, 7u, 256u, 32768u, 100000u}) {
+    for (int i = 0; i < 1000; ++i) {
+      const Vec3i p{rng.UniformInt(0, 1000), rng.UniformInt(0, 1000),
+                    rng.UniformInt(0, 1000)};
+      EXPECT_LT(SpatialHash(p, t), t);
+    }
+  }
+}
+
+TEST(SpatialHash, Deterministic) {
+  const Vec3i p{11, 22, 33};
+  EXPECT_EQ(SpatialHash(p, 4096), SpatialHash(p, 4096));
+}
+
+TEST(SpatialHash, XAxisIsIdentityXor) {
+  // pi1 = 1, so along the x axis (y=z=0) the hash is x mod T.
+  for (int x = 0; x < 100; ++x) {
+    EXPECT_EQ(SpatialHash({x, 0, 0}, 64), static_cast<u32>(x) % 64u);
+  }
+}
+
+TEST(SpatialHash, DistributionIsRoughlyUniform) {
+  // Chi-square-ish sanity: bucket counts of a dense coordinate block should
+  // be within 3x of the mean for a 256-entry table.
+  const u32 table = 256;
+  std::vector<int> counts(table, 0);
+  for (int x = 0; x < 32; ++x) {
+    for (int y = 0; y < 32; ++y) {
+      for (int z = 0; z < 16; ++z) {
+        ++counts[SpatialHash({x, y, z}, table)];
+      }
+    }
+  }
+  const double mean = 32.0 * 32 * 16 / table;  // 64
+  for (u32 b = 0; b < table; ++b) {
+    EXPECT_GT(counts[b], mean / 3) << "bucket " << b;
+    EXPECT_LT(counts[b], mean * 3) << "bucket " << b;
+  }
+}
+
+TEST(SpatialHash, CollisionRateNearBirthdayBound) {
+  // Inserting n random points into T slots should collide at roughly
+  // 1 - T/n*(1-exp(-n/T)) — just check we are within 2x of the ideal.
+  const u32 table = 32768;
+  const int n = 8192;
+  Rng rng(2);
+  std::set<u32> used;
+  int collisions = 0;
+  std::set<u64> seen_points;
+  for (int i = 0; i < n; ++i) {
+    Vec3i p{rng.UniformInt(0, 255), rng.UniformInt(0, 255),
+            rng.UniformInt(0, 255)};
+    const u64 key = (static_cast<u64>(p.x) << 32) ^
+                    (static_cast<u64>(p.y) << 16) ^ static_cast<u64>(p.z);
+    if (!seen_points.insert(key).second) continue;
+    if (!used.insert(SpatialHash(p, table)).second) ++collisions;
+  }
+  const double load = static_cast<double>(n) / table;  // 0.25
+  const double ideal =
+      1.0 - (1.0 / load) * (1.0 - std::exp(-load));  // ~0.115
+  const double measured = static_cast<double>(collisions) / n;
+  EXPECT_GT(measured, ideal * 0.5);
+  EXPECT_LT(measured, ideal * 2.0);
+}
+
+TEST(SpatialHashRaw, ModuloConsistency) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3i p{rng.UniformInt(0, 500), rng.UniformInt(0, 500),
+                  rng.UniformInt(0, 500)};
+    EXPECT_EQ(SpatialHash(p, 999), SpatialHashRaw(p) % 999u);
+  }
+}
+
+}  // namespace
+}  // namespace spnerf

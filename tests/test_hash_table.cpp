@@ -1,0 +1,124 @@
+#include "encoding/hash_table.hpp"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(SubgridHashTable, EmptyLookupReturnsEmptyEntry) {
+  const SubgridHashTable t(256);
+  EXPECT_FALSE(t.Lookup({1, 2, 3}).Occupied());
+}
+
+TEST(SubgridHashTable, InsertThenLookupSamePoint) {
+  SubgridHashTable t(1024);
+  EXPECT_TRUE(t.Insert({5, 6, 7}, 4242, -12, CollisionPolicy::kKeepFirst));
+  const HashEntry& e = t.Lookup({5, 6, 7});
+  EXPECT_TRUE(e.Occupied());
+  EXPECT_EQ(e.payload, 4242u);
+  EXPECT_EQ(e.density_q, -12);
+}
+
+TEST(SubgridHashTable, KeepFirstPolicy) {
+  SubgridHashTable t(1);  // every insert collides on slot 0
+  EXPECT_TRUE(t.Insert({0, 0, 0}, 1, 10, CollisionPolicy::kKeepFirst));
+  EXPECT_FALSE(t.Insert({9, 9, 9}, 2, 20, CollisionPolicy::kKeepFirst));
+  EXPECT_EQ(t.Lookup({0, 0, 0}).payload, 1u);
+  EXPECT_EQ(t.BuildStats().collisions, 1u);
+  EXPECT_EQ(t.BuildStats().inserted, 1u);
+  EXPECT_EQ(t.BuildStats().occupied_slots, 1u);
+}
+
+TEST(SubgridHashTable, OverwritePolicy) {
+  SubgridHashTable t(1);
+  t.Insert({0, 0, 0}, 1, 10, CollisionPolicy::kOverwrite);
+  t.Insert({9, 9, 9}, 2, 20, CollisionPolicy::kOverwrite);
+  EXPECT_EQ(t.Lookup({0, 0, 0}).payload, 2u);  // last writer won
+  EXPECT_EQ(t.BuildStats().collisions, 1u);
+}
+
+TEST(SubgridHashTable, CollisionAliasIsVisible) {
+  // The defining behaviour: after a collision, the losing point's lookup
+  // silently returns the winner's payload.
+  SubgridHashTable t(1);
+  t.Insert({0, 0, 0}, 111, 1, CollisionPolicy::kKeepFirst);
+  t.Insert({5, 5, 5}, 222, 2, CollisionPolicy::kKeepFirst);
+  EXPECT_EQ(t.Lookup({5, 5, 5}).payload, 111u);  // aliased!
+}
+
+TEST(SubgridHashTable, SizeAccounting) {
+  const SubgridHashTable t(32 * 1024);
+  // 26 bits per entry (18-bit payload + 8-bit density).
+  EXPECT_EQ(t.SizeBits(), 32u * 1024 * 26);
+  EXPECT_EQ(t.SizeBytes(), (32u * 1024 * 26 + 7) / 8);
+}
+
+TEST(SubgridHashTable, PayloadCollidingWithEmptyMarkerThrows) {
+  SubgridHashTable t(16);
+  EXPECT_THROW(
+      t.Insert({0, 0, 0}, HashEntry::kEmptyPayload, 0,
+               CollisionPolicy::kKeepFirst),
+      SpnerfError);
+}
+
+TEST(SubgridHashTable, MaxValidPayloadAccepted) {
+  SubgridHashTable t(16);
+  EXPECT_TRUE(t.Insert({0, 0, 0}, HashEntry::kEmptyPayload - 1, 0,
+                       CollisionPolicy::kKeepFirst));
+}
+
+TEST(SubgridHashTable, ZeroSizeThrows) {
+  EXPECT_THROW(SubgridHashTable(0), SpnerfError);
+}
+
+TEST(SubgridHashTable, StatsAccumulateOverManyInserts) {
+  SubgridHashTable t(512);
+  Rng rng(3);
+  std::set<u32> slots;
+  int expected_collisions = 0;
+  for (int i = 0; i < 400; ++i) {
+    const Vec3i p{rng.UniformInt(0, 63), rng.UniformInt(0, 63),
+                  rng.UniformInt(0, 63)};
+    const u32 slot = SpatialHash(p, 512);
+    if (!slots.insert(slot).second) ++expected_collisions;
+    t.Insert(p, static_cast<u32>(i), 0, CollisionPolicy::kKeepFirst);
+  }
+  EXPECT_EQ(t.BuildStats().collisions,
+            static_cast<u64>(expected_collisions));
+  EXPECT_EQ(t.BuildStats().occupied_slots, slots.size());
+  EXPECT_EQ(t.BuildStats().inserted + t.BuildStats().collisions, 400u);
+}
+
+TEST(SubgridHashTable, CollisionRateHelper) {
+  SubgridHashTable t(1);
+  EXPECT_EQ(t.BuildStats().CollisionRate(), 0.0);
+  t.Insert({0, 0, 0}, 1, 0, CollisionPolicy::kKeepFirst);
+  t.Insert({1, 1, 1}, 2, 0, CollisionPolicy::kKeepFirst);
+  t.Insert({2, 2, 2}, 3, 0, CollisionPolicy::kKeepFirst);
+  EXPECT_NEAR(t.BuildStats().CollisionRate(), 2.0 / 3.0, 1e-12);
+}
+
+class TableLoadSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(TableLoadSweep, LargerTablesCollideLess) {
+  const u32 size = GetParam();
+  SubgridHashTable small(size), big(size * 4);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3i p{rng.UniformInt(0, 127), rng.UniformInt(0, 127),
+                  rng.UniformInt(0, 127)};
+    small.Insert(p, 1, 0, CollisionPolicy::kKeepFirst);
+    big.Insert(p, 1, 0, CollisionPolicy::kKeepFirst);
+  }
+  EXPECT_LE(big.BuildStats().collisions, small.BuildStats().collisions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TableLoadSweep,
+                         ::testing::Values(256u, 1024u, 4096u));
+
+}  // namespace
+}  // namespace spnerf

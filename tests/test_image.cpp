@@ -1,0 +1,90 @@
+#include "common/image.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  Image img(4, 3, {0.5f, 0.25f, 1.0f});
+  EXPECT_EQ(img.Width(), 4);
+  EXPECT_EQ(img.Height(), 3);
+  EXPECT_EQ(img.At(0, 0), (Vec3f{0.5f, 0.25f, 1.0f}));
+  EXPECT_EQ(img.At(3, 2), (Vec3f{0.5f, 0.25f, 1.0f}));
+}
+
+TEST(Image, AtBoundsChecked) {
+  Image img(2, 2);
+  EXPECT_THROW((void)img.At(2, 0), SpnerfError);
+  EXPECT_THROW((void)img.At(0, -1), SpnerfError);
+}
+
+TEST(Image, InvalidDimensionsThrow) {
+  EXPECT_THROW(Image(0, 5), SpnerfError);
+  EXPECT_THROW(Image(5, -1), SpnerfError);
+}
+
+TEST(Image, MseIdenticalIsZero) {
+  Image a(8, 8, {0.3f, 0.6f, 0.9f});
+  EXPECT_DOUBLE_EQ(Mse(a, a), 0.0);
+  EXPECT_TRUE(std::isinf(Psnr(a, a)));
+}
+
+TEST(Image, MseKnownValue) {
+  Image a(2, 1, {0.f, 0.f, 0.f});
+  Image b(2, 1, {1.f, 1.f, 1.f});
+  EXPECT_DOUBLE_EQ(Mse(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Psnr(a, b), 0.0);  // 10*log10(1/1)
+}
+
+TEST(Image, PsnrKnownValue) {
+  Image a(10, 10, {0.5f, 0.5f, 0.5f});
+  Image b(10, 10, {0.6f, 0.5f, 0.5f});
+  // MSE = (0.1^2)/3; PSNR = 10*log10(3/0.01).
+  EXPECT_NEAR(Psnr(a, b), 10.0 * std::log10(3.0 / 0.01), 1e-3);
+}
+
+TEST(Image, SizeMismatchThrows) {
+  Image a(2, 2), b(3, 2);
+  EXPECT_THROW(Mse(a, b), SpnerfError);
+}
+
+TEST(Image, PsnrMonotoneInError) {
+  Image ref(8, 8, {0.5f, 0.5f, 0.5f});
+  Image small_err(8, 8, {0.52f, 0.5f, 0.5f});
+  Image big_err(8, 8, {0.7f, 0.5f, 0.5f});
+  EXPECT_GT(Psnr(ref, small_err), Psnr(ref, big_err));
+}
+
+TEST(Image, WritePpmProducesValidFile) {
+  Image img(3, 2);
+  img.At(0, 0) = {1.f, 0.f, 0.f};
+  img.At(2, 1) = {0.f, 0.f, 2.f};  // clamps to 1
+  const std::string path = ::testing::TempDir() + "/spnerf_test.ppm";
+  img.WritePpm(path);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  int w = 0, h = 0, maxv = 0;
+  ASSERT_EQ(std::fscanf(f, "%2s %d %d %d", magic, &w, &h, &maxv), 4);
+  EXPECT_STREQ(magic, "P6");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxv, 255);
+  std::fgetc(f);  // single whitespace after header
+  unsigned char pix[18];
+  ASSERT_EQ(std::fread(pix, 1, 18, f), 18u);
+  EXPECT_EQ(pix[0], 255);  // red pixel
+  EXPECT_EQ(pix[1], 0);
+  EXPECT_EQ(pix[17], 255);  // clamped blue
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,128 @@
+#include "sim/input_buffer.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+std::array<float, kMlpInputDim> MakeVector(int seed) {
+  std::array<float, kMlpInputDim> v{};
+  for (int i = 0; i < kMlpInputDim; ++i) {
+    v[static_cast<std::size_t>(i)] =
+        static_cast<float>(seed) * 100.f + static_cast<float>(i);
+  }
+  return v;
+}
+
+TEST(BlockCirculant, RoundTripSingleVector) {
+  BlockCirculantBuffer buf(64);
+  const auto in = MakeVector(3);
+  buf.WriteVector(0, in);
+  EXPECT_EQ(buf.ReadVector(0), in);
+}
+
+TEST(BlockCirculant, RoundTripFullBatch) {
+  BlockCirculantBuffer buf(64);
+  for (int v = 0; v < 64; ++v) buf.WriteVector(v, MakeVector(v));
+  for (int v = 0; v < 64; ++v) {
+    EXPECT_EQ(buf.ReadVector(v), MakeVector(v)) << "vector " << v;
+  }
+}
+
+TEST(BlockCirculant, WriteTouchesEveryBankOnce) {
+  // The defining property of the Fig 5 layout: one vector's ten blocks land
+  // in ten distinct banks — a conflict-free single-cycle access.
+  BlockCirculantBuffer buf(64);
+  for (int v = 0; v < 64; ++v) {
+    const std::vector<int> banks = buf.WriteBanksOf(v);
+    EXPECT_EQ(banks.size(), static_cast<std::size_t>(kInputBufBanks));
+    const std::set<int> unique(banks.begin(), banks.end());
+    EXPECT_EQ(unique.size(), static_cast<std::size_t>(kInputBufBanks))
+        << "vector " << v;
+  }
+}
+
+TEST(BlockCirculant, AdjacentVectorsRotateBanks) {
+  // Fig 5: vector v's block 0 goes to bank v % 10.
+  BlockCirculantBuffer buf(64);
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_EQ(buf.WriteBanksOf(v)[0], v % kInputBufBanks);
+  }
+}
+
+TEST(BlockCirculant, PaddingIsZero) {
+  // Element 39 is padded with zero (paper: "we pad the last element with 0");
+  // verify by writing then reading a vector whose tail would expose stale
+  // data if padding were skipped.
+  BlockCirculantBuffer buf(4);
+  buf.WriteVector(0, MakeVector(1));
+  const auto out = buf.ReadVector(0);
+  // Only kMlpInputDim elements come back; the pad slot is internal. Verify
+  // the read is exact (the pad never leaks into real elements).
+  EXPECT_EQ(out, MakeVector(1));
+}
+
+TEST(BlockCirculant, TimingBlockCirculantIsOneCycle) {
+  const BlockCirculantBuffer buf(64, InputLayout::kBlockCirculant);
+  EXPECT_EQ(buf.ReadCyclesPerVector(), 1);
+  EXPECT_EQ(buf.FeedCycles(64), 64u);
+  EXPECT_EQ(buf.BytesPerVector(), 80u);  // 40 elements x FP16
+}
+
+TEST(BlockCirculant, TimingNaiveIsTwoCyclesAndBigger) {
+  const BlockCirculantBuffer naive(64, InputLayout::kPaddedNaive);
+  EXPECT_EQ(naive.ReadCyclesPerVector(), 2);
+  EXPECT_EQ(naive.FeedCycles(64), 128u);
+  EXPECT_EQ(naive.BytesPerVector(), 128u);  // padded to 64 elements
+  // The paper's claim: block-circulant reduces memory overhead and read time.
+  const BlockCirculantBuffer bc(64, InputLayout::kBlockCirculant);
+  EXPECT_LT(bc.BytesPerVector(), naive.BytesPerVector());
+  EXPECT_LT(bc.FeedCycles(64), naive.FeedCycles(64));
+}
+
+TEST(BlockCirculant, NaiveLayoutStillRoundTrips) {
+  BlockCirculantBuffer buf(16, InputLayout::kPaddedNaive);
+  for (int v = 0; v < 16; ++v) buf.WriteVector(v, MakeVector(v));
+  for (int v = 0; v < 16; ++v) {
+    EXPECT_EQ(buf.ReadVector(v), MakeVector(v));
+  }
+}
+
+TEST(BlockCirculant, OverwriteVectorSlot) {
+  BlockCirculantBuffer buf(8);
+  buf.WriteVector(3, MakeVector(1));
+  buf.WriteVector(3, MakeVector(2));
+  EXPECT_EQ(buf.ReadVector(3), MakeVector(2));
+}
+
+TEST(BlockCirculant, OutOfRangeThrows) {
+  BlockCirculantBuffer buf(4);
+  EXPECT_THROW(buf.WriteVector(4, MakeVector(0)), SpnerfError);
+  EXPECT_THROW(buf.WriteVector(-1, MakeVector(0)), SpnerfError);
+  EXPECT_THROW((void)buf.ReadVector(4), SpnerfError);
+}
+
+TEST(BlockCirculant, ReadingUnwrittenSlotThrows) {
+  BlockCirculantBuffer buf(4);
+  EXPECT_THROW((void)buf.ReadVector(0), SpnerfError);
+}
+
+TEST(BlockCirculant, ZeroCapacityThrows) {
+  EXPECT_THROW(BlockCirculantBuffer(0), SpnerfError);
+}
+
+TEST(BlockCirculant, ConstantsMatchPaperFigure) {
+  // Fig 5: 10 banks, 4 elements per block, 39 padded to 40.
+  EXPECT_EQ(kInputBufBanks, 10);
+  EXPECT_EQ(kInputBufBlock, 4);
+  EXPECT_EQ(kInputVectorPadded, 40);
+  EXPECT_EQ(kMlpInputDim, 39);
+}
+
+}  // namespace
+}  // namespace spnerf

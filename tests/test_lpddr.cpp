@@ -1,0 +1,163 @@
+#include "dram/lpddr.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(DramConfig, PresetsMatchPaperBandwidths) {
+  EXPECT_DOUBLE_EQ(Lpddr4_3200().peak_bandwidth_gbps, 59.7);  // Table I XNX
+  EXPECT_DOUBLE_EQ(Lpddr4_1600().peak_bandwidth_gbps, 17.0);  // RT-NeRF.Edge
+  EXPECT_DOUBLE_EQ(Lpddr5_102().peak_bandwidth_gbps, 102.4);  // Table I ONX
+  EXPECT_DOUBLE_EQ(Hbm2_A100().peak_bandwidth_gbps, 1555.0);  // Table I A100
+}
+
+TEST(LpddrModel, FirstAccessIsRowMiss) {
+  LpddrModel dram(Lpddr4_3200());
+  const DramAccessResult r = dram.Access(0, 64, false, 0);
+  EXPECT_FALSE(r.row_hit);
+  EXPECT_EQ(dram.Stats().row_misses, 1u);
+  // Latency includes precharge + activate + CAS.
+  const auto& t = dram.Config().timings;
+  EXPECT_GE(r.complete_cycle,
+            static_cast<Cycle>(t.t_rp_ns + t.t_rcd_ns + t.t_cl_ns));
+}
+
+TEST(LpddrModel, SecondAccessSameRowHits) {
+  LpddrModel dram(Lpddr4_3200());
+  (void)dram.Access(0, 64, false, 0);
+  const DramAccessResult r2 = dram.Access(64, 64, false, 1000);
+  EXPECT_TRUE(r2.row_hit);
+  EXPECT_EQ(dram.Stats().row_hits, 1u);
+}
+
+TEST(LpddrModel, DifferentRowSameBankMisses) {
+  const DramConfig cfg = Lpddr4_3200();
+  LpddrModel dram(cfg);
+  const u64 bank_stride = static_cast<u64>(cfg.row_bytes) * cfg.channels *
+                          cfg.banks_per_channel;
+  (void)dram.Access(0, 64, false, 0);
+  (void)dram.Access(bank_stride, 64, false, 1000);  // same bank, next row
+  EXPECT_EQ(dram.Stats().row_misses, 2u);
+}
+
+TEST(LpddrModel, SequentialStreamApproachesPeakBandwidth) {
+  const DramConfig cfg = Lpddr4_3200();
+  LpddrModel dram(cfg);
+  const u64 total = 8ull * 1024 * 1024;
+  for (u64 off = 0; off < total; off += 256) {
+    (void)dram.Access(off, 256, false, 0);
+  }
+  const double ns = static_cast<double>(dram.DrainCycle());
+  const double achieved = static_cast<double>(total) / ns;  // B/ns = GB/s
+  EXPECT_GT(achieved, cfg.peak_bandwidth_gbps * 0.5);
+  EXPECT_LE(achieved, cfg.peak_bandwidth_gbps * 1.001);
+}
+
+TEST(LpddrModel, RandomAccessesSlowerThanSequential) {
+  const DramConfig cfg = Lpddr4_3200();
+  LpddrModel seq(cfg), rnd(cfg);
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    (void)seq.Access(static_cast<u64>(i) * 64, 64, false, 0);
+  }
+  Rng rng(1);
+  for (int i = 0; i < n; ++i) {
+    (void)rnd.Access(rng.NextBelow(1ull << 30) & ~63ull, 64, false, 0);
+  }
+  EXPECT_GT(rnd.DrainCycle(), seq.DrainCycle());
+  EXPECT_GT(rnd.Stats().row_misses, seq.Stats().row_misses);
+}
+
+TEST(LpddrModel, StatsCountBytesAndOps) {
+  LpddrModel dram(Lpddr4_3200());
+  (void)dram.Access(0, 128, false, 0);
+  (void)dram.Access(4096, 256, true, 0);
+  EXPECT_EQ(dram.Stats().reads, 1u);
+  EXPECT_EQ(dram.Stats().writes, 1u);
+  EXPECT_EQ(dram.Stats().bytes_read, 128u);
+  EXPECT_EQ(dram.Stats().bytes_written, 256u);
+  EXPECT_EQ(dram.Stats().TotalBytes(), 384u);
+}
+
+TEST(LpddrModel, EnergyLedgerTracksTraffic) {
+  const DramConfig cfg = Lpddr4_3200();
+  LpddrModel dram(cfg);
+  (void)dram.Access(0, 256, false, 0);
+  const DramStats& s = dram.Stats();
+  // rd/wr + IO energy per bit.
+  const double bits = 256.0 * 8.0;
+  EXPECT_NEAR(s.rdwr_energy_j, bits * cfg.energy.rdwr_pj_per_bit * 1e-12,
+              1e-18);
+  EXPECT_NEAR(s.io_energy_j, bits * cfg.energy.io_pj_per_bit * 1e-12, 1e-18);
+  EXPECT_NEAR(s.activate_energy_j, cfg.energy.activate_nj * 1e-9, 1e-15);
+  EXPECT_GT(s.DynamicEnergyJ(), 0.0);
+}
+
+TEST(LpddrModel, BackgroundEnergyScalesWithTime) {
+  LpddrModel dram(Lpddr4_3200());
+  EXPECT_NEAR(dram.BackgroundEnergyJ(1.0), 60e-3, 1e-9);
+  EXPECT_NEAR(dram.BackgroundEnergyJ(0.5), 30e-3, 1e-9);
+}
+
+TEST(LpddrModel, ChannelsWorkInParallel) {
+  // The same traffic through a 1-channel device takes ~4x longer than
+  // through a 4-channel one (bandwidth is per-device).
+  DramConfig one = Lpddr4_3200();
+  one.channels = 1;
+  one.peak_bandwidth_gbps = 59.7 / 4.0;
+  LpddrModel narrow(one), wide(Lpddr4_3200());
+  for (u64 off = 0; off < 1024 * 1024; off += 256) {
+    (void)narrow.Access(off, 256, false, 0);
+    (void)wide.Access(off, 256, false, 0);
+  }
+  EXPECT_GT(narrow.DrainCycle(), wide.DrainCycle() * 3);
+}
+
+TEST(LpddrModel, RequestsQueueBehindBusyBank) {
+  LpddrModel dram(Lpddr4_3200());
+  const DramAccessResult r1 = dram.Access(0, 256, false, 0);
+  // Immediately issue to the same address: the bank is occupied by r1's
+  // activate + transfer, so r2 starts strictly later (CAS latency itself is
+  // pipelined and does not serialize).
+  const DramAccessResult r2 = dram.Access(0, 256, false, 0);
+  EXPECT_GT(r2.issue_cycle, r1.issue_cycle);
+  EXPECT_TRUE(r2.row_hit);  // the row stayed open
+  EXPECT_GE(r2.complete_cycle, r1.complete_cycle);
+}
+
+TEST(LpddrModel, MinTransferCyclesIsRooflineFloor) {
+  LpddrModel dram(Lpddr4_3200());
+  // 59.7 GB/s = 59.7 B/ns; 5970 bytes -> 100 ns.
+  EXPECT_NEAR(dram.MinTransferCycles(5970), 100.0, 1e-9);
+}
+
+TEST(LpddrModel, ZeroByteAccessThrows) {
+  LpddrModel dram(Lpddr4_3200());
+  EXPECT_THROW(dram.Access(0, 0, false, 0), SpnerfError);
+}
+
+TEST(LpddrModel, ResetStatsClears) {
+  LpddrModel dram(Lpddr4_3200());
+  (void)dram.Access(0, 64, false, 0);
+  dram.ResetStats();
+  EXPECT_EQ(dram.Stats().reads, 0u);
+  EXPECT_EQ(dram.Stats().TotalBytes(), 0u);
+  EXPECT_EQ(dram.Stats().DynamicEnergyJ(), 0.0);
+}
+
+TEST(LpddrModel, Lpddr4_1600SlowerThan3200) {
+  LpddrModel slow(Lpddr4_1600()), fast(Lpddr4_3200());
+  for (u64 off = 0; off < 512 * 1024; off += 256) {
+    (void)slow.Access(off, 256, false, 0);
+    (void)fast.Access(off, 256, false, 0);
+  }
+  EXPECT_GT(slow.DrainCycle(), fast.DrainCycle() * 2);
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,75 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <vector>
+
+namespace spnerf {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 100000;
+  std::vector<int> hits(n, 0);
+  ParallelFor(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleElement) {
+  int value = 0;
+  ParallelFor(1, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ParallelFor, ResultMatchesSequential) {
+  const std::size_t n = 50000;
+  std::vector<double> out_par(n), out_seq(n);
+  const auto f = [](std::size_t i) {
+    return static_cast<double>(i) * 1.5 + 2.0;
+  };
+  ParallelFor(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) out_par[i] = f(i);
+  });
+  for (std::size_t i = 0; i < n; ++i) out_seq[i] = f(i);
+  EXPECT_EQ(out_par, out_seq);
+}
+
+TEST(ParallelFor, RespectsMaxThreads) {
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  ParallelFor(
+      64,
+      [&](std::size_t, std::size_t) {
+        const int now = ++concurrent;
+        int old = peak.load();
+        while (now > old && !peak.compare_exchange_weak(old, now)) {
+        }
+        --concurrent;
+      },
+      /*max_threads=*/2);
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ParallelFor, SmallNFewerWorkersThanThreads) {
+  // n=3 must not spawn workers with empty ranges that overlap.
+  std::vector<int> hits(3, 0);
+  ParallelFor(3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace spnerf

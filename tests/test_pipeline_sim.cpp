@@ -1,0 +1,155 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/accelerator.hpp"
+
+namespace spnerf {
+namespace {
+
+FrameWorkload TypicalWorkload() {
+  FrameWorkload w;
+  w.scene = "synthetic";
+  w.rays = 640000;
+  w.samples = 12'000'000;
+  w.coarse_skips = 9'000'000;
+  w.mlp_evals = 2'000'000;
+  w.table_bytes = 64ull * 32768 * 26 / 8;
+  w.bitmap_bytes = 512000;
+  w.codebook_bytes = 4096 * 12;
+  w.true_grid_bytes = 300000;
+  w.weight_bytes = 43779;
+  w.subgrid_count = 64;
+  w.bitmap_zero_frac = 0.55;
+  w.codebook_frac = 0.36;
+  w.true_grid_frac = 0.09;
+  return w;
+}
+
+TEST(PipelineSim, RunsTypicalFrame) {
+  const PipelineSim sim;
+  const PipelineSimResult r = sim.Run(TypicalWorkload());
+  EXPECT_GT(r.frame_cycles, 0u);
+  EXPECT_GT(r.sgpu.tokens, 0u);
+  EXPECT_GT(r.mlp.tokens, 0u);
+  EXPECT_GT(r.dma_bytes, 0u);
+}
+
+TEST(PipelineSim, TokenCountsMatchWorkload) {
+  const PipelineSim sim;
+  const FrameWorkload w = TypicalWorkload();
+  const PipelineSimResult r = sim.Run(w);
+  // One token per 64 samples; one MLP batch per 64 evals (+- rounding).
+  EXPECT_EQ(r.sgpu.tokens, (w.samples + 63) / 64);
+  EXPECT_NEAR(static_cast<double>(r.mlp.tokens),
+              static_cast<double>(w.mlp_evals) / 64.0,
+              2.0);
+}
+
+TEST(PipelineSim, AgreesWithAnalyticModel) {
+  // The dataflow simulation and the steady-state composition must land on
+  // the same frame time within a pipelining tolerance — the repo's analogue
+  // of the paper's "simulator verified against RTL".
+  const FrameWorkload w = TypicalWorkload();
+  const PipelineSimResult fine = PipelineSim().Run(w);
+  const SimResult coarse = AcceleratorSim().SimulateFrame(w);
+  const double ratio = static_cast<double>(fine.frame_cycles) /
+                       static_cast<double>(coarse.frame_cycles);
+  EXPECT_GT(ratio, 0.80) << fine.frame_cycles << " vs " << coarse.frame_cycles;
+  EXPECT_LT(ratio, 1.20) << fine.frame_cycles << " vs " << coarse.frame_cycles;
+}
+
+TEST(PipelineSim, MlpBusyWhenEvalHeavy) {
+  FrameWorkload w = TypicalWorkload();
+  w.mlp_evals = 4'000'000;
+  const PipelineSimResult r = PipelineSim().Run(w);
+  // The MLP is the bottleneck: it is busy most of the frame.
+  EXPECT_GT(r.mlp.BusyFraction(r.frame_cycles), 0.85);
+  EXPECT_LT(r.sgpu.BusyFraction(r.frame_cycles), 0.7);
+}
+
+TEST(PipelineSim, SgpuBusyWhenSampleHeavy) {
+  FrameWorkload w = TypicalWorkload();
+  w.samples = 60'000'000;
+  w.mlp_evals = 200'000;
+  const PipelineSimResult r = PipelineSim().Run(w);
+  EXPECT_GT(r.sgpu.BusyFraction(r.frame_cycles), 0.85);
+}
+
+TEST(PipelineSim, TableStreamingOverlapsCompute) {
+  // The last subgrid's table arrives long before the frame ends: DMA is
+  // hidden behind compute at the design point.
+  const PipelineSimResult r = PipelineSim().Run(TypicalWorkload());
+  EXPECT_LT(r.last_table_ready, r.frame_cycles / 2);
+}
+
+TEST(PipelineSim, FirstTokenWaitsForFirstTable) {
+  const PipelineSimResult r = PipelineSim().Run(TypicalWorkload());
+  EXPECT_GT(r.sgpu.first_start, 0u);  // cannot start before the DMA lands
+}
+
+TEST(PipelineSim, SlowDramDelaysStart) {
+  PipelineSimConfig slow;
+  slow.dram = Lpddr4_1600();
+  const PipelineSimResult a = PipelineSim().Run(TypicalWorkload());
+  const PipelineSimResult b = PipelineSim(slow).Run(TypicalWorkload());
+  EXPECT_GT(b.sgpu.first_start, a.sgpu.first_start);
+  EXPECT_GT(b.last_table_ready, a.last_table_ready);
+}
+
+TEST(PipelineSim, MoreLanesShiftBottleneckToMlp) {
+  FrameWorkload w = TypicalWorkload();
+  w.samples = 40'000'000;  // SGPU-leaning
+  PipelineSimConfig narrow;
+  narrow.sgpu_lanes = 8;
+  PipelineSimConfig wide;
+  wide.sgpu_lanes = 64;
+  const PipelineSimResult rn = PipelineSim(narrow).Run(w);
+  const PipelineSimResult rw = PipelineSim(wide).Run(w);
+  EXPECT_LT(rw.frame_cycles, rn.frame_cycles);
+}
+
+TEST(PipelineSim, DeterministicAcrossRuns) {
+  const PipelineSim sim;
+  const FrameWorkload w = TypicalWorkload();
+  EXPECT_EQ(sim.Run(w).frame_cycles, sim.Run(w).frame_cycles);
+}
+
+TEST(PipelineSim, BusyNeverExceedsFrame) {
+  const PipelineSimResult r = PipelineSim().Run(TypicalWorkload());
+  EXPECT_LE(r.sgpu.busy_cycles, r.frame_cycles);
+  EXPECT_LE(r.mlp.busy_cycles, r.frame_cycles);
+  EXPECT_LE(r.sgpu.BusyFraction(r.frame_cycles), 1.0);
+}
+
+TEST(PipelineSim, EmptyWorkloadThrows) {
+  const FrameWorkload empty;
+  EXPECT_THROW((void)PipelineSim().Run(empty), SpnerfError);
+}
+
+TEST(PipelineSim, InvalidConfigThrows) {
+  PipelineSimConfig bad;
+  bad.sgpu_lanes = 0;
+  EXPECT_THROW(PipelineSim{bad}, SpnerfError);
+  bad = PipelineSimConfig{};
+  bad.fifo_depth = 0;
+  EXPECT_THROW(PipelineSim{bad}, SpnerfError);
+}
+
+class FifoDepthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FifoDepthSweep, DeeperFifosNeverSlower) {
+  PipelineSimConfig shallow;
+  shallow.fifo_depth = GetParam();
+  PipelineSimConfig deep;
+  deep.fifo_depth = GetParam() * 4;
+  const FrameWorkload w = TypicalWorkload();
+  EXPECT_GE(PipelineSim(shallow).Run(w).frame_cycles,
+            PipelineSim(deep).Run(w).frame_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, FifoDepthSweep, ::testing::Values(1u, 2u, 8u));
+
+}  // namespace
+}  // namespace spnerf

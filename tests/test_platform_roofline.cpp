@@ -1,0 +1,124 @@
+#include "model/gpu_roofline.hpp"
+#include "model/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+GpuFrameWorkload TypicalVqrfFrame() {
+  GpuFrameWorkload w;
+  w.rays = 640000;
+  w.samples = 12'000'000;
+  w.mlp_evals = 2'000'000;
+  w.restored_grid_bytes = 213ull * 1024 * 1024;
+  w.compressed_bytes = 1500000;
+  return w;
+}
+
+TEST(PlatformDb, TableIValues) {
+  const PlatformSpec a100 = NvidiaA100();
+  EXPECT_EQ(a100.tech_nm, 7);
+  EXPECT_DOUBLE_EQ(a100.power_w, 400.0);
+  EXPECT_DOUBLE_EQ(a100.dram_bw_gbps, 1555.0);
+  EXPECT_DOUBLE_EQ(a100.fp32_tflops, 19.5);
+  EXPECT_DOUBLE_EQ(a100.fp16_tflops, 78.0);
+  EXPECT_EQ(a100.l2_bytes, 40ull * 1024 * 1024);
+
+  const PlatformSpec onx = JetsonOnx();
+  EXPECT_EQ(onx.tech_nm, 8);
+  EXPECT_DOUBLE_EQ(onx.power_w, 25.0);
+  EXPECT_DOUBLE_EQ(onx.dram_bw_gbps, 102.4);
+  EXPECT_EQ(onx.l2_bytes, 4ull * 1024 * 1024);
+
+  const PlatformSpec xnx = JetsonXnx();
+  EXPECT_EQ(xnx.tech_nm, 16);
+  EXPECT_DOUBLE_EQ(xnx.power_w, 20.0);
+  EXPECT_DOUBLE_EQ(xnx.dram_bw_gbps, 59.7);
+  EXPECT_EQ(xnx.l2_bytes, 512ull * 1024);
+  EXPECT_DOUBLE_EQ(xnx.fp16_tflops, 1.69);
+
+  EXPECT_EQ(TableIPlatforms().size(), 3u);
+}
+
+TEST(Roofline, TimesArePositiveAndSum) {
+  const GpuRooflineResult r =
+      EvaluateVqrfOnGpu(JetsonXnx(), TypicalVqrfFrame());
+  EXPECT_GT(r.memory_time_s, 0.0);
+  EXPECT_GT(r.compute_time_s, 0.0);
+  EXPECT_NEAR(r.total_time_s,
+              r.memory_time_s + r.compute_time_s + r.overhead_time_s, 1e-12);
+  EXPECT_NEAR(r.fps, 1.0 / r.total_time_s, 1e-9);
+  EXPECT_NEAR(r.memory_share, r.memory_time_s / r.total_time_s, 1e-12);
+}
+
+TEST(Roofline, EdgeIsMemoryBoundA100IsNot) {
+  // The paper's Fig 2(a) observation.
+  const GpuFrameWorkload w = TypicalVqrfFrame();
+  const GpuRooflineResult xnx = EvaluateVqrfOnGpu(JetsonXnx(), w);
+  const GpuRooflineResult onx = EvaluateVqrfOnGpu(JetsonOnx(), w);
+  const GpuRooflineResult a100 = EvaluateVqrfOnGpu(NvidiaA100(), w);
+  EXPECT_GT(xnx.memory_share, 0.55);
+  EXPECT_GT(onx.memory_share, 0.55);
+  EXPECT_LT(a100.memory_share, 0.30);
+  // Edge memory-time share is several times the A100's (paper: 4.79-5.14x).
+  EXPECT_GT(xnx.memory_share / a100.memory_share, 3.0);
+  EXPECT_LT(xnx.memory_share / a100.memory_share, 7.0);
+}
+
+TEST(Roofline, A100OrdersOfMagnitudeFasterThanEdge) {
+  const GpuFrameWorkload w = TypicalVqrfFrame();
+  const double a100 = EvaluateVqrfOnGpu(NvidiaA100(), w).fps;
+  const double onx = EvaluateVqrfOnGpu(JetsonOnx(), w).fps;
+  const double xnx = EvaluateVqrfOnGpu(JetsonXnx(), w).fps;
+  EXPECT_GT(a100, 10.0 * onx);
+  EXPECT_GT(onx, xnx);  // ONX is the faster edge board
+  EXPECT_LT(xnx, 2.0);  // VQRF on XNX renders at around one FPS
+}
+
+TEST(Roofline, MoreSamplesMoreTime) {
+  GpuFrameWorkload w = TypicalVqrfFrame();
+  const double base = EvaluateVqrfOnGpu(JetsonXnx(), w).total_time_s;
+  w.samples *= 2;
+  EXPECT_GT(EvaluateVqrfOnGpu(JetsonXnx(), w).total_time_s, base);
+}
+
+TEST(Roofline, BiggerWorkingSetMoreRestoreTime) {
+  GpuFrameWorkload w = TypicalVqrfFrame();
+  const double base = EvaluateVqrfOnGpu(JetsonXnx(), w).memory_time_s;
+  w.restored_grid_bytes *= 2;
+  EXPECT_GT(EvaluateVqrfOnGpu(JetsonXnx(), w).memory_time_s, base);
+}
+
+TEST(Roofline, CacheDiscountHelpsTensorTraffic) {
+  PlatformSpec p = JetsonXnx();
+  const GpuFrameWorkload w = TypicalVqrfFrame();
+  const double base = EvaluateVqrfOnGpu(p, w).memory_time_s;
+  p.tensor_cache_discount = 0.9;
+  EXPECT_LT(EvaluateVqrfOnGpu(p, w).memory_time_s, base);
+}
+
+TEST(Roofline, EnergyUsesModulePower) {
+  const GpuRooflineResult r =
+      EvaluateVqrfOnGpu(JetsonXnx(), TypicalVqrfFrame());
+  EXPECT_NEAR(r.energy_per_frame_j, 20.0 * r.total_time_s, 1e-9);
+  EXPECT_NEAR(r.fps_per_watt, r.fps / 20.0, 1e-9);
+}
+
+TEST(Roofline, EmptyWorkloadThrows) {
+  const GpuFrameWorkload empty;
+  EXPECT_THROW(EvaluateVqrfOnGpu(JetsonXnx(), empty), SpnerfError);
+}
+
+TEST(Roofline, GatherEfficiencyMatters) {
+  PlatformSpec p = JetsonXnx();
+  const GpuFrameWorkload w = TypicalVqrfFrame();
+  const double slow = EvaluateVqrfOnGpu(p, w).total_time_s;
+  p.gather_efficiency *= 3.0;
+  EXPECT_LT(EvaluateVqrfOnGpu(p, w).total_time_s, slow);
+}
+
+}  // namespace
+}  // namespace spnerf

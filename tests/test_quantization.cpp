@@ -1,0 +1,118 @@
+#include "grid/quantization.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(Int8Quantizer, RoundTripWithinHalfScale) {
+  const Int8Quantizer q(0.1f);
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const float x = rng.Uniform(-12.7f, 12.7f);
+    const float back = q.Dequantize(q.Quantize(x));
+    EXPECT_LE(std::fabs(back - x), q.MaxRoundingError() * 1.0001f) << x;
+  }
+}
+
+TEST(Int8Quantizer, SaturatesAtRange) {
+  const Int8Quantizer q(1.0f);
+  EXPECT_EQ(q.Quantize(1000.f), 127);
+  EXPECT_EQ(q.Quantize(-1000.f), -127);
+  EXPECT_EQ(q.Quantize(127.4f), 127);
+}
+
+TEST(Int8Quantizer, ZeroMapsToZero) {
+  const Int8Quantizer q(0.5f);
+  EXPECT_EQ(q.Quantize(0.0f), 0);
+  EXPECT_EQ(q.Dequantize(0), 0.0f);
+}
+
+TEST(Int8Quantizer, SymmetricAroundZero) {
+  const Int8Quantizer q(0.25f);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const float x = rng.Uniform(0.f, 30.f);
+    EXPECT_EQ(q.Quantize(-x), -q.Quantize(x)) << x;
+  }
+}
+
+TEST(Int8Quantizer, FitAbsMaxCoversExtremes) {
+  const std::vector<float> vals{-4.5f, 1.0f, 3.2f, 0.0f};
+  const Int8Quantizer q = Int8Quantizer::FitAbsMax(vals);
+  EXPECT_FLOAT_EQ(q.Scale(), 4.5f / 127.0f);
+  // The extreme value must quantize without saturating away from +-127.
+  EXPECT_EQ(q.Quantize(-4.5f), -127);
+}
+
+TEST(Int8Quantizer, FitAbsMaxAllZerosUsesUnitScale) {
+  const std::vector<float> zeros(10, 0.0f);
+  const Int8Quantizer q = Int8Quantizer::FitAbsMax(zeros);
+  EXPECT_GT(q.Scale(), 0.0f);
+  EXPECT_EQ(q.Quantize(0.0f), 0);
+}
+
+TEST(Int8Quantizer, InvalidScaleThrows) {
+  EXPECT_THROW(Int8Quantizer(0.0f), SpnerfError);
+  EXPECT_THROW(Int8Quantizer(-1.0f), SpnerfError);
+  EXPECT_THROW(Int8Quantizer(std::numeric_limits<float>::infinity()),
+               SpnerfError);
+}
+
+TEST(Int8Quantizer, SpanRoundTrip) {
+  const Int8Quantizer q(0.05f);
+  Rng rng(3);
+  std::vector<float> in(256);
+  for (auto& v : in) v = rng.Uniform(-6.f, 6.f);
+  std::vector<i8> enc(in.size());
+  std::vector<float> dec(in.size());
+  q.QuantizeSpan(in, enc);
+  q.DequantizeSpan(enc, dec);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_LE(std::fabs(dec[i] - in[i]), q.MaxRoundingError() * 1.0001f);
+  }
+}
+
+TEST(Int8Quantizer, SpanSizeMismatchThrows) {
+  const Int8Quantizer q(1.0f);
+  std::vector<float> in(4);
+  std::vector<i8> out(3);
+  EXPECT_THROW(q.QuantizeSpan(in, out), SpnerfError);
+}
+
+TEST(Int8Quantizer, RoundsToNearest) {
+  const Int8Quantizer q(1.0f);
+  EXPECT_EQ(q.Quantize(1.4f), 1);
+  EXPECT_EQ(q.Quantize(1.6f), 2);
+  EXPECT_EQ(q.Quantize(-1.6f), -2);
+  // Ties round to even (nearbyint with default rounding mode).
+  EXPECT_EQ(q.Quantize(2.5f), 2);
+  EXPECT_EQ(q.Quantize(3.5f), 4);
+}
+
+/// Property: quantisation error is monotone in scale.
+class QuantScaleSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(QuantScaleSweep, ErrorBoundedByHalfScale) {
+  const float scale = GetParam();
+  const Int8Quantizer q(scale);
+  Rng rng(4);
+  double max_err = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.Uniform(-scale * 120.f, scale * 120.f);
+    max_err = std::max(max_err,
+                       static_cast<double>(std::fabs(q.Dequantize(q.Quantize(x)) - x)));
+  }
+  EXPECT_LE(max_err, scale * 0.5 * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, QuantScaleSweep,
+                         ::testing::Values(0.01f, 0.1f, 0.5f, 1.0f, 3.0f));
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,109 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <set>
+#include <vector>
+
+namespace spnerf {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.Uniform(-3.f, 5.f);
+    EXPECT_GE(v, -3.f);
+    EXPECT_LT(v, 5.f);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(13);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000007ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit
+}
+
+TEST(Rng, MeanOfUniformIsHalf) {
+  Rng rng(21);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalHasUnitVariance) {
+  Rng rng(23);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, BitsAreRoughlyBalanced) {
+  Rng rng(31);
+  int ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ones += __builtin_popcountll(rng.NextU64());
+  const double frac = static_cast<double>(ones) / (64.0 * n);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  Rng rng(77);
+  std::shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  // And the shuffle actually moved things.
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) moved += (v[static_cast<std::size_t>(i)] != i);
+  EXPECT_GT(moved, 50);
+}
+
+}  // namespace
+}  // namespace spnerf

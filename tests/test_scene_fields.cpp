@@ -1,0 +1,113 @@
+// Scene field semantics: density/feature behaviour near surfaces, the
+// properties the sparsity and rendering experiments rest on.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "scene/scene_zoo.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(SceneFields, DensityRampsOverTheBand) {
+  // Density is 0 at/outside the surface, peak at band depth, constant inside.
+  std::vector<ScenePrimitive> prims{
+      {SphereSdf{{0.5f, 0.5f, 0.5f}, 0.2f}, {0.5f, 0.5f, 0.5f}, 0.f}};
+  SceneFieldParams params;
+  params.density_peak = 100.0f;
+  params.density_band = 0.02f;
+  const Scene scene("test", prims, params);
+
+  EXPECT_EQ(scene.Density({0.5f, 0.5f, 0.71f}), 0.0f);  // just outside
+  EXPECT_NEAR(scene.Density({0.5f, 0.5f, 0.69f}), 100.0f * 0.5f, 1.0f);
+  EXPECT_FLOAT_EQ(scene.Density({0.5f, 0.5f, 0.5f}), 100.0f);  // deep inside
+  // Monotone through the band.
+  float prev = -1.0f;
+  for (float depth = 0.0f; depth < 0.03f; depth += 0.005f) {
+    const float d = scene.Density({0.5f, 0.5f, 0.7f - depth});
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(SceneFields, SignedDistanceReportsNearestPrimitive) {
+  std::vector<ScenePrimitive> prims{
+      {SphereSdf{{0.3f, 0.5f, 0.5f}, 0.1f}, {1.f, 0.f, 0.f}, 0.f},
+      {SphereSdf{{0.7f, 0.5f, 0.5f}, 0.1f}, {0.f, 1.f, 0.f}, 1.f}};
+  const Scene scene("test", prims);
+  int nearest = -1;
+  (void)scene.SignedDistance({0.31f, 0.5f, 0.5f}, &nearest);
+  EXPECT_EQ(nearest, 0);
+  (void)scene.SignedDistance({0.69f, 0.5f, 0.5f}, &nearest);
+  EXPECT_EQ(nearest, 1);
+}
+
+TEST(SceneFields, ColorTakesNearestPrimitiveBase) {
+  std::vector<ScenePrimitive> prims{
+      {SphereSdf{{0.3f, 0.5f, 0.5f}, 0.1f}, {0.9f, 0.1f, 0.1f}, 0.f},
+      {SphereSdf{{0.7f, 0.5f, 0.5f}, 0.1f}, {0.1f, 0.9f, 0.1f}, 1.f}};
+  const Scene scene("test", prims);
+  const FeatureVec red = scene.ColorFeature({0.3f, 0.5f, 0.5f});
+  const FeatureVec green = scene.ColorFeature({0.7f, 0.5f, 0.5f});
+  EXPECT_GT(red[0], red[1]);    // red channel dominates
+  EXPECT_GT(green[1], green[0]);  // green channel dominates
+}
+
+TEST(SceneFields, FeaturesAreDeterministic) {
+  const Scene a = BuildScene(SceneId::kDrums);
+  const Scene b = BuildScene(SceneId::kDrums);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3f p{rng.NextFloat(), rng.NextFloat(), rng.NextFloat()};
+    const FeatureVec fa = a.ColorFeature(p);
+    const FeatureVec fb = b.ColorFeature(p);
+    for (int c = 0; c < kColorFeatureDim; ++c) {
+      ASSERT_EQ(fa[static_cast<std::size_t>(c)], fb[static_cast<std::size_t>(c)]);
+    }
+  }
+}
+
+TEST(SceneFields, FeaturesAreSpatiallySmoothInsideObjects) {
+  // Adjacent samples inside one primitive differ by a bounded amount — the
+  // property that makes vector quantisation effective.
+  const Scene scene = BuildScene(SceneId::kHotdog);
+  const Aabb b = SdfBounds(scene.Primitives()[1].shape);  // the bun
+  const Vec3f c = b.Center();
+  const float eps = 0.004f;
+  const FeatureVec f0 = scene.ColorFeature(c);
+  const FeatureVec f1 = scene.ColorFeature(c + Vec3f{eps, 0.f, 0.f});
+  for (int ch = 0; ch < kColorFeatureDim; ++ch) {
+    EXPECT_LT(std::fabs(f0[static_cast<std::size_t>(ch)] -
+                        f1[static_cast<std::size_t>(ch)]),
+              0.2f);
+  }
+}
+
+TEST(SceneFields, EmptySceneThrows) {
+  EXPECT_THROW(Scene("empty", {}), SpnerfError);
+}
+
+TEST(SceneFields, PrimitiveVolumeAdds) {
+  std::vector<ScenePrimitive> prims{
+      {SphereSdf{{0.3f, 0.5f, 0.5f}, 0.1f}, {1.f, 1.f, 1.f}, 0.f},
+      {SphereSdf{{0.7f, 0.5f, 0.5f}, 0.1f}, {1.f, 1.f, 1.f}, 0.f}};
+  const Scene scene("test", prims);
+  const double single = SdfVolume(prims[0].shape);
+  EXPECT_NEAR(scene.PrimitiveVolume(), 2.0 * single, 1e-9);
+}
+
+TEST(SceneFields, BoundsCoverAllPrimitives) {
+  for (SceneId id : AllScenes()) {
+    const Scene scene = BuildScene(id);
+    const Aabb bounds = scene.Bounds();
+    for (const ScenePrimitive& prim : scene.Primitives()) {
+      const Aabb pb = SdfBounds(prim.shape);
+      EXPECT_LE(bounds.lo.x, pb.lo.x + 1e-6f) << SceneName(id);
+      EXPECT_GE(bounds.hi.y, pb.hi.y - 1e-6f) << SceneName(id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,150 @@
+#include "scene/sdf.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+TEST(Sdf, SphereDistances) {
+  const SdfShape s = SphereSdf{{0.5f, 0.5f, 0.5f}, 0.2f};
+  EXPECT_FLOAT_EQ(SdfEval(s, {0.5f, 0.5f, 0.5f}), -0.2f);  // center
+  EXPECT_NEAR(SdfEval(s, {0.7f, 0.5f, 0.5f}), 0.0f, 1e-6f);  // surface
+  EXPECT_NEAR(SdfEval(s, {0.9f, 0.5f, 0.5f}), 0.2f, 1e-6f);  // outside
+}
+
+TEST(Sdf, BoxDistances) {
+  const SdfShape b = BoxSdf{{0.f, 0.f, 0.f}, {1.f, 2.f, 3.f}, 0.f};
+  EXPECT_FLOAT_EQ(SdfEval(b, {0.f, 0.f, 0.f}), -1.f);  // nearest face is x
+  EXPECT_NEAR(SdfEval(b, {2.f, 0.f, 0.f}), 1.f, 1e-6f);
+  EXPECT_NEAR(SdfEval(b, {1.f, 2.f, 3.f}), 0.f, 1e-6f);  // corner
+  // Diagonal outside distance is Euclidean.
+  EXPECT_NEAR(SdfEval(b, {2.f, 3.f, 3.f}), std::sqrt(2.f), 1e-5f);
+}
+
+TEST(Sdf, RoundedBoxShrinksDistance) {
+  const SdfShape sharp = BoxSdf{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}, 0.0f};
+  const SdfShape round = BoxSdf{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}, 0.1f};
+  EXPECT_FLOAT_EQ(SdfEval(round, {3.f, 0.f, 0.f}),
+                  SdfEval(sharp, {3.f, 0.f, 0.f}) - 0.1f);
+}
+
+TEST(Sdf, CapsuleDistances) {
+  const SdfShape c = CapsuleSdf{{0.f, 0.f, 0.f}, {1.f, 0.f, 0.f}, 0.25f};
+  EXPECT_FLOAT_EQ(SdfEval(c, {0.5f, 0.f, 0.f}), -0.25f);  // on the axis
+  EXPECT_NEAR(SdfEval(c, {0.5f, 0.25f, 0.f}), 0.f, 1e-6f);
+  EXPECT_NEAR(SdfEval(c, {1.5f, 0.f, 0.f}), 0.25f, 1e-6f);  // beyond endpoint
+  // Degenerate capsule (a == b) behaves like a sphere.
+  const SdfShape pt = CapsuleSdf{{0.f, 0.f, 0.f}, {0.f, 0.f, 0.f}, 0.5f};
+  EXPECT_NEAR(SdfEval(pt, {1.f, 0.f, 0.f}), 0.5f, 1e-6f);
+}
+
+TEST(Sdf, CylinderDistances) {
+  const SdfShape c = CylinderSdf{{0.f, 0.f, 0.f}, 1.f, 0.5f};
+  EXPECT_FLOAT_EQ(SdfEval(c, {0.f, 0.f, 0.f}), -0.5f);  // cap is nearest
+  EXPECT_NEAR(SdfEval(c, {2.f, 0.f, 0.f}), 1.f, 1e-6f);  // radial
+  EXPECT_NEAR(SdfEval(c, {0.f, 1.5f, 0.f}), 1.f, 1e-6f);  // axial
+  // Corner region: Euclidean to the rim.
+  EXPECT_NEAR(SdfEval(c, {2.f, 1.5f, 0.f}), std::sqrt(2.f), 1e-5f);
+}
+
+TEST(Sdf, TorusDistances) {
+  const SdfShape t = TorusSdf{{0.f, 0.f, 0.f}, 1.f, 0.2f};
+  EXPECT_NEAR(SdfEval(t, {1.f, 0.f, 0.f}), -0.2f, 1e-6f);  // tube center
+  EXPECT_NEAR(SdfEval(t, {1.2f, 0.f, 0.f}), 0.f, 1e-6f);
+  EXPECT_NEAR(SdfEval(t, {0.f, 0.f, 0.f}), 0.8f, 1e-6f);  // hole center
+}
+
+TEST(Sdf, EllipsoidSignCorrect) {
+  const SdfShape e = EllipsoidSdf{{0.f, 0.f, 0.f}, {2.f, 1.f, 0.5f}};
+  EXPECT_LT(SdfEval(e, {0.f, 0.f, 0.f}), 0.f);
+  EXPECT_LT(SdfEval(e, {1.9f, 0.f, 0.f}), 0.f);
+  EXPECT_GT(SdfEval(e, {2.1f, 0.f, 0.f}), 0.f);
+  EXPECT_NEAR(SdfEval(e, {2.f, 0.f, 0.f}), 0.f, 1e-5f);
+  EXPECT_NEAR(SdfEval(e, {0.f, 1.f, 0.f}), 0.f, 1e-5f);
+}
+
+TEST(Sdf, BoundsContainSurface) {
+  Rng rng(1);
+  const std::vector<SdfShape> shapes{
+      SphereSdf{{0.3f, 0.4f, 0.5f}, 0.2f},
+      BoxSdf{{0.5f, 0.5f, 0.5f}, {0.1f, 0.2f, 0.3f}, 0.02f},
+      CapsuleSdf{{0.2f, 0.2f, 0.2f}, {0.8f, 0.7f, 0.6f}, 0.1f},
+      CylinderSdf{{0.5f, 0.5f, 0.5f}, 0.3f, 0.2f},
+      TorusSdf{{0.5f, 0.5f, 0.5f}, 0.3f, 0.05f},
+      EllipsoidSdf{{0.5f, 0.5f, 0.5f}, {0.3f, 0.1f, 0.2f}},
+  };
+  for (const auto& shape : shapes) {
+    const Aabb box = SdfBounds(shape);
+    // Any point with negative distance must lie inside the bounds.
+    for (int i = 0; i < 3000; ++i) {
+      const Vec3f p{rng.NextFloat(), rng.NextFloat(), rng.NextFloat()};
+      if (SdfEval(shape, p) < 0.f) {
+        EXPECT_TRUE(box.Contains(p)) << p;
+      }
+    }
+  }
+}
+
+TEST(Sdf, VolumeMatchesMonteCarlo) {
+  // Volume formulas vs Monte-Carlo integration over the bounding box.
+  Rng rng(2);
+  const std::vector<SdfShape> shapes{
+      SphereSdf{{0.5f, 0.5f, 0.5f}, 0.25f},
+      BoxSdf{{0.5f, 0.5f, 0.5f}, {0.2f, 0.1f, 0.15f}, 0.0f},
+      CapsuleSdf{{0.3f, 0.5f, 0.5f}, {0.7f, 0.5f, 0.5f}, 0.1f},
+      CylinderSdf{{0.5f, 0.5f, 0.5f}, 0.2f, 0.15f},
+      TorusSdf{{0.5f, 0.5f, 0.5f}, 0.25f, 0.08f},
+      EllipsoidSdf{{0.5f, 0.5f, 0.5f}, {0.25f, 0.15f, 0.1f}},
+  };
+  for (const auto& shape : shapes) {
+    const Aabb box = SdfBounds(shape);
+    const Vec3f ext = box.Extent();
+    const double box_vol =
+        static_cast<double>(ext.x) * ext.y * ext.z;
+    const int n = 200000;
+    int inside = 0;
+    for (int i = 0; i < n; ++i) {
+      const Vec3f p{box.lo.x + ext.x * rng.NextFloat(),
+                    box.lo.y + ext.y * rng.NextFloat(),
+                    box.lo.z + ext.z * rng.NextFloat()};
+      inside += (SdfEval(shape, p) < 0.f);
+    }
+    const double mc = box_vol * inside / n;
+    EXPECT_NEAR(SdfVolume(shape), mc, std::max(0.15 * mc, 2e-4))
+        << "shape index " << (&shape - shapes.data());
+  }
+}
+
+TEST(Sdf, TorusVolumeFormula) {
+  const SdfShape t = TorusSdf{{0.f, 0.f, 0.f}, 0.3f, 0.1f};
+  EXPECT_NEAR(SdfVolume(t), 2.0 * kPi * kPi * 0.3 * 0.01, 1e-6);
+}
+
+TEST(Sdf, LipschitzProperty) {
+  // |d(p) - d(q)| <= |p - q| for true SDFs (ellipsoid is approximate, so it
+  // is excluded).
+  Rng rng(3);
+  const std::vector<SdfShape> shapes{
+      SphereSdf{{0.5f, 0.5f, 0.5f}, 0.2f},
+      BoxSdf{{0.5f, 0.5f, 0.5f}, {0.2f, 0.1f, 0.3f}, 0.0f},
+      CapsuleSdf{{0.2f, 0.3f, 0.4f}, {0.8f, 0.6f, 0.5f}, 0.15f},
+      CylinderSdf{{0.5f, 0.5f, 0.5f}, 0.25f, 0.2f},
+      TorusSdf{{0.5f, 0.5f, 0.5f}, 0.3f, 0.08f},
+  };
+  for (const auto& shape : shapes) {
+    for (int i = 0; i < 2000; ++i) {
+      const Vec3f p{rng.NextFloat(), rng.NextFloat(), rng.NextFloat()};
+      const Vec3f q{rng.NextFloat(), rng.NextFloat(), rng.NextFloat()};
+      const float dd = std::fabs(SdfEval(shape, p) - SdfEval(shape, q));
+      EXPECT_LE(dd, (p - q).Norm() * 1.0001f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,96 @@
+#include "sim/sgpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+SgpuActivity SampleActivity() {
+  SgpuActivity a;
+  a.samples = 1000;
+  a.coarse_skip_probes = 500;
+  a.vertex_lookups = 8000;
+  a.bitmap_zero = 3000;
+  a.hash_lookups = 5000;
+  a.codebook_fetches = 4000;
+  a.true_grid_fetches = 1000;
+  a.interpolated_samples = 400;
+  return a;
+}
+
+TEST(Sgpu, CyclesAreWorkOverLanes) {
+  const SgpuModel sgpu(16);
+  const SgpuTiming t = sgpu.Time(SampleActivity());
+  // (8000 lookups + 500 probes) / 16 lanes, rounded up.
+  EXPECT_EQ(t.cycles, (8000u + 500u + 15u) / 16u);
+  EXPECT_NEAR(t.lane_utilization, 1.0, 0.01);
+}
+
+TEST(Sgpu, MoreLanesFewerCycles) {
+  const SgpuActivity a = SampleActivity();
+  EXPECT_LT(SgpuModel(32).Time(a).cycles, SgpuModel(8).Time(a).cycles);
+}
+
+TEST(Sgpu, RoundUpPartialCycle) {
+  SgpuActivity a;
+  a.vertex_lookups = 17;
+  const SgpuModel sgpu(16);
+  EXPECT_EQ(sgpu.Time(a).cycles, 2u);
+  EXPECT_NEAR(sgpu.Time(a).lane_utilization, 17.0 / 32.0, 1e-9);
+}
+
+TEST(Sgpu, EmptyActivityZeroCycles) {
+  const SgpuModel sgpu(16);
+  const SgpuActivity empty;
+  EXPECT_EQ(sgpu.Time(empty).cycles, 0u);
+}
+
+TEST(Sgpu, EnergyComponentsAdd) {
+  const Tech28& tech = DefaultTech28();
+  const SgpuModel sgpu(16);
+  const SgpuActivity a = SampleActivity();
+  const double e = sgpu.LogicEnergyJ(a, tech);
+  // Manual reconstruction.
+  double pj = 0.0;
+  pj += 1000.0 * 6.0 * tech.fp16_mul_pj;                      // GID weights
+  pj += 1000.0 * 8.0 * tech.fp16_mac_pj;                      // density interp
+  pj += (8000.0 + 500.0) * tech.bit_probe_pj;                 // BLU
+  pj += 5000.0 * tech.hash_unit_pj;                           // HMU
+  pj += 400.0 * 8.0 * (13.0 * tech.fp16_mac_pj + 13.0 * tech.int8_op_pj);
+  EXPECT_NEAR(e, pj * 1e-12, 1e-18);
+}
+
+TEST(Sgpu, EnergyScalesWithActivity) {
+  const SgpuModel sgpu(16);
+  SgpuActivity a = SampleActivity();
+  const double base = sgpu.LogicEnergyJ(a, DefaultTech28());
+  a.samples *= 2;
+  a.vertex_lookups *= 2;
+  a.hash_lookups *= 2;
+  a.interpolated_samples *= 2;
+  const double doubled = sgpu.LogicEnergyJ(a, DefaultTech28());
+  EXPECT_GT(doubled, base * 1.8);
+  EXPECT_LT(doubled, base * 2.2);
+}
+
+TEST(Sgpu, MaskedLookupsSkipHashEnergy) {
+  // Bitmap-masked lookups never reach the HMU: with everything masked the
+  // hash energy term vanishes.
+  const SgpuModel sgpu(16);
+  SgpuActivity all_masked;
+  all_masked.vertex_lookups = 8000;
+  all_masked.bitmap_zero = 8000;
+  all_masked.hash_lookups = 0;
+  SgpuActivity none_masked = all_masked;
+  none_masked.bitmap_zero = 0;
+  none_masked.hash_lookups = 8000;
+  EXPECT_LT(sgpu.LogicEnergyJ(all_masked, DefaultTech28()),
+            sgpu.LogicEnergyJ(none_masked, DefaultTech28()));
+}
+
+TEST(Sgpu, ZeroLanesThrows) { EXPECT_THROW(SgpuModel(0), SpnerfError); }
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,159 @@
+#include "encoding/sparse_formats.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+DenseGrid MakeGrid(int n, double occupancy, u64 seed = 1) {
+  DenseGrid g({n, n, n});
+  Rng rng(seed);
+  const auto want = static_cast<u64>(occupancy * static_cast<double>(g.VoxelCount()));
+  u64 placed = 0;
+  while (placed < want) {
+    const Vec3i p{rng.UniformInt(0, n - 1), rng.UniformInt(0, n - 1),
+                  rng.UniformInt(0, n - 1)};
+    if (g.IsNonZero(g.Dims().Flatten(p))) continue;
+    VoxelData v;
+    v.density = rng.Uniform(1.f, 50.f);
+    v.features[0] = rng.NextFloat();
+    g.SetVoxel(p, v);
+    ++placed;
+  }
+  return g;
+}
+
+VqrfModel MakeModel(int n = 20, double occupancy = 0.1) {
+  VqrfBuildParams p;
+  p.codebook_size = 32;
+  p.kmeans_iterations = 3;
+  p.prune_fraction = 0.0;  // keep the full non-zero set for exact checks
+  return VqrfModel::Build(MakeGrid(n, occupancy), p);
+}
+
+class SparseFormatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { model_ = MakeModel(); }
+  VqrfModel model_;
+};
+
+TEST_F(SparseFormatsTest, ElementCountsMatchModel) {
+  EXPECT_EQ(CooGrid::Build(model_).ElementCount(), model_.NonZeroCount());
+  EXPECT_EQ(CsrGrid::Build(model_).ElementCount(), model_.NonZeroCount());
+  EXPECT_EQ(CscGrid::Build(model_).ElementCount(), model_.NonZeroCount());
+}
+
+TEST_F(SparseFormatsTest, AllFormatsAgreeOnEveryVoxel) {
+  const CooGrid coo = CooGrid::Build(model_);
+  const CsrGrid csr = CsrGrid::Build(model_);
+  const CscGrid csc = CscGrid::Build(model_);
+  const GridDims& dims = model_.Dims();
+  for (VoxelIndex i = 0; i < dims.VoxelCount(); ++i) {
+    const Vec3i p = dims.Unflatten(i);
+    const auto a = coo.Lookup(p);
+    const auto b = csr.Lookup(p);
+    const auto c = csc.Lookup(p);
+    const auto rec = model_.FindRecord(i);
+    ASSERT_EQ(a.value.has_value(), rec.has_value()) << i;
+    ASSERT_EQ(b.value.has_value(), rec.has_value()) << i;
+    ASSERT_EQ(c.value.has_value(), rec.has_value()) << i;
+    if (rec) {
+      const u32 unified =
+          rec->kept
+              ? static_cast<u32>(model_.GetCodebook().Size()) + rec->payload_id
+              : rec->payload_id;
+      EXPECT_EQ(a.value->payload, unified);
+      EXPECT_EQ(b.value->payload, unified);
+      EXPECT_EQ(c.value->payload, unified);
+      EXPECT_EQ(a.value->density_q, rec->density_q);
+    }
+  }
+}
+
+TEST_F(SparseFormatsTest, LookupsReportProbes) {
+  const CooGrid coo = CooGrid::Build(model_);
+  const CsrGrid csr = CsrGrid::Build(model_);
+  const GridDims& dims = model_.Dims();
+  // COO binary search over N elements needs up to log2(N)+1 probes; CSR
+  // only searches within one row.
+  const double log_n = std::log2(static_cast<double>(coo.ElementCount()));
+  u32 coo_max = 0, csr_max = 0;
+  for (VoxelIndex i = 0; i < dims.VoxelCount(); i += 11) {
+    const Vec3i p = dims.Unflatten(i);
+    coo_max = std::max(coo_max, coo.Lookup(p).probes);
+    csr_max = std::max(csr_max, csr.Lookup(p).probes);
+  }
+  EXPECT_LE(coo_max, static_cast<u32>(log_n) + 3);
+  EXPECT_GT(coo_max, 3u);
+  EXPECT_LT(csr_max, coo_max);  // the paper's row-access advantage
+}
+
+TEST_F(SparseFormatsTest, CooCoordinateOverheadIsSixBytesPerElement) {
+  const CooGrid coo = CooGrid::Build(model_);
+  EXPECT_EQ(coo.CoordinateBytes(), coo.ElementCount() * 6);
+  // The paper's "extra 630 KB" is coordinate storage at ~105k elements.
+  EXPECT_EQ(CooGrid::Build(model_).CoordinateBytes() * 105000 /
+                coo.ElementCount(),
+            630000u);
+}
+
+TEST_F(SparseFormatsTest, MemoryAccountingSums) {
+  const CooGrid coo = CooGrid::Build(model_);
+  EXPECT_EQ(coo.TotalBytes(), coo.CoordinateBytes() + coo.PayloadBytes());
+  const CsrGrid csr = CsrGrid::Build(model_);
+  EXPECT_EQ(csr.TotalBytes(),
+            csr.RowPtrBytes() + csr.ColIndexBytes() + csr.PayloadBytes());
+  const CscGrid csc = CscGrid::Build(model_);
+  EXPECT_EQ(csc.TotalBytes(),
+            csc.ColPtrBytes() + csc.RowIndexBytes() + csc.PayloadBytes());
+}
+
+TEST_F(SparseFormatsTest, OutOfBoundsLookupIsEmpty) {
+  const CooGrid coo = CooGrid::Build(model_);
+  EXPECT_FALSE(coo.Lookup({-1, 0, 0}).value.has_value());
+  EXPECT_FALSE(coo.Lookup({100, 0, 0}).value.has_value());
+  const CsrGrid csr = CsrGrid::Build(model_);
+  EXPECT_FALSE(csr.Lookup({0, 0, 100}).value.has_value());
+  const CscGrid csc = CscGrid::Build(model_);
+  EXPECT_FALSE(csc.Lookup({0, 100, 0}).value.has_value());
+}
+
+TEST(SparseFormatsDense, FullGridAllHits) {
+  // occupancy 1.0: every lookup hits.
+  VqrfBuildParams p;
+  p.codebook_size = 16;
+  p.kmeans_iterations = 2;
+  p.prune_fraction = 0.0;
+  DenseGrid g({6, 6, 6});
+  for (VoxelIndex i = 0; i < g.VoxelCount(); ++i) {
+    g.SetDensity(i, 1.0f + static_cast<float>(i % 7));
+  }
+  const VqrfModel m = VqrfModel::Build(g, p);
+  const CsrGrid csr = CsrGrid::Build(m);
+  for (VoxelIndex i = 0; i < g.VoxelCount(); ++i) {
+    EXPECT_TRUE(csr.Lookup(g.Dims().Unflatten(i)).value.has_value());
+  }
+}
+
+TEST(SparseFormatsEmptyRows, CsrHandlesEmptyRows) {
+  // One voxel only: all other rows are empty ranges.
+  VqrfBuildParams p;
+  p.codebook_size = 4;
+  p.kmeans_iterations = 2;
+  p.prune_fraction = 0.0;
+  DenseGrid g({8, 8, 8});
+  VoxelData v;
+  v.density = 5.f;
+  g.SetVoxel({3, 4, 5}, v);
+  const VqrfModel m = VqrfModel::Build(g, p);
+  const CsrGrid csr = CsrGrid::Build(m);
+  EXPECT_TRUE(csr.Lookup({3, 4, 5}).value.has_value());
+  EXPECT_FALSE(csr.Lookup({3, 4, 6}).value.has_value());
+  EXPECT_FALSE(csr.Lookup({0, 0, 0}).value.has_value());
+}
+
+}  // namespace
+}  // namespace spnerf

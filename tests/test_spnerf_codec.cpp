@@ -1,0 +1,259 @@
+#include "encoding/spnerf_codec.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+DenseGrid MakeGrid(int n, double occupancy, u64 seed = 1) {
+  DenseGrid g({n, n, n});
+  Rng rng(seed);
+  const auto want = static_cast<u64>(occupancy * static_cast<double>(g.VoxelCount()));
+  u64 placed = 0;
+  while (placed < want) {
+    const Vec3i p{rng.UniformInt(0, n - 1), rng.UniformInt(0, n - 1),
+                  rng.UniformInt(0, n - 1)};
+    if (g.IsNonZero(g.Dims().Flatten(p))) continue;
+    VoxelData v;
+    v.density = rng.Uniform(1.f, 80.f);
+    for (int c = 0; c < kColorFeatureDim; ++c) v.features[c] = rng.Uniform(-1.f, 1.f);
+    g.SetVoxel(p, v);
+    ++placed;
+  }
+  return g;
+}
+
+VqrfModel MakeModel(int n = 24, double occupancy = 0.06) {
+  VqrfBuildParams p;
+  p.codebook_size = 64;
+  p.kmeans_iterations = 3;
+  return VqrfModel::Build(MakeGrid(n, occupancy), p);
+}
+
+SpNeRFParams BigTableParams() {
+  SpNeRFParams p;
+  p.subgrid_count = 8;
+  p.table_size = 1u << 22;  // big enough that collisions are ~impossible
+  return p;
+}
+
+TEST(SpNeRFCodec, DecodeMatchesVqrfWhenNoCollisions) {
+  const VqrfModel vqrf = MakeModel();
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, BigTableParams());
+  ASSERT_EQ(sp.AggregateBuildStats().collisions, 0u);
+  for (const VoxelRecord& rec : vqrf.Records()) {
+    const VoxelData want = vqrf.DecodeRecord(rec);
+    const VoxelData got = sp.Decode(vqrf.Dims().Unflatten(rec.index));
+    EXPECT_EQ(got.density, want.density);
+    for (int c = 0; c < kColorFeatureDim; ++c) {
+      EXPECT_EQ(got.features[c], want.features[c]);
+    }
+  }
+  EXPECT_EQ(sp.NonZeroAliasRate(), 0.0);
+}
+
+TEST(SpNeRFCodec, ZeroVoxelsDecodeToZeroWithMasking) {
+  const VqrfModel vqrf = MakeModel();
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, BigTableParams());
+  const GridDims& dims = vqrf.Dims();
+  for (VoxelIndex i = 0; i < dims.VoxelCount(); ++i) {
+    if (vqrf.OccupancyBitmap().Test(i)) continue;
+    const VoxelData d = sp.Decode(dims.Unflatten(i));
+    EXPECT_EQ(d.density, 0.0f);
+    for (int c = 0; c < kColorFeatureDim; ++c) EXPECT_EQ(d.features[c], 0.0f);
+  }
+}
+
+TEST(SpNeRFCodec, WithoutMaskingZeroVoxelsCanAlias) {
+  // Tiny table forces occupied slots; unmasked zero-voxel queries then
+  // return garbage — the exact error bitmap masking exists to fix.
+  const VqrfModel vqrf = MakeModel();
+  SpNeRFParams params;
+  params.subgrid_count = 4;
+  params.table_size = 32;  // heavily loaded
+  params.bitmap_masking = false;
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, params);
+  const GridDims& dims = vqrf.Dims();
+  u64 garbage = 0, zero_queries = 0;
+  DecodeCounters counters;
+  for (VoxelIndex i = 0; i < dims.VoxelCount(); ++i) {
+    if (vqrf.OccupancyBitmap().Test(i)) continue;
+    ++zero_queries;
+    const VoxelData d = sp.Decode(dims.Unflatten(i), &counters);
+    bool nonzero = d.density != 0.0f;
+    for (int c = 0; c < kColorFeatureDim; ++c) nonzero |= (d.features[c] != 0.0f);
+    garbage += nonzero;
+  }
+  EXPECT_GT(garbage, zero_queries / 2);  // nearly all slots are occupied
+
+  // Same queries with masking: all zero.
+  SpNeRFParams masked = params;
+  masked.bitmap_masking = true;
+  const SpNeRFModel sp_masked = SpNeRFModel::Preprocess(vqrf, masked);
+  for (VoxelIndex i = 0; i < dims.VoxelCount(); ++i) {
+    if (vqrf.OccupancyBitmap().Test(i)) continue;
+    EXPECT_EQ(sp_masked.Decode(dims.Unflatten(i)).density, 0.0f);
+  }
+}
+
+TEST(SpNeRFCodec, MaskingOverrideOnDecode) {
+  const VqrfModel vqrf = MakeModel();
+  SpNeRFParams params;
+  params.subgrid_count = 4;
+  params.table_size = 64;
+  params.bitmap_masking = true;
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, params);
+  // Find a zero voxel whose slot is occupied: masked decode = 0, unmasked != 0.
+  const GridDims& dims = vqrf.Dims();
+  bool found = false;
+  for (VoxelIndex i = 0; i < dims.VoxelCount() && !found; ++i) {
+    if (vqrf.OccupancyBitmap().Test(i)) continue;
+    const Vec3i p = dims.Unflatten(i);
+    const VoxelData unmasked = sp.Decode(p, /*bitmap_masking=*/false, nullptr);
+    if (unmasked.density != 0.0f) {
+      const VoxelData masked = sp.Decode(p, /*bitmap_masking=*/true, nullptr);
+      EXPECT_EQ(masked.density, 0.0f);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpNeRFCodec, CountersClassifyQueries) {
+  const VqrfModel vqrf = MakeModel();
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, BigTableParams());
+  DecodeCounters c;
+  const GridDims& dims = vqrf.Dims();
+  for (VoxelIndex i = 0; i < dims.VoxelCount(); ++i) {
+    (void)sp.Decode(dims.Unflatten(i), &c);
+  }
+  EXPECT_EQ(c.queries, dims.VoxelCount());
+  EXPECT_EQ(c.bitmap_zero, dims.VoxelCount() - vqrf.NonZeroCount());
+  EXPECT_EQ(c.codebook_hits + c.true_grid_hits, vqrf.NonZeroCount());
+  EXPECT_EQ(c.true_grid_hits, vqrf.KeptCount());
+  EXPECT_EQ(c.empty_slot, 0u);
+}
+
+TEST(SpNeRFCodec, OutOfRangeDecodesToZero) {
+  const VqrfModel vqrf = MakeModel();
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, BigTableParams());
+  EXPECT_EQ(sp.Decode({-1, 0, 0}).density, 0.0f);
+  EXPECT_EQ(sp.Decode({1000, 0, 0}).density, 0.0f);
+}
+
+TEST(SpNeRFCodec, MemoryAccountingFormulas) {
+  const VqrfModel vqrf = MakeModel();
+  SpNeRFParams params;
+  params.subgrid_count = 16;
+  params.table_size = 4096;
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, params);
+  // K tables x T entries x 26 bits.
+  EXPECT_EQ(sp.HashTableBytes(), (16u * 4096 * 26 + 7) / 8);
+  EXPECT_EQ(sp.BitmapBytes(), (vqrf.Dims().VoxelCount() + 7) / 8);
+  EXPECT_EQ(sp.CodebookBytes(), vqrf.CodebookInt8().size());
+  EXPECT_EQ(sp.TrueGridBytes(), vqrf.KeptFeatures().size());
+  EXPECT_EQ(sp.TotalBytes(),
+            sp.HashTableBytes() + sp.BitmapBytes() + sp.CodebookBytes() +
+                sp.TrueGridBytes() + 8);
+}
+
+TEST(SpNeRFCodec, MemoryMuchSmallerThanRestored) {
+  const VqrfModel vqrf = MakeModel(32, 0.04);
+  SpNeRFParams params;
+  params.subgrid_count = 8;
+  params.table_size = 2048;
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, params);
+  EXPECT_GT(static_cast<double>(vqrf.RestoredBytes()) /
+                static_cast<double>(sp.TotalBytes()),
+            5.0);
+}
+
+TEST(SpNeRFCodec, AliasRateGrowsAsTableShrinks) {
+  const VqrfModel vqrf = MakeModel();
+  auto alias_at = [&](u32 table) {
+    SpNeRFParams p;
+    p.subgrid_count = 8;
+    p.table_size = table;
+    return SpNeRFModel::Preprocess(vqrf, p).NonZeroAliasRate();
+  };
+  const double big = alias_at(16384);
+  const double mid = alias_at(1024);
+  const double tiny = alias_at(128);
+  EXPECT_LE(big, mid);
+  EXPECT_LT(mid, tiny);
+  EXPECT_GT(tiny, 0.2);
+}
+
+TEST(SpNeRFCodec, BuildStatsMatchAliasBehaviour) {
+  const VqrfModel vqrf = MakeModel();
+  SpNeRFParams p;
+  p.subgrid_count = 8;
+  p.table_size = 512;
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, p);
+  const HashBuildStats stats = sp.AggregateBuildStats();
+  EXPECT_EQ(stats.inserted + stats.collisions, vqrf.NonZeroCount());
+  // With keep-first, every aliased record is a collision loser. (A loser
+  // whose payload happens to match the winner's is not observable as an
+  // alias, so the alias rate can be slightly below the collision rate.)
+  EXPECT_LE(sp.NonZeroAliasRate(), stats.CollisionRate() + 1e-9);
+  EXPECT_GE(sp.NonZeroAliasRate(), stats.CollisionRate() * 0.5);
+}
+
+TEST(SpNeRFCodec, SubgridIsolation) {
+  // Points in different subgrids can never collide: build with K tables and
+  // check inserted counts per table sum correctly.
+  const VqrfModel vqrf = MakeModel();
+  SpNeRFParams p;
+  p.subgrid_count = 4;
+  p.table_size = 32768;
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, p);
+  u64 total = 0;
+  for (const auto& t : sp.Tables()) {
+    total += t.BuildStats().inserted + t.BuildStats().collisions;
+  }
+  EXPECT_EQ(total, vqrf.NonZeroCount());
+}
+
+TEST(SpNeRFCodec, InvalidParamsThrow) {
+  const VqrfModel vqrf = MakeModel();
+  SpNeRFParams p;
+  p.subgrid_count = 0;
+  EXPECT_THROW(SpNeRFModel::Preprocess(vqrf, p), SpnerfError);
+  p.subgrid_count = 4;
+  p.table_size = 0;
+  EXPECT_THROW(SpNeRFModel::Preprocess(vqrf, p), SpnerfError);
+}
+
+TEST(SpNeRFCodec, DecodeOnEmptyModelThrows) {
+  const SpNeRFModel sp;
+  EXPECT_THROW((void)sp.Decode({0, 0, 0}), SpnerfError);
+}
+
+class CodecTableSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(CodecTableSweep, OccupiedDecodeNeverExceedsQuantRange) {
+  const VqrfModel vqrf = MakeModel();
+  SpNeRFParams p;
+  p.subgrid_count = 8;
+  p.table_size = GetParam();
+  const SpNeRFModel sp = SpNeRFModel::Preprocess(vqrf, p);
+  const float fmax = vqrf.FeatureQuantizer().Scale() * 127.0f;
+  const float dmax = vqrf.DensityQuantizer().Scale() * 127.0f;
+  for (const VoxelRecord& rec : vqrf.Records()) {
+    const VoxelData d = sp.Decode(vqrf.Dims().Unflatten(rec.index));
+    EXPECT_LE(std::fabs(d.density), dmax * 1.0001f);
+    for (int c = 0; c < kColorFeatureDim; ++c) {
+      EXPECT_LE(std::fabs(d.features[c]), fmax * 1.0001f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tables, CodecTableSweep,
+                         ::testing::Values(128u, 1024u, 8192u, 65536u));
+
+}  // namespace
+}  // namespace spnerf

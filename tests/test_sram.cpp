@@ -1,0 +1,69 @@
+#include "sim/sram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(SramModel, CountsAccesses) {
+  SramModel s("buf", 64 * 1024);
+  s.Read(4, 10);
+  s.Write(16, 2);
+  EXPECT_EQ(s.Reads(), 10u);
+  EXPECT_EQ(s.Writes(), 2u);
+  EXPECT_EQ(s.BytesRead(), 40u);
+  EXPECT_EQ(s.BytesWritten(), 32u);
+}
+
+TEST(SramModel, EnergyUsesTechModel) {
+  const Tech28& tech = DefaultTech28();
+  SramModel s("buf", 32 * 1024);
+  s.Read(100);
+  const double expect = 100.0 * tech.SramReadPjPerByte(32 * 1024) * 1e-12;
+  EXPECT_NEAR(s.EnergyJ(tech), expect, 1e-18);
+}
+
+TEST(SramModel, WriteEnergyHigherThanRead) {
+  const Tech28& tech = DefaultTech28();
+  SramModel rd("a", 64 * 1024), wr("b", 64 * 1024);
+  rd.Read(1000);
+  wr.Write(1000);
+  EXPECT_GT(wr.EnergyJ(tech), rd.EnergyJ(tech));
+}
+
+TEST(SramModel, LargerMacroCostsMorePerByte) {
+  const Tech28& tech = DefaultTech28();
+  EXPECT_GT(tech.SramReadPjPerByte(512 * 1024),
+            tech.SramReadPjPerByte(32 * 1024));
+  // And it's monotone across the macro sizes used in the design.
+  double prev = 0.0;
+  for (u64 kb : {8ull, 32ull, 104ull, 192ull, 512ull}) {
+    const double e = tech.SramReadPjPerByte(kb * 1024);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(SramModel, ResetCountersClears) {
+  SramModel s("buf", 1024);
+  s.Read(10);
+  s.Write(10);
+  s.ResetCounters();
+  EXPECT_EQ(s.Reads(), 0u);
+  EXPECT_EQ(s.EnergyJ(DefaultTech28()), 0.0);
+}
+
+TEST(SramModel, ZeroCapacityThrows) {
+  EXPECT_THROW(SramModel("bad", 0), SpnerfError);
+}
+
+TEST(SramModel, NamePreserved) {
+  SramModel s("index+density", 104 * 1024);
+  EXPECT_EQ(s.Name(), "index+density");
+  EXPECT_EQ(s.CapacityBytes(), 104u * 1024);
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,119 @@
+#include "common/ssim.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/image_diff.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace spnerf {
+namespace {
+
+Image NoiseImage(int w, int h, u64 seed, float amplitude = 1.0f) {
+  Image img(w, h);
+  Rng rng(seed);
+  for (auto& p : img.Pixels()) {
+    p = {amplitude * rng.NextFloat(), amplitude * rng.NextFloat(),
+         amplitude * rng.NextFloat()};
+  }
+  return img;
+}
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  const Image img = NoiseImage(32, 32, 1);
+  EXPECT_NEAR(Ssim(img, img), 1.0, 1e-12);
+}
+
+TEST(Ssim, SymmetricInArguments) {
+  const Image a = NoiseImage(32, 32, 1);
+  const Image b = NoiseImage(32, 32, 2);
+  EXPECT_NEAR(Ssim(a, b), Ssim(b, a), 1e-12);
+}
+
+TEST(Ssim, BoundedByOne) {
+  const Image a = NoiseImage(40, 24, 3);
+  const Image b = NoiseImage(40, 24, 4);
+  const double s = Ssim(a, b);
+  EXPECT_LE(s, 1.0);
+  EXPECT_GE(s, -1.0);
+}
+
+TEST(Ssim, MonotoneInNoiseLevel) {
+  const Image ref = NoiseImage(32, 32, 5);
+  auto perturbed = [&](float eps, u64 seed) {
+    Image img = ref;
+    Rng rng(seed);
+    for (auto& p : img.Pixels()) {
+      p.x = Clamp(p.x + rng.Uniform(-eps, eps), 0.f, 1.f);
+      p.y = Clamp(p.y + rng.Uniform(-eps, eps), 0.f, 1.f);
+      p.z = Clamp(p.z + rng.Uniform(-eps, eps), 0.f, 1.f);
+    }
+    return img;
+  };
+  const double small = Ssim(ref, perturbed(0.02f, 6));
+  const double large = Ssim(ref, perturbed(0.3f, 6));
+  EXPECT_GT(small, large);
+  EXPECT_GT(small, 0.9);
+}
+
+TEST(Ssim, ConstantVsConstantDiffers) {
+  const Image a(16, 16, {0.2f, 0.2f, 0.2f});
+  const Image b(16, 16, {0.8f, 0.8f, 0.8f});
+  EXPECT_LT(Ssim(a, b), 0.5);
+  const Image c(16, 16, {0.2f, 0.2f, 0.2f});
+  EXPECT_NEAR(Ssim(a, c), 1.0, 1e-12);
+}
+
+TEST(Ssim, StructureMattersBeyondMse) {
+  // A globally brightened image keeps structure (high SSIM); shuffling the
+  // same pixel values destroys it (low SSIM), even at similar MSE.
+  const Image ref = NoiseImage(32, 32, 7, 0.5f);
+  Image bright = ref;
+  for (auto& p : bright.Pixels()) p += Vec3f{0.15f, 0.15f, 0.15f};
+  Image shuffled = ref;
+  Rng rng(8);
+  std::shuffle(shuffled.Pixels().begin(), shuffled.Pixels().end(), rng);
+  EXPECT_GT(Ssim(ref, bright), Ssim(ref, shuffled) + 0.2);
+}
+
+TEST(Ssim, ErrorsOnBadInput) {
+  const Image a(16, 16), b(8, 16);
+  EXPECT_THROW(Ssim(a, b), SpnerfError);
+  const Image tiny(4, 4);
+  EXPECT_THROW(Ssim(tiny, tiny), SpnerfError);  // smaller than window
+  SsimParams p;
+  p.window = 1;
+  EXPECT_THROW(Ssim(a, a, p), SpnerfError);
+}
+
+TEST(ErrorHeatmap, ZeroErrorIsBlack) {
+  const Image img = NoiseImage(8, 8, 9);
+  const Image heat = ErrorHeatmap(img, img);
+  for (const auto& p : heat.Pixels()) {
+    EXPECT_EQ(p, (Vec3f{0.f, 0.f, 0.f}));
+  }
+}
+
+TEST(ErrorHeatmap, LargeErrorIsBright) {
+  const Image black(8, 8, {0.f, 0.f, 0.f});
+  const Image white(8, 8, {1.f, 1.f, 1.f});
+  const Image heat = ErrorHeatmap(black, white, 4.0f);
+  for (const auto& p : heat.Pixels()) {
+    EXPECT_EQ(p, (Vec3f{1.f, 1.f, 1.f}));  // saturated
+  }
+}
+
+TEST(ErrorPixelFraction, CountsThresholdedPixels) {
+  Image a(4, 4, {0.f, 0.f, 0.f});
+  Image b = a;
+  b.At(0, 0) = {1.f, 1.f, 1.f};
+  b.At(1, 1) = {0.5f, 0.5f, 0.5f};
+  EXPECT_NEAR(ErrorPixelFraction(a, b, 0.25f), 2.0 / 16.0, 1e-12);
+  EXPECT_NEAR(ErrorPixelFraction(a, b, 0.75f), 1.0 / 16.0, 1e-12);
+  EXPECT_EQ(ErrorPixelFraction(a, a, 0.01f), 0.0);
+}
+
+}  // namespace
+}  // namespace spnerf

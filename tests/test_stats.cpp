@@ -1,0 +1,116 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.Sum(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.Count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(4);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal() * 3.0 + 1.0;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+  EXPECT_EQ(a.Min(), all.Min());
+  EXPECT_EQ(a.Max(), all.Max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.Count(), 2u);
+  b.Merge(a);  // adopt
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);   // bucket 0
+  h.Add(9.5);   // bucket 9
+  h.Add(-5.0);  // clamps to 0
+  h.Add(50.0);  // clamps to 9
+  EXPECT_EQ(h.BucketValue(0), 2u);
+  EXPECT_EQ(h.BucketValue(9), 2u);
+  EXPECT_EQ(h.Total(), 4u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketLow(5), 5.0);
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(8);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.NextDouble());
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.Quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.Quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), SpnerfError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), SpnerfError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), SpnerfError);
+}
+
+TEST(CounterSet, IncrementAndQuery) {
+  CounterSet c;
+  EXPECT_EQ(c.Get("missing"), 0u);
+  c.Inc("a");
+  c.Inc("a", 4);
+  c.Inc("b");
+  EXPECT_EQ(c.Get("a"), 5u);
+  EXPECT_EQ(c.Get("b"), 1u);
+  EXPECT_EQ(c.All().size(), 2u);
+}
+
+TEST(CounterSet, MergeAdds) {
+  CounterSet a, b;
+  a.Inc("x", 3);
+  b.Inc("x", 2);
+  b.Inc("y", 7);
+  a.Merge(b);
+  EXPECT_EQ(a.Get("x"), 5u);
+  EXPECT_EQ(a.Get("y"), 7u);
+}
+
+TEST(CounterSet, ClearRemovesAll) {
+  CounterSet c;
+  c.Inc("k");
+  c.Clear();
+  EXPECT_TRUE(c.All().empty());
+}
+
+}  // namespace
+}  // namespace spnerf

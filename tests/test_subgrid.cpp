@@ -1,0 +1,121 @@
+#include "encoding/subgrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+TEST(SubgridPartition, WidthIsCeilDivision) {
+  EXPECT_EQ(SubgridPartition({160, 160, 160}, 64).Width(), 3);  // ceil(160/64)
+  EXPECT_EQ(SubgridPartition({160, 160, 160}, 32).Width(), 5);
+  EXPECT_EQ(SubgridPartition({64, 64, 64}, 64).Width(), 1);
+  EXPECT_EQ(SubgridPartition({100, 64, 64}, 7).Width(), 15);
+}
+
+TEST(SubgridPartition, PaperFormula) {
+  // S_k = { p | floor(x/w) = k }
+  const SubgridPartition part({160, 160, 160}, 64);
+  const int w = part.Width();
+  for (int x = 0; x < 160; ++x) {
+    const int expected = std::min(x / w, 63);
+    EXPECT_EQ(part.SubgridOfX(x), expected) << "x=" << x;
+  }
+}
+
+TEST(SubgridPartition, AllXValuesCovered) {
+  // Every x maps to a valid subgrid id for awkward dims.
+  for (int nx : {7, 33, 100, 159, 161}) {
+    const SubgridPartition part({nx, 8, 8}, 16);
+    for (int x = 0; x < nx; ++x) {
+      const int k = part.SubgridOfX(x);
+      EXPECT_GE(k, 0);
+      EXPECT_LT(k, 16);
+    }
+  }
+}
+
+TEST(SubgridPartition, XRangesTileTheAxis) {
+  const SubgridPartition part({160, 4, 4}, 64);
+  int expected_first = 0;
+  for (int k = 0; k < 64; ++k) {
+    const auto [first, last] = part.XRange(k);
+    if (first > 159) break;  // trailing empty subgrids
+    EXPECT_EQ(first, expected_first);
+    EXPECT_GE(last, first - 1);
+    expected_first = last + 1;
+  }
+}
+
+TEST(SubgridPartition, SubgridOfUsesXOnly) {
+  const SubgridPartition part({64, 64, 64}, 8);
+  EXPECT_EQ(part.SubgridOf({10, 0, 0}), part.SubgridOf({10, 63, 63}));
+  EXPECT_NE(part.SubgridOf({0, 0, 0}), part.SubgridOf({63, 0, 0}));
+}
+
+TEST(SubgridPartition, BucketPreservesAllIndices) {
+  const GridDims dims{32, 16, 16};
+  const SubgridPartition part(dims, 8);
+  std::vector<VoxelIndex> indices;
+  for (VoxelIndex i = 0; i < dims.VoxelCount(); i += 7) indices.push_back(i);
+  const auto buckets = part.Bucket(indices);
+  EXPECT_EQ(buckets.size(), 8u);
+  u64 total = 0;
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    for (VoxelIndex idx : buckets[k]) {
+      EXPECT_EQ(part.SubgridOf(dims.Unflatten(idx)), static_cast<int>(k));
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, indices.size());
+}
+
+TEST(SubgridPartition, BucketOrderPreserving) {
+  const GridDims dims{16, 4, 4};
+  const SubgridPartition part(dims, 4);
+  std::vector<VoxelIndex> indices;
+  for (VoxelIndex i = 0; i < dims.VoxelCount(); ++i) indices.push_back(i);
+  const auto buckets = part.Bucket(indices);
+  for (const auto& bucket : buckets) {
+    for (std::size_t i = 1; i < bucket.size(); ++i) {
+      EXPECT_LT(bucket[i - 1], bucket[i]);
+    }
+  }
+}
+
+TEST(SubgridPartition, MoreSubgridsThanXCells) {
+  // K > nx: trailing subgrids stay empty, leading map 1:1.
+  const SubgridPartition part({4, 4, 4}, 16);
+  EXPECT_EQ(part.Width(), 1);
+  for (int x = 0; x < 4; ++x) EXPECT_EQ(part.SubgridOfX(x), x);
+}
+
+TEST(SubgridPartition, InvalidArgsThrow) {
+  EXPECT_THROW(SubgridPartition({16, 16, 16}, 0), SpnerfError);
+  const SubgridPartition part({16, 16, 16}, 4);
+  EXPECT_THROW((void)part.SubgridOfX(-1), SpnerfError);
+  EXPECT_THROW((void)part.SubgridOfX(16), SpnerfError);
+  EXPECT_THROW((void)part.XRange(4), SpnerfError);
+}
+
+class SubgridCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubgridCountSweep, EveryVoxelInExactlyOneSubgrid) {
+  const int k = GetParam();
+  const GridDims dims{160, 8, 8};
+  const SubgridPartition part(dims, k);
+  std::vector<u64> counts(static_cast<std::size_t>(k), 0);
+  for (int x = 0; x < dims.nx; ++x) {
+    ++counts[static_cast<std::size_t>(part.SubgridOfX(x))];
+  }
+  u64 total = 0;
+  for (u64 c : counts) total += c;
+  EXPECT_EQ(total, static_cast<u64>(dims.nx));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, SubgridCountSweep,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace spnerf

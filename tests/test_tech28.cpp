@@ -1,0 +1,65 @@
+#include "model/tech28.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spnerf {
+namespace {
+
+TEST(Tech28, EnergyOrdering) {
+  const Tech28& t = DefaultTech28();
+  // FMA costs more than mul costs more than add costs more than INT8 op.
+  EXPECT_GT(t.fp16_mac_pj, t.fp16_mul_pj);
+  EXPECT_GT(t.fp16_mul_pj, t.fp16_add_pj);
+  EXPECT_GT(t.fp16_add_pj, t.int8_op_pj);
+  // A hash unit (two 32-bit multipliers) beats a single FP16 FMA.
+  EXPECT_GT(t.hash_unit_pj, t.fp16_mac_pj);
+  // A bitmap probe is the cheapest operation in the design.
+  EXPECT_LT(t.bit_probe_pj, t.int8_op_pj);
+}
+
+TEST(Tech28, SramEnergyMonotoneInSize) {
+  const Tech28& t = DefaultTech28();
+  double prev = 0.0;
+  for (u64 kb = 8; kb <= 1024; kb *= 2) {
+    const double e = t.SramReadPjPerByte(kb * 1024);
+    EXPECT_GT(e, 0.0);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Tech28, SramWriteCostsMoreThanRead) {
+  const Tech28& t = DefaultTech28();
+  for (u64 size : {8192ull, 65536ull, 524288ull}) {
+    EXPECT_GT(t.SramWritePjPerByte(size), t.SramReadPjPerByte(size));
+  }
+}
+
+TEST(Tech28, SramAreaScalesWithCapacity) {
+  const Tech28& t = DefaultTech28();
+  const double one_mb = t.SramAreaMm2(1024 * 1024);
+  const double two_mb = t.SramAreaMm2(2 * 1024 * 1024);
+  EXPECT_NEAR(two_mb - one_mb, 0.45, 1e-6);  // 0.45 mm^2/MB marginal
+  // 0.61 MB (the whole design's SRAM) is a fraction of a mm^2.
+  EXPECT_LT(t.SramAreaMm2(625664), 0.5);
+}
+
+TEST(Tech28, TinyMacroDominatedByPeriphery) {
+  const Tech28& t = DefaultTech28();
+  EXPECT_GT(t.SramAreaMm2(1024), 0.003);  // fixed periphery floor
+}
+
+TEST(Tech28, LeakageIsPlausible) {
+  const Tech28& t = DefaultTech28();
+  // 7.7 mm^2 at 28nm should leak a few hundred mW, not watts.
+  const double leak_w = 7.7 * t.leakage_mw_per_mm2 * 1e-3;
+  EXPECT_GT(leak_w, 0.05);
+  EXPECT_LT(leak_w, 0.5);
+}
+
+TEST(Tech28, DefaultIsSingleton) {
+  EXPECT_EQ(&DefaultTech28(), &DefaultTech28());
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,49 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spnerf {
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(1024), "1.00 KB");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KB");
+  EXPECT_EQ(FormatBytes(1024ull * 1024), "1.00 MB");
+  EXPECT_EQ(FormatBytes(21ull * 1024 * 1024 * 1024), "21.00 GB");
+}
+
+TEST(Units, FormatCount) {
+  EXPECT_EQ(FormatCount(999), "999.00 ");
+  EXPECT_EQ(FormatCount(1500), "1.50 K");
+  EXPECT_EQ(FormatCount(2.5e6), "2.50 M");
+  EXPECT_EQ(FormatCount(1e9), "1.00 G");
+}
+
+TEST(Units, FormatWatts) {
+  EXPECT_EQ(FormatWatts(3.0), "3.00 W");
+  EXPECT_EQ(FormatWatts(0.25), "250.00 mW");
+  EXPECT_EQ(FormatWatts(25e-6), "25.00 uW");
+}
+
+TEST(Units, FormatJoules) {
+  EXPECT_EQ(FormatJoules(2.0), "2.00 J");
+  EXPECT_EQ(FormatJoules(1e-3), "1.00 mJ");
+  EXPECT_EQ(FormatJoules(5e-7), "500.00 nJ");
+  EXPECT_EQ(FormatJoules(2e-12), "2.00 pJ");
+}
+
+TEST(Units, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.1234), "12.34%");
+  EXPECT_EQ(FormatPercent(1.0), "100.00%");
+  EXPECT_EQ(FormatPercent(0.0201), "2.01%");
+}
+
+TEST(Units, Constants) {
+  EXPECT_DOUBLE_EQ(kKiB, 1024.0);
+  EXPECT_DOUBLE_EQ(kMiB, 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(kGiB, 1024.0 * kMiB);
+}
+
+}  // namespace
+}  // namespace spnerf

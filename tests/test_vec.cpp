@@ -1,0 +1,103 @@
+#include "common/vec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spnerf {
+namespace {
+
+TEST(Vec3, BasicArithmetic) {
+  const Vec3f a{1.f, 2.f, 3.f};
+  const Vec3f b{4.f, 5.f, 6.f};
+  EXPECT_EQ(a + b, (Vec3f{5.f, 7.f, 9.f}));
+  EXPECT_EQ(b - a, (Vec3f{3.f, 3.f, 3.f}));
+  EXPECT_EQ(a * 2.f, (Vec3f{2.f, 4.f, 6.f}));
+  EXPECT_EQ(2.f * a, a * 2.f);
+  EXPECT_EQ(a * b, (Vec3f{4.f, 10.f, 18.f}));
+  EXPECT_EQ(b / 2.f, (Vec3f{2.f, 2.5f, 3.f}));
+  EXPECT_EQ(-a, (Vec3f{-1.f, -2.f, -3.f}));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3f x{1.f, 0.f, 0.f};
+  const Vec3f y{0.f, 1.f, 0.f};
+  const Vec3f z{0.f, 0.f, 1.f};
+  EXPECT_EQ(x.Dot(y), 0.f);
+  EXPECT_EQ(x.Cross(y), z);
+  EXPECT_EQ(y.Cross(z), x);
+  EXPECT_EQ(z.Cross(x), y);
+  EXPECT_EQ(x.Cross(x), (Vec3f{0.f, 0.f, 0.f}));
+  const Vec3f a{1.f, 2.f, 3.f};
+  EXPECT_FLOAT_EQ(a.Dot(a), a.Norm2());
+}
+
+TEST(Vec3, NormAndNormalize) {
+  const Vec3f v{3.f, 4.f, 0.f};
+  EXPECT_FLOAT_EQ(v.Norm(), 5.f);
+  const Vec3f n = v.Normalized();
+  EXPECT_NEAR(n.Norm(), 1.f, 1e-6f);
+  EXPECT_EQ((Vec3f{0.f, 0.f, 0.f}).Normalized(), (Vec3f{0.f, 0.f, 0.f}));
+}
+
+TEST(Vec3, IndexingMatchesMembers) {
+  Vec3f v{7.f, 8.f, 9.f};
+  EXPECT_EQ(v[0], 7.f);
+  EXPECT_EQ(v[1], 8.f);
+  EXPECT_EQ(v[2], 9.f);
+  v[1] = 42.f;
+  EXPECT_EQ(v.y, 42.f);
+}
+
+TEST(Vec3, MinMaxClampLerp) {
+  const Vec3f a{1.f, 5.f, 3.f};
+  const Vec3f b{2.f, 4.f, 3.f};
+  EXPECT_EQ(Min(a, b), (Vec3f{1.f, 4.f, 3.f}));
+  EXPECT_EQ(Max(a, b), (Vec3f{2.f, 5.f, 3.f}));
+  EXPECT_EQ(Clamp(5.f, 0.f, 3.f), 3.f);
+  EXPECT_EQ(Clamp(-1.f, 0.f, 3.f), 0.f);
+  EXPECT_FLOAT_EQ(Lerp(0.f, 10.f, 0.25f), 2.5f);
+  EXPECT_EQ(Clamp(Vec3f{-1.f, 9.f, 2.f}, Vec3f{0.f, 0.f, 0.f},
+                  Vec3f{1.f, 1.f, 5.f}),
+            (Vec3f{0.f, 1.f, 2.f}));
+}
+
+TEST(Vec3, MinMaxComponent) {
+  const Vec3f v{3.f, -1.f, 2.f};
+  EXPECT_EQ(v.MaxComponent(), 3.f);
+  EXPECT_EQ(v.MinComponent(), -1.f);
+  EXPECT_EQ(v.Abs(), (Vec3f{3.f, 1.f, 2.f}));
+}
+
+TEST(Vec3, FloorAndToFloat) {
+  EXPECT_EQ(Floor(Vec3f{1.7f, -0.3f, 2.0f}), (Vec3i{1, -1, 2}));
+  EXPECT_EQ(ToFloat(Vec3i{1, 2, 3}), (Vec3f{1.f, 2.f, 3.f}));
+}
+
+TEST(Aabb, ContainsAndExtent) {
+  const Aabb box{{0.f, 0.f, 0.f}, {2.f, 4.f, 6.f}};
+  EXPECT_TRUE(box.Contains({1.f, 1.f, 1.f}));
+  EXPECT_TRUE(box.Contains({0.f, 0.f, 0.f}));  // boundary inclusive
+  EXPECT_FALSE(box.Contains({-0.1f, 1.f, 1.f}));
+  EXPECT_FALSE(box.Contains({1.f, 5.f, 1.f}));
+  EXPECT_EQ(box.Extent(), (Vec3f{2.f, 4.f, 6.f}));
+  EXPECT_EQ(box.Center(), (Vec3f{1.f, 2.f, 3.f}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3f v{1.f, 1.f, 1.f};
+  v += Vec3f{1.f, 2.f, 3.f};
+  EXPECT_EQ(v, (Vec3f{2.f, 3.f, 4.f}));
+  v -= Vec3f{1.f, 1.f, 1.f};
+  EXPECT_EQ(v, (Vec3f{1.f, 2.f, 3.f}));
+  v *= 3.f;
+  EXPECT_EQ(v, (Vec3f{3.f, 6.f, 9.f}));
+}
+
+TEST(Vec3i, IntegerOps) {
+  const Vec3i a{1, 2, 3};
+  const Vec3i b{3, 2, 1};
+  EXPECT_EQ(a + b, (Vec3i{4, 4, 4}));
+  EXPECT_EQ(a.Dot(b), 10);
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,91 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+
+namespace spnerf {
+namespace {
+
+PipelineConfig SmallConfig() {
+  PipelineConfig pc;
+  pc.scene_id = SceneId::kMaterials;
+  pc.dataset.resolution_override = 48;
+  pc.dataset.vqrf.codebook_size = 128;
+  pc.dataset.vqrf.kmeans_iterations = 3;
+  pc.spnerf.subgrid_count = 16;
+  pc.spnerf.table_size = 4096;
+  return pc;
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new ScenePipeline(ScenePipeline::Build(SmallConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static ScenePipeline* pipeline_;
+};
+
+ScenePipeline* WorkloadTest::pipeline_ = nullptr;
+
+TEST_F(WorkloadTest, ScalesTileToFrame) {
+  const FrameWorkload w = pipeline_->MeasureWorkload(32, 800, 800);
+  EXPECT_EQ(w.rays, 640000u);
+  EXPECT_GT(w.samples, 0u);
+  EXPECT_GT(w.mlp_evals, 0u);
+  EXPECT_LE(w.mlp_evals, w.samples);
+  // Scaling is per-ray: the frame has 625x the rays of a 32x32 tile.
+  const FrameWorkload tile = pipeline_->MeasureWorkload(32, 32, 32);
+  const double ratio =
+      static_cast<double>(w.samples) / static_cast<double>(tile.samples);
+  EXPECT_NEAR(ratio, 625.0, 1.0);
+}
+
+TEST_F(WorkloadTest, ModelSizesComeFromCodec) {
+  const FrameWorkload w = pipeline_->MeasureWorkload(32, 800, 800);
+  const SpNeRFModel& codec = pipeline_->Codec();
+  EXPECT_EQ(w.table_bytes, codec.HashTableBytes());
+  EXPECT_EQ(w.bitmap_bytes, codec.BitmapBytes());
+  EXPECT_EQ(w.codebook_bytes, codec.CodebookBytes());
+  EXPECT_EQ(w.true_grid_bytes, codec.TrueGridBytes());
+  EXPECT_EQ(w.subgrid_count, 16);
+  EXPECT_EQ(w.weight_bytes, Mlp::WeightBytesFp16() / 2);  // INT8 on chip
+}
+
+TEST_F(WorkloadTest, DecodeMixSumsBelowOne) {
+  const FrameWorkload w = pipeline_->MeasureWorkload(32, 800, 800);
+  EXPECT_GT(w.bitmap_zero_frac, 0.0);
+  EXPECT_GT(w.codebook_frac, 0.0);
+  EXPECT_GE(w.true_grid_frac, 0.0);
+  EXPECT_LE(w.bitmap_zero_frac + w.codebook_frac + w.true_grid_frac, 1.0001);
+}
+
+TEST_F(WorkloadTest, VertexLookupsAre8PerSample) {
+  const FrameWorkload w = pipeline_->MeasureWorkload(32, 800, 800);
+  EXPECT_EQ(w.VertexLookups(), w.samples * 8);
+  EXPECT_EQ(w.OutputBytes(), w.rays * 3);
+}
+
+TEST_F(WorkloadTest, GpuWorkloadMirrorsVqrf) {
+  const GpuFrameWorkload g = pipeline_->MeasureGpuWorkload(32, 800, 800);
+  EXPECT_EQ(g.rays, 640000u);
+  EXPECT_EQ(g.restored_grid_bytes, pipeline_->Dataset().vqrf.RestoredBytes());
+  EXPECT_EQ(g.compressed_bytes, pipeline_->Dataset().vqrf.CompressedBytes());
+  EXPECT_GT(g.samples, 0u);
+}
+
+TEST(Workload, EmptyStatsThrow) {
+  const RenderStats empty;
+  const DecodeCounters counters;
+  const SpNeRFModel model;
+  EXPECT_THROW(BuildFrameWorkload(model, empty, counters, "x", 8, 8),
+               SpnerfError);
+}
+
+}  // namespace
+}  // namespace spnerf

@@ -1,0 +1,73 @@
+#include <cstdio>
+#include <algorithm>
+#include "common/config.hpp"
+#include "core/experiments.hpp"
+#include "common/units.hpp"
+using namespace spnerf;
+
+int main(int argc, char** argv) {
+  Config c = Config::FromArgs(argc, argv);
+  ExperimentConfig cfg;
+  cfg.resolution_override = c.GetInt("res", 0);
+  cfg.psnr_image_size = c.GetInt("img", 100);
+  int nscenes = c.GetInt("scenes", 8);
+  cfg.scenes.resize(nscenes);
+  const std::string what = c.GetString("what", "all");
+
+  if (what == "all" || what == "sparsity") {
+    for (auto& r : RunSparsity(cfg))
+      std::printf("sparsity %-10s total=%llu nz=%llu frac=%.4f%%\n", r.scene.c_str(),
+        (unsigned long long)r.total_voxels, (unsigned long long)r.nonzero_voxels, r.nonzero_fraction*100);
+  }
+  if (what == "all" || what == "memory") {
+    for (auto& r : RunMemory(cfg))
+      std::printf("memory %-10s vqrf=%s spnerf=%s (hash=%s bitmap=%s cb=%s true=%s) red=%.2fx\n",
+        r.scene.c_str(), FormatBytes(r.vqrf_restored_bytes).c_str(), FormatBytes(r.spnerf_bytes).c_str(),
+        FormatBytes(r.hash_table_bytes).c_str(), FormatBytes(r.bitmap_bytes).c_str(),
+        FormatBytes(r.codebook_bytes).c_str(), FormatBytes(r.true_grid_bytes).c_str(), r.reduction);
+  }
+  if (what == "all" || what == "psnr") {
+    for (auto& r : RunPsnr(cfg))
+      std::printf("psnr %-10s vqrf=%.2f pre=%.2f post=%.2f coll=%.4f alias=%.5f\n",
+        r.scene.c_str(), r.vqrf_psnr, r.spnerf_premask_psnr, r.spnerf_postmask_psnr,
+        r.build_collision_rate, r.nonzero_alias_rate);
+  }
+  if (what == "all" || what == "hw") {
+    auto rows = RunHardwareComparison(cfg);
+    std::vector<double> sx, so, ex, eo, fps;
+    for (auto& r : rows) {
+      std::printf("hw %-10s smp=%.1fM ev=%.2fM ", r.scene.c_str(), r.sim.activity.samples/1e6, r.sim.activity.interpolated_samples/1e6);
+      std::printf("spnerf=%.2ffps(%s util=%.2f) xnx=%.3f onx=%.3f | sp_x=%.1f sp_o=%.1f ee_x=%.1f ee_o=%.1f | P=%.2fW (sys=%.2f sram=%.2f sgpu=%.3f dram=%.2f leak=%.2f oth=%.2f)\n",
+        r.sim.fps, r.sim.bottleneck.c_str(), r.sim.systolic_utilization,
+        r.xnx.fps, r.onx.fps, r.speedup_vs_xnx, r.speedup_vs_onx,
+        r.energy_eff_gain_vs_xnx, r.energy_eff_gain_vs_onx,
+        r.sim.power.total_w, r.sim.power.systolic_w, r.sim.power.sram_w, r.sim.power.sgpu_logic_w,
+        r.sim.power.dram_w, r.sim.power.leakage_w, r.sim.power.other_w);
+      sx.push_back(r.speedup_vs_xnx); so.push_back(r.speedup_vs_onx);
+      ex.push_back(r.energy_eff_gain_vs_xnx); eo.push_back(r.energy_eff_gain_vs_onx);
+      fps.push_back(r.sim.fps);
+    }
+    auto rep = MakeDesignReport(cfg, rows);
+    std::printf("AVG fps=%.2f speedup_xnx=%.1f [%.1f..%.1f] onx=%.1f | ee_xnx=%.1f ee_onx=%.1f\n",
+      MeanOf(fps), MeanOf(sx), *std::min_element(sx.begin(),sx.end()), *std::max_element(sx.begin(),sx.end()),
+      MeanOf(so), MeanOf(ex), MeanOf(eo));
+    std::printf("AREA total=%.2fmm2 (systolic=%.2f sgpu=%.2f sram=%.2f phy=%.2f misc=%.2f)\n",
+      rep.area.total_mm2, rep.area.systolic_mm2, rep.area.sgpu_logic_mm2, rep.area.sram_mm2,
+      rep.area.dram_phy_mm2, rep.area.controller_misc_mm2);
+    std::printf("TABLE2 spnerf: sram=%.2fMB area=%.2f power=%.2fW fps=%.2f ee=%.2f ae=%.2f\n",
+      rep.spnerf_row.sram_mb, rep.spnerf_row.area_mm2, rep.spnerf_row.power_w, rep.spnerf_row.fps,
+      rep.spnerf_row.energy_eff_fps_per_w, rep.spnerf_row.area_eff_fps_per_mm2);
+  }
+  if (what == "sweep") {
+    for (auto& pt : RunSubgridSweep(cfg, {4,8,16,32,64,128,256}, 16*1024))
+      std::printf("fig7a K=%-4d T=16k psnr=%.2f alias=%.4f bytes=%.1fMB\n", pt.subgrid_count, pt.mean_psnr, pt.alias_rate, pt.spnerf_bytes/1048576.0);
+    for (auto& pt : RunTableSweep(cfg, 64, {2048,4096,8192,16384,32768,65536,131072}))
+      std::printf("fig7b K=64 T=%-7u psnr=%.2f alias=%.4f bytes=%.1fMB\n", pt.table_size, pt.mean_psnr, pt.alias_rate, pt.spnerf_bytes/1048576.0);
+  }
+  if (what == "all" || what == "fig2a") {
+    for (auto& r : RunRuntimeBreakdown(cfg))
+      std::printf("fig2a %-6s mem=%.3f comp=%.3f over=%.3f fps=%.3f\n",
+        r.platform.c_str(), r.memory_share, r.compute_share, r.overhead_share, r.fps);
+  }
+  return 0;
+}
