@@ -7,7 +7,10 @@ int main(int argc, char** argv) {
   using namespace spnerf;
   const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
   bench::PrintHeader("Fig 2(a)", "VQRF time distribution across platforms");
+  bench::JsonReport json("fig2a_runtime_breakdown");
+  const bench::WallTimer timer;
   const auto rows = RunRuntimeBreakdown(cfg);
+  json.Add("runtime_breakdown", timer.ElapsedMs(), bench::EffectiveThreads(cfg));
   std::printf("%-8s %10s %10s %10s %12s\n", "platform", "memory", "compute",
               "other", "VQRF fps");
   bench::PrintRule();

@@ -7,6 +7,8 @@ int main(int argc, char** argv) {
   using namespace spnerf;
   const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
   bench::PrintHeader("Fig 6(a)", "memory size reduction vs original VQRF");
+  bench::JsonReport json("fig6a_memory");
+  const bench::WallTimer timer;
   std::printf("%-12s %12s %12s %10s | %10s %10s %10s %10s\n", "scene",
               "VQRF", "SpNeRF", "reduction", "hashtbl", "bitmap", "codebook",
               "truegrid");
@@ -25,5 +27,6 @@ int main(int argc, char** argv) {
   bench::PrintRule();
   std::printf("average reduction: %.2fx   (paper: 21.07x)\n",
               MeanOf(reductions));
+  json.Add("memory", timer.ElapsedMs(), bench::EffectiveThreads(cfg));
   return 0;
 }

@@ -11,6 +11,8 @@ int main(int argc, char** argv) {
               "SpNeRF-pre", "SpNeRF-post", "post-VQRF", "VQ SSIM", "Sp SSIM",
               "alias");
   bench::PrintRule();
+  bench::JsonReport json("fig6b_psnr");
+  const bench::WallTimer timer;
   std::vector<double> vq, pre, post;
   for (const PsnrRow& r : RunPsnr(cfg)) {
     std::printf("%-12s %9.2f %12.2f %12.2f %+11.2f %10.4f %10.4f %9.2f%%\n",
@@ -28,5 +30,6 @@ int main(int argc, char** argv) {
   std::printf("shape check: post-mask within %.2f dB of VQRF; masking gains "
               "%.1f dB (paper: comparable / large gap)\n",
               MeanOf(vq) - MeanOf(post), MeanOf(post) - MeanOf(pre));
+  json.Add("psnr", timer.ElapsedMs(), bench::EffectiveThreads(cfg));
   return 0;
 }

@@ -16,24 +16,29 @@ int main(int argc, char** argv) {
   }
   if (!c.Has("img")) cfg.psnr_image_size = 80;
 
+  bench::JsonReport json("fig7_sweeps");
   bench::PrintHeader("Fig 7(a)", "PSNR vs subgrid number (table size = 16k)");
   std::printf("%-10s %10s %10s %12s\n", "subgrids", "PSNR", "alias", "encoded");
   bench::PrintRule();
+  const bench::WallTimer timer_a;
   for (const SweepPoint& pt :
        RunSubgridSweep(cfg, {4, 8, 16, 32, 64, 128, 256}, 16 * 1024)) {
     std::printf("%-10d %9.2f %9.2f%% %12s\n", pt.subgrid_count, pt.mean_psnr,
                 pt.alias_rate * 100.0, FormatBytes(pt.spnerf_bytes).c_str());
   }
+  json.Add("subgrid_sweep", timer_a.ElapsedMs(), bench::EffectiveThreads(cfg));
 
   std::printf("\n");
   bench::PrintHeader("Fig 7(b)", "PSNR vs hash table size (subgrids = 64)");
   std::printf("%-10s %10s %10s %12s\n", "table T", "PSNR", "alias", "encoded");
   bench::PrintRule();
+  const bench::WallTimer timer_b;
   for (const SweepPoint& pt : RunTableSweep(
            cfg, 64, {2048, 4096, 8192, 16384, 32768, 65536, 131072})) {
     std::printf("%-10u %9.2f %9.2f%% %12s\n", pt.table_size, pt.mean_psnr,
                 pt.alias_rate * 100.0, FormatBytes(pt.spnerf_bytes).c_str());
   }
+  json.Add("table_sweep", timer_b.ElapsedMs(), bench::EffectiveThreads(cfg));
   bench::PrintRule();
   std::printf("paper design point: K=64, T=32k — larger values yield only "
               "marginal PSNR improvements\n");

@@ -9,6 +9,7 @@
 #include "render/embedding.hpp"
 #include "render/field_source.hpp"
 #include "render/mlp.hpp"
+#include "render/render_engine.hpp"
 #include "scene/dataset.hpp"
 
 namespace spnerf {
@@ -129,6 +130,27 @@ void BM_MlpForwardFp16(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MlpForwardFp16);
+
+/// Whole-tile render through the engine, stats on — the end-to-end hot path
+/// the refactor parallelised. Sweeps the worker count.
+void BM_RenderEngineTile(benchmark::State& state) {
+  MicroData& d = Data();
+  const SpNeRFFieldSource src(d.codec, false, false);
+  RenderJob job;
+  job.source = &src;
+  job.mlp = &d.mlp;
+  job.camera = Camera({-1.4f, 0.6f, 0.5f}, {0.5f, 0.45f, 0.5f},
+                      {0.f, 1.f, 0.f}, 35.f, 64, 64);
+  job.collect_stats = true;
+  RenderEngineOptions opts;
+  opts.max_threads = static_cast<unsigned>(state.range(0));
+  const RenderEngine engine(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Render(job));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64);
+}
+BENCHMARK(BM_RenderEngineTile)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_ViewEmbedding(benchmark::State& state) {
   const Vec3f dir = Vec3f{0.3f, -0.5f, 0.8f}.Normalized();

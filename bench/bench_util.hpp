@@ -2,12 +2,20 @@
 // standalone executable that prints the rows/series of one table or figure.
 // All benches accept `key=value` overrides, e.g.:
 //   ./bench_fig6b_psnr scenes=2 res=96 img=64     # quick smoke run
+//
+// Next to the human-readable tables every bench writes its timing entries
+// to a machine-readable BENCH_<id>.json (one file per run, overwritten) so
+// wall-time trajectories can be collected per commit.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/config.hpp"
+#include "common/parallel.hpp"
 #include "common/units.hpp"
 #include "core/experiments.hpp"
 
@@ -19,6 +27,7 @@ namespace spnerf::bench {
 ///   res=R      override the voxel-grid resolution (default: paper scale)
 ///   img=S      PSNR raster size (default 100)
 ///   tile=S     workload-measurement tile (default 96)
+///   threads=N  render worker cap (default 0 = every pool worker)
 inline ExperimentConfig MakeConfig(int argc, const char* const* argv) {
   const Config c = Config::FromArgs(argc, argv);
   ExperimentConfig cfg;
@@ -29,7 +38,15 @@ inline ExperimentConfig MakeConfig(int argc, const char* const* argv) {
   cfg.resolution_override = c.GetInt("res", 0);
   cfg.psnr_image_size = c.GetInt("img", 100);
   cfg.tile_size = c.GetInt("tile", 96);
+  cfg.threads = static_cast<unsigned>(c.GetInt("threads", 0));
   return cfg;
+}
+
+/// Render parallelism a config resolves to (the JSON `threads` field).
+/// Matches RenderEngine semantics: an explicit cap is honoured even past
+/// the global pool size (dedicated-pool oversubscription).
+inline unsigned EffectiveThreads(const ExperimentConfig& cfg) {
+  return cfg.threads ? cfg.threads : ThreadPool::Global().WorkerCount();
 }
 
 inline void PrintHeader(const char* id, const char* title) {
@@ -41,5 +58,63 @@ inline void PrintHeader(const char* id, const char* title) {
 inline void PrintRule() {
   std::printf("--------------------------------------------------------------\n");
 }
+
+/// Wall-clock stopwatch for bench phases.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable timing report, written (overwriting any previous run)
+/// as BENCH_<id>.json on destruction. One entry per measured phase:
+/// {name, wall_ms, threads}.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_id) : bench_id_(std::move(bench_id)) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void Add(const std::string& name, double wall_ms, unsigned threads) {
+    entries_.push_back(Entry{name, wall_ms, threads});
+  }
+
+  ~JsonReport() {
+    const std::string path = "BENCH_" + bench_id_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"entries\": [\n",
+                 bench_id_.c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                   "\"threads\": %u}%s\n",
+                   e.name.c_str(), e.wall_ms, e.threads,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[json] wrote %s (%zu entries)\n", path.c_str(),
+                entries_.size());
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double wall_ms = 0.0;
+    unsigned threads = 0;
+  };
+  std::string bench_id_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace spnerf::bench

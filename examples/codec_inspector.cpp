@@ -94,5 +94,31 @@ int main(int argc, char** argv) {
                 d.features[0]);
     break;
   }
+
+  // Aggregate decode traffic of one rendered view, collected through the
+  // tile engine's parallel counter shards — the unit-activity mix the SGPU
+  // sees over a frame.
+  SpNeRFFieldSource source(codec, /*fp16_tiu=*/false,
+                           /*collect_counters=*/false);
+  RenderJob job;
+  job.source = &source;
+  job.mlp = &pipeline.GetMlp();
+  job.camera = pipeline.MakeCamera(96, 96);
+  job.options = pipeline.RenderOptionsWithSkip();
+  job.collect_stats = true;
+  const RenderResult r = pipeline.MakeEngine().Render(job);
+  const DecodeCounters& dc = r.counters;
+  const double q = dc.queries ? static_cast<double>(dc.queries) : 1.0;
+  std::printf("\ndecode traffic over a 96x96 view (%.1f ms):\n", r.wall_ms);
+  std::printf("  vertex queries : %llu\n",
+              static_cast<unsigned long long>(dc.queries));
+  std::printf("  bitmap zero    : %5.1f%%\n",
+              100.0 * static_cast<double>(dc.bitmap_zero) / q);
+  std::printf("  empty slot     : %5.1f%%\n",
+              100.0 * static_cast<double>(dc.empty_slot) / q);
+  std::printf("  codebook hits  : %5.1f%%\n",
+              100.0 * static_cast<double>(dc.codebook_hits) / q);
+  std::printf("  true-grid hits : %5.1f%%\n",
+              100.0 * static_cast<double>(dc.true_grid_hits) / q);
   return 0;
 }

@@ -1,0 +1,93 @@
+#include "common/parallel.hpp"
+
+namespace spnerf {
+namespace {
+
+// The pool whose region this thread is currently executing (or whose worker
+// it permanently is). Dispatching onto the same pool from such a thread runs
+// inline instead of re-entering the busy fork-join machinery; dispatching
+// onto a different, idle pool still fans out.
+thread_local ThreadPool* tls_current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  worker_count_ = workers;
+  threads_.reserve(workers - 1);
+  for (unsigned i = 0; i + 1 < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::WorkerLoop(unsigned pool_index) {
+  tls_current_pool = this;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Region region;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      region = region_;
+    }
+    // Slot 0 belongs to the dispatching thread. Threads beyond the region's
+    // parallelism neither run nor count towards completion, so a small
+    // region on a big pool is not gated on every thread waking up.
+    const unsigned slot = pool_index + 1;
+    if (slot < region.slots) {
+      region.invoke(region.ctx, slot);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Dispatch(void (*invoke)(void*, unsigned), void* ctx,
+                          unsigned slots) {
+  slots = std::min(std::max(slots, 1u), worker_count_);
+  if (slots == 1 || threads_.empty() || tls_current_pool == this) {
+    // Sequential fallback; nested regions on the same pool also land here
+    // so they cannot clobber an in-flight fork-join. A different pool's
+    // worker dispatching here still fans out.
+    for (unsigned s = 0; s < slots; ++s) invoke(ctx, s);
+    return;
+  }
+  // One region at a time: concurrent dispatchers queue up here.
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    region_ = Region{invoke, ctx, slots};
+    ++generation_;
+    outstanding_ = slots - 1;  // participating pool threads
+  }
+  work_ready_.notify_all();
+  // Slot 0 runs on the dispatching thread, which may itself belong to
+  // another pool; mark it as ours for the duration so same-pool nesting
+  // stays inline, then restore.
+  ThreadPool* const previous = tls_current_pool;
+  tls_current_pool = this;
+  invoke(ctx, 0);
+  tls_current_pool = previous;
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+}  // namespace spnerf

@@ -1,41 +1,116 @@
-// Deterministic fork-join parallel-for over an index range. Work is split
-// into contiguous chunks, one per worker; results must be written to
-// disjoint, pre-sized outputs so runs are bit-reproducible regardless of the
-// thread count.
+// Persistent fork-join thread pool and the parallel-for primitives built on
+// it. The pool keeps its workers alive across calls (no per-call thread
+// spawn); parallel regions hand out contiguous index chunks from an atomic
+// cursor, so load balances dynamically while every index is visited exactly
+// once. Results must be written to disjoint, pre-sized outputs so runs are
+// bit-reproducible regardless of the worker count or schedule.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace spnerf {
 
-/// Invokes fn(begin, end) on contiguous chunks of [0, n) across worker
-/// threads. fn must only touch state disjoint per index.
-inline void ParallelFor(std::size_t n,
-                        const std::function<void(std::size_t, std::size_t)>& fn,
-                        unsigned max_threads = 0) {
+/// A fixed set of worker threads executing fork-join parallel regions. The
+/// calling thread always participates as slot 0, so a pool constructed with
+/// `workers = W` runs regions at parallelism W using W-1 pool threads.
+///
+/// Use the process-wide lazy singleton via Global() for rendering and
+/// preprocessing; construct explicit instances in tests or when isolating
+/// workloads. Regions dispatched from inside a pool worker run inline on
+/// that worker (no nested fan-out, no deadlock).
+class ThreadPool {
+ public:
+  /// `workers = 0` sizes the pool to std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallel slots available to a region (pool threads + calling thread).
+  [[nodiscard]] unsigned WorkerCount() const { return worker_count_; }
+
+  /// Parallelism a worker cap resolves to: 0 means every worker, anything
+  /// else clamps to WorkerCount(). The one rule shared by ParallelFor, the
+  /// render engine and the bench reporting.
+  [[nodiscard]] unsigned ResolveWorkers(unsigned cap) const {
+    return cap ? std::min(cap, worker_count_) : worker_count_;
+  }
+
+  /// Process-wide pool, created on first use.
+  static ThreadPool& Global();
+
+  /// Invokes fn(slot) for every slot in [0, slots), slot 0 on the calling
+  /// thread, the rest on pool threads; returns when all slots finish.
+  /// `slots` is clamped to WorkerCount(). Regions dispatched from inside a
+  /// running region (any slot) execute inline on that thread; concurrent
+  /// dispatches from independent threads serialise.
+  template <typename Fn>
+  void RunOnWorkers(unsigned slots, Fn&& fn) {
+    using Callable = std::remove_reference_t<Fn>;
+    Dispatch(
+        [](void* ctx, unsigned slot) { (*static_cast<Callable*>(ctx))(slot); },
+        const_cast<std::remove_const_t<Callable>*>(&fn), slots);
+  }
+
+ private:
+  void Dispatch(void (*invoke)(void*, unsigned), void* ctx, unsigned slots);
+  void WorkerLoop(unsigned pool_index);
+
+  struct Region {
+    void (*invoke)(void*, unsigned) = nullptr;
+    void* ctx = nullptr;
+    unsigned slots = 0;
+  };
+
+  unsigned worker_count_ = 1;
+  std::vector<std::thread> threads_;  // worker_count_ - 1 entries
+
+  std::mutex dispatch_mutex_;  // serialises whole regions
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Region region_;
+  std::uint64_t generation_ = 0;  // bumped per dispatched region
+  unsigned outstanding_ = 0;      // participating pool threads still running
+  bool stopping_ = false;
+};
+
+/// Invokes fn(begin, end) on contiguous chunks of [0, n) across the pool's
+/// workers (ThreadPool::Global() unless `pool` is given). fn must only touch
+/// state disjoint per index. `max_threads` caps the parallelism; 0 uses
+/// every worker.
+template <typename Fn>
+void ParallelFor(std::size_t n, Fn&& fn, unsigned max_threads = 0,
+                 ThreadPool* pool = nullptr) {
   if (n == 0) return;
-  unsigned workers = max_threads ? max_threads
-                                 : std::max(1u, std::thread::hardware_concurrency());
-  workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, n));
+  ThreadPool& tp = pool ? *pool : ThreadPool::Global();
+  unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(tp.ResolveWorkers(max_threads), n));
   if (workers <= 1) {
-    fn(0, n);
+    fn(std::size_t{0}, n);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  const std::size_t chunk = (n + workers - 1) / workers;
-  for (unsigned t = 0; t < workers; ++t) {
-    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
-  }
-  for (auto& th : threads) th.join();
+  // ~4 chunks per worker: coarse enough to amortise the atomic cursor, fine
+  // enough to balance uneven per-index cost.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, n / (static_cast<std::size_t>(workers) * 4));
+  std::atomic<std::size_t> cursor{0};
+  tp.RunOnWorkers(workers, [&](unsigned) {
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(chunk);
+      if (begin >= n) break;
+      fn(begin, std::min(n, begin + chunk));
+    }
+  });
 }
 
 }  // namespace spnerf

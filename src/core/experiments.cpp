@@ -16,6 +16,7 @@ PipelineConfig ExperimentConfig::MakePipelineConfig(SceneId id) const {
   pc.dataset.vqrf = vqrf;
   pc.spnerf = spnerf;
   pc.render = render;
+  pc.engine.max_threads = threads;
   pc.mlp_seed = mlp_seed;
   return pc;
 }
@@ -72,10 +73,10 @@ std::vector<PsnrRow> RunPsnr(const ExperimentConfig& cfg) {
     const ScenePipeline p = ScenePipeline::Build(cfg.MakePipelineConfig(id));
     const Camera cam = p.MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
 
-    const Image gt = p.RenderGroundTruth(cam);
-    const Image vqrf = p.RenderVqrf(cam);
-    const Image pre = p.RenderSpnerf(cam, /*bitmap_masking=*/false);
-    const Image post = p.RenderSpnerf(cam, /*bitmap_masking=*/true);
+    // The four compared paths render as one batch: their tiles interleave
+    // through a single scheduler instead of four serial full-frame passes.
+    Image gt, vqrf, pre, post;
+    (void)p.RenderComparison(cam, &gt, &vqrf, &pre, &post);
     p.ReleaseRestored();
 
     PsnrRow r;
@@ -107,8 +108,9 @@ SweepPoint SweepOne(const ExperimentConfig& cfg, int subgrids, u32 table) {
     pc.spnerf.table_size = table;
     const ScenePipeline p = ScenePipeline::Build(pc);
     const Camera cam = p.MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
-    const Image gt = p.RenderGroundTruth(cam);
-    const Image post = p.RenderSpnerf(cam, /*bitmap_masking=*/true);
+    Image gt, post;
+    (void)p.RenderComparison(cam, &gt, /*vqrf=*/nullptr,
+                             /*spnerf_premask=*/nullptr, &post);
     psnrs.push_back(Psnr(gt, post));
     aliases.push_back(p.Codec().NonZeroAliasRate());
     bytes.push_back(static_cast<double>(p.Codec().TotalBytes()));

@@ -23,6 +23,8 @@ struct ExperimentConfig {
   int tile_size = 96;
   int frame_width = 800;
   int frame_height = 800;
+  /// Render worker cap for every experiment render; 0 = all pool workers.
+  unsigned threads = 0;
   VqrfBuildParams vqrf;
   SpNeRFParams spnerf;
   RenderOptions render;

@@ -29,41 +29,98 @@ Camera ScenePipeline::MakeCamera(int width, int height, int view,
   return cams[static_cast<std::size_t>(view)];
 }
 
-RenderOptions ScenePipeline::OptionsWithSkip() const {
+RenderOptions ScenePipeline::RenderOptionsWithSkip() const {
   RenderOptions opt = config_.render;
   opt.coarse_skip = &coarse_;
   return opt;
 }
 
-Image ScenePipeline::RenderGroundTruth(const Camera& camera) const {
-  const AnalyticFieldSource source(dataset_->scene);
-  return VolumeRenderer(OptionsWithSkip()).Render(source, mlp_, camera);
-}
-
-Image ScenePipeline::RenderVqrf(const Camera& camera) const {
+const DenseGrid& ScenePipeline::RestoredGrid() const {
   if (!restored_) {
     restored_ = std::make_shared<DenseGrid>(dataset_->vqrf.Restore());
   }
-  const GridFieldSource source(*restored_);
-  return VolumeRenderer(OptionsWithSkip()).Render(source, mlp_, camera);
+  return *restored_;
+}
+
+Image ScenePipeline::RenderGroundTruth(const Camera& camera) const {
+  const AnalyticFieldSource source(dataset_->scene);
+  RenderJob job;
+  job.source = &source;
+  job.mlp = &mlp_;
+  job.camera = camera;
+  job.options = RenderOptionsWithSkip();
+  return std::move(MakeEngine().Render(job).image);
+}
+
+Image ScenePipeline::RenderVqrf(const Camera& camera) const {
+  const GridFieldSource source(RestoredGrid());
+  RenderJob job;
+  job.source = &source;
+  job.mlp = &mlp_;
+  job.camera = camera;
+  job.options = RenderOptionsWithSkip();
+  return std::move(MakeEngine().Render(job).image);
 }
 
 Image ScenePipeline::RenderSpnerf(const Camera& camera, bool bitmap_masking,
                                   RenderStats* stats,
                                   DecodeCounters* counters) const {
-  const bool collect = counters != nullptr;
-  SpNeRFFieldSource source(codec_, config_.render.fp16_mlp, collect);
+  // One stateless source serves every worker; decode activity lands in the
+  // engine's per-tile counter shards, never in the source.
+  SpNeRFFieldSource source(codec_, config_.render.fp16_mlp,
+                           /*collect_counters=*/false);
   source.SetMasking(bitmap_masking);
-  Image img;
-  if (collect && stats == nullptr) {
-    // Counters require a sequential render; force it via a stats sink.
-    RenderStats sink;
-    img = VolumeRenderer(OptionsWithSkip()).Render(source, mlp_, camera, &sink);
-  } else {
-    img = VolumeRenderer(OptionsWithSkip()).Render(source, mlp_, camera, stats);
+  RenderJob job;
+  job.source = &source;
+  job.mlp = &mlp_;
+  job.camera = camera;
+  job.options = RenderOptionsWithSkip();
+  job.collect_stats = stats != nullptr || counters != nullptr;
+  RenderResult result = MakeEngine().Render(job);
+  if (stats) stats->Merge(result.stats);
+  if (counters) *counters = result.counters;
+  return std::move(result.image);
+}
+
+double ScenePipeline::RenderComparison(const Camera& camera, Image* gt,
+                                       Image* vqrf, Image* spnerf_premask,
+                                       Image* spnerf_postmask) const {
+  const AnalyticFieldSource gt_src(dataset_->scene);
+  SpNeRFFieldSource pre_src(codec_, config_.render.fp16_mlp,
+                            /*collect_counters=*/false);
+  pre_src.SetMasking(false);
+  SpNeRFFieldSource post_src(codec_, config_.render.fp16_mlp,
+                             /*collect_counters=*/false);
+  post_src.SetMasking(true);
+  std::unique_ptr<GridFieldSource> vqrf_src;
+  if (vqrf != nullptr) {
+    vqrf_src = std::make_unique<GridFieldSource>(RestoredGrid());
   }
-  if (counters) *counters = source.Counters();
-  return img;
+
+  RenderJob base;
+  base.mlp = &mlp_;
+  base.camera = camera;
+  base.options = RenderOptionsWithSkip();
+
+  std::vector<RenderJob> jobs;
+  std::vector<Image*> outputs;
+  const auto add = [&](Image* out, const FieldSource* source) {
+    if (out == nullptr) return;
+    RenderJob job = base;
+    job.source = source;
+    jobs.push_back(job);
+    outputs.push_back(out);
+  };
+  add(gt, &gt_src);
+  add(vqrf, vqrf_src.get());
+  add(spnerf_premask, &pre_src);
+  add(spnerf_postmask, &post_src);
+
+  std::vector<RenderResult> results = MakeEngine().RenderBatch(jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    *outputs[i] = std::move(results[i].image);
+  }
+  return results.empty() ? 0.0 : results.front().wall_ms;
 }
 
 FrameWorkload ScenePipeline::MeasureWorkload(int tile_size, int frame_width,

@@ -13,7 +13,7 @@
 #include "grid/occupancy.hpp"
 #include "render/camera.hpp"
 #include "render/mlp.hpp"
-#include "render/volume_renderer.hpp"
+#include "render/render_engine.hpp"
 #include "scene/dataset.hpp"
 #include "sim/workload.hpp"
 
@@ -25,6 +25,8 @@ struct PipelineConfig {
   SpNeRFParams spnerf;
   u64 mlp_seed = 2025;
   RenderOptions render;
+  /// Tile scheduler configuration for every render this pipeline issues.
+  RenderEngineOptions engine;
   /// Fine voxels per coarse skip cell.
   int coarse_factor = 4;
   float camera_radius = 1.35f;
@@ -46,15 +48,32 @@ class ScenePipeline {
   [[nodiscard]] Camera MakeCamera(int width, int height, int view = 0,
                                   int n_views = 8) const;
 
+  /// Tile engine configured from PipelineConfig::engine; all pipeline
+  /// renders go through it.
+  [[nodiscard]] RenderEngine MakeEngine() const {
+    return RenderEngine(config_.engine);
+  }
+  /// Render options with this pipeline's coarse skip attached. Callers
+  /// building their own RenderJobs (orbit sweeps, codec A/B batches) use
+  /// this so every path marches identical rays.
+  [[nodiscard]] RenderOptions RenderOptionsWithSkip() const;
+
   [[nodiscard]] Image RenderGroundTruth(const Camera& camera) const;
   /// Renders from the restored dense grid (the original VQRF flow). The
   /// restored grid is materialised on first use and cached.
   [[nodiscard]] Image RenderVqrf(const Camera& camera) const;
-  /// Renders via online decoding. `stats`/`counters` make the render
-  /// sequential and collect the hardware workload.
+  /// Renders via online decoding; stats/counter collection is fully
+  /// parallel (per-tile shards, ordered reduction).
   [[nodiscard]] Image RenderSpnerf(const Camera& camera, bool bitmap_masking,
                                    RenderStats* stats = nullptr,
                                    DecodeCounters* counters = nullptr) const;
+  /// Renders the paper's compared paths for one camera as a single engine
+  /// batch. Null output pointers skip that path (a null `vqrf` also skips
+  /// materialising the restored grid). Returns the batch wall time in ms.
+  double RenderComparison(const Camera& camera, Image* gt, Image* vqrf,
+                          Image* spnerf_premask, Image* spnerf_postmask) const;
+  /// Restored dense grid, materialised on first use (large: FP32).
+  [[nodiscard]] const DenseGrid& RestoredGrid() const;
 
   /// Tile-render with statistics and scale to a full frame (sim input).
   [[nodiscard]] FrameWorkload MeasureWorkload(int tile_size = 96,
@@ -75,8 +94,6 @@ class ScenePipeline {
   Mlp mlp_;
   CoarseOccupancy coarse_;
   mutable std::shared_ptr<DenseGrid> restored_;
-
-  [[nodiscard]] RenderOptions OptionsWithSkip() const;
 };
 
 }  // namespace spnerf

@@ -42,6 +42,16 @@ struct DecodeCounters {
   u64 empty_slot = 0;       // bitmap said non-zero is off OR slot never filled
   u64 codebook_hits = 0;    // payload dispatched to the color codebook
   u64 true_grid_hits = 0;   // payload dispatched to the true voxel grid
+
+  /// Accumulates another shard; exact (integer) in any merge order, so
+  /// per-tile shards reduce to the same totals as a sequential count.
+  void Merge(const DecodeCounters& other) {
+    queries += other.queries;
+    bitmap_zero += other.bitmap_zero;
+    empty_slot += other.empty_slot;
+    codebook_hits += other.codebook_hits;
+    true_grid_hits += other.true_grid_hits;
+  }
 };
 
 class SpNeRFModel {

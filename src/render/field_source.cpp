@@ -44,13 +44,13 @@ FieldSample GridFieldSource::Sample(Vec3f world) const {
   return out;
 }
 
-FieldSample SpNeRFFieldSource::Sample(Vec3f world) const {
+FieldSample SpNeRFFieldSource::Sample(Vec3f world,
+                                      DecodeCounters* counters) const {
   FieldSample out;
   Vec3i base;
   Vec3f frac;
   if (!detail::SetupTrilinear(model_->Dims(), world, base, frac)) return out;
 
-  DecodeCounters* counters = collect_counters_ ? &counters_ : nullptr;
   if (!fp16_tiu_) {
     for (int corner = 0; corner < 8; ++corner) {
       const Vec3i v{base.x + (corner & 1), base.y + ((corner >> 1) & 1),

@@ -27,6 +27,15 @@ class FieldSource {
   virtual ~FieldSource() = default;
   /// Samples the field at a world position in [0,1]^3.
   [[nodiscard]] virtual FieldSample Sample(Vec3f world) const = 0;
+  /// Counter-aware sampling: decode activity is accumulated into `counters`
+  /// (caller-owned, may be a per-tile shard). Sources without a decode stage
+  /// ignore it. This is the thread-safe entry point the render engine uses;
+  /// distinct counter shards may be sampled concurrently.
+  [[nodiscard]] virtual FieldSample Sample(Vec3f world,
+                                           DecodeCounters* counters) const {
+    (void)counters;
+    return Sample(world);
+  }
   [[nodiscard]] virtual const char* Name() const = 0;
 };
 
@@ -34,6 +43,7 @@ class FieldSource {
 class AnalyticFieldSource final : public FieldSource {
  public:
   explicit AnalyticFieldSource(const Scene& scene) : scene_(&scene) {}
+  using FieldSource::Sample;  // keep the counter-aware overload visible
   [[nodiscard]] FieldSample Sample(Vec3f world) const override;
   [[nodiscard]] const char* Name() const override { return "analytic"; }
 
@@ -47,6 +57,7 @@ class AnalyticFieldSource final : public FieldSource {
 class GridFieldSource final : public FieldSource {
  public:
   explicit GridFieldSource(const DenseGrid& grid) : grid_(&grid) {}
+  using FieldSource::Sample;  // keep the counter-aware overload visible
   [[nodiscard]] FieldSample Sample(Vec3f world) const override;
   [[nodiscard]] const char* Name() const override { return "dense-grid"; }
 
@@ -60,9 +71,13 @@ class GridFieldSource final : public FieldSource {
 class SpNeRFFieldSource final : public FieldSource {
  public:
   /// When `fp16_tiu` is set, interpolation weights and accumulation are
-  /// rounded to binary16, matching the hardware TIU exactly. Counter
-  /// collection is not thread-safe; disable it (`collect_counters=false`)
-  /// when sampling from multiple threads.
+  /// rounded to binary16, matching the hardware TIU exactly.
+  ///
+  /// The two-argument Sample overload writes decode activity to the
+  /// caller-supplied counter shard and touches no source state, so one
+  /// source instance can serve many render workers. The one-argument
+  /// overload keeps the legacy convenience of an internal accumulator
+  /// (enabled by `collect_counters`); that path is single-threaded only.
   explicit SpNeRFFieldSource(const SpNeRFModel& model, bool fp16_tiu = false,
                              bool collect_counters = true)
       : model_(&model),
@@ -75,7 +90,11 @@ class SpNeRFFieldSource final : public FieldSource {
   void SetMasking(bool masking) { masking_ = masking; }
   [[nodiscard]] bool Masking() const { return masking_; }
 
-  [[nodiscard]] FieldSample Sample(Vec3f world) const override;
+  [[nodiscard]] FieldSample Sample(Vec3f world) const override {
+    return Sample(world, collect_counters_ ? &counters_ : nullptr);
+  }
+  [[nodiscard]] FieldSample Sample(Vec3f world,
+                                   DecodeCounters* counters) const override;
   [[nodiscard]] const char* Name() const override { return "spnerf"; }
 
   [[nodiscard]] const DecodeCounters& Counters() const { return counters_; }
@@ -86,7 +105,7 @@ class SpNeRFFieldSource final : public FieldSource {
   bool fp16_tiu_;
   bool collect_counters_;
   bool masking_;
-  mutable DecodeCounters counters_;
+  mutable DecodeCounters counters_;  // one-argument Sample path only
 };
 
 namespace detail {
@@ -121,6 +140,7 @@ class CodecFieldSource final : public FieldSource {
  public:
   explicit CodecFieldSource(const Codec& codec) : codec_(&codec) {}
 
+  using FieldSource::Sample;  // keep the counter-aware overload visible
   [[nodiscard]] FieldSample Sample(Vec3f world) const override {
     FieldSample out;
     Vec3i base;

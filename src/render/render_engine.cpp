@@ -1,0 +1,131 @@
+#include "render/render_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+namespace {
+
+/// One (job, tile) work unit; its position in the task list indexes the
+/// tile's stat accumulator shard.
+struct TileTask {
+  std::size_t job = 0;
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+};
+
+struct TileAccum {
+  RenderStats stats;
+  DecodeCounters counters;
+};
+
+}  // namespace
+
+RenderEngine::RenderEngine(RenderEngineOptions options) : options_(options) {
+  SPNERF_CHECK_MSG(options_.tile_size > 0, "tile size must be positive");
+  if (options_.pool == nullptr && options_.max_threads != 0 &&
+      options_.max_threads > ThreadPool::Global().WorkerCount()) {
+    // Explicit oversubscription: the caller asked for more workers than the
+    // global pool detected cores, so give them a pool of that size.
+    dedicated_ = std::make_unique<ThreadPool>(options_.max_threads);
+  }
+}
+
+ThreadPool& RenderEngine::SchedulePool() const {
+  if (options_.pool != nullptr) return *options_.pool;
+  if (dedicated_ != nullptr) return *dedicated_;
+  return ThreadPool::Global();
+}
+
+RenderResult RenderEngine::Render(const RenderJob& job) const {
+  std::vector<RenderResult> results = RenderBatch({job});
+  return std::move(results.front());
+}
+
+std::vector<RenderResult> RenderEngine::RenderBatch(
+    const std::vector<RenderJob>& jobs) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<RenderResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  // Deterministic tile decomposition: row-major tiles per job, jobs in batch
+  // order. Shard indices follow the same enumeration, so the reduction below
+  // is a fixed-order fold for a given batch regardless of scheduling.
+  const int tile = options_.tile_size;
+  std::vector<TileTask> tasks;
+  std::vector<VolumeRenderer> renderers;
+  renderers.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const RenderJob& job = jobs[j];
+    SPNERF_CHECK_MSG(job.source != nullptr && job.mlp != nullptr,
+                     "render job needs a field source and an MLP");
+    renderers.emplace_back(job.options);
+    results[j].image = Image(job.camera.Width(), job.camera.Height());
+    for (int y = 0; y < job.camera.Height(); y += tile) {
+      for (int x = 0; x < job.camera.Width(); x += tile) {
+        TileTask t;
+        t.job = j;
+        t.x0 = x;
+        t.y0 = y;
+        t.x1 = std::min(x + tile, job.camera.Width());
+        t.y1 = std::min(y + tile, job.camera.Height());
+        tasks.push_back(t);
+      }
+    }
+  }
+
+  std::vector<TileAccum> shards(tasks.size());
+  const auto render_tile = [&](std::size_t task_index) {
+    const TileTask& t = tasks[task_index];
+    const RenderJob& job = jobs[t.job];
+    RenderStats* stats =
+        job.collect_stats ? &shards[task_index].stats : nullptr;
+    DecodeCounters* counters =
+        job.collect_stats ? &shards[task_index].counters : nullptr;
+    Image& img = results[t.job].image;
+    const VolumeRenderer& renderer = renderers[t.job];
+    for (int y = t.y0; y < t.y1; ++y) {
+      for (int x = t.x0; x < t.x1; ++x) {
+        img.At(x, y) = renderer.RenderRay(*job.source, *job.mlp,
+                                          job.camera.PixelRay(x, y), stats,
+                                          counters);
+      }
+    }
+  };
+
+  ThreadPool& pool = SchedulePool();
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      pool.ResolveWorkers(options_.max_threads), tasks.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) render_tile(i);
+  } else {
+    std::atomic<std::size_t> cursor{0};
+    pool.RunOnWorkers(workers, [&](unsigned) {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1);
+        if (i >= tasks.size()) break;
+        render_tile(i);
+      }
+    });
+  }
+
+  // Ordered reduction: shard order == tile enumeration order.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TileTask& t = tasks[i];
+    if (!jobs[t.job].collect_stats) continue;
+    results[t.job].stats.Merge(shards[i].stats);
+    results[t.job].counters.Merge(shards[i].counters);
+  }
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  for (RenderResult& r : results) r.wall_ms = wall_ms;
+  return results;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,82 @@
+// Batched tile-based render engine: the single scheduling seam every
+// rendering caller goes through (benches, examples, the per-scene pipeline
+// and VolumeRenderer::Render itself).
+//
+// A RenderJob names what to render (field source, MLP, camera, options); the
+// engine splits every job of a batch into square pixel tiles, feeds the
+// flattened (job, tile) list to the persistent ThreadPool through an atomic
+// cursor, and reduces the per-tile statistic shards in tile order. Tile
+// decomposition and reduction order depend only on the image sizes — never
+// on the worker count or schedule — so a stats-on render is bit-identical
+// from 1 thread to N.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/image.hpp"
+#include "common/parallel.hpp"
+#include "render/camera.hpp"
+#include "render/volume_renderer.hpp"
+
+namespace spnerf {
+
+/// One view to render. `source` and `mlp` are non-owning and must outlive
+/// the engine call; one source instance may back many jobs of a batch.
+struct RenderJob {
+  const FieldSource* source = nullptr;
+  const Mlp* mlp = nullptr;
+  Camera camera;
+  RenderOptions options;
+  /// Collect RenderStats and DecodeCounters for this view. Stats-on tiles
+  /// render at full parallelism (per-tile shards, ordered reduction).
+  bool collect_stats = false;
+};
+
+struct RenderResult {
+  Image image;
+  RenderStats stats;        // zero unless the job collected stats
+  DecodeCounters counters;  // zero unless the job collected stats
+  /// Wall-clock of the engine call that produced this result. Jobs of one
+  /// batch share the scheduler, so they report the same batch wall time.
+  double wall_ms = 0.0;
+};
+
+struct RenderEngineOptions {
+  /// Square tile edge in pixels. Also the stat-shard granularity.
+  int tile_size = 32;
+  /// Cap on parallel workers; 0 uses every pool worker. A value above the
+  /// global pool size builds a dedicated pool for the call — explicit
+  /// oversubscription for machines where the detected core count is wrong
+  /// (cgroup-limited containers under-report it).
+  unsigned max_threads = 0;
+  /// Pool to schedule on; nullptr uses ThreadPool::Global() (or a dedicated
+  /// pool when max_threads exceeds its size, see above).
+  ThreadPool* pool = nullptr;
+};
+
+class RenderEngine {
+ public:
+  explicit RenderEngine(RenderEngineOptions options = {});
+
+  [[nodiscard]] const RenderEngineOptions& Options() const { return options_; }
+
+  /// Renders one view. Equivalent to a one-job batch.
+  [[nodiscard]] RenderResult Render(const RenderJob& job) const;
+
+  /// Renders N views through one tile queue: tiles of all jobs interleave
+  /// across the workers, so short jobs do not leave the pool idle while a
+  /// long job finishes.
+  [[nodiscard]] std::vector<RenderResult> RenderBatch(
+      const std::vector<RenderJob>& jobs) const;
+
+ private:
+  [[nodiscard]] ThreadPool& SchedulePool() const;
+
+  RenderEngineOptions options_;
+  // Owned pool for explicit oversubscription (max_threads beyond the global
+  // pool), built once per engine rather than per render call.
+  std::unique_ptr<ThreadPool> dedicated_;
+};
+
+}  // namespace spnerf

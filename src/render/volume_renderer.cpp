@@ -2,13 +2,13 @@
 
 #include <cmath>
 
-#include "common/parallel.hpp"
 #include "render/embedding.hpp"
+#include "render/render_engine.hpp"
 
 namespace spnerf {
-namespace {
 
-/// Distance along `ray` at which it exits `cell` (entered at parameter `t`).
+namespace render_detail {
+
 float CellExitT(const Ray& ray, const Aabb& cell, float t) {
   float exit_t = std::numeric_limits<float>::max();
   for (int axis = 0; axis < 3; ++axis) {
@@ -18,13 +18,19 @@ float CellExitT(const Ray& ray, const Aabb& cell, float t) {
     const float tx = (boundary - ray.origin[axis]) / d;
     if (tx > t && tx < exit_t) exit_t = tx;
   }
-  return exit_t == std::numeric_limits<float>::max() ? t : exit_t;
+  if (exit_t == std::numeric_limits<float>::max()) {
+    // Zero-area cell (or a ray with no boundary ahead): force strictly
+    // forward progress so the skip loop cannot revisit the same t.
+    return std::nextafter(t, std::numeric_limits<float>::infinity());
+  }
+  return exit_t;
 }
 
-}  // namespace
+}  // namespace render_detail
 
 Vec3f VolumeRenderer::RenderRay(const FieldSource& source, const Mlp& mlp,
-                                const Ray& ray, RenderStats* stats) const {
+                                const Ray& ray, RenderStats* stats,
+                                DecodeCounters* counters) const {
   const Aabb scene_box{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}};
   float t_near = 0.f, t_far = 0.f;
   if (stats) ++stats->rays;
@@ -52,7 +58,7 @@ Vec3f VolumeRenderer::RenderRay(const FieldSource& source, const Mlp& mlp,
       if (!options_.coarse_skip->OccupiedAtWorld(p)) {
         const Aabb cell = options_.coarse_skip->CellBounds(
             options_.coarse_skip->CellOfWorld(p));
-        const float exit_t = CellExitT(ray, cell, t);
+        const float exit_t = render_detail::CellExitT(ray, cell, t);
         t = std::max(exit_t + 1e-5f, t + options_.step_size);
         if (stats) ++stats->coarse_skips;
         continue;
@@ -60,7 +66,7 @@ Vec3f VolumeRenderer::RenderRay(const FieldSource& source, const Mlp& mlp,
     }
 
     ++ray_steps;
-    const FieldSample s = source.Sample(ray.At(t));
+    const FieldSample s = source.Sample(ray.At(t), counters);
     t += options_.step_size;
 
     // Stored density is post-activation sigma; negative values (possible
@@ -94,29 +100,15 @@ Vec3f VolumeRenderer::RenderRay(const FieldSource& source, const Mlp& mlp,
 
 Image VolumeRenderer::Render(const FieldSource& source, const Mlp& mlp,
                              const Camera& camera, RenderStats* stats) const {
-  Image img(camera.Width(), camera.Height());
-  if (stats != nullptr) {
-    // Sequential: deterministic statistics accumulation.
-    for (int y = 0; y < camera.Height(); ++y) {
-      for (int x = 0; x < camera.Width(); ++x) {
-        img.At(x, y) = RenderRay(source, mlp, camera.PixelRay(x, y), stats);
-      }
-    }
-    return img;
-  }
-  // Statless renders parallelise over scanlines (sources must be sampled
-  // with counter collection off; see SpNeRFFieldSource).
-  ParallelFor(static_cast<std::size_t>(camera.Height()),
-              [&](std::size_t y_begin, std::size_t y_end) {
-                for (std::size_t y = y_begin; y < y_end; ++y) {
-                  for (int x = 0; x < camera.Width(); ++x) {
-                    img.At(x, static_cast<int>(y)) = RenderRay(
-                        source, mlp,
-                        camera.PixelRay(x, static_cast<int>(y)), nullptr);
-                  }
-                }
-              });
-  return img;
+  RenderJob job;
+  job.source = &source;
+  job.mlp = &mlp;
+  job.camera = camera;
+  job.options = options_;
+  job.collect_stats = stats != nullptr;
+  RenderResult result = RenderEngine().Render(job);
+  if (stats) stats->Merge(result.stats);
+  return std::move(result.image);
 }
 
 }  // namespace spnerf

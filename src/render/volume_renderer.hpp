@@ -44,6 +44,21 @@ struct RenderStats {
   RunningStats evals_per_ray;
 
   void Reset() { *this = RenderStats{}; }
+
+  /// Accumulates another shard. Counters merge exactly; the per-ray
+  /// distributions merge with Welford's pairwise formula, which is
+  /// deterministic for a fixed merge order (the engine always reduces tile
+  /// shards in tile order).
+  void Merge(const RenderStats& other) {
+    rays += other.rays;
+    steps += other.steps;
+    coarse_skips += other.coarse_skips;
+    mlp_evals += other.mlp_evals;
+    terminated_rays += other.terminated_rays;
+    missed_rays += other.missed_rays;
+    steps_per_ray.Merge(other.steps_per_ray);
+    evals_per_ray.Merge(other.evals_per_ray);
+  }
 };
 
 class VolumeRenderer {
@@ -52,18 +67,33 @@ class VolumeRenderer {
 
   [[nodiscard]] const RenderOptions& Options() const { return options_; }
 
-  /// Renders one view. `stats`, when given, accumulates workload counters.
+  /// Renders one view through the tile engine (all workers, with or without
+  /// stats). `stats`, when given, accumulates the workload counters of this
+  /// view; the totals are identical for any worker count (per-tile shards,
+  /// ordered reduction).
   [[nodiscard]] Image Render(const FieldSource& source, const Mlp& mlp,
                              const Camera& camera,
                              RenderStats* stats = nullptr) const;
 
-  /// Renders a single ray; exposed for tests and the trace generator.
+  /// Renders a single ray; exposed for tests, the trace generator and the
+  /// tile engine. `counters` is the decode-counter shard handed to the
+  /// field source (may be null).
   [[nodiscard]] Vec3f RenderRay(const FieldSource& source, const Mlp& mlp,
-                                const Ray& ray,
-                                RenderStats* stats = nullptr) const;
+                                const Ray& ray, RenderStats* stats = nullptr,
+                                DecodeCounters* counters = nullptr) const;
 
  private:
   RenderOptions options_;
 };
+
+namespace render_detail {
+
+/// Distance along `ray` at which it exits `cell` (entered at parameter `t`).
+/// Always strictly greater than `t`: a degenerate (zero-area) cell, or a ray
+/// grazing a face, would otherwise return `t` unchanged and stall the
+/// empty-space-skipping march.
+float CellExitT(const Ray& ray, const Aabb& cell, float t);
+
+}  // namespace render_detail
 
 }  // namespace spnerf

@@ -71,5 +71,84 @@ TEST(ParallelFor, SmallNFewerWorkersThanThreads) {
   EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
 }
 
+TEST(ParallelFor, ExplicitPoolCoversEveryIndex) {
+  ThreadPool pool(8);
+  const std::size_t n = 10000;
+  std::vector<int> hits(n, 0);
+  ParallelFor(
+      n,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      },
+      /*max_threads=*/0, &pool);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, RunsEverySlotExactlyOnce) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.WorkerCount(), 8u);
+  std::vector<std::atomic<int>> slot_hits(8);
+  for (auto& s : slot_hits) s = 0;
+  pool.RunOnWorkers(8, [&](unsigned slot) {
+    ASSERT_LT(slot, 8u);
+    ++slot_hits[slot];
+  });
+  for (const auto& s : slot_hits) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, SlotsClampedToWorkerCount) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.RunOnWorkers(64, [&](unsigned slot) {
+    EXPECT_LT(slot, 2u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPool, SequentialReuseAcrossRegions) {
+  // The pool must survive many fork-joins back to back (the persistent-pool
+  // property the per-call-spawn version lacked).
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.RunOnWorkers(4, [&](unsigned) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, NestedDispatchRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.RunOnWorkers(4, [&](unsigned) {
+    // A nested region from inside a running region must not re-enter the
+    // pool's fork-join machinery.
+    pool.RunOnWorkers(4, [&](unsigned) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForCoversIndices) {
+  ThreadPool pool(4);
+  const std::size_t n = 64;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h = 0;
+  ParallelFor(
+      4,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t outer = b; outer < e; ++outer) {
+          ParallelFor(
+              n / 4,
+              [&](std::size_t ib, std::size_t ie) {
+                for (std::size_t i = ib; i < ie; ++i)
+                  ++hits[outer * (n / 4) + i];
+              },
+              0, &pool);
+        }
+      },
+      0, &pool);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
 }  // namespace
 }  // namespace spnerf

@@ -202,6 +202,37 @@ TEST(VolumeRenderer, ParallelStatlessMatchesSequential) {
   }
 }
 
+TEST(CellExitT, DegenerateCellStillAdvances) {
+  // A zero-area skip cell used to return `t` unchanged, which could stall
+  // the empty-space-skipping march. The guard forces strict progress.
+  const Ray ray{{0.25f, 0.5f, 0.5f}, {1.f, 0.f, 0.f}};
+  const Aabb degenerate{{0.25f, 0.5f, 0.5f}, {0.25f, 0.5f, 0.5f}};
+  const float t = 0.0f;
+  const float exit_t = render_detail::CellExitT(ray, degenerate, t);
+  EXPECT_GT(exit_t, t);
+}
+
+TEST(CellExitT, RayOnFaceOfFlatCellAdvances) {
+  // Flat (zero-thickness) cell, ray travelling inside its plane: no axis
+  // yields a boundary strictly ahead, so only the guard makes progress.
+  const Ray ray{{0.5f, 0.25f, 0.5f}, {0.f, 1.f, 0.f}};
+  const Aabb flat{{0.4f, 0.25f, 0.4f}, {0.6f, 0.25f, 0.6f}};
+  const float t = 0.125f;
+  const float exit_t = render_detail::CellExitT(ray, flat, t);
+  EXPECT_GT(exit_t, t);
+  // Large t: the nextafter step must still strictly advance.
+  const float t_big = 1024.0f;
+  EXPECT_GT(render_detail::CellExitT(ray, flat, t_big), t_big);
+}
+
+TEST(CellExitT, NormalCellReturnsExitBoundary)
+{
+  const Ray ray{{-1.0f, 0.5f, 0.5f}, {1.f, 0.f, 0.f}};
+  const Aabb cell{{0.0f, 0.0f, 0.0f}, {0.25f, 1.f, 1.f}};
+  const float exit_t = render_detail::CellExitT(ray, cell, 1.0f);
+  EXPECT_NEAR(exit_t, 1.25f, 1e-5f);
+}
+
 TEST(VolumeRenderer, Fp16MlpOptionChangesOutputSlightly) {
   const SlabSource src(0.4f, 0.6f, 100.f, 0.3f);
   const Mlp mlp = Mlp::Random(10);

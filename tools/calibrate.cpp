@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   ExperimentConfig cfg;
   cfg.resolution_override = c.GetInt("res", 0);
   cfg.psnr_image_size = c.GetInt("img", 100);
+  cfg.threads = static_cast<unsigned>(c.GetInt("threads", 0));
   int nscenes = c.GetInt("scenes", 8);
   cfg.scenes.resize(nscenes);
   const std::string what = c.GetString("what", "all");
