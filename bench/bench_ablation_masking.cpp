@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   }
 
   bench::PrintHeader("Ablation", "bitmap masking & collision policy");
+  bench::JsonReport json("ablation_masking");
   std::printf("%-12s %-12s %10s %10s %10s\n", "scene", "policy", "pre-mask",
               "post-mask", "alias");
   bench::PrintRule();
@@ -23,21 +24,23 @@ int main(int argc, char** argv) {
          {CollisionPolicy::kKeepFirst, CollisionPolicy::kOverwrite}) {
       PipelineConfig pc = cfg.MakePipelineConfig(id);
       pc.spnerf.collision_policy = policy;
-      const ScenePipeline p = ScenePipeline::Build(pc);
+      const std::shared_ptr<const ScenePipeline> p =
+          PipelineRepository::Global().Acquire(pc);
       const Camera cam =
-          p.MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
-      const Image gt = p.RenderGroundTruth(cam);
-      const Image pre = p.RenderSpnerf(cam, /*bitmap_masking=*/false);
-      const Image post = p.RenderSpnerf(cam, /*bitmap_masking=*/true);
+          p->MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
+      const Image gt = p->RenderGroundTruth(cam);
+      const Image pre = p->RenderSpnerf(cam, /*bitmap_masking=*/false);
+      const Image post = p->RenderSpnerf(cam, /*bitmap_masking=*/true);
       std::printf("%-12s %-12s %9.2f %9.2f %9.2f%%\n", SceneName(id),
                   policy == CollisionPolicy::kKeepFirst ? "keep-first"
                                                         : "overwrite",
                   Psnr(gt, pre), Psnr(gt, post),
-                  p.Codec().NonZeroAliasRate() * 100.0);
+                  p->Codec().NonZeroAliasRate() * 100.0);
     }
   }
   bench::PrintRule();
   std::printf("takeaway: masking recovers tens of dB; the insertion policy "
               "only shuffles which colliding point survives\n");
+  bench::AddBuildTimings(json);
   return 0;
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace spnerf;
   const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
   bench::PrintHeader("Sec II-B", "sparse-encoding baselines vs hash mapping");
+  bench::JsonReport json("encoding_formats");
   std::printf("%-12s %10s | %10s %10s %10s %10s | %7s %7s %7s\n", "scene",
               "nonzero", "COO coord", "COO", "CSR", "CSC", "COOprb", "CSRprb",
               "CSCprb");
@@ -23,14 +24,16 @@ int main(int argc, char** argv) {
     DatasetParams dp;
     dp.resolution_override = cfg.resolution_override;
     dp.vqrf = cfg.vqrf;
-    const SceneDataset ds = BuildDataset(id, dp);
-    const CooGrid coo = CooGrid::Build(ds.vqrf);
-    const CsrGrid csr = CsrGrid::Build(ds.vqrf);
-    const CscGrid csc = CscGrid::Build(ds.vqrf);
+    dp.max_threads = cfg.threads;
+    const std::shared_ptr<const SceneDataset> ds =
+        AssetCache::Global().AcquireDataset(id, dp);
+    const CooGrid coo = CooGrid::Build(ds->vqrf);
+    const CsrGrid csr = CsrGrid::Build(ds->vqrf);
+    const CscGrid csc = CscGrid::Build(ds->vqrf);
 
     // Random (ray-sampling-like) lookups: average probes per query.
     Rng rng(99);
-    const GridDims& dims = ds.vqrf.Dims();
+    const GridDims& dims = ds->vqrf.Dims();
     double coo_probes = 0, csr_probes = 0, csc_probes = 0;
     const int n = 20000;
     for (int i = 0; i < n; ++i) {
@@ -43,7 +46,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%-12s %10llu | %10s %10s %10s %10s | %7.1f %7.1f %7.1f\n",
                 SceneName(id),
-                static_cast<unsigned long long>(ds.vqrf.NonZeroCount()),
+                static_cast<unsigned long long>(ds->vqrf.NonZeroCount()),
                 FormatBytes(coo.CoordinateBytes()).c_str(),
                 FormatBytes(coo.TotalBytes()).c_str(),
                 FormatBytes(csr.TotalBytes()).c_str(),
@@ -56,5 +59,6 @@ int main(int argc, char** argv) {
               FormatBytes(static_cast<u64>(MeanOf(coord_overheads))).c_str());
   std::printf("SpNeRF hash mapping: 1 table probe + 1 payload fetch per "
               "lookup, no stored coordinates\n");
+  bench::AddBuildTimings(json);
   return 0;
 }

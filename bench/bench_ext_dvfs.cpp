@@ -14,10 +14,12 @@ int main(int argc, char** argv) {
   if (!c.Has("scenes")) cfg.scenes = {SceneId::kLego};
 
   bench::PrintHeader("Extension", "DVFS sweep around the 1 GHz design point");
-  const ScenePipeline p =
-      ScenePipeline::Build(cfg.MakePipelineConfig(cfg.scenes.front()));
+  bench::JsonReport json("ext_dvfs");
+  const std::shared_ptr<const ScenePipeline> p =
+      PipelineRepository::Global().Acquire(
+          cfg.MakePipelineConfig(cfg.scenes.front()));
   const FrameWorkload w =
-      p.MeasureWorkload(cfg.tile_size, cfg.frame_width, cfg.frame_height);
+      p->MeasureWorkload(cfg.tile_size, cfg.frame_width, cfg.frame_height);
   const SimResult nominal = AcceleratorSim(cfg.accel).SimulateFrame(w);
 
   std::printf("scene '%s', nominal: %.2f fps @ %s\n\n",
@@ -35,5 +37,6 @@ int main(int argc, char** argv) {
   bench::PrintRule();
   std::printf("energy efficiency peaks at low voltage; the paper's 1 GHz "
               "point buys headroom above real-time on every scene\n");
+  bench::AddBuildTimings(json);
   return 0;
 }

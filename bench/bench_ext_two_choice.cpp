@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   if (!c.Has("scenes")) cfg.scenes = {SceneId::kChair, SceneId::kShip};
 
   bench::PrintHeader("Extension", "two-choice tagged hashing vs single probe");
+  bench::JsonReport json("ext_two_choice");
   std::printf("load regime: T chosen small (4k entries/subgrid) so collisions"
               " are frequent;\ntwo-choice uses 26/32 of the entries for equal"
               " table memory.\n\n");
@@ -28,18 +29,19 @@ int main(int argc, char** argv) {
   for (SceneId id : cfg.scenes) {
     PipelineConfig pc = cfg.MakePipelineConfig(id);
     pc.spnerf.table_size = 4096;
-    const ScenePipeline p = ScenePipeline::Build(pc);
-    const VqrfModel& vqrf = p.Dataset().vqrf;
-    const Camera cam = p.MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
-    const Image gt = p.RenderGroundTruth(cam);
+    const std::shared_ptr<const ScenePipeline> p =
+        PipelineRepository::Global().Acquire(pc);
+    const VqrfModel& vqrf = p->Dataset().vqrf;
+    const Camera cam = p->MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
+    const Image gt = p->RenderGroundTruth(cam);
 
     // Baseline: the paper's codec at T=4096.
     {
-      const Image img = p.RenderSpnerf(cam, /*bitmap_masking=*/true);
+      const Image img = p->RenderSpnerf(cam, /*bitmap_masking=*/true);
       std::printf("%-10s %-12s %9.2f%% %10s %9.2f %9.4f %10s\n", SceneName(id),
-                  "single", p.Codec().NonZeroAliasRate() * 100.0, "-",
+                  "single", p->Codec().NonZeroAliasRate() * 100.0, "-",
                   Psnr(gt, img), Ssim(gt, img),
-                  FormatBytes(p.Codec().HashTableBytes()).c_str());
+                  FormatBytes(p->Codec().HashTableBytes()).c_str());
     }
     // Extension at equal memory.
     {
@@ -47,9 +49,9 @@ int main(int argc, char** argv) {
       const TwoChoiceCodec ext = TwoChoiceCodec::Preprocess(
           vqrf, pc.spnerf.subgrid_count, entries);
       const CodecFieldSource<TwoChoiceCodec> src(ext);
-      RenderOptions opt = p.Config().render;
-      opt.coarse_skip = &p.Skip();
-      const Image img = VolumeRenderer(opt).Render(src, p.GetMlp(), cam);
+      RenderOptions opt = p->Config().render;
+      opt.coarse_skip = &p->Skip();
+      const Image img = VolumeRenderer(opt).Render(src, p->GetMlp(), cam);
       std::printf("%-10s %-12s %9.2f%% %9.2f%% %9.2f %9.4f %10s\n",
                   SceneName(id), "two-choice", ext.ErrorRate() * 100.0,
                   ext.DropRate() * 100.0, Psnr(gt, img), Ssim(gt, img),
@@ -59,5 +61,6 @@ int main(int argc, char** argv) {
   bench::PrintRule();
   std::printf("hardware cost: +6 tag bits per entry (already charged above) "
               "and a second HMU probe per lookup\n");
+  bench::AddBuildTimings(json);
   return 0;
 }

@@ -27,5 +27,6 @@ int main(int argc, char** argv) {
     std::printf("%s memory-share vs A100: %.2fx   (paper: 4.79x..5.14x)\n",
                 r.platform.c_str(), r.memory_share / a100_mem);
   }
+  bench::AddBuildTimings(json);
   return 0;
 }

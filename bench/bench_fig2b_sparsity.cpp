@@ -8,6 +8,8 @@ int main(int argc, char** argv) {
   using namespace spnerf;
   const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
   bench::PrintHeader("Fig 2(b)", "voxel grid data sparsity");
+  bench::JsonReport json("fig2b_sparsity");
+  const bench::WallTimer timer;
   std::printf("%-12s %14s %14s %12s\n", "scene", "total voxels",
               "non-zero", "non-zero %");
   bench::PrintRule();
@@ -23,5 +25,7 @@ int main(int argc, char** argv) {
   bench::PrintRule();
   std::printf("measured range: %.2f%% .. %.2f%%   (paper: 2.01%% .. 6.48%%)\n",
               lo * 100.0, hi * 100.0);
+  json.Add("sparsity", timer.ElapsedMs(), bench::EffectiveThreads(cfg));
+  bench::AddBuildTimings(json);
   return 0;
 }

@@ -28,5 +28,6 @@ int main(int argc, char** argv) {
   std::printf("average reduction: %.2fx   (paper: 21.07x)\n",
               MeanOf(reductions));
   json.Add("memory", timer.ElapsedMs(), bench::EffectiveThreads(cfg));
+  bench::AddBuildTimings(json);
   return 0;
 }

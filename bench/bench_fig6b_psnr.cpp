@@ -31,5 +31,6 @@ int main(int argc, char** argv) {
               "%.1f dB (paper: comparable / large gap)\n",
               MeanOf(vq) - MeanOf(post), MeanOf(post) - MeanOf(pre));
   json.Add("psnr", timer.ElapsedMs(), bench::EffectiveThreads(cfg));
+  bench::AddBuildTimings(json);
   return 0;
 }

@@ -42,5 +42,6 @@ int main(int argc, char** argv) {
   bench::PrintRule();
   std::printf("paper design point: K=64, T=32k — larger values yield only "
               "marginal PSNR improvements\n");
+  bench::AddBuildTimings(json);
   return 0;
 }

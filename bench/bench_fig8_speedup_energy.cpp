@@ -11,7 +11,11 @@ int main(int argc, char** argv) {
   using namespace spnerf;
   const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
   bench::PrintHeader("Fig 8", "speedup & energy efficiency vs edge GPUs");
+  bench::JsonReport json("fig8_speedup_energy");
+  const bench::WallTimer timer;
   const auto rows = RunHardwareComparison(cfg);
+  json.Add("hardware_comparison", timer.ElapsedMs(),
+           bench::EffectiveThreads(cfg));
 
   std::printf("(a) normalized speedup\n");
   std::printf("%-12s %12s %10s %10s %12s %12s\n", "scene", "SpNeRF fps",
@@ -49,5 +53,6 @@ int main(int argc, char** argv) {
               MeanOf(ex), MeanOf(eo));
   std::printf("mean SpNeRF frame rate: %.2f fps (paper Table II: 67.56)\n",
               MeanOf(fps));
+  bench::AddBuildTimings(json);
   return 0;
 }

@@ -7,8 +7,11 @@
 int main(int argc, char** argv) {
   using namespace spnerf;
   const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
+  bench::JsonReport json("fig9_area_power");
+  const bench::WallTimer timer;
   const auto rows = RunHardwareComparison(cfg);
   const DesignReport rep = MakeDesignReport(cfg, rows);
+  json.Add("design_report", timer.ElapsedMs(), bench::EffectiveThreads(cfg));
 
   bench::PrintHeader("Fig 9(a)", "area breakdown (TSMC 28nm model)");
   const AreaBreakdown& a = rep.area;
@@ -52,5 +55,6 @@ int main(int argc, char** argv) {
   bench::PrintRule();
   std::printf("%-28s %10s          (paper: 3 W, systolic dominant)\n", "total",
               FormatWatts(p.total_w).c_str());
+  bench::AddBuildTimings(json);
   return 0;
 }

@@ -3,6 +3,7 @@
 // MLP forward (FP32/FP16), and the sparse-format lookups.
 #include <benchmark/benchmark.h>
 
+#include "assets/asset_cache.hpp"
 #include "common/rng.hpp"
 #include "encoding/sparse_formats.hpp"
 #include "encoding/spnerf_codec.hpp"
@@ -17,7 +18,7 @@ namespace {
 
 /// Shared fixture data built once (48^3 materials scene).
 struct MicroData {
-  SceneDataset dataset;
+  std::shared_ptr<const SceneDataset> dataset;
   SpNeRFModel codec;
   CooGrid coo;
   CsrGrid csr;
@@ -29,14 +30,14 @@ struct MicroData {
     dp.resolution_override = 48;
     dp.vqrf.codebook_size = 256;
     dp.vqrf.kmeans_iterations = 3;
-    dataset = BuildDataset(SceneId::kMaterials, dp);
+    dataset = AssetCache::Global().AcquireDataset(SceneId::kMaterials, dp);
     SpNeRFParams sp;
     sp.subgrid_count = 16;
     sp.table_size = 8192;
-    codec = SpNeRFModel::Preprocess(dataset.vqrf, sp);
-    coo = CooGrid::Build(dataset.vqrf);
-    csr = CsrGrid::Build(dataset.vqrf);
-    csc = CscGrid::Build(dataset.vqrf);
+    codec = SpNeRFModel::Preprocess(dataset->vqrf, sp);
+    coo = CooGrid::Build(dataset->vqrf);
+    csr = CsrGrid::Build(dataset->vqrf);
+    csc = CscGrid::Build(dataset->vqrf);
     mlp = Mlp::Random(1);
   }
 };
@@ -93,7 +94,7 @@ BENCHMARK(BM_TrilinearSampleSpnerf);
 
 void BM_TrilinearSampleDense(benchmark::State& state) {
   MicroData& d = Data();
-  const GridFieldSource src(d.dataset.full_grid);
+  const GridFieldSource src(d.dataset->full_grid);
   Rng rng(4);
   std::vector<Vec3f> points;
   for (int i = 0; i < 4096; ++i) {
@@ -178,17 +179,17 @@ void LookupLoop(benchmark::State& state, const GridT& grid,
 }
 
 void BM_LookupCoo(benchmark::State& state) {
-  LookupLoop(state, Data().coo, Data().dataset.vqrf.Dims());
+  LookupLoop(state, Data().coo, Data().dataset->vqrf.Dims());
 }
 BENCHMARK(BM_LookupCoo);
 
 void BM_LookupCsr(benchmark::State& state) {
-  LookupLoop(state, Data().csr, Data().dataset.vqrf.Dims());
+  LookupLoop(state, Data().csr, Data().dataset->vqrf.Dims());
 }
 BENCHMARK(BM_LookupCsr);
 
 void BM_LookupCsc(benchmark::State& state) {
-  LookupLoop(state, Data().csc, Data().dataset.vqrf.Dims());
+  LookupLoop(state, Data().csc, Data().dataset->vqrf.Dims());
 }
 BENCHMARK(BM_LookupCsc);
 

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace spnerf;
   const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
   bench::PrintHeader("Validation", "dataflow sim vs steady-state model");
+  bench::JsonReport json("pipeline_validation");
   std::printf("%-12s %14s %14s %8s | %10s %10s %12s\n", "scene",
               "dataflow cyc", "analytic cyc", "ratio", "SGPU busy",
               "MLP busy", "DMA hidden@");
@@ -19,9 +20,13 @@ int main(int argc, char** argv) {
 
   double worst = 1.0;
   for (SceneId id : cfg.scenes) {
-    const ScenePipeline p = ScenePipeline::Build(cfg.MakePipelineConfig(id));
+    const bench::WallTimer scene_timer;
+    const std::shared_ptr<const ScenePipeline> p =
+        PipelineRepository::Global().Acquire(cfg.MakePipelineConfig(id));
     const FrameWorkload w =
-        p.MeasureWorkload(cfg.tile_size, cfg.frame_width, cfg.frame_height);
+        p->MeasureWorkload(cfg.tile_size, cfg.frame_width, cfg.frame_height);
+    json.Add(std::string("validate/") + SceneName(id),
+             scene_timer.ElapsedMs(), bench::EffectiveThreads(cfg));
     const PipelineSimResult fine = PipelineSim().Run(w);
     const SimResult coarse = AcceleratorSim(cfg.accel).SimulateFrame(w);
     const double ratio = static_cast<double>(fine.frame_cycles) /
@@ -40,5 +45,6 @@ int main(int argc, char** argv) {
   std::printf("worst-case disagreement: %.1f%% — the fully-pipelined "
               "steady-state composition is faithful\n",
               (worst - 1.0) * 100.0);
+  bench::AddBuildTimings(json);
   return 0;
 }

@@ -30,17 +30,18 @@ int main(int argc, char** argv) {
               SceneName(config.scene_id), config.dataset.resolution_override,
               views, size, size, pool_workers);
 
-  const ScenePipeline pipeline = ScenePipeline::Build(config);
-  SpNeRFFieldSource source(pipeline.Codec(), config.render.fp16_mlp,
+  const std::shared_ptr<const ScenePipeline> pipeline =
+      PipelineRepository::Global().Acquire(config);
+  SpNeRFFieldSource source(pipeline->Codec(), config.render.fp16_mlp,
                            /*collect_counters=*/false);
 
   std::vector<RenderJob> jobs;
   for (int v = 0; v < views; ++v) {
     RenderJob job;
     job.source = &source;
-    job.mlp = &pipeline.GetMlp();
-    job.camera = pipeline.MakeCamera(size, size, v, views);
-    job.options = pipeline.RenderOptionsWithSkip();
+    job.mlp = &pipeline->GetMlp();
+    job.camera = pipeline->MakeCamera(size, size, v, views);
+    job.options = pipeline->RenderOptionsWithSkip();
     job.collect_stats = true;
     jobs.push_back(job);
   }
@@ -74,5 +75,6 @@ int main(int argc, char** argv) {
   bench::PrintRule();
   std::printf("speedup: %.2fx on %u workers (target: >= 4x on 8)\n",
               seq_ms / par_ms, parallel_workers);
+  bench::AddBuildTimings(json);
   return 0;
 }

@@ -7,8 +7,12 @@
 int main(int argc, char** argv) {
   using namespace spnerf;
   const ExperimentConfig cfg = bench::MakeConfig(argc, argv);
+  bench::JsonReport json("table2_comparison");
+  const bench::WallTimer timer;
   const auto rows = RunHardwareComparison(cfg);
   const DesignReport rep = MakeDesignReport(cfg, rows);
+  json.Add("hardware_comparison", timer.ElapsedMs(),
+           bench::EffectiveThreads(cfg));
 
   bench::PrintHeader("Table II", "comparison with related accelerators");
   std::printf("%-16s %8s %8s %6s %8s %-14s %8s %10s %10s\n", "accelerator",
@@ -31,5 +35,6 @@ int main(int argc, char** argv) {
   std::printf("energy-eff gain vs RT-NeRF.Edge: %.2fx (paper 4x); vs "
               "NeuRex.Edge: %.2fx (paper 4.37x)\n",
               sp.energy_eff_fps_per_w / 5.63, sp.energy_eff_fps_per_w / 5.15);
+  bench::AddBuildTimings(json);
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "common/parallel.hpp"
 #include "common/units.hpp"
 #include "core/experiments.hpp"
+#include "core/pipeline_repository.hpp"
 
 namespace spnerf::bench {
 
@@ -116,5 +117,31 @@ class JsonReport {
   std::string bench_id_;
   std::vector<Entry> entries_;
 };
+
+/// Drains the build/preprocess phase timings accumulated by the pipeline
+/// repository (cold builds, disk loads, memory hits) into the JSON report,
+/// one `{name, wall_ms, threads}` entry per acquired asset — e.g.
+/// "build/dataset/lego[cold]" — so the build-path trajectory is tracked
+/// alongside the render phases. Also prints a one-line cache summary.
+inline void AddBuildTimings(JsonReport& json) {
+  u64 cold = 0, disk = 0, mem = 0;
+  for (const AssetTimingEntry& e :
+       PipelineRepository::Global().DrainTimings()) {
+    json.Add("build/" + e.name + "[" + AssetOriginName(e.origin) + "]",
+             e.wall_ms, e.threads);
+    switch (e.origin) {
+      case AssetOrigin::kBuilt: ++cold; break;
+      case AssetOrigin::kDisk: ++disk; break;
+      case AssetOrigin::kMemory: ++mem; break;
+    }
+  }
+  if (cold + disk + mem) {
+    std::printf("[assets] %llu cold build(s), %llu disk load(s), "
+                "%llu memory hit(s)\n",
+                static_cast<unsigned long long>(cold),
+                static_cast<unsigned long long>(disk),
+                static_cast<unsigned long long>(mem));
+  }
+}
 
 }  // namespace spnerf::bench

@@ -8,7 +8,7 @@
 
 #include "common/config.hpp"
 #include "common/units.hpp"
-#include "core/pipeline.hpp"
+#include "core/pipeline_repository.hpp"
 #include "encoding/hash.hpp"
 
 int main(int argc, char** argv) {
@@ -21,9 +21,10 @@ int main(int argc, char** argv) {
   config.spnerf.subgrid_count = args.GetInt("subgrids", 64);
   config.spnerf.table_size = static_cast<u32>(args.GetInt("table", 32768));
 
-  const ScenePipeline pipeline = ScenePipeline::Build(config);
-  const SpNeRFModel& codec = pipeline.Codec();
-  const VqrfModel& vqrf = pipeline.Dataset().vqrf;
+  const std::shared_ptr<const ScenePipeline> pipeline =
+      PipelineRepository::Global().Acquire(config);
+  const SpNeRFModel& codec = pipeline->Codec();
+  const VqrfModel& vqrf = pipeline->Dataset().vqrf;
 
   std::printf("== SpNeRF codec for '%s': K=%d subgrids, T=%u entries ==\n",
               SceneName(config.scene_id), config.spnerf.subgrid_count,
@@ -102,11 +103,11 @@ int main(int argc, char** argv) {
                            /*collect_counters=*/false);
   RenderJob job;
   job.source = &source;
-  job.mlp = &pipeline.GetMlp();
-  job.camera = pipeline.MakeCamera(96, 96);
-  job.options = pipeline.RenderOptionsWithSkip();
+  job.mlp = &pipeline->GetMlp();
+  job.camera = pipeline->MakeCamera(96, 96);
+  job.options = pipeline->RenderOptionsWithSkip();
   job.collect_stats = true;
-  const RenderResult r = pipeline.MakeEngine().Render(job);
+  const RenderResult r = pipeline->MakeEngine().Render(job);
   const DecodeCounters& dc = r.counters;
   const double q = dc.queries ? static_cast<double>(dc.queries) : 1.0;
   std::printf("\ndecode traffic over a 96x96 view (%.1f ms):\n", r.wall_ms);

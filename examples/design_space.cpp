@@ -8,7 +8,7 @@
 
 #include "common/config.hpp"
 #include "common/units.hpp"
-#include "core/pipeline.hpp"
+#include "core/pipeline_repository.hpp"
 #include "sim/accelerator.hpp"
 
 namespace {
@@ -30,8 +30,9 @@ int main(int argc, char** argv) {
   config.dataset.resolution_override = args.GetInt("res", 128);
 
   std::printf("measuring workload for '%s'...\n", SceneName(config.scene_id));
-  const ScenePipeline pipeline = ScenePipeline::Build(config);
-  const FrameWorkload w = pipeline.MeasureWorkload();
+  const std::shared_ptr<const ScenePipeline> pipeline =
+      PipelineRepository::Global().Acquire(config);
+  const FrameWorkload w = pipeline->MeasureWorkload();
   std::printf("frame: %llu samples, %llu MLP evals, tables %s\n\n",
               static_cast<unsigned long long>(w.samples),
               static_cast<unsigned long long>(w.mlp_evals),

@@ -8,7 +8,7 @@
 
 #include "common/config.hpp"
 #include "common/units.hpp"
-#include "core/pipeline.hpp"
+#include "core/pipeline_repository.hpp"
 #include "grid/vqrf_io.hpp"
 
 int main(int argc, char** argv) {
@@ -24,8 +24,9 @@ int main(int argc, char** argv) {
   // --- host side: build + compress + save ---
   std::printf("[host] building and compressing '%s'...\n",
               SceneName(config.scene_id));
-  const ScenePipeline host = ScenePipeline::Build(config);
-  const VqrfModel& model = host.Dataset().vqrf;
+  const std::shared_ptr<const ScenePipeline> host =
+      PipelineRepository::Global().Acquire(config);
+  const VqrfModel& model = host->Dataset().vqrf;
   SaveVqrfModel(model, path);
   std::printf("[host] wrote %s: %llu records, codebook %d, kept %llu\n",
               path.c_str(),

@@ -13,7 +13,7 @@
 #include "common/image_diff.hpp"
 #include "common/ssim.hpp"
 #include "common/units.hpp"
-#include "core/pipeline.hpp"
+#include "core/pipeline_repository.hpp"
 #include "sim/accelerator.hpp"
 
 int main(int argc, char** argv) {
@@ -28,10 +28,18 @@ int main(int argc, char** argv) {
   std::printf("== SpNeRF quickstart: scene '%s' at %d^3 ==\n",
               SceneName(config.scene_id), config.dataset.resolution_override);
 
-  // Build everything: dataset -> VQRF -> SpNeRF preprocessing.
-  const ScenePipeline pipeline = ScenePipeline::Build(config);
-  const VqrfModel& vqrf = pipeline.Dataset().vqrf;
-  const SpNeRFModel& codec = pipeline.Codec();
+  // Acquire everything (dataset -> VQRF -> SpNeRF preprocessing) through
+  // the shared repository: the first run builds and persists the assets,
+  // later runs with the same parameters deserialize or reuse them.
+  const std::shared_ptr<const ScenePipeline> pipeline =
+      PipelineRepository::Global().Acquire(config);
+  for (const AssetTimingEntry& e :
+       PipelineRepository::Global().DrainTimings()) {
+    std::printf("[assets] %s: %s in %.1f ms\n", e.name.c_str(),
+                AssetOriginName(e.origin), e.wall_ms);
+  }
+  const VqrfModel& vqrf = pipeline->Dataset().vqrf;
+  const SpNeRFModel& codec = pipeline->Codec();
 
   std::printf("non-zero voxels: %llu (%.2f%% of grid), kept %llu, VQ %llu\n",
               static_cast<unsigned long long>(vqrf.NonZeroCount()),
@@ -47,10 +55,10 @@ int main(int argc, char** argv) {
 
   // Render the compared paths as one engine batch: ground truth, VQRF and
   // the two SpNeRF masking variants share a single tile scheduler.
-  const Camera cam = pipeline.MakeCamera(image_size, image_size);
+  const Camera cam = pipeline->MakeCamera(image_size, image_size);
   Image gt, vq_img, sp_pre, sp_post;
   const double batch_ms =
-      pipeline.RenderComparison(cam, &gt, &vq_img, &sp_pre, &sp_post);
+      pipeline->RenderComparison(cam, &gt, &vq_img, &sp_pre, &sp_post);
   std::printf("rendered 4 views in one batch: %.1f ms\n", batch_ms);
 
   std::printf("PSNR vs ground truth: VQRF %.2f dB | SpNeRF pre-mask %.2f dB "
@@ -69,7 +77,7 @@ int main(int argc, char** argv) {
               "surfaces)\n");
 
   // Hardware: simulate one 800x800 frame of this scene.
-  const FrameWorkload workload = pipeline.MeasureWorkload();
+  const FrameWorkload workload = pipeline->MeasureWorkload();
   const AcceleratorSim sim;
   const SimResult r = sim.SimulateFrame(workload);
   std::printf("accelerator: %.2f fps @ %s (%s-bound, systolic util %.0f%%)\n",

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/config.hpp"
-#include "core/pipeline.hpp"
+#include "core/pipeline_repository.hpp"
 
 int main(int argc, char** argv) {
   using namespace spnerf;
@@ -28,8 +28,9 @@ int main(int argc, char** argv) {
   std::printf("rendering %d orbit views of '%s' (%dx%d, masking %s)\n", views,
               SceneName(config.scene_id), size, size, masking ? "on" : "off");
 
-  const ScenePipeline pipeline = ScenePipeline::Build(config);
-  SpNeRFFieldSource source(pipeline.Codec(), config.render.fp16_mlp,
+  const std::shared_ptr<const ScenePipeline> pipeline =
+      PipelineRepository::Global().Acquire(config);
+  SpNeRFFieldSource source(pipeline->Codec(), config.render.fp16_mlp,
                            /*collect_counters=*/false);
   source.SetMasking(masking);
 
@@ -37,14 +38,14 @@ int main(int argc, char** argv) {
   for (int v = 0; v < views; ++v) {
     RenderJob job;
     job.source = &source;
-    job.mlp = &pipeline.GetMlp();
-    job.camera = pipeline.MakeCamera(size, size, v, views);
-    job.options = pipeline.RenderOptionsWithSkip();
+    job.mlp = &pipeline->GetMlp();
+    job.camera = pipeline->MakeCamera(size, size, v, views);
+    job.options = pipeline->RenderOptionsWithSkip();
     job.collect_stats = true;
     jobs.push_back(job);
   }
   const std::vector<RenderResult> results =
-      pipeline.MakeEngine().RenderBatch(jobs);
+      pipeline->MakeEngine().RenderBatch(jobs);
 
   RenderStats total;
   for (int v = 0; v < views; ++v) {

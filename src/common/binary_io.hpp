@@ -59,6 +59,25 @@ std::vector<T> ReadVector(std::istream& in, u64 max_elements = (1ull << 32)) {
   return v;
 }
 
+/// Reads and validates a format magic word; `what` names the artifact in
+/// the error message.
+inline void ExpectMagic(std::istream& in, u32 magic, const char* what) {
+  const u32 got = ReadPod<u32>(in);
+  SPNERF_CHECK_MSG(got == magic, "not a " << what << " stream (bad magic 0x"
+                                          << std::hex << got << ")");
+}
+
+/// Reads a format version and rejects anything but `expected` — older or
+/// newer files fail cleanly instead of being misparsed.
+inline u32 ExpectVersion(std::istream& in, u32 expected, const char* what) {
+  const u32 version = ReadPod<u32>(in);
+  SPNERF_CHECK_MSG(version == expected, "unsupported " << what << " version "
+                                                       << version
+                                                       << " (expected "
+                                                       << expected << ")");
+  return version;
+}
+
 inline void WriteString(std::ostream& out, const std::string& s) {
   WritePod<u64>(out, s.size());
   out.write(s.data(), static_cast<std::streamsize>(s.size()));

@@ -1,0 +1,54 @@
+// Minimal move-to-front LRU list shared by the asset cache and the pipeline
+// repository. Not thread-safe: callers hold their own lock around every
+// call (both users already serialise access through a member mutex).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spnerf {
+
+/// Bounded key -> value store with least-recently-used eviction. A linear
+/// scan is deliberate: capacities are small (tens of live assets), and the
+/// values are shared_ptrs whose copies are cheap.
+template <typename V>
+class LruList {
+ public:
+  explicit LruList(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Returns the value for `key` (moving the entry to the front), or
+  /// nullptr if absent. The pointer is invalidated by the next mutation.
+  V* Find(const std::string& key) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].first != key) continue;
+      std::pair<std::string, V> hit = std::move(entries_[i]);
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      entries_.insert(entries_.begin(), std::move(hit));
+      return &entries_.front().second;
+    }
+    return nullptr;
+  }
+
+  /// Inserts at the front, evicting the least-recently-used entry past
+  /// capacity. A duplicate key keeps the incumbent (the racing builder
+  /// that inserted first wins; both values are identical by key).
+  void Insert(const std::string& key, V value) {
+    for (const auto& e : entries_) {
+      if (e.first == key) return;
+    }
+    entries_.insert(entries_.begin(), {key, std::move(value)});
+    if (entries_.size() > capacity_) entries_.pop_back();
+  }
+
+  void Clear() { entries_.clear(); }
+
+  [[nodiscard]] std::size_t Size() const { return entries_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::pair<std::string, V>> entries_;
+};
+
+}  // namespace spnerf

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/ssim.hpp"
 #include "common/logging.hpp"
+#include "core/pipeline_repository.hpp"
 
 namespace spnerf {
 
@@ -14,6 +15,7 @@ PipelineConfig ExperimentConfig::MakePipelineConfig(SceneId id) const {
   pc.scene_id = id;
   pc.dataset.resolution_override = resolution_override;
   pc.dataset.vqrf = vqrf;
+  pc.dataset.max_threads = threads;
   pc.spnerf = spnerf;
   pc.render = render;
   pc.engine.max_threads = threads;
@@ -33,13 +35,15 @@ std::vector<SparsityRow> RunSparsity(const ExperimentConfig& cfg) {
     DatasetParams dp;
     dp.resolution_override = cfg.resolution_override;
     dp.vqrf = cfg.vqrf;
-    const SceneDataset ds = BuildDataset(id, dp);
+    dp.max_threads = cfg.threads;
+    const std::shared_ptr<const SceneDataset> ds =
+        AssetCache::Global().AcquireDataset(id, dp);
     SparsityRow r;
     r.scene = SceneName(id);
-    r.total_voxels = ds.full_grid.VoxelCount();
+    r.total_voxels = ds->full_grid.VoxelCount();
     // The paper's sparsity metric is over the pruned voxel-grid data, i.e.
     // the surviving non-zero points of the compressed model.
-    r.nonzero_voxels = ds.vqrf.NonZeroCount();
+    r.nonzero_voxels = ds->vqrf.NonZeroCount();
     r.nonzero_fraction = static_cast<double>(r.nonzero_voxels) /
                          static_cast<double>(r.total_voxels);
     rows.push_back(r);
@@ -50,11 +54,12 @@ std::vector<SparsityRow> RunSparsity(const ExperimentConfig& cfg) {
 std::vector<MemoryRow> RunMemory(const ExperimentConfig& cfg) {
   std::vector<MemoryRow> rows;
   for (SceneId id : cfg.scenes) {
-    const ScenePipeline p = ScenePipeline::Build(cfg.MakePipelineConfig(id));
-    const SpNeRFModel& codec = p.Codec();
+    const std::shared_ptr<const ScenePipeline> p =
+        PipelineRepository::Global().Acquire(cfg.MakePipelineConfig(id));
+    const SpNeRFModel& codec = p->Codec();
     MemoryRow r;
     r.scene = SceneName(id);
-    r.vqrf_restored_bytes = p.Dataset().vqrf.RestoredBytes();
+    r.vqrf_restored_bytes = p->Dataset().vqrf.RestoredBytes();
     r.hash_table_bytes = codec.HashTableBytes();
     r.bitmap_bytes = codec.BitmapBytes();
     r.codebook_bytes = codec.CodebookBytes();
@@ -70,14 +75,15 @@ std::vector<MemoryRow> RunMemory(const ExperimentConfig& cfg) {
 std::vector<PsnrRow> RunPsnr(const ExperimentConfig& cfg) {
   std::vector<PsnrRow> rows;
   for (SceneId id : cfg.scenes) {
-    const ScenePipeline p = ScenePipeline::Build(cfg.MakePipelineConfig(id));
-    const Camera cam = p.MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
+    const std::shared_ptr<const ScenePipeline> p =
+        PipelineRepository::Global().Acquire(cfg.MakePipelineConfig(id));
+    const Camera cam = p->MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
 
     // The four compared paths render as one batch: their tiles interleave
     // through a single scheduler instead of four serial full-frame passes.
     Image gt, vqrf, pre, post;
-    (void)p.RenderComparison(cam, &gt, &vqrf, &pre, &post);
-    p.ReleaseRestored();
+    (void)p->RenderComparison(cam, &gt, &vqrf, &pre, &post);
+    p->ReleaseRestored();
 
     PsnrRow r;
     r.scene = SceneName(id);
@@ -86,8 +92,8 @@ std::vector<PsnrRow> RunPsnr(const ExperimentConfig& cfg) {
     r.spnerf_postmask_psnr = Psnr(gt, post);
     r.vqrf_ssim = Ssim(gt, vqrf);
     r.spnerf_postmask_ssim = Ssim(gt, post);
-    r.build_collision_rate = p.Codec().AggregateBuildStats().CollisionRate();
-    r.nonzero_alias_rate = p.Codec().NonZeroAliasRate();
+    r.build_collision_rate = p->Codec().AggregateBuildStats().CollisionRate();
+    r.nonzero_alias_rate = p->Codec().NonZeroAliasRate();
     rows.push_back(r);
     SPNERF_LOG_INFO << "PSNR " << r.scene << ": vqrf " << r.vqrf_psnr
                     << " pre " << r.spnerf_premask_psnr << " post "
@@ -106,14 +112,15 @@ SweepPoint SweepOne(const ExperimentConfig& cfg, int subgrids, u32 table) {
     PipelineConfig pc = cfg.MakePipelineConfig(id);
     pc.spnerf.subgrid_count = subgrids;
     pc.spnerf.table_size = table;
-    const ScenePipeline p = ScenePipeline::Build(pc);
-    const Camera cam = p.MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
+    const std::shared_ptr<const ScenePipeline> p =
+        PipelineRepository::Global().Acquire(pc);
+    const Camera cam = p->MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
     Image gt, post;
-    (void)p.RenderComparison(cam, &gt, /*vqrf=*/nullptr,
-                             /*spnerf_premask=*/nullptr, &post);
+    (void)p->RenderComparison(cam, &gt, /*vqrf=*/nullptr,
+                              /*spnerf_premask=*/nullptr, &post);
     psnrs.push_back(Psnr(gt, post));
-    aliases.push_back(p.Codec().NonZeroAliasRate());
-    bytes.push_back(static_cast<double>(p.Codec().TotalBytes()));
+    aliases.push_back(p->Codec().NonZeroAliasRate());
+    bytes.push_back(static_cast<double>(p->Codec().TotalBytes()));
   }
   SweepPoint pt;
   pt.subgrid_count = subgrids;
@@ -151,9 +158,10 @@ std::vector<RuntimeBreakdownRow> RunRuntimeBreakdown(
       comp(platforms.size()), over(platforms.size()), fps(platforms.size());
 
   for (SceneId id : cfg.scenes) {
-    const ScenePipeline p = ScenePipeline::Build(cfg.MakePipelineConfig(id));
+    const std::shared_ptr<const ScenePipeline> p =
+        PipelineRepository::Global().Acquire(cfg.MakePipelineConfig(id));
     const GpuFrameWorkload w =
-        p.MeasureGpuWorkload(cfg.tile_size, cfg.frame_width, cfg.frame_height);
+        p->MeasureGpuWorkload(cfg.tile_size, cfg.frame_width, cfg.frame_height);
     for (std::size_t i = 0; i < platforms.size(); ++i) {
       const GpuRooflineResult r = EvaluateVqrfOnGpu(platforms[i], w);
       mem[i].push_back(r.memory_time_s / r.total_time_s);
@@ -179,11 +187,12 @@ std::vector<HardwareRow> RunHardwareComparison(const ExperimentConfig& cfg) {
   const AcceleratorSim sim(cfg.accel);
 
   for (SceneId id : cfg.scenes) {
-    const ScenePipeline p = ScenePipeline::Build(cfg.MakePipelineConfig(id));
+    const std::shared_ptr<const ScenePipeline> p =
+        PipelineRepository::Global().Acquire(cfg.MakePipelineConfig(id));
     const FrameWorkload w =
-        p.MeasureWorkload(cfg.tile_size, cfg.frame_width, cfg.frame_height);
+        p->MeasureWorkload(cfg.tile_size, cfg.frame_width, cfg.frame_height);
     const GpuFrameWorkload gw =
-        p.MeasureGpuWorkload(cfg.tile_size, cfg.frame_width, cfg.frame_height);
+        p->MeasureGpuWorkload(cfg.tile_size, cfg.frame_width, cfg.frame_height);
 
     HardwareRow r;
     r.scene = SceneName(id);

@@ -6,16 +6,21 @@
 namespace spnerf {
 
 ScenePipeline ScenePipeline::Build(const PipelineConfig& config) {
+  return FromAssets(config,
+                    BuildPipelineAssets(config.scene_id, config.dataset,
+                                        config.spnerf, config.coarse_factor));
+}
+
+ScenePipeline ScenePipeline::FromAssets(const PipelineConfig& config,
+                                        PipelineAssets assets) {
+  SPNERF_CHECK_MSG(assets.dataset && assets.codec && assets.coarse,
+                   "pipeline assets incomplete");
+  SPNERF_CHECK_MSG(assets.codec->Dims() == assets.dataset->full_grid.Dims(),
+                   "codec asset does not match the dataset grid");
   ScenePipeline p;
   p.config_ = config;
-  p.dataset_ =
-      std::make_shared<SceneDataset>(BuildDataset(config.scene_id, config.dataset));
-  p.codec_ = SpNeRFModel::Preprocess(p.dataset_->vqrf, config.spnerf);
+  p.assets_ = std::move(assets);
   p.mlp_ = Mlp::Random(config.mlp_seed);
-  // Coarse skip from the full grid's occupancy: a superset of every lossy
-  // representation, so all pipelines march identical rays.
-  p.coarse_ = CoarseOccupancy::Build(BitGrid::FromGrid(p.dataset_->full_grid),
-                                     config.coarse_factor);
   return p;
 }
 
@@ -31,19 +36,25 @@ Camera ScenePipeline::MakeCamera(int width, int height, int view,
 
 RenderOptions ScenePipeline::RenderOptionsWithSkip() const {
   RenderOptions opt = config_.render;
-  opt.coarse_skip = &coarse_;
+  opt.coarse_skip = assets_.coarse.get();
   return opt;
 }
 
-const DenseGrid& ScenePipeline::RestoredGrid() const {
+std::shared_ptr<const DenseGrid> ScenePipeline::RestoredShared() const {
+  std::lock_guard<std::mutex> lock(*restored_mutex_);
   if (!restored_) {
-    restored_ = std::make_shared<DenseGrid>(dataset_->vqrf.Restore());
+    restored_ = std::make_shared<DenseGrid>(assets_.dataset->vqrf.Restore());
   }
-  return *restored_;
+  return restored_;
+}
+
+void ScenePipeline::ReleaseRestored() const {
+  std::lock_guard<std::mutex> lock(*restored_mutex_);
+  restored_.reset();
 }
 
 Image ScenePipeline::RenderGroundTruth(const Camera& camera) const {
-  const AnalyticFieldSource source(dataset_->scene);
+  const AnalyticFieldSource source(assets_.dataset->scene);
   RenderJob job;
   job.source = &source;
   job.mlp = &mlp_;
@@ -53,7 +64,10 @@ Image ScenePipeline::RenderGroundTruth(const Camera& camera) const {
 }
 
 Image ScenePipeline::RenderVqrf(const Camera& camera) const {
-  const GridFieldSource source(RestoredGrid());
+  // Pin the restored grid for the whole render: a concurrent
+  // ReleaseRestored() then only drops the pipeline's reference.
+  const std::shared_ptr<const DenseGrid> restored = RestoredShared();
+  const GridFieldSource source(*restored);
   RenderJob job;
   job.source = &source;
   job.mlp = &mlp_;
@@ -67,7 +81,7 @@ Image ScenePipeline::RenderSpnerf(const Camera& camera, bool bitmap_masking,
                                   DecodeCounters* counters) const {
   // One stateless source serves every worker; decode activity lands in the
   // engine's per-tile counter shards, never in the source.
-  SpNeRFFieldSource source(codec_, config_.render.fp16_mlp,
+  SpNeRFFieldSource source(*assets_.codec, config_.render.fp16_mlp,
                            /*collect_counters=*/false);
   source.SetMasking(bitmap_masking);
   RenderJob job;
@@ -85,16 +99,18 @@ Image ScenePipeline::RenderSpnerf(const Camera& camera, bool bitmap_masking,
 double ScenePipeline::RenderComparison(const Camera& camera, Image* gt,
                                        Image* vqrf, Image* spnerf_premask,
                                        Image* spnerf_postmask) const {
-  const AnalyticFieldSource gt_src(dataset_->scene);
-  SpNeRFFieldSource pre_src(codec_, config_.render.fp16_mlp,
+  const AnalyticFieldSource gt_src(assets_.dataset->scene);
+  SpNeRFFieldSource pre_src(*assets_.codec, config_.render.fp16_mlp,
                             /*collect_counters=*/false);
   pre_src.SetMasking(false);
-  SpNeRFFieldSource post_src(codec_, config_.render.fp16_mlp,
+  SpNeRFFieldSource post_src(*assets_.codec, config_.render.fp16_mlp,
                              /*collect_counters=*/false);
   post_src.SetMasking(true);
+  std::shared_ptr<const DenseGrid> restored;  // pinned for the batch
   std::unique_ptr<GridFieldSource> vqrf_src;
   if (vqrf != nullptr) {
-    vqrf_src = std::make_unique<GridFieldSource>(RestoredGrid());
+    restored = RestoredShared();
+    vqrf_src = std::make_unique<GridFieldSource>(*restored);
   }
 
   RenderJob base;
@@ -129,7 +145,7 @@ FrameWorkload ScenePipeline::MeasureWorkload(int tile_size, int frame_width,
   RenderStats stats;
   DecodeCounters counters;
   (void)RenderSpnerf(tile_cam, /*bitmap_masking=*/true, &stats, &counters);
-  return BuildFrameWorkload(codec_, stats, counters,
+  return BuildFrameWorkload(*assets_.codec, stats, counters,
                             SceneName(config_.scene_id), frame_width,
                             frame_height);
 }
@@ -141,7 +157,8 @@ GpuFrameWorkload ScenePipeline::MeasureGpuWorkload(int tile_size,
   RenderStats stats;
   DecodeCounters counters;
   (void)RenderSpnerf(tile_cam, /*bitmap_masking=*/true, &stats, &counters);
-  return BuildGpuWorkload(dataset_->vqrf, stats, frame_width, frame_height);
+  return BuildGpuWorkload(assets_.dataset->vqrf, stats, frame_width,
+                          frame_height);
 }
 
 }  // namespace spnerf

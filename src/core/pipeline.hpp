@@ -3,11 +3,17 @@
 // three rendering paths the paper compares:
 //   ground truth (analytic), VQRF (restored dense grid), SpNeRF (online
 //   decode, with or without bitmap masking).
+//
+// The heavy state (dataset, codec, coarse skip) is held as shared immutable
+// assets (src/assets), so pipelines built through PipelineRepository share
+// them rather than rebuilding; Build() remains the direct, uncached path.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 
+#include "assets/asset_cache.hpp"
 #include "common/image.hpp"
 #include "encoding/spnerf_codec.hpp"
 #include "grid/occupancy.hpp"
@@ -36,13 +42,21 @@ struct PipelineConfig {
 
 class ScenePipeline {
  public:
+  /// Builds every asset directly (no cache). PipelineRepository::Acquire is
+  /// the cached path every bench/example/experiment goes through.
   static ScenePipeline Build(const PipelineConfig& config);
 
+  /// Assembles a pipeline onto already-built (cached) assets. The assets
+  /// must match the config's build parameters — the repository guarantees
+  /// this by deriving both from the same key fields.
+  static ScenePipeline FromAssets(const PipelineConfig& config,
+                                  PipelineAssets assets);
+
   [[nodiscard]] const PipelineConfig& Config() const { return config_; }
-  [[nodiscard]] const SceneDataset& Dataset() const { return *dataset_; }
-  [[nodiscard]] const SpNeRFModel& Codec() const { return codec_; }
+  [[nodiscard]] const SceneDataset& Dataset() const { return *assets_.dataset; }
+  [[nodiscard]] const SpNeRFModel& Codec() const { return *assets_.codec; }
   [[nodiscard]] const Mlp& GetMlp() const { return mlp_; }
-  [[nodiscard]] const CoarseOccupancy& Skip() const { return coarse_; }
+  [[nodiscard]] const CoarseOccupancy& Skip() const { return *assets_.coarse; }
 
   /// Orbit camera `view` of `n_views` at the configured radius/elevation.
   [[nodiscard]] Camera MakeCamera(int width, int height, int view = 0,
@@ -73,7 +87,13 @@ class ScenePipeline {
   double RenderComparison(const Camera& camera, Image* gt, Image* vqrf,
                           Image* spnerf_premask, Image* spnerf_postmask) const;
   /// Restored dense grid, materialised on first use (large: FP32).
-  [[nodiscard]] const DenseGrid& RestoredGrid() const;
+  /// Materialisation is mutex-guarded; renders pin the grid through a
+  /// shared_ptr, so a concurrent ReleaseRestored() only drops this
+  /// pipeline's reference. The raw reference returned here is for
+  /// inspection — do not hold it across a ReleaseRestored().
+  [[nodiscard]] const DenseGrid& RestoredGrid() const {
+    return *RestoredShared();
+  }
 
   /// Tile-render with statistics and scale to a full frame (sim input).
   [[nodiscard]] FrameWorkload MeasureWorkload(int tile_size = 96,
@@ -85,14 +105,21 @@ class ScenePipeline {
                                                     int frame_height = 800) const;
 
   /// Drops the cached restored grid (it is large: full-resolution FP32).
-  void ReleaseRestored() const { restored_.reset(); }
+  void ReleaseRestored() const;
 
  private:
+  /// Materialise-once accessor; the returned pointer keeps the grid alive
+  /// even if ReleaseRestored() runs concurrently.
+  [[nodiscard]] std::shared_ptr<const DenseGrid> RestoredShared() const;
+
   PipelineConfig config_;
-  std::shared_ptr<SceneDataset> dataset_;  // stable address for codec_
-  SpNeRFModel codec_;
+  PipelineAssets assets_;  // shared immutable heavy state
   Mlp mlp_;
-  CoarseOccupancy coarse_;
+  // Lazily-materialised restored grid, guarded against concurrent
+  // materialisation (two RenderVqrf calls racing). The mutex lives behind a
+  // shared_ptr so the pipeline stays movable/copyable.
+  std::shared_ptr<std::mutex> restored_mutex_ =
+      std::make_shared<std::mutex>();
   mutable std::shared_ptr<DenseGrid> restored_;
 };
 

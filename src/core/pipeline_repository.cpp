@@ -1,0 +1,73 @@
+#include "core/pipeline_repository.hpp"
+
+namespace spnerf {
+
+PipelineRepository& PipelineRepository::Global() {
+  static PipelineRepository repo;
+  return repo;
+}
+
+PipelineRepository::PipelineRepository(AssetCache* cache, std::size_t capacity)
+    : cache_(cache ? *cache : AssetCache::Global()), live_(capacity) {}
+
+std::string PipelineRepository::PipelineKey(const PipelineConfig& c) {
+  AssetKeyBuilder b;
+  // Build identity (the asset key fields)...
+  b.Field("dataset", DatasetAssetKey(c.scene_id, c.dataset).hash)
+      .Field("subgrids", static_cast<i64>(c.spnerf.subgrid_count))
+      .Field("table", static_cast<u64>(c.spnerf.table_size))
+      .Field("masking", c.spnerf.bitmap_masking)
+      .Field("policy", static_cast<i64>(c.spnerf.collision_policy))
+      .Field("coarse", static_cast<i64>(c.coarse_factor))
+      // ...plus everything else that changes what this pipeline renders.
+      .Field("mlp_seed", c.mlp_seed)
+      .Field("step", c.render.step_size)
+      .Field("alpha", c.render.alpha_threshold)
+      .Field("term", c.render.termination_transmittance)
+      .Field("bg_r", c.render.background.x)
+      .Field("bg_g", c.render.background.y)
+      .Field("bg_b", c.render.background.z)
+      .Field("fp16", c.render.fp16_mlp)
+      .Field("tile", static_cast<i64>(c.engine.tile_size))
+      .Field("threads", static_cast<u64>(c.engine.max_threads))
+      .Field("radius", c.camera_radius)
+      .Field("elev", c.camera_elevation_deg)
+      .Field("fov", c.camera_fov_deg);
+  return b.Finish();
+}
+
+std::shared_ptr<const ScenePipeline> PipelineRepository::Acquire(
+    const PipelineConfig& config) {
+  const std::string key = PipelineKey(config);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto* hit = live_.Find(key)) return *hit;
+  }
+
+  // Miss on the live-pipeline level: acquire assets (their own two cache
+  // levels) and assemble outside the lock.
+  PipelineAssets assets = cache_.Acquire(config.scene_id, config.dataset,
+                                         config.spnerf, config.coarse_factor);
+  auto pipeline = std::make_shared<const ScenePipeline>(
+      ScenePipeline::FromAssets(config, std::move(assets)));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto* hit = live_.Find(key)) return *hit;  // racing acquire won
+  live_.Insert(key, pipeline);
+  return pipeline;
+}
+
+std::vector<AssetTimingEntry> PipelineRepository::DrainTimings() {
+  return cache_.DrainTimings();
+}
+
+AssetCache::Stats PipelineRepository::CacheStats() const {
+  return cache_.GetStats();
+}
+
+void PipelineRepository::EvictAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_.Clear();
+}
+
+}  // namespace spnerf

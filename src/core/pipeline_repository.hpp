@@ -1,0 +1,64 @@
+// Shared repository of ready-to-render ScenePipelines, the façade every
+// bench, example, experiment runner and tool acquires pipelines through.
+// Acquire() is three caches deep:
+//   1. an in-memory LRU of live pipelines keyed by the full PipelineConfig
+//      (same config twice -> the same shared pipeline instance);
+//   2. the AssetCache's in-memory LRU of live assets (same build params,
+//      different render options -> a new pipeline over the same dataset);
+//   3. the AssetCache's on-disk artifact store (cold process, warm disk ->
+//      deserialize instead of rebuild).
+// Only a fully cold miss voxelises, VQRF-compresses and SpNeRF-preprocesses
+// — once per (scene, build params, format version) per machine.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "assets/asset_cache.hpp"
+#include "common/lru.hpp"
+#include "core/pipeline.hpp"
+
+namespace spnerf {
+
+class PipelineRepository {
+ public:
+  /// Process-wide repository over AssetCache::Global().
+  static PipelineRepository& Global();
+
+  /// `cache = nullptr` uses AssetCache::Global(). `capacity` bounds the
+  /// live-pipeline LRU (each entry pins its assets in memory).
+  explicit PipelineRepository(AssetCache* cache = nullptr,
+                              std::size_t capacity = 8);
+
+  PipelineRepository(const PipelineRepository&) = delete;
+  PipelineRepository& operator=(const PipelineRepository&) = delete;
+
+  /// Returns the shared pipeline for `config`, building/loading at the
+  /// shallowest cache level that can serve it. Thread-safe.
+  std::shared_ptr<const ScenePipeline> Acquire(const PipelineConfig& config);
+
+  /// Cache identity of a config's live pipeline: every field that changes
+  /// rendering behaviour (build params, render/engine options, camera,
+  /// MLP seed). Exposed for tests.
+  [[nodiscard]] static std::string PipelineKey(const PipelineConfig& config);
+
+  /// Build/load timings accumulated since the last drain (the repository
+  /// forwards its AssetCache's entries; benches feed them into the
+  /// BENCH_*.json reports).
+  std::vector<AssetTimingEntry> DrainTimings();
+
+  [[nodiscard]] AssetCache::Stats CacheStats() const;
+
+  /// Drops every live pipeline (and its pinned assets) from memory.
+  void EvictAll();
+
+ private:
+  AssetCache& cache_;
+
+  std::mutex mutex_;
+  LruList<std::shared_ptr<const ScenePipeline>> live_;  // guarded by mutex_
+};
+
+}  // namespace spnerf

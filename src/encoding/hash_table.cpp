@@ -10,6 +10,24 @@ SubgridHashTable::SubgridHashTable(u32 table_size) : entries_(table_size) {
                    "hash table size unreasonably large: " << table_size);
 }
 
+SubgridHashTable SubgridHashTable::FromParts(std::vector<HashEntry> entries,
+                                             const HashBuildStats& stats) {
+  SPNERF_CHECK_MSG(!entries.empty(), "hash table must have entries");
+  SPNERF_CHECK_MSG(entries.size() <= (1u << 26),
+                   "hash table size unreasonably large: " << entries.size());
+  u64 occupied = 0;
+  for (const HashEntry& e : entries)
+    if (e.Occupied()) ++occupied;
+  SPNERF_CHECK_MSG(occupied == stats.occupied_slots,
+                   "hash table stats disagree with entries: " << occupied
+                       << " occupied slots vs recorded "
+                       << stats.occupied_slots);
+  SubgridHashTable table;
+  table.entries_ = std::move(entries);
+  table.stats_ = stats;
+  return table;
+}
+
 bool SubgridHashTable::Insert(Vec3i position, u32 payload, i8 density_q,
                               CollisionPolicy policy) {
   SPNERF_CHECK_MSG(payload < HashEntry::kEmptyPayload,

@@ -47,6 +47,11 @@ class SubgridHashTable {
   SubgridHashTable() = default;
   explicit SubgridHashTable(u32 table_size);
 
+  /// Reconstructs a table from its slots and build statistics — the
+  /// deserialization path; `Insert` remains the only way to populate one.
+  static SubgridHashTable FromParts(std::vector<HashEntry> entries,
+                                    const HashBuildStats& stats);
+
   [[nodiscard]] u32 TableSize() const {
     return static_cast<u32>(entries_.size());
   }
@@ -65,6 +70,10 @@ class SubgridHashTable {
 
   [[nodiscard]] const HashEntry& EntryAt(u32 slot) const {
     return entries_[slot];
+  }
+
+  [[nodiscard]] const std::vector<HashEntry>& Entries() const {
+    return entries_;
   }
 
   [[nodiscard]] const HashBuildStats& BuildStats() const { return stats_; }

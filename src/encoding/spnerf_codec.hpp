@@ -14,6 +14,7 @@
 //   4. INT8 -> float de-quantisation with the shared scale.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -105,6 +106,9 @@ class SpNeRFModel {
   [[nodiscard]] u64 TotalBytes() const;
 
  private:
+  friend void SaveSpNeRFModel(const SpNeRFModel&, std::ostream&);
+  friend SpNeRFModel LoadSpNeRFModel(std::istream&, const VqrfModel&);
+
   SpNeRFParams params_;
   GridDims dims_;
   SubgridPartition partition_;

@@ -26,7 +26,7 @@ Codebook::Codebook(std::vector<FeatureVec> rows) : rows_(std::move(rows)) {
 }
 
 Codebook Codebook::Train(std::span<const FeatureVec> samples, int size,
-                         int iterations, Rng& rng) {
+                         int iterations, Rng& rng, unsigned max_threads) {
   SPNERF_CHECK_MSG(size > 0, "codebook size must be positive");
   SPNERF_CHECK_MSG(!samples.empty(), "cannot train a codebook on zero samples");
 
@@ -34,14 +34,25 @@ Codebook Codebook::Train(std::span<const FeatureVec> samples, int size,
   centroids.reserve(static_cast<std::size_t>(size));
 
   // k-means++ seeding: first centroid uniform, then proportional to D^2.
+  // The D^2 refresh against the newest centroid is the seeding hot loop
+  // (codebook-size x samples distance computations); it updates each entry
+  // independently, so the parallel version is bit-exact for any worker
+  // count. The probability total is then summed sequentially in index
+  // order, keeping the picked centroids deterministic too.
   centroids.push_back(samples[rng.NextBelow(samples.size())]);
   std::vector<float> d2(samples.size(), std::numeric_limits<float>::max());
   while (static_cast<int>(centroids.size()) < size) {
+    const FeatureVec& latest = centroids.back();
+    ParallelFor(
+        samples.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            d2[i] = std::min(d2[i], Dist2(samples[i], latest));
+          }
+        },
+        max_threads);
     double total = 0.0;
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-      d2[i] = std::min(d2[i], Dist2(samples[i], centroids.back()));
-      total += d2[i];
-    }
+    for (std::size_t i = 0; i < samples.size(); ++i) total += d2[i];
     if (total <= 0.0) {
       // All samples coincide with existing centroids: replicate a sample.
       centroids.push_back(samples[rng.NextBelow(samples.size())]);
@@ -66,11 +77,14 @@ Codebook Codebook::Train(std::span<const FeatureVec> samples, int size,
   std::vector<u64> counts(static_cast<std::size_t>(size));
   Codebook book(std::move(centroids));
   for (int it = 0; it < iterations; ++it) {
-    ParallelFor(samples.size(), [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        next_assign[i] = book.Nearest(samples[i]);
-      }
-    });
+    ParallelFor(
+        samples.size(),
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            next_assign[i] = book.Nearest(samples[i]);
+          }
+        },
+        max_threads);
     bool changed = false;
     for (std::size_t i = 0; i < samples.size(); ++i) {
       if (next_assign[i] != assign[i]) {

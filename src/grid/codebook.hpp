@@ -22,9 +22,11 @@ class Codebook {
 
   /// Trains `size` centroids on `samples` with k-means (k-means++ seeding,
   /// fixed iteration budget). If there are fewer distinct samples than
-  /// centroids the surplus rows stay at sampled positions.
+  /// centroids the surplus rows stay at sampled positions. `max_threads`
+  /// caps the parallel seeding/assignment loops (0 = every pool worker);
+  /// the result is identical for any value.
   static Codebook Train(std::span<const FeatureVec> samples, int size,
-                        int iterations, Rng& rng);
+                        int iterations, Rng& rng, unsigned max_threads = 0);
 
   [[nodiscard]] int Size() const { return static_cast<int>(rows_.size()); }
   [[nodiscard]] const FeatureVec& Row(int id) const;

@@ -9,6 +9,23 @@ DenseGrid::DenseGrid(GridDims dims) : dims_(dims) {
   features_.assign(dims.VoxelCount() * kColorFeatureDim, 0.0f);
 }
 
+DenseGrid DenseGrid::FromRaw(GridDims dims, std::vector<float> density,
+                             std::vector<float> features) {
+  SPNERF_CHECK_MSG(dims.nx > 0 && dims.ny > 0 && dims.nz > 0,
+                   "grid dims must be positive");
+  SPNERF_CHECK_MSG(density.size() == dims.VoxelCount(),
+                   "density array size " << density.size()
+                                         << " does not match dims");
+  SPNERF_CHECK_MSG(features.size() == dims.VoxelCount() * kColorFeatureDim,
+                   "feature array size " << features.size()
+                                         << " does not match dims");
+  DenseGrid grid;
+  grid.dims_ = dims;
+  grid.density_ = std::move(density);
+  grid.features_ = std::move(features);
+  return grid;
+}
+
 VoxelData DenseGrid::Voxel(Vec3i p) const {
   SPNERF_CHECK_MSG(dims_.Contains(p), "voxel out of bounds: " << p);
   const VoxelIndex i = dims_.Flatten(p);

@@ -57,6 +57,11 @@ class DenseGrid {
   DenseGrid() = default;
   explicit DenseGrid(GridDims dims);
 
+  /// Reconstructs a grid from its raw channel arrays (deserialization).
+  /// Sizes must match `dims` exactly.
+  static DenseGrid FromRaw(GridDims dims, std::vector<float> density,
+                           std::vector<float> features);
+
   [[nodiscard]] const GridDims& Dims() const { return dims_; }
   [[nodiscard]] u64 VoxelCount() const { return dims_.VoxelCount(); }
 

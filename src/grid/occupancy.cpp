@@ -47,6 +47,14 @@ CoarseOccupancy CoarseOccupancy::Build(const BitGrid& fine, int factor) {
   return occ;
 }
 
+CoarseOccupancy CoarseOccupancy::FromBits(BitGrid coarse, int factor) {
+  SPNERF_CHECK_MSG(factor >= 1, "coarse factor must be >= 1");
+  CoarseOccupancy occ;
+  occ.factor_ = factor;
+  occ.coarse_ = std::move(coarse);
+  return occ;
+}
+
 Vec3i CoarseOccupancy::CellOfWorld(Vec3f p) const {
   const GridDims& cd = coarse_.Dims();
   const auto cell = [](float w, int n) {

@@ -16,6 +16,10 @@ class CoarseOccupancy {
   /// Builds from a fine bitmap. `factor` fine cells per coarse cell per axis.
   static CoarseOccupancy Build(const BitGrid& fine, int factor);
 
+  /// Reconstructs from an already-reduced (and dilated) coarse bitmap —
+  /// the deserialization path; `Build` remains the only way to derive one.
+  static CoarseOccupancy FromBits(BitGrid coarse, int factor);
+
   [[nodiscard]] int Factor() const { return factor_; }
   [[nodiscard]] const GridDims& CoarseDims() const { return coarse_.Dims(); }
   [[nodiscard]] const BitGrid& Bits() const { return coarse_; }

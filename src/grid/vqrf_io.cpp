@@ -72,11 +72,8 @@ void SaveVqrfModel(const VqrfModel& model, const std::string& path) {
 }
 
 VqrfModel LoadVqrfModel(std::istream& in) {
-  SPNERF_CHECK_MSG(ReadPod<u32>(in) == kVqrfMagic,
-                   "not a SpNeRF VQRF model (bad magic)");
-  const u32 version = ReadPod<u32>(in);
-  SPNERF_CHECK_MSG(version == kVqrfVersion,
-                   "unsupported VQRF model version " << version);
+  ExpectMagic(in, kVqrfMagic, "SpNeRF VQRF model");
+  ExpectVersion(in, kVqrfVersion, "VQRF model");
 
   VqrfModel model;
   model.dims_.nx = ReadPod<i32>(in);

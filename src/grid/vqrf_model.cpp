@@ -107,7 +107,8 @@ VqrfModel VqrfModel::Build(const DenseGrid& full, const VqrfBuildParams& params)
   const int book_size =
       std::min<int>(params.codebook_size, static_cast<int>(train.size()));
   model.codebook_ = Codebook::Train(train, std::max(book_size, 1),
-                                    params.kmeans_iterations, rng);
+                                    params.kmeans_iterations, rng,
+                                    params.max_threads);
 
   // Codebook rows quantised with the shared feature scale (on-chip format).
   model.codebook_int8_.resize(
@@ -125,16 +126,19 @@ VqrfModel VqrfModel::Build(const DenseGrid& full, const VqrfBuildParams& params)
   // computations); precompute it in parallel, then emit sequentially so the
   // record order stays deterministic.
   std::vector<u32> nearest_id(survivors.size(), 0);
-  ParallelFor(survivors.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t s = begin; s < end; ++s) {
-      const VoxelIndex i = survivors[s];
-      if (kept_lookup.at(i)) continue;
-      FeatureVec fv{};
-      const float* f = full.Features(i);
-      for (int c = 0; c < kColorFeatureDim; ++c) fv[c] = f[c];
-      nearest_id[s] = static_cast<u32>(model.codebook_.Nearest(fv));
-    }
-  });
+  ParallelFor(
+      survivors.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          const VoxelIndex i = survivors[s];
+          if (kept_lookup.at(i)) continue;
+          FeatureVec fv{};
+          const float* f = full.Features(i);
+          for (int c = 0; c < kColorFeatureDim; ++c) fv[c] = f[c];
+          nearest_id[s] = static_cast<u32>(model.codebook_.Nearest(fv));
+        }
+      },
+      params.max_threads);
 
   model.records_.reserve(survivors.size());
   model.kept_features_.reserve(keep_count * kColorFeatureDim);

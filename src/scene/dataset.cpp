@@ -1,9 +1,11 @@
 #include "scene/dataset.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 
 namespace spnerf {
 
@@ -33,20 +35,39 @@ DenseGrid VoxelizeScene(const Scene& scene, const VoxelizeParams& params) {
   const Vec3i hi{to_cell(bounds.hi.x, dims.nx), to_cell(bounds.hi.y, dims.ny),
                  to_cell(bounds.hi.z, dims.nz)};
 
-  for (int x = lo.x; x <= hi.x; ++x) {
-    for (int y = lo.y; y <= hi.y; ++y) {
-      for (int z = lo.z; z <= hi.z; ++z) {
-        const Vec3i v{x, y, z};
-        const Vec3f p = VoxelVertexPosition(dims, v);
-        const float density = scene.Density(p);
-        if (density <= 0.0f) continue;
-        VoxelData data;
-        data.density = density;
-        data.features = scene.ColorFeature(p);
-        grid.SetVoxel(v, data);
-      }
-    }
+  // Parallel over x-slabs: in the x-major flattening every slab writes a
+  // disjoint contiguous voxel range, so any worker count produces the same
+  // grid bytes (the cached-asset determinism guarantee). A cap above the
+  // global pool size builds a dedicated pool — the same explicit
+  // oversubscription the render engine offers for cgroup-limited
+  // containers that under-report the core count.
+  std::unique_ptr<ThreadPool> dedicated;
+  ThreadPool* pool = nullptr;
+  if (params.max_threads > ThreadPool::Global().WorkerCount()) {
+    dedicated = std::make_unique<ThreadPool>(params.max_threads);
+    pool = dedicated.get();
   }
+  const auto slabs = static_cast<std::size_t>(hi.x - lo.x + 1);
+  ParallelFor(
+      slabs,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          const int x = lo.x + static_cast<int>(s);
+          for (int y = lo.y; y <= hi.y; ++y) {
+            for (int z = lo.z; z <= hi.z; ++z) {
+              const Vec3i v{x, y, z};
+              const Vec3f p = VoxelVertexPosition(dims, v);
+              const float density = scene.Density(p);
+              if (density <= 0.0f) continue;
+              VoxelData data;
+              data.density = density;
+              data.features = scene.ColorFeature(p);
+              grid.SetVoxel(v, data);
+            }
+          }
+        }
+      },
+      params.max_threads, pool);
   return grid;
 }
 
@@ -57,8 +78,11 @@ SceneDataset BuildDataset(SceneId id, const DatasetParams& params) {
   VoxelizeParams vp;
   vp.resolution = params.resolution_override > 0 ? params.resolution_override
                                                  : SceneDefaultResolution(id);
+  vp.max_threads = params.max_threads;
   ds.full_grid = VoxelizeScene(ds.scene, vp);
-  ds.vqrf = VqrfModel::Build(ds.full_grid, params.vqrf);
+  VqrfBuildParams vb = params.vqrf;
+  if (vb.max_threads == 0) vb.max_threads = params.max_threads;
+  ds.vqrf = VqrfModel::Build(ds.full_grid, vb);
   SPNERF_LOG_DEBUG << "dataset " << SceneName(id) << ": res " << vp.resolution
                    << ", non-zero " << ds.full_grid.CountNonZero() << " ("
                    << ds.full_grid.NonZeroFraction() * 100.0 << "%)";

@@ -12,10 +12,15 @@ namespace spnerf {
 
 struct VoxelizeParams {
   int resolution = 160;  // cubic grid (nx = ny = nz)
+  /// Worker cap for the voxelisation scan; 0 uses every pool worker. Pure
+  /// execution policy: the produced grid is byte-identical at any value.
+  unsigned max_threads = 0;
 };
 
 /// Samples the analytic density/feature fields at voxel vertices
-/// (corner-aligned: vertex i at i/(n-1) in [0,1]).
+/// (corner-aligned: vertex i at i/(n-1) in [0,1]). The scan parallelises
+/// over x-slabs; each slab owns a disjoint contiguous index range of the
+/// x-major grid, so the result is deterministic for any worker count.
 DenseGrid VoxelizeScene(const Scene& scene, const VoxelizeParams& params);
 
 /// World position of a voxel vertex under the corner-aligned convention.
@@ -33,6 +38,9 @@ struct DatasetParams {
   /// <= 0 means "use SceneDefaultResolution(id)". Tests use small values.
   int resolution_override = 0;
   VqrfBuildParams vqrf;
+  /// Worker cap for the voxelisation scan; 0 uses every pool worker. Does
+  /// not affect the built bytes, so asset cache keys exclude it.
+  unsigned max_threads = 0;
 };
 
 SceneDataset BuildDataset(SceneId id, const DatasetParams& params = {});

@@ -85,6 +85,43 @@ TEST(BuildDataset, DeterministicAcrossCalls) {
   }
 }
 
+TEST(Voxelize, DeterministicAcrossWorkerCounts) {
+  // The parallel scan must produce identical grid bytes at any worker
+  // count: slabs write disjoint index ranges, so no count can reorder or
+  // tear a write (mirrors the render-engine determinism guarantee).
+  const Scene scene = BuildScene(SceneId::kLego);
+  VoxelizeParams vp;
+  vp.resolution = 56;
+  vp.max_threads = 1;
+  const DenseGrid reference = VoxelizeScene(scene, vp);
+  for (unsigned workers : {2u, 8u}) {
+    vp.max_threads = workers;
+    const DenseGrid grid = VoxelizeScene(scene, vp);
+    ASSERT_EQ(grid.Dims(), reference.Dims()) << workers << " workers";
+    EXPECT_EQ(grid.DensityRaw(), reference.DensityRaw())
+        << workers << " workers";
+    EXPECT_EQ(grid.FeaturesRaw(), reference.FeaturesRaw())
+        << workers << " workers";
+  }
+}
+
+TEST(BuildDataset, DeterministicAcrossWorkerCounts) {
+  DatasetParams p = SmallParams();
+  p.max_threads = 1;
+  const SceneDataset reference = BuildDataset(SceneId::kMic, p);
+  for (unsigned workers : {2u, 8u}) {
+    p.max_threads = workers;
+    const SceneDataset ds = BuildDataset(SceneId::kMic, p);
+    EXPECT_EQ(ds.full_grid.DensityRaw(), reference.full_grid.DensityRaw())
+        << workers << " workers";
+    EXPECT_EQ(ds.full_grid.FeaturesRaw(), reference.full_grid.FeaturesRaw())
+        << workers << " workers";
+    // The VQRF compression consumes the identical grid deterministically.
+    ASSERT_EQ(ds.vqrf.Records().size(), reference.vqrf.Records().size());
+    EXPECT_EQ(ds.vqrf.KeptCount(), reference.vqrf.KeptCount());
+  }
+}
+
 TEST(BuildDataset, KeptCountWithin18BitBudget) {
   for (SceneId id : AllScenes()) {
     const SceneDataset ds = BuildDataset(id, SmallParams());

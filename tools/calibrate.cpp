@@ -2,6 +2,7 @@
 #include <algorithm>
 #include "common/config.hpp"
 #include "core/experiments.hpp"
+#include "core/pipeline_repository.hpp"
 #include "common/units.hpp"
 using namespace spnerf;
 
@@ -70,5 +71,9 @@ int main(int argc, char** argv) {
       std::printf("fig2a %-6s mem=%.3f comp=%.3f over=%.3f fps=%.3f\n",
         r.platform.c_str(), r.memory_share, r.compute_share, r.overhead_share, r.fps);
   }
+  const AssetCache::Stats st = PipelineRepository::Global().CacheStats();
+  std::printf("asset cache: %llu cold build(s), %llu disk load(s), %llu memory hit(s)\n",
+    (unsigned long long)st.builds, (unsigned long long)st.disk_hits,
+    (unsigned long long)st.memory_hits);
   return 0;
 }
