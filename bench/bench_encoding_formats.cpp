@@ -27,13 +27,13 @@ int main(int argc, char** argv) {
     dp.max_threads = cfg.threads;
     const std::shared_ptr<const SceneDataset> ds =
         AssetCache::Global().AcquireDataset(id, dp);
-    const CooGrid coo = CooGrid::Build(ds->vqrf);
-    const CsrGrid csr = CsrGrid::Build(ds->vqrf);
-    const CscGrid csc = CscGrid::Build(ds->vqrf);
+    const CooGrid coo = CooGrid::Build(*ds->vqrf);
+    const CsrGrid csr = CsrGrid::Build(*ds->vqrf);
+    const CscGrid csc = CscGrid::Build(*ds->vqrf);
 
     // Random (ray-sampling-like) lookups: average probes per query.
     Rng rng(99);
-    const GridDims& dims = ds->vqrf.Dims();
+    const GridDims& dims = ds->vqrf->Dims();
     double coo_probes = 0, csr_probes = 0, csc_probes = 0;
     const int n = 20000;
     for (int i = 0; i < n; ++i) {
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%-12s %10llu | %10s %10s %10s %10s | %7.1f %7.1f %7.1f\n",
                 SceneName(id),
-                static_cast<unsigned long long>(ds->vqrf.NonZeroCount()),
+                static_cast<unsigned long long>(ds->vqrf->NonZeroCount()),
                 FormatBytes(coo.CoordinateBytes()).c_str(),
                 FormatBytes(coo.TotalBytes()).c_str(),
                 FormatBytes(csr.TotalBytes()).c_str(),

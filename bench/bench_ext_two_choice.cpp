@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     pc.spnerf.table_size = 4096;
     const std::shared_ptr<const ScenePipeline> p =
         PipelineRepository::Global().Acquire(pc);
-    const VqrfModel& vqrf = p->Dataset().vqrf;
+    const VqrfModel& vqrf = *p->Dataset().vqrf;
     const Camera cam = p->MakeCamera(cfg.psnr_image_size, cfg.psnr_image_size);
     const Image gt = p->RenderGroundTruth(cam);
 

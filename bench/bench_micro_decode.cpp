@@ -34,10 +34,10 @@ struct MicroData {
     SpNeRFParams sp;
     sp.subgrid_count = 16;
     sp.table_size = 8192;
-    codec = SpNeRFModel::Preprocess(dataset->vqrf, sp);
-    coo = CooGrid::Build(dataset->vqrf);
-    csr = CsrGrid::Build(dataset->vqrf);
-    csc = CscGrid::Build(dataset->vqrf);
+    codec = SpNeRFModel::Preprocess(*dataset->vqrf, sp);
+    coo = CooGrid::Build(*dataset->vqrf);
+    csr = CsrGrid::Build(*dataset->vqrf);
+    csc = CscGrid::Build(*dataset->vqrf);
     mlp = Mlp::Random(1);
   }
 };
@@ -179,17 +179,17 @@ void LookupLoop(benchmark::State& state, const GridT& grid,
 }
 
 void BM_LookupCoo(benchmark::State& state) {
-  LookupLoop(state, Data().coo, Data().dataset->vqrf.Dims());
+  LookupLoop(state, Data().coo, Data().dataset->vqrf->Dims());
 }
 BENCHMARK(BM_LookupCoo);
 
 void BM_LookupCsr(benchmark::State& state) {
-  LookupLoop(state, Data().csr, Data().dataset->vqrf.Dims());
+  LookupLoop(state, Data().csr, Data().dataset->vqrf->Dims());
 }
 BENCHMARK(BM_LookupCsr);
 
 void BM_LookupCsc(benchmark::State& state) {
-  LookupLoop(state, Data().csc, Data().dataset->vqrf.Dims());
+  LookupLoop(state, Data().csc, Data().dataset->vqrf->Dims());
 }
 BENCHMARK(BM_LookupCsc);
 

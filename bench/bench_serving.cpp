@@ -1,0 +1,170 @@
+// Serving benchmark: drives the RenderService with the deterministic
+// open-loop LoadGenerator and reports throughput and tail latency
+// (p50/p95/p99) to BENCH_serving.json.
+//
+// Two phases over a warm asset cache:
+//   * unsaturated — offered load well below measured capacity. Nothing may
+//     be shed here; any rejection is a bug and fails the process (CI runs
+//     this as a smoke gate).
+//   * saturated — offered load far above capacity with a small queue. The
+//     service must shed load via explicit rejections/expiries while the
+//     queue stays bounded, instead of growing an unbounded backlog.
+//
+// Overrides: requests=N scenes=N res=R img=S threads=N capacity=N batch=N
+//            seed=S rate=R (unsaturated offered rate in requests/s; the
+//            saturated phase always offers 16x the unsaturated rate.
+//            0 = derive both from measured closed-loop frame latency)
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "serve/load_generator.hpp"
+
+namespace {
+
+using namespace spnerf;
+
+struct PhaseResult {
+  ServiceStatsSnapshot stats;
+  double wall_ms = 0.0;
+};
+
+PhaseResult RunPhase(const LoadGeneratorOptions& load,
+                     const RenderServiceOptions& service_opts) {
+  RenderService service(service_opts);
+  const ReplayResult replay =
+      ReplayTrace(service, LoadGenerator(load).GenerateTrace());
+  service.Drain();
+  PhaseResult r;
+  r.stats = service.Stats();
+  r.wall_ms = replay.wall_ms;
+  return r;
+}
+
+void PrintPhase(const char* name, const PhaseResult& r) {
+  const LatencySample& lat = r.stats.total_latency;
+  std::printf("%-12s %9.1f rps | p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms\n",
+              name, r.stats.ThroughputRps(), lat.Percentile(50),
+              lat.Percentile(95), lat.Percentile(99));
+  std::printf("             completed %llu, rejected %llu, expired %llu | "
+              "queue peak %zu | mean batch %.2f\n",
+              static_cast<unsigned long long>(r.stats.completed),
+              static_cast<unsigned long long>(r.stats.rejected),
+              static_cast<unsigned long long>(r.stats.expired),
+              r.stats.queue_peak, r.stats.MeanBatchSize());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config args = Config::FromArgs(argc, argv);
+  const auto requests =
+      static_cast<std::size_t>(args.GetInt("requests", 400));
+  const int nscenes = args.GetInt("scenes", 3);
+  const int res = args.GetInt("res", 64);
+  const int img = args.GetInt("img", 48);
+  const auto threads = static_cast<unsigned>(args.GetInt("threads", 0));
+  const auto capacity = static_cast<std::size_t>(args.GetInt("capacity", 64));
+  const auto max_batch = static_cast<std::size_t>(args.GetInt("batch", 8));
+  const auto seed = static_cast<u64>(args.GetInt("seed", 2025));
+  const double rate_override = args.GetDouble("rate", 0.0);
+
+  bench::PrintHeader("serving",
+                     "RenderService throughput and tail latency under load");
+  bench::JsonReport json("serving");
+  const unsigned effective_threads =
+      threads ? threads : ThreadPool::Global().WorkerCount();
+
+  std::vector<SceneId> scenes = AllScenes();
+  scenes.resize(static_cast<std::size_t>(
+      std::max(1, std::min(nscenes, kSceneCount))));
+
+  RenderRequest base;
+  base.config.dataset.resolution_override = res;
+  base.image_width = base.image_height = img;
+
+  RenderServiceOptions service_opts;
+  service_opts.queue_capacity = capacity;
+  service_opts.max_batch = max_batch;
+  service_opts.engine.max_threads = threads;
+
+  // Warm every scene's assets through the service itself, then measure
+  // closed-loop per-frame latency (one request in flight at a time) to
+  // size the offered load.
+  bench::WallTimer warm_timer;
+  double frame_ms = 0.0;
+  {
+    RenderService service(service_opts);
+    for (int round = 0; round < 2; ++round) {
+      double sum = 0.0;
+      for (SceneId id : scenes) {
+        RenderRequest r = base;
+        r.config.scene_id = id;
+        sum += service.Submit(r).get().total_ms;
+      }
+      frame_ms = sum / static_cast<double>(scenes.size());  // last round wins
+    }
+  }
+  std::printf("warmup: %zu scene(s) built/loaded, closed-loop frame latency "
+              "%.2f ms\n", scenes.size(), frame_ms);
+  json.Add("serve/warmup", warm_timer.ElapsedMs(), effective_threads);
+  bench::PrintRule();
+
+  LoadGeneratorOptions load;
+  load.seed = seed;
+  load.request_count = requests;
+  load.scenes = scenes;
+  load.hot_scene_count = std::max<std::size_t>(1, scenes.size() / 2);
+  load.base = base;
+
+  // A single dispatcher serves ~1000/frame_ms requests per second; offer a
+  // quarter of that (no shedding tolerated), then four times it (shedding
+  // required).
+  const double capacity_rps = 1000.0 / std::max(frame_ms, 1e-3);
+  load.arrival_rate_rps =
+      rate_override > 0.0 ? rate_override : 0.25 * capacity_rps;
+  load.deadline_fraction = 0.0;  // nothing may expire when unsaturated
+  const PhaseResult unsat = RunPhase(load, service_opts);
+  PrintPhase("unsaturated", unsat);
+  json.AddPercentiles("serve/unsaturated",
+                      unsat.stats.total_latency.Percentile(50),
+                      unsat.stats.total_latency.Percentile(95),
+                      unsat.stats.total_latency.Percentile(99),
+                      unsat.stats.ThroughputRps(), effective_threads);
+
+  load.arrival_rate_rps =
+      rate_override > 0.0 ? 16.0 * rate_override : 4.0 * capacity_rps;
+  load.deadline_fraction = 0.3;
+  load.deadline_ms = 8.0 * frame_ms;
+  const PhaseResult sat = RunPhase(load, service_opts);
+  PrintPhase("saturated", sat);
+  json.AddPercentiles("serve/saturated",
+                      sat.stats.total_latency.Percentile(50),
+                      sat.stats.total_latency.Percentile(95),
+                      sat.stats.total_latency.Percentile(99),
+                      sat.stats.ThroughputRps(), effective_threads);
+
+  bench::PrintRule();
+  bench::AddBuildTimings(json);
+
+  if (unsat.stats.rejected + unsat.stats.expired > 0) {
+    std::fprintf(stderr,
+                 "ERROR: unsaturated run shed %llu request(s) — admission "
+                 "control dropped load the service had capacity for\n",
+                 static_cast<unsigned long long>(unsat.stats.rejected +
+                                                 unsat.stats.expired));
+    return 1;
+  }
+  if (sat.stats.queue_peak > capacity) {
+    std::fprintf(stderr,
+                 "ERROR: queue grew past its bound (%zu > %zu)\n",
+                 sat.stats.queue_peak, capacity);
+    return 1;
+  }
+  if (sat.stats.rejected == 0) {
+    std::printf("note: saturated run shed nothing — offered rate likely too "
+                "low for this machine\n");
+  }
+  return 0;
+}

@@ -75,8 +75,10 @@ class WallTimer {
 };
 
 /// Machine-readable timing report, written (overwriting any previous run)
-/// as BENCH_<id>.json on destruction. One entry per measured phase:
-/// {name, wall_ms, threads}.
+/// as BENCH_<id>.json on destruction. Two entry shapes share the file:
+/// wall-time phases {name, wall_ms, threads} and serving percentiles
+/// {name, p50_ms, p95_ms, p99_ms, throughput_rps, threads}, so latency
+/// distributions land in the same per-commit trajectory as batch timings.
 class JsonReport {
  public:
   explicit JsonReport(std::string bench_id) : bench_id_(std::move(bench_id)) {}
@@ -85,7 +87,25 @@ class JsonReport {
   JsonReport& operator=(const JsonReport&) = delete;
 
   void Add(const std::string& name, double wall_ms, unsigned threads) {
-    entries_.push_back(Entry{name, wall_ms, threads});
+    Entry e;
+    e.name = name;
+    e.wall_ms = wall_ms;
+    e.threads = threads;
+    entries_.push_back(std::move(e));
+  }
+
+  /// Tail-latency entry for a serving phase.
+  void AddPercentiles(const std::string& name, double p50_ms, double p95_ms,
+                      double p99_ms, double throughput_rps, unsigned threads) {
+    Entry e;
+    e.name = name;
+    e.threads = threads;
+    e.percentiles = true;
+    e.p50_ms = p50_ms;
+    e.p95_ms = p95_ms;
+    e.p99_ms = p99_ms;
+    e.throughput_rps = throughput_rps;
+    entries_.push_back(std::move(e));
   }
 
   ~JsonReport() {
@@ -96,11 +116,20 @@ class JsonReport {
                  bench_id_.c_str());
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
-                   "\"threads\": %u}%s\n",
-                   e.name.c_str(), e.wall_ms, e.threads,
-                   i + 1 < entries_.size() ? "," : "");
+      const char* sep = i + 1 < entries_.size() ? "," : "";
+      if (e.percentiles) {
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"p50_ms\": %.3f, "
+                     "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                     "\"throughput_rps\": %.2f, \"threads\": %u}%s\n",
+                     e.name.c_str(), e.p50_ms, e.p95_ms, e.p99_ms,
+                     e.throughput_rps, e.threads, sep);
+      } else {
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                     "\"threads\": %u}%s\n",
+                     e.name.c_str(), e.wall_ms, e.threads, sep);
+      }
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -113,6 +142,11 @@ class JsonReport {
     std::string name;
     double wall_ms = 0.0;
     unsigned threads = 0;
+    bool percentiles = false;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double throughput_rps = 0.0;
   };
   std::string bench_id_;
   std::vector<Entry> entries_;

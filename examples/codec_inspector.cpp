@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const std::shared_ptr<const ScenePipeline> pipeline =
       PipelineRepository::Global().Acquire(config);
   const SpNeRFModel& codec = pipeline->Codec();
-  const VqrfModel& vqrf = pipeline->Dataset().vqrf;
+  const VqrfModel& vqrf = *pipeline->Dataset().vqrf;
 
   std::printf("== SpNeRF codec for '%s': K=%d subgrids, T=%u entries ==\n",
               SceneName(config.scene_id), config.spnerf.subgrid_count,

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
               SceneName(config.scene_id));
   const std::shared_ptr<const ScenePipeline> host =
       PipelineRepository::Global().Acquire(config);
-  const VqrfModel& model = host->Dataset().vqrf;
+  const VqrfModel& model = *host->Dataset().vqrf;
   SaveVqrfModel(model, path);
   std::printf("[host] wrote %s: %llu records, codebook %d, kept %llu\n",
               path.c_str(),

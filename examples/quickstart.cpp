@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     std::printf("[assets] %s: %s in %.1f ms\n", e.name.c_str(),
                 AssetOriginName(e.origin), e.wall_ms);
   }
-  const VqrfModel& vqrf = pipeline->Dataset().vqrf;
+  const VqrfModel& vqrf = *pipeline->Dataset().vqrf;
   const SpNeRFModel& codec = pipeline->Codec();
 
   std::printf("non-zero voxels: %llu (%.2f%% of grid), kept %llu, VQ %llu\n",

@@ -59,10 +59,12 @@ const char* AssetOriginName(AssetOrigin origin) {
 
 namespace {
 
-/// Owns a codec together with the dataset its payload stores live in; the
-/// handed-out SpNeRFModel pointer aliases this holder.
+/// Owns a codec together with the VQRF model its payload stores live in —
+/// and nothing more: pinning the model (not the whole dataset) keeps cached
+/// codecs at compressed size even after the dataset's full-resolution grid
+/// is evicted. The handed-out SpNeRFModel pointer aliases this holder.
 struct CodecHolder {
-  std::shared_ptr<const SceneDataset> dataset;
+  std::shared_ptr<const VqrfModel> vqrf;
   SpNeRFModel model;
 };
 
@@ -83,8 +85,8 @@ std::shared_ptr<const CoarseOccupancy> MakeCoarseAsset(
 std::shared_ptr<const SpNeRFModel> MakeCodecAsset(
     std::shared_ptr<const SceneDataset> dataset, const SpNeRFParams& params) {
   auto holder = std::make_shared<CodecHolder>();
-  holder->dataset = std::move(dataset);
-  holder->model = SpNeRFModel::Preprocess(holder->dataset->vqrf, params);
+  holder->vqrf = dataset->vqrf;
+  holder->model = SpNeRFModel::Preprocess(*holder->vqrf, params);
   return WrapCodec(std::move(holder));
 }
 
@@ -260,8 +262,8 @@ std::shared_ptr<const SpNeRFModel> AssetCache::AcquireCodec(
       std::string("codec/") + SceneName(id), 1,
       [&](std::istream& in) {
         auto loaded = std::make_shared<CodecHolder>();
-        loaded->dataset = dataset;
-        loaded->model = LoadSpNeRFModel(in, loaded->dataset->vqrf);
+        loaded->vqrf = dataset->vqrf;
+        loaded->model = LoadSpNeRFModel(in, *loaded->vqrf);
         return WrapCodec(std::move(loaded));
       },
       [&] { return MakeCodecAsset(dataset, sp); },

@@ -40,7 +40,9 @@ struct AssetTimingEntry {
 };
 
 /// The expensive state one ScenePipeline needs. `codec->Source()` points
-/// into `dataset->vqrf`; holding the bundle keeps that reference alive.
+/// into the dataset's VQRF model, which lives behind its own shared_ptr
+/// (`dataset->vqrf`): the codec pins only that compressed model, never the
+/// dataset's full-resolution grid.
 struct PipelineAssets {
   std::shared_ptr<const SceneDataset> dataset;
   std::shared_ptr<const SpNeRFModel> codec;
@@ -139,10 +141,10 @@ class AssetCache {
   std::string disk_root_;  // empty = disk store disabled
 
   mutable std::mutex mutex_;
-  // Values are type-erased; AcquireImpl casts back. NOTE: a codec entry
-  // pins its source dataset (payload stores live there), so entry count
-  // under-estimates resident bytes — see the ROADMAP open item on
-  // splitting SceneDataset.
+  // Values are type-erased; AcquireImpl casts back. A codec entry pins only
+  // its source VQRF model (payload stores live there), not the dataset's
+  // full-resolution grid, so evicting the dataset entry frees the grid even
+  // while codecs stay cached.
   LruList<std::shared_ptr<const void>> live_;  // guarded by mutex_
   Stats stats_;
   std::vector<AssetTimingEntry> timings_;

@@ -26,6 +26,8 @@ void ExpectAssetHeader(std::istream& in, AssetPayloadKind kind) {
 // --- dataset bundle ------------------------------------------------------
 
 void SaveSceneDataset(const SceneDataset& dataset, std::ostream& out) {
+  SPNERF_CHECK_MSG(dataset.vqrf != nullptr,
+                   "dataset has no VQRF model (not built via BuildDataset?)");
   WriteAssetHeader(out, AssetPayloadKind::kDataset);
   WriteString(out, SceneName(dataset.id));
   const GridDims& dims = dataset.full_grid.Dims();
@@ -34,7 +36,7 @@ void SaveSceneDataset(const SceneDataset& dataset, std::ostream& out) {
   WritePod<i32>(out, dims.nz);
   WriteVector(out, dataset.full_grid.DensityRaw());
   WriteVector(out, dataset.full_grid.FeaturesRaw());
-  SaveVqrfModel(dataset.vqrf, out);
+  SaveVqrfModel(*dataset.vqrf, out);
   SPNERF_CHECK_MSG(out.good(), "dataset asset write failed");
 }
 
@@ -53,8 +55,8 @@ SceneDataset LoadSceneDataset(std::istream& in) {
   std::vector<float> features = ReadVector<float>(in);
   ds.full_grid = DenseGrid::FromRaw(dims, std::move(density),
                                     std::move(features));
-  ds.vqrf = LoadVqrfModel(in);
-  SPNERF_CHECK_MSG(ds.vqrf.Dims() == dims,
+  ds.vqrf = std::make_shared<const VqrfModel>(LoadVqrfModel(in));
+  SPNERF_CHECK_MSG(ds.vqrf->Dims() == dims,
                    "corrupt dataset asset: VQRF dims disagree with grid");
   return ds;
 }

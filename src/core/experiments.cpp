@@ -43,7 +43,7 @@ std::vector<SparsityRow> RunSparsity(const ExperimentConfig& cfg) {
     r.total_voxels = ds->full_grid.VoxelCount();
     // The paper's sparsity metric is over the pruned voxel-grid data, i.e.
     // the surviving non-zero points of the compressed model.
-    r.nonzero_voxels = ds->vqrf.NonZeroCount();
+    r.nonzero_voxels = ds->vqrf->NonZeroCount();
     r.nonzero_fraction = static_cast<double>(r.nonzero_voxels) /
                          static_cast<double>(r.total_voxels);
     rows.push_back(r);
@@ -59,7 +59,7 @@ std::vector<MemoryRow> RunMemory(const ExperimentConfig& cfg) {
     const SpNeRFModel& codec = p->Codec();
     MemoryRow r;
     r.scene = SceneName(id);
-    r.vqrf_restored_bytes = p->Dataset().vqrf.RestoredBytes();
+    r.vqrf_restored_bytes = p->Dataset().vqrf->RestoredBytes();
     r.hash_table_bytes = codec.HashTableBytes();
     r.bitmap_bytes = codec.BitmapBytes();
     r.codebook_bytes = codec.CodebookBytes();

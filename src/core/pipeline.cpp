@@ -43,7 +43,7 @@ RenderOptions ScenePipeline::RenderOptionsWithSkip() const {
 std::shared_ptr<const DenseGrid> ScenePipeline::RestoredShared() const {
   std::lock_guard<std::mutex> lock(*restored_mutex_);
   if (!restored_) {
-    restored_ = std::make_shared<DenseGrid>(assets_.dataset->vqrf.Restore());
+    restored_ = std::make_shared<DenseGrid>(assets_.dataset->vqrf->Restore());
   }
   return restored_;
 }
@@ -157,7 +157,7 @@ GpuFrameWorkload ScenePipeline::MeasureGpuWorkload(int tile_size,
   RenderStats stats;
   DecodeCounters counters;
   (void)RenderSpnerf(tile_cam, /*bitmap_masking=*/true, &stats, &counters);
-  return BuildGpuWorkload(assets_.dataset->vqrf, stats, frame_width,
+  return BuildGpuWorkload(*assets_.dataset->vqrf, stats, frame_width,
                           frame_height);
 }
 

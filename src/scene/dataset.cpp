@@ -82,7 +82,7 @@ SceneDataset BuildDataset(SceneId id, const DatasetParams& params) {
   ds.full_grid = VoxelizeScene(ds.scene, vp);
   VqrfBuildParams vb = params.vqrf;
   if (vb.max_threads == 0) vb.max_threads = params.max_threads;
-  ds.vqrf = VqrfModel::Build(ds.full_grid, vb);
+  ds.vqrf = std::make_shared<const VqrfModel>(VqrfModel::Build(ds.full_grid, vb));
   SPNERF_LOG_DEBUG << "dataset " << SceneName(id) << ": res " << vp.resolution
                    << ", non-zero " << ds.full_grid.CountNonZero() << " ("
                    << ds.full_grid.NonZeroFraction() * 100.0 << "%)";

@@ -3,6 +3,8 @@
 // experiments.
 #pragma once
 
+#include <memory>
+
 #include "grid/dense_grid.hpp"
 #include "grid/vqrf_model.hpp"
 #include "scene/scene.hpp"
@@ -26,12 +28,15 @@ DenseGrid VoxelizeScene(const Scene& scene, const VoxelizeParams& params);
 /// World position of a voxel vertex under the corner-aligned convention.
 Vec3f VoxelVertexPosition(const GridDims& dims, Vec3i v);
 
-/// Everything the experiments need for one scene.
+/// Everything the experiments need for one scene. The compressed model
+/// lives behind its own shared_ptr so consumers that only need the VQRF
+/// payload stores (the SpNeRF codec) can pin it without keeping the
+/// full-resolution grid alive; BuildDataset always populates it.
 struct SceneDataset {
   SceneId id{};
   Scene scene;
   DenseGrid full_grid;  // ground-truth full-precision voxel grid
-  VqrfModel vqrf;       // compressed model (the SpNeRF input)
+  std::shared_ptr<const VqrfModel> vqrf;  // compressed model (SpNeRF input)
 };
 
 struct DatasetParams {

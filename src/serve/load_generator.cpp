@@ -1,0 +1,94 @@
+#include "serve/load_generator.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace spnerf {
+
+LoadGenerator::LoadGenerator(LoadGeneratorOptions options)
+    : options_(std::move(options)) {
+  SPNERF_CHECK_MSG(!options_.scenes.empty(), "load generator needs scenes");
+  SPNERF_CHECK_MSG(options_.arrival_rate_rps > 0.0,
+                   "load generator needs a positive arrival rate");
+}
+
+std::vector<TimedRequest> LoadGenerator::GenerateTrace() const {
+  Rng rng(options_.seed);
+  const std::size_t hot =
+      std::min(options_.hot_scene_count, options_.scenes.size());
+  const std::size_t cold = options_.scenes.size() - hot;
+
+  std::vector<TimedRequest> trace;
+  trace.reserve(options_.request_count);
+  double clock_ms = 0.0;
+  for (std::size_t i = 0; i < options_.request_count; ++i) {
+    // Poisson arrivals: exponential inter-arrival gaps at the offered rate.
+    const double u = std::max(rng.NextDouble(), 1e-12);
+    clock_ms += -std::log(u) * 1000.0 / options_.arrival_rate_rps;
+
+    TimedRequest t;
+    t.arrival_ms = clock_ms;
+    t.request = options_.base;
+
+    // Hot/cold scene skew (uniform within the chosen set).
+    std::size_t scene_index;
+    if (cold == 0 || (hot > 0 && rng.NextDouble() < options_.hot_fraction)) {
+      scene_index = static_cast<std::size_t>(rng.NextBelow(hot));
+    } else {
+      scene_index = hot + static_cast<std::size_t>(rng.NextBelow(cold));
+    }
+    t.request.config.scene_id = options_.scenes[scene_index];
+    t.request.view = static_cast<int>(
+        rng.NextBelow(static_cast<u64>(std::max(t.request.n_views, 1))));
+
+    const double pclass = rng.NextDouble();
+    if (pclass < options_.interactive_fraction) {
+      t.request.priority = RequestPriority::kInteractive;
+    } else if (pclass < options_.interactive_fraction +
+                            options_.batch_fraction) {
+      t.request.priority = RequestPriority::kBatch;
+    } else {
+      t.request.priority = RequestPriority::kNormal;
+    }
+
+    t.request.deadline_ms =
+        rng.NextDouble() < options_.deadline_fraction ? options_.deadline_ms
+                                                      : 0.0;
+    trace.push_back(std::move(t));
+  }
+  return trace;
+}
+
+ReplayResult ReplayTrace(RenderService& service,
+                         const std::vector<TimedRequest>& trace) {
+  using Clock = std::chrono::steady_clock;
+  service.Start();
+
+  std::vector<std::future<RenderResponse>> futures;
+  futures.reserve(trace.size());
+  const Clock::time_point start = Clock::now();
+  for (const TimedRequest& t : trace) {
+    // Open loop: submission times come from the trace alone, never from
+    // service progress; a slow service accumulates backlog (and sheds).
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(t.arrival_ms)));
+    futures.push_back(service.Submit(t.request));
+  }
+
+  ReplayResult result;
+  result.responses.reserve(futures.size());
+  for (std::future<RenderResponse>& f : futures) {
+    result.responses.push_back(f.get());
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                             start)
+                       .count();
+  return result;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,71 @@
+// Deterministic open-loop load generation for the RenderService. A trace is
+// a pure function of the options (seeded xoshiro PRNG): arrival times follow
+// a Poisson process at the configured rate, scenes are drawn from a
+// hot/cold-skewed zoo mix, and priorities/deadlines follow fixed fractions.
+// The same options always yield the identical trace, independent of how
+// many workers later serve it — the replay half is where wall time enters.
+#pragma once
+
+#include <vector>
+
+#include "serve/render_service.hpp"
+
+namespace spnerf {
+
+struct LoadGeneratorOptions {
+  u64 seed = 2025;
+  std::size_t request_count = 256;
+  /// Open-loop arrival rate (requests/s); arrivals never wait for
+  /// completions, which is what exposes tail latency under overload.
+  double arrival_rate_rps = 200.0;
+  /// Scene mix; the first `hot_scene_count` entries are the hot set.
+  std::vector<SceneId> scenes{SceneId::kLego, SceneId::kChair,
+                              SceneId::kMic, SceneId::kFicus};
+  std::size_t hot_scene_count = 2;
+  /// Probability a request targets the hot set (uniform within each set).
+  double hot_fraction = 0.8;
+  /// Fractions of kInteractive / kBatch requests (the rest are kNormal).
+  double interactive_fraction = 0.25;
+  double batch_fraction = 0.25;
+  /// Fraction of requests carrying a deadline, and that relative deadline.
+  double deadline_fraction = 0.0;
+  double deadline_ms = 250.0;
+  /// Template request: scene_id and view are overwritten per draw, the
+  /// rest (build params, render options, image size) is taken as-is.
+  RenderRequest base;
+};
+
+/// One trace entry: when to submit (ms from replay start) and what.
+struct TimedRequest {
+  double arrival_ms = 0.0;
+  RenderRequest request;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(LoadGeneratorOptions options = {});
+
+  /// Generates the full trace. Pure and deterministic: same options (seed
+  /// included) -> byte-identical trace, no matter who replays it on how
+  /// many workers.
+  [[nodiscard]] std::vector<TimedRequest> GenerateTrace() const;
+
+  [[nodiscard]] const LoadGeneratorOptions& Options() const { return options_; }
+
+ private:
+  LoadGeneratorOptions options_;
+};
+
+struct ReplayResult {
+  /// Per-trace-index responses (futures resolved, same order as the trace).
+  std::vector<RenderResponse> responses;
+  /// First submission to last resolved response.
+  double wall_ms = 0.0;
+};
+
+/// Replays a trace open-loop: sleeps to each arrival time, submits, then
+/// waits for every future. Implies service.Start().
+ReplayResult ReplayTrace(RenderService& service,
+                         const std::vector<TimedRequest>& trace);
+
+}  // namespace spnerf

@@ -1,0 +1,343 @@
+#include "serve/render_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "render/field_source.hpp"
+
+namespace spnerf {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double MsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kBatch: return "batch";
+    case RequestPriority::kNormal: return "normal";
+    case RequestPriority::kInteractive: return "interactive";
+  }
+  return "?";
+}
+
+const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kCompleted: return "completed";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kExpired: return "expired";
+  }
+  return "?";
+}
+
+/// One admitted request waiting in the queue.
+struct RenderService::Pending {
+  RenderRequest request;
+  std::promise<RenderResponse> promise;
+  std::string batch_key;
+  Clock::time_point submitted{};
+  /// Absolute deadline; Clock::time_point::max() when none.
+  Clock::time_point deadline = Clock::time_point::max();
+  u64 sequence = 0;
+
+  [[nodiscard]] bool ExpiredAt(Clock::time_point now) const {
+    return deadline != Clock::time_point::max() && now >= deadline;
+  }
+
+  /// True when this entry outranks `other` in scheduling order: priority
+  /// first, then earliest deadline, then FIFO. Total and deterministic for
+  /// a fixed submission order (sequences are unique).
+  [[nodiscard]] bool Outranks(const Pending& other) const {
+    if (request.priority != other.request.priority) {
+      return static_cast<int>(request.priority) >
+             static_cast<int>(other.request.priority);
+    }
+    if (deadline != other.deadline) return deadline < other.deadline;
+    return sequence < other.sequence;
+  }
+};
+
+std::string RenderService::BatchKey(const RenderRequest& request) {
+  // Engine fields are execution policy (service-owned, never change the
+  // rendered bytes): exclude them so requests differing only there still
+  // coalesce.
+  PipelineConfig config = request.config;
+  config.engine = RenderEngineOptions{};
+  return PipelineRepository::PipelineKey(config) +
+         (request.bitmap_masking ? "+mask" : "-mask");
+}
+
+RenderService::RenderService(RenderServiceOptions options)
+    : options_(options),
+      repository_(options.repository ? *options.repository
+                                     : PipelineRepository::Global()),
+      engine_(options.engine),
+      paused_(options.start_paused) {
+  SPNERF_CHECK_MSG(options_.queue_capacity > 0,
+                   "serve: queue capacity must be positive");
+  SPNERF_CHECK_MSG(options_.max_batch > 0,
+                   "serve: max batch must be positive");
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+RenderService::~RenderService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void RenderService::Shed(Pending& entry, RequestStatus status) {
+  RenderResponse response;
+  response.status = status;
+  response.total_ms = MsBetween(entry.submitted, Clock::now());
+  // A shed request spent its whole life queued (~0 when dropped straight
+  // at admission); report that wait.
+  response.queue_ms = response.total_ms;
+  if (status == RequestStatus::kExpired) {
+    stats_.RecordExpired();
+  } else {
+    stats_.RecordRejected();
+  }
+  entry.promise.set_value(std::move(response));
+}
+
+std::future<RenderResponse> RenderService::Submit(RenderRequest request) {
+  auto entry = std::make_unique<Pending>();
+  entry->request = std::move(request);
+  // Execution policy is service-owned: normalising the ignored engine
+  // fields keeps requests differing only in them on one batch key and one
+  // PipelineRepository entry (engine options never change rendered bytes).
+  entry->request.config.engine = RenderEngineOptions{};
+  entry->batch_key = BatchKey(entry->request);
+  entry->submitted = Clock::now();
+  if (entry->request.deadline_ms > 0.0) {
+    entry->deadline =
+        entry->submitted + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   entry->request.deadline_ms));
+  }
+  std::future<RenderResponse> future = entry->promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  entry->sequence = next_sequence_++;
+  if (stopping_) {
+    lock.unlock();
+    stats_.RecordSubmitted(0);
+    Shed(*entry, RequestStatus::kRejected);
+    return future;
+  }
+
+  std::vector<std::unique_ptr<Pending>> dead;
+  if (queue_.size() >= options_.queue_capacity) {
+    // A full queue may be holding already-expired entries; shed those
+    // first — dead work must neither consume capacity nor hold its
+    // (earliest-deadline, hence highest) rank against live arrivals.
+    const Clock::time_point now = Clock::now();
+    auto alive = queue_.begin();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if ((*it)->ExpiredAt(now)) {
+        dead.push_back(std::move(*it));
+      } else {
+        if (alive != it) *alive = std::move(*it);
+        ++alive;
+      }
+    }
+    queue_.erase(alive, queue_.end());
+  }
+  if (queue_.size() < options_.queue_capacity) {
+    queue_.push_back(std::move(entry));
+    const std::size_t depth = queue_.size();
+    lock.unlock();
+    for (auto& e : dead) Shed(*e, RequestStatus::kExpired);
+    stats_.RecordSubmitted(depth);
+    work_cv_.notify_one();
+    return future;
+  }
+
+  // Still full of live work. Load shedding: drop the lowest-ranked request
+  // — the incoming one, unless it outranks something already queued (a
+  // full queue of batch work must not lock out an interactive request).
+  // Outranks() is a strict total order, so max_element under it is the
+  // worst entry.
+  auto worst = std::max_element(
+      queue_.begin(), queue_.end(),
+      [](const std::unique_ptr<Pending>& a,
+         const std::unique_ptr<Pending>& b) { return a->Outranks(*b); });
+  if (worst != queue_.end() && entry->Outranks(**worst)) {
+    std::unique_ptr<Pending> evicted = std::move(*worst);
+    queue_.erase(worst);
+    queue_.push_back(std::move(entry));
+    const std::size_t depth = queue_.size();
+    lock.unlock();
+    stats_.RecordSubmitted(depth);
+    Shed(*evicted, RequestStatus::kRejected);
+    work_cv_.notify_one();
+    return future;
+  }
+  const std::size_t depth = queue_.size();
+  lock.unlock();
+  stats_.RecordSubmitted(depth);
+  Shed(*entry, RequestStatus::kRejected);
+  return future;
+}
+
+void RenderService::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void RenderService::Drain() {
+  Start();
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    return (queue_.empty() && !in_flight_) || stopping_;
+  });
+}
+
+std::size_t RenderService::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void RenderService::DispatcherLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    std::vector<std::unique_ptr<Pending>> expired;
+    u64 dispatch_index = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) {
+        // Complete the backlog as rejected so no future dangles.
+        std::vector<std::unique_ptr<Pending>> drained;
+        drained.swap(queue_);
+        lock.unlock();
+        for (auto& entry : drained) Shed(*entry, RequestStatus::kRejected);
+        idle_cv_.notify_all();
+        return;
+      }
+
+      // Deadline sweep: anything already past its deadline is shed before
+      // it can consume render capacity.
+      const Clock::time_point now = Clock::now();
+      auto alive = queue_.begin();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if ((*it)->ExpiredAt(now)) {
+          expired.push_back(std::move(*it));
+        } else {
+          if (alive != it) *alive = std::move(*it);
+          ++alive;
+        }
+      }
+      queue_.erase(alive, queue_.end());
+
+      if (!queue_.empty()) {
+        // Pop the best-ranked request, then coalesce same-key requests in
+        // scheduling order up to the batch cap.
+        auto best = std::min_element(
+            queue_.begin(), queue_.end(),
+            [](const std::unique_ptr<Pending>& a,
+               const std::unique_ptr<Pending>& b) { return a->Outranks(*b); });
+        const std::string key = (*best)->batch_key;
+        batch.push_back(std::move(*best));
+        queue_.erase(best);
+        // Mates join in scheduling order, not submission order: when
+        // max_batch binds, the seats go to the highest-ranked same-key
+        // requests (a batch-class mate must never displace an interactive
+        // one into a later dispatch).
+        while (batch.size() < options_.max_batch) {
+          auto mate = queue_.end();
+          for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if ((*it)->batch_key != key) continue;
+            if (mate == queue_.end() || (*it)->Outranks(**mate)) mate = it;
+          }
+          if (mate == queue_.end()) break;
+          batch.push_back(std::move(*mate));
+          queue_.erase(mate);
+        }
+        in_flight_ = true;
+        dispatch_index = next_dispatch_++;
+      }
+      stats_.RecordQueueDepth(queue_.size());
+    }
+
+    for (auto& entry : expired) Shed(*entry, RequestStatus::kExpired);
+    if (batch.empty()) {
+      idle_cv_.notify_all();
+      continue;
+    }
+
+    const Clock::time_point dispatched = Clock::now();
+    try {
+      // One pipeline serves the whole batch (identical batch key ==
+      // identical pipeline key); one stateless source backs every job.
+      const std::shared_ptr<const ScenePipeline> pipeline =
+          repository_.Acquire(batch.front()->request.config);
+      SpNeRFFieldSource source(pipeline->Codec(),
+                               batch.front()->request.config.render.fp16_mlp,
+                               /*collect_counters=*/false);
+      source.SetMasking(batch.front()->request.bitmap_masking);
+
+      std::vector<RenderJob> jobs;
+      jobs.reserve(batch.size());
+      for (const auto& entry : batch) {
+        const RenderRequest& r = entry->request;
+        RenderJob job;
+        job.source = &source;
+        job.mlp = &pipeline->GetMlp();
+        job.camera = pipeline->MakeCamera(r.image_width, r.image_height,
+                                          r.view, r.n_views);
+        job.options = pipeline->RenderOptionsWithSkip();
+        jobs.push_back(job);
+      }
+      std::vector<RenderResult> results = engine_.RenderBatch(jobs);
+
+      stats_.RecordBatch(batch.size());
+      const Clock::time_point done = Clock::now();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        Pending& entry = *batch[i];
+        RenderResponse response;
+        response.status = RequestStatus::kCompleted;
+        response.image = std::move(results[i].image);
+        response.queue_ms = MsBetween(entry.submitted, dispatched);
+        response.total_ms = MsBetween(entry.submitted, done);
+        response.batch_size = batch.size();
+        response.dispatch_index = dispatch_index;
+        response.missed_deadline = entry.ExpiredAt(done);
+        stats_.RecordCompleted(response.queue_ms, response.total_ms);
+        entry.promise.set_value(std::move(response));
+      }
+    } catch (const std::exception& e) {
+      // A failed build/render must not wedge the service: fail the batch's
+      // futures with the error instead of fulfilling them.
+      SPNERF_LOG_WARN << "serve: batch failed (" << e.what() << ")";
+      for (auto& entry : batch) {
+        entry->promise.set_exception(std::current_exception());
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace spnerf

@@ -1,0 +1,169 @@
+// RenderService: the multi-tenant request-serving layer above core/.
+//
+// Callers Submit() asynchronous RenderRequests (scene + build params +
+// camera view + priority + optional deadline) and get a future. A single
+// dispatcher thread schedules the bounded queue:
+//
+//   * Admission. The queue holds at most `queue_capacity` requests. When it
+//     is full, the lowest-ranked queued request is shed (explicit kRejected
+//     status) if the incoming one outranks it; otherwise the incoming
+//     request is rejected immediately. The service never grows an unbounded
+//     backlog — overload turns into rejections, not latency collapse.
+//   * Scheduling order. Highest priority first; within a priority class,
+//     earliest absolute deadline first (requests without a deadline sort
+//     last); FIFO as the tie-break. Deterministic for a fixed submit order.
+//   * Deadline shedding. A request whose deadline passes while it waits is
+//     completed with kExpired at dispatch time without rendering — queue
+//     time is never spent on work nobody can use. Once rendering starts a
+//     request always completes (the result is already paid for); a deadline
+//     that lapses mid-render is reported via RenderResponse::missed_deadline.
+//   * Batching. The dispatcher pops the best-ranked request, then coalesces
+//     every queued request with the same batch key — pipeline key (scene,
+//     build params, render options, camera intrinsics, MLP seed) plus
+//     masking flag — into one RenderEngine batch of up to `max_batch` jobs,
+//     so tiles of concurrent same-scene requests interleave across the
+//     shared ThreadPool instead of serialising per request.
+//
+// Rendering itself inherits the engine's determinism: response images are
+// bit-identical for any worker count or batch composition.
+#pragma once
+
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline_repository.hpp"
+#include "serve/service_stats.hpp"
+
+namespace spnerf {
+
+/// Scheduling classes, ascending urgency. kInteractive models a live viewer
+/// waiting on the frame; kBatch models offline re-renders that should only
+/// soak up spare capacity.
+enum class RequestPriority : int {
+  kBatch = 0,
+  kNormal = 1,
+  kInteractive = 2,
+};
+
+const char* RequestPriorityName(RequestPriority priority);
+
+/// One frame request. `config` names the pipeline (resolved through the
+/// PipelineRepository, so same-config requests share built assets); the
+/// view fields pick the orbit camera.
+struct RenderRequest {
+  PipelineConfig config;
+  int image_width = 64;
+  int image_height = 64;
+  int view = 0;
+  int n_views = 8;
+  /// Render the SpNeRF path with (paper default) or without bitmap masking.
+  bool bitmap_masking = true;
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Relative deadline from submission, in ms; <= 0 means none. A request
+  /// still queued past its deadline is shed with kExpired.
+  double deadline_ms = 0.0;
+};
+
+enum class RequestStatus {
+  kCompleted,  // image rendered
+  kRejected,   // shed by admission control (queue full) or shutdown
+  kExpired,    // deadline passed while queued; not rendered
+};
+
+const char* RequestStatusName(RequestStatus status);
+
+struct RenderResponse {
+  RequestStatus status = RequestStatus::kRejected;
+  Image image;  // empty unless kCompleted
+  /// Submit -> dispatch wait; for shed requests, submit -> shed (their
+  /// whole queued lifetime, ~0 when dropped straight at admission).
+  double queue_ms = 0.0;
+  /// Submit -> response ready.
+  double total_ms = 0.0;
+  /// Number of requests coalesced into the engine batch that served this
+  /// one (>= 1 for completed requests).
+  std::size_t batch_size = 0;
+  /// Monotonically increasing per-batch dispatch counter; requests of one
+  /// batch share it. Exposes the scheduling order to tests and benches.
+  u64 dispatch_index = 0;
+  /// Completed, but after the request's deadline lapsed mid-render.
+  bool missed_deadline = false;
+};
+
+struct RenderServiceOptions {
+  /// Bound on queued (admitted, not yet dispatched) requests.
+  std::size_t queue_capacity = 256;
+  /// Cap on requests coalesced into one engine batch.
+  std::size_t max_batch = 8;
+  /// Tile scheduler configuration for every render the service issues (the
+  /// request's own PipelineConfig::engine is ignored: execution policy is
+  /// service-owned, and it never changes the rendered bytes).
+  RenderEngineOptions engine;
+  /// Pipeline source; nullptr uses PipelineRepository::Global().
+  PipelineRepository* repository = nullptr;
+  /// Start with dispatching paused; Start() (or Drain()) begins it. Lets
+  /// tests and benches stage a backlog deterministically.
+  bool start_paused = false;
+};
+
+class RenderService {
+ public:
+  explicit RenderService(RenderServiceOptions options = {});
+  /// Drains nothing: queued requests are completed as kRejected, the
+  /// in-flight batch finishes, then the dispatcher joins. Call Drain()
+  /// first for a graceful stop.
+  ~RenderService();
+
+  RenderService(const RenderService&) = delete;
+  RenderService& operator=(const RenderService&) = delete;
+
+  /// Non-blocking admission. The returned future always becomes ready:
+  /// kCompleted with the image, or kRejected/kExpired when shed. A request
+  /// shed at admission resolves immediately.
+  std::future<RenderResponse> Submit(RenderRequest request);
+
+  /// Begins dispatching (no-op unless constructed start_paused).
+  void Start();
+
+  /// Blocks until the queue is empty and no batch is in flight. Implies
+  /// Start(). New submissions during a drain extend it.
+  void Drain();
+
+  [[nodiscard]] ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  [[nodiscard]] std::size_t QueueDepth() const;
+  [[nodiscard]] const RenderServiceOptions& Options() const { return options_; }
+
+  /// Batch-coalescing identity of a request: the pipeline key plus every
+  /// request field that changes decoding (masking). Exposed for tests.
+  [[nodiscard]] static std::string BatchKey(const RenderRequest& request);
+
+ private:
+  struct Pending;
+
+  void DispatcherLoop();
+  /// Completes `entry` as shed with `status` and records stats.
+  void Shed(Pending& entry, RequestStatus status);
+
+  RenderServiceOptions options_;
+  PipelineRepository& repository_;
+  RenderEngine engine_;
+  ServiceStats stats_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // dispatcher wakeups
+  std::condition_variable idle_cv_;   // Drain() wakeups
+  std::vector<std::unique_ptr<Pending>> queue_;  // guarded by mutex_
+  u64 next_sequence_ = 0;             // guarded by mutex_
+  u64 next_dispatch_ = 0;             // guarded by mutex_
+  bool paused_ = false;               // guarded by mutex_
+  bool stopping_ = false;             // guarded by mutex_
+  bool in_flight_ = false;            // guarded by mutex_
+  std::thread dispatcher_;
+};
+
+}  // namespace spnerf

@@ -1,0 +1,83 @@
+#include "serve/service_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spnerf {
+
+double LatencySample::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest value with at least p% of samples <= it.
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(std::ceil(
+      clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double LatencySample::MeanMs() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencySample::MaxMs() const {
+  return samples_.empty() ? 0.0
+                          : *std::max_element(samples_.begin(), samples_.end());
+}
+
+void ServiceStats::RecordSubmitted(std::size_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.submitted;
+  if (!has_submit_) {
+    first_submit_ = std::chrono::steady_clock::now();
+    has_submit_ = true;
+  }
+  data_.queue_depth = queue_depth_after;
+  data_.queue_peak = std::max(data_.queue_peak, queue_depth_after);
+}
+
+void ServiceStats::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.rejected;
+}
+
+void ServiceStats::RecordExpired() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.expired;
+}
+
+void ServiceStats::RecordBatch(std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (size > 0) ++data_.batches;
+}
+
+void ServiceStats::RecordCompleted(double queue_ms, double total_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.completed;
+  data_.queue_latency.Record(queue_ms);
+  data_.total_latency.Record(total_ms);
+  last_complete_ = std::chrono::steady_clock::now();
+  has_complete_ = true;
+}
+
+void ServiceStats::RecordQueueDepth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.queue_depth = depth;
+  data_.queue_peak = std::max(data_.queue_peak, depth);
+}
+
+ServiceStatsSnapshot ServiceStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStatsSnapshot snap = data_;
+  if (has_submit_ && has_complete_) {
+    snap.span_ms = std::chrono::duration<double, std::milli>(last_complete_ -
+                                                             first_submit_)
+                       .count();
+  }
+  return snap;
+}
+
+}  // namespace spnerf

@@ -1,0 +1,89 @@
+// Serving-layer metrics: exact latency percentiles, queue-depth tracking
+// and throughput over the service's lifetime. Latencies are kept as full
+// sample sets, so percentiles are true order statistics and merging two
+// collectors is exact (concatenation) — no sketch error enters the
+// BENCH_serving.json trajectory.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace spnerf {
+
+/// Exact latency sample set. Every recorded value is kept; Percentile()
+/// returns the nearest-rank order statistic and Merge() concatenates, so
+/// merged percentiles equal the percentiles of the union — exact, unlike
+/// digest/histogram sketches.
+class LatencySample {
+ public:
+  void Record(double ms) { samples_.push_back(ms); }
+  void Merge(const LatencySample& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  [[nodiscard]] std::size_t Count() const { return samples_.size(); }
+  /// Nearest-rank percentile, `p` in [0, 100]. Returns 0 when empty.
+  [[nodiscard]] double Percentile(double p) const;
+  [[nodiscard]] double MeanMs() const;
+  [[nodiscard]] double MaxMs() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// One consistent view of the collector. Latency samples cover completed
+/// requests only; shed requests (rejected/expired) are counted, not timed.
+struct ServiceStatsSnapshot {
+  u64 submitted = 0;
+  u64 completed = 0;
+  u64 rejected = 0;  // shed by admission control (queue full)
+  u64 expired = 0;   // shed because the deadline passed while queued
+  u64 batches = 0;   // engine calls dispatched
+  std::size_t queue_depth = 0;  // at snapshot time
+  std::size_t queue_peak = 0;   // high-water mark
+  LatencySample queue_latency;  // submit -> dispatch
+  LatencySample total_latency;  // submit -> response ready
+  /// First submission to last completion; 0 until both exist.
+  double span_ms = 0.0;
+
+  /// Completed requests per second over the measured span.
+  [[nodiscard]] double ThroughputRps() const {
+    return span_ms > 0.0 ? static_cast<double>(completed) * 1000.0 / span_ms
+                         : 0.0;
+  }
+  /// Requests per dispatched engine call.
+  [[nodiscard]] double MeanBatchSize() const {
+    return batches ? static_cast<double>(completed) /
+                         static_cast<double>(batches)
+                   : 0.0;
+  }
+};
+
+/// Thread-safe collector the RenderService reports into. All mutators take
+/// one internal lock; Snapshot() copies a consistent view.
+class ServiceStats {
+ public:
+  void RecordSubmitted(std::size_t queue_depth_after);
+  void RecordRejected();
+  void RecordExpired();
+  void RecordBatch(std::size_t size);
+  void RecordCompleted(double queue_ms, double total_ms);
+  void RecordQueueDepth(std::size_t depth);
+
+  [[nodiscard]] ServiceStatsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  ServiceStatsSnapshot data_;
+  std::chrono::steady_clock::time_point first_submit_{};
+  std::chrono::steady_clock::time_point last_complete_{};
+  bool has_submit_ = false;
+  bool has_complete_ = false;
+};
+
+}  // namespace spnerf

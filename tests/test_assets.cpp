@@ -44,6 +44,34 @@ std::string SaveDatasetBytes(const SceneDataset& ds) {
   return out.str();
 }
 
+// ------------------------------------------------------ codec pinning ---
+
+TEST(CodecAsset, PinsOnlyTheVqrfModelNotTheDataset) {
+  // A codec's payload stores live in the dataset's VQRF model, which sits
+  // behind its own shared_ptr: holding the codec must keep that model
+  // alive, but never the dataset (whose full-resolution grid dominates
+  // memory at paper scale).
+  auto ds = std::make_shared<const SceneDataset>(
+      BuildDataset(SceneId::kMic, SmallParams()));
+  std::weak_ptr<const SceneDataset> dataset_watch = ds;
+  std::weak_ptr<const VqrfModel> vqrf_watch = ds->vqrf;
+
+  const std::shared_ptr<const SpNeRFModel> codec =
+      MakeCodecAsset(ds, SmallCodecParams());
+  ds.reset();
+
+  EXPECT_TRUE(dataset_watch.expired())
+      << "codec asset still pins the whole dataset (full grid included)";
+  EXPECT_FALSE(vqrf_watch.expired())
+      << "codec asset must keep its VQRF payload source alive";
+  // The codec still decodes against the pinned model.
+  const std::shared_ptr<const VqrfModel> vqrf = vqrf_watch.lock();
+  ASSERT_NE(vqrf, nullptr);
+  ASSERT_FALSE(vqrf->Records().empty());
+  const Vec3i p = vqrf->Dims().Unflatten(vqrf->Records().front().index);
+  (void)codec->Decode(p);
+}
+
 // ---------------------------------------------------------- round trips --
 
 TEST(AssetIo, DatasetRoundTripIsByteIdentical) {
@@ -55,7 +83,7 @@ TEST(AssetIo, DatasetRoundTripIsByteIdentical) {
   EXPECT_EQ(loaded.full_grid.Dims(), SmallDataset().full_grid.Dims());
   EXPECT_EQ(loaded.full_grid.DensityRaw(),
             SmallDataset().full_grid.DensityRaw());
-  EXPECT_EQ(loaded.vqrf.Records().size(), SmallDataset().vqrf.Records().size());
+  EXPECT_EQ(loaded.vqrf->Records().size(), SmallDataset().vqrf->Records().size());
 
   // save -> load -> save reproduces the exact artifact bytes.
   EXPECT_EQ(SaveDatasetBytes(loaded), first);
@@ -64,22 +92,22 @@ TEST(AssetIo, DatasetRoundTripIsByteIdentical) {
 TEST(AssetIo, CodecRoundTripIsByteIdenticalAndDecodesEqually) {
   const SceneDataset& ds = SmallDataset();
   const SpNeRFModel original =
-      SpNeRFModel::Preprocess(ds.vqrf, SmallCodecParams());
+      SpNeRFModel::Preprocess(*ds.vqrf, SmallCodecParams());
 
   std::ostringstream out(std::ios::binary);
   SaveSpNeRFModel(original, out);
   const std::string first = out.str();
 
   std::istringstream in(first, std::ios::binary);
-  const SpNeRFModel loaded = LoadSpNeRFModel(in, ds.vqrf);
+  const SpNeRFModel loaded = LoadSpNeRFModel(in, *ds.vqrf);
 
   std::ostringstream again(std::ios::binary);
   SaveSpNeRFModel(loaded, again);
   EXPECT_EQ(again.str(), first);
 
   // Every record decodes identically through the reloaded tables.
-  for (const VoxelRecord& rec : ds.vqrf.Records()) {
-    const Vec3i p = ds.vqrf.Dims().Unflatten(rec.index);
+  for (const VoxelRecord& rec : ds.vqrf->Records()) {
+    const Vec3i p = ds.vqrf->Dims().Unflatten(rec.index);
     const VoxelData a = original.Decode(p);
     const VoxelData b = loaded.Decode(p);
     ASSERT_EQ(a.density, b.density);
@@ -108,7 +136,7 @@ TEST(AssetIo, CoarseRoundTripIsByteIdentical) {
 
 TEST(AssetIo, CodecLoadRejectsMismatchedSource) {
   const SceneDataset& ds = SmallDataset();
-  const SpNeRFModel codec = SpNeRFModel::Preprocess(ds.vqrf, SmallCodecParams());
+  const SpNeRFModel codec = SpNeRFModel::Preprocess(*ds.vqrf, SmallCodecParams());
   std::ostringstream out(std::ios::binary);
   SaveSpNeRFModel(codec, out);
 
@@ -117,7 +145,7 @@ TEST(AssetIo, CodecLoadRejectsMismatchedSource) {
   other.resolution_override = 32;
   const SceneDataset wrong = BuildDataset(SceneId::kMic, other);
   std::istringstream in(out.str(), std::ios::binary);
-  EXPECT_THROW((void)LoadSpNeRFModel(in, wrong.vqrf), SpnerfError);
+  EXPECT_THROW((void)LoadSpNeRFModel(in, *wrong.vqrf), SpnerfError);
 }
 
 // ----------------------------------------------------- corrupt artifacts --

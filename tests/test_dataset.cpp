@@ -59,9 +59,9 @@ TEST(BuildDataset, ProducesConsistentBundle) {
   const SceneDataset ds = BuildDataset(SceneId::kDrums, SmallParams());
   EXPECT_EQ(ds.id, SceneId::kDrums);
   EXPECT_EQ(ds.full_grid.Dims(), (GridDims{48, 48, 48}));
-  EXPECT_EQ(ds.vqrf.Dims(), ds.full_grid.Dims());
-  EXPECT_GT(ds.vqrf.NonZeroCount(), 0u);
-  EXPECT_LE(ds.vqrf.NonZeroCount(), ds.full_grid.CountNonZero());
+  EXPECT_EQ(ds.vqrf->Dims(), ds.full_grid.Dims());
+  EXPECT_GT(ds.vqrf->NonZeroCount(), 0u);
+  EXPECT_LE(ds.vqrf->NonZeroCount(), ds.full_grid.CountNonZero());
 }
 
 TEST(BuildDataset, DefaultResolutionUsedWhenNoOverride) {
@@ -78,10 +78,10 @@ TEST(BuildDataset, DeterministicAcrossCalls) {
   const SceneDataset a = BuildDataset(SceneId::kMic, SmallParams());
   const SceneDataset b = BuildDataset(SceneId::kMic, SmallParams());
   EXPECT_EQ(a.full_grid.CountNonZero(), b.full_grid.CountNonZero());
-  ASSERT_EQ(a.vqrf.Records().size(), b.vqrf.Records().size());
-  for (std::size_t i = 0; i < a.vqrf.Records().size(); i += 53) {
-    EXPECT_EQ(a.vqrf.Records()[i].index, b.vqrf.Records()[i].index);
-    EXPECT_EQ(a.vqrf.Records()[i].payload_id, b.vqrf.Records()[i].payload_id);
+  ASSERT_EQ(a.vqrf->Records().size(), b.vqrf->Records().size());
+  for (std::size_t i = 0; i < a.vqrf->Records().size(); i += 53) {
+    EXPECT_EQ(a.vqrf->Records()[i].index, b.vqrf->Records()[i].index);
+    EXPECT_EQ(a.vqrf->Records()[i].payload_id, b.vqrf->Records()[i].payload_id);
   }
 }
 
@@ -117,16 +117,16 @@ TEST(BuildDataset, DeterministicAcrossWorkerCounts) {
     EXPECT_EQ(ds.full_grid.FeaturesRaw(), reference.full_grid.FeaturesRaw())
         << workers << " workers";
     // The VQRF compression consumes the identical grid deterministically.
-    ASSERT_EQ(ds.vqrf.Records().size(), reference.vqrf.Records().size());
-    EXPECT_EQ(ds.vqrf.KeptCount(), reference.vqrf.KeptCount());
+    ASSERT_EQ(ds.vqrf->Records().size(), reference.vqrf->Records().size());
+    EXPECT_EQ(ds.vqrf->KeptCount(), reference.vqrf->KeptCount());
   }
 }
 
 TEST(BuildDataset, KeptCountWithin18BitBudget) {
   for (SceneId id : AllScenes()) {
     const SceneDataset ds = BuildDataset(id, SmallParams());
-    EXPECT_LE(ds.vqrf.KeptCount(),
-              kUnifiedIndexSpace - static_cast<u64>(ds.vqrf.GetCodebook().Size()))
+    EXPECT_LE(ds.vqrf->KeptCount(),
+              kUnifiedIndexSpace - static_cast<u64>(ds.vqrf->GetCodebook().Size()))
         << SceneName(id);
   }
 }

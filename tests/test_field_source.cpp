@@ -20,8 +20,8 @@ class FieldSourceTest : public ::testing::Test {
     SpNeRFParams sp;
     sp.subgrid_count = 8;
     sp.table_size = 32768;  // collision-free at this scale
-    codec_ = SpNeRFModel::Preprocess(dataset_.vqrf, sp);
-    restored_ = dataset_.vqrf.Restore();
+    codec_ = SpNeRFModel::Preprocess(*dataset_.vqrf, sp);
+    restored_ = dataset_.vqrf->Restore();
   }
 
   SceneDataset dataset_;
@@ -117,7 +117,7 @@ TEST_F(FieldSourceTest, MaskingToggleChangesZeroRegions) {
   SpNeRFParams sp;
   sp.subgrid_count = 4;
   sp.table_size = 64;
-  const SpNeRFModel crowded = SpNeRFModel::Preprocess(dataset_.vqrf, sp);
+  const SpNeRFModel crowded = SpNeRFModel::Preprocess(*dataset_.vqrf, sp);
   SpNeRFFieldSource masked(crowded);
   masked.SetMasking(true);
   SpNeRFFieldSource unmasked(crowded);

@@ -24,7 +24,7 @@ class RenderEngineTest : public ::testing::Test {
     SpNeRFParams sp;
     sp.subgrid_count = 8;
     sp.table_size = 8192;
-    codec_ = new SpNeRFModel(SpNeRFModel::Preprocess(dataset_->vqrf, sp));
+    codec_ = new SpNeRFModel(SpNeRFModel::Preprocess(*dataset_->vqrf, sp));
     mlp_ = new Mlp(Mlp::Random(11));
     occupancy_ = new CoarseOccupancy(
         CoarseOccupancy::Build(BitGrid::FromGrid(dataset_->full_grid), 4));

@@ -78,7 +78,7 @@ TEST_P(ScenePropertyTest, WorkloadSanity) {
   EXPECT_GT(w.true_grid_frac, 0.0);
   // 18-bit budget holds at paper scale for every scene (checked in the
   // codec, re-asserted here for the default keep fraction).
-  EXPECT_LE(p.Dataset().vqrf.KeptCount(),
+  EXPECT_LE(p.Dataset().vqrf->KeptCount(),
             kUnifiedIndexSpace - 4096ull);
 }
 

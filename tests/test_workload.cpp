@@ -74,8 +74,8 @@ TEST_F(WorkloadTest, VertexLookupsAre8PerSample) {
 TEST_F(WorkloadTest, GpuWorkloadMirrorsVqrf) {
   const GpuFrameWorkload g = pipeline_->MeasureGpuWorkload(32, 800, 800);
   EXPECT_EQ(g.rays, 640000u);
-  EXPECT_EQ(g.restored_grid_bytes, pipeline_->Dataset().vqrf.RestoredBytes());
-  EXPECT_EQ(g.compressed_bytes, pipeline_->Dataset().vqrf.CompressedBytes());
+  EXPECT_EQ(g.restored_grid_bytes, pipeline_->Dataset().vqrf->RestoredBytes());
+  EXPECT_EQ(g.compressed_bytes, pipeline_->Dataset().vqrf->CompressedBytes());
   EXPECT_GT(g.samples, 0u);
 }
 
