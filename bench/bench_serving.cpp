@@ -1,21 +1,29 @@
 // Serving benchmark: drives the RenderService with the deterministic
-// open-loop LoadGenerator and reports throughput and tail latency
-// (p50/p95/p99) to BENCH_serving.json.
+// open-loop LoadGenerator and reports throughput, tail latency
+// (p50/p95/p99 — aggregate and per priority class) and request outcomes
+// (completed/rejected/expired) to BENCH_serving.json.
 //
-// Two phases over a warm asset cache:
+// Three phases over a warm asset cache:
 //   * unsaturated — offered load well below measured capacity. Nothing may
 //     be shed here; any rejection is a bug and fails the process (CI runs
 //     this as a smoke gate).
 //   * saturated — offered load far above capacity with a small queue. The
 //     service must shed load via explicit rejections/expiries while the
 //     queue stays bounded, instead of growing an unbounded backlog.
+//   * multi-scene saturated — the same overload spread uniformly across
+//     every scene (distinct batch keys), replayed once with
+//     max_inflight_batches=1 (the serial dispatcher) and once with the
+//     configured concurrency, to measure what overlapping distinct-key
+//     engine batches on one pool buys in throughput.
 //
 // Overrides: requests=N scenes=N res=R img=S threads=N capacity=N batch=N
+//            inflight=N (max_inflight_batches for the concurrent phases)
 //            seed=S rate=R (unsaturated offered rate in requests/s; the
-//            saturated phase always offers 16x the unsaturated rate.
+//            saturated phases always offer 16x the unsaturated rate.
 //            0 = derive both from measured closed-loop frame latency)
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -44,7 +52,7 @@ PhaseResult RunPhase(const LoadGeneratorOptions& load,
 
 void PrintPhase(const char* name, const PhaseResult& r) {
   const LatencySample& lat = r.stats.total_latency;
-  std::printf("%-12s %9.1f rps | p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms\n",
+  std::printf("%-24s %9.1f rps | p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms\n",
               name, r.stats.ThroughputRps(), lat.Percentile(50),
               lat.Percentile(95), lat.Percentile(99));
   std::printf("             completed %llu, rejected %llu, expired %llu | "
@@ -53,6 +61,46 @@ void PrintPhase(const char* name, const PhaseResult& r) {
               static_cast<unsigned long long>(r.stats.rejected),
               static_cast<unsigned long long>(r.stats.expired),
               r.stats.queue_peak, r.stats.MeanBatchSize());
+  for (std::size_t c = 0; c < kPriorityClassCount; ++c) {
+    const PriorityClassStats& cls = r.stats.by_class[c];
+    if (cls.completed + cls.rejected + cls.expired == 0) continue;
+    std::printf("             %-11s p50 %7.2f ms  p99 %7.2f ms | "
+                "completed %llu, shed %llu\n",
+                RequestPriorityName(static_cast<RequestPriority>(c)),
+                cls.total_latency.Percentile(50),
+                cls.total_latency.Percentile(99),
+                static_cast<unsigned long long>(cls.completed),
+                static_cast<unsigned long long>(cls.rejected + cls.expired));
+  }
+}
+
+/// Aggregate percentile + outcome-count entries, plus one percentile and
+/// one count entry per priority class, so a priority inversion or a
+/// class-skewed shedding regression shows in the per-commit trajectory.
+void AddPhaseEntries(bench::JsonReport& json, const std::string& name,
+                     const PhaseResult& r, unsigned threads) {
+  const ServiceStatsSnapshot& s = r.stats;
+  json.AddPercentiles(name, s.total_latency.Percentile(50),
+                      s.total_latency.Percentile(95),
+                      s.total_latency.Percentile(99), s.ThroughputRps(),
+                      threads);
+  json.AddCounts(name + "/outcomes", s.completed, s.rejected, s.expired,
+                 threads);
+  for (std::size_t c = 0; c < kPriorityClassCount; ++c) {
+    const PriorityClassStats& cls = s.by_class[c];
+    if (cls.completed + cls.rejected + cls.expired == 0) continue;
+    const std::string cls_name =
+        name + "/" + RequestPriorityName(static_cast<RequestPriority>(c));
+    const double cls_rps =
+        s.span_ms > 0.0
+            ? static_cast<double>(cls.completed) * 1000.0 / s.span_ms
+            : 0.0;
+    json.AddPercentiles(cls_name, cls.total_latency.Percentile(50),
+                        cls.total_latency.Percentile(95),
+                        cls.total_latency.Percentile(99), cls_rps, threads);
+    json.AddCounts(cls_name + "/outcomes", cls.completed, cls.rejected,
+                   cls.expired, threads);
+  }
 }
 
 }  // namespace
@@ -67,6 +115,8 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(args.GetInt("threads", 0));
   const auto capacity = static_cast<std::size_t>(args.GetInt("capacity", 64));
   const auto max_batch = static_cast<std::size_t>(args.GetInt("batch", 8));
+  const auto inflight = static_cast<std::size_t>(args.GetInt(
+      "inflight", static_cast<int>(RenderServiceOptions{}.max_inflight_batches)));
   const auto seed = static_cast<u64>(args.GetInt("seed", 2025));
   const double rate_override = args.GetDouble("rate", 0.0);
 
@@ -87,6 +137,7 @@ int main(int argc, char** argv) {
   RenderServiceOptions service_opts;
   service_opts.queue_capacity = capacity;
   service_opts.max_batch = max_batch;
+  service_opts.max_inflight_batches = inflight;
   service_opts.engine.max_threads = threads;
 
   // Warm every scene's assets through the service itself, then measure
@@ -118,7 +169,7 @@ int main(int argc, char** argv) {
   load.hot_scene_count = std::max<std::size_t>(1, scenes.size() / 2);
   load.base = base;
 
-  // A single dispatcher serves ~1000/frame_ms requests per second; offer a
+  // The render path serves ~1000/frame_ms requests per second; offer a
   // quarter of that (no shedding tolerated), then four times it (shedding
   // required).
   const double capacity_rps = 1000.0 / std::max(frame_ms, 1e-3);
@@ -127,11 +178,7 @@ int main(int argc, char** argv) {
   load.deadline_fraction = 0.0;  // nothing may expire when unsaturated
   const PhaseResult unsat = RunPhase(load, service_opts);
   PrintPhase("unsaturated", unsat);
-  json.AddPercentiles("serve/unsaturated",
-                      unsat.stats.total_latency.Percentile(50),
-                      unsat.stats.total_latency.Percentile(95),
-                      unsat.stats.total_latency.Percentile(99),
-                      unsat.stats.ThroughputRps(), effective_threads);
+  AddPhaseEntries(json, "serve/unsaturated", unsat, effective_threads);
 
   load.arrival_rate_rps =
       rate_override > 0.0 ? 16.0 * rate_override : 4.0 * capacity_rps;
@@ -139,11 +186,43 @@ int main(int argc, char** argv) {
   load.deadline_ms = 8.0 * frame_ms;
   const PhaseResult sat = RunPhase(load, service_opts);
   PrintPhase("saturated", sat);
-  json.AddPercentiles("serve/saturated",
-                      sat.stats.total_latency.Percentile(50),
-                      sat.stats.total_latency.Percentile(95),
-                      sat.stats.total_latency.Percentile(99),
-                      sat.stats.ThroughputRps(), effective_threads);
+  AddPhaseEntries(json, "serve/saturated", sat, effective_threads);
+  bench::PrintRule();
+
+  // Multi-scene saturated sweep: the same overload spread uniformly over
+  // every scene (every request draws from the full zoo slice, so distinct
+  // batch keys dominate the queue), replayed with the serial dispatcher
+  // and with concurrent in-flight batches. The throughput ratio is the
+  // concurrent-region scheduler's headline serving win.
+  LoadGeneratorOptions multi = load;
+  multi.hot_scene_count = scenes.size();  // uniform: every scene is hot
+  double multi_rps[2] = {0.0, 0.0};
+  const std::size_t sweeps[2] = {1, std::max<std::size_t>(inflight, 2)};
+  for (int i = 0; i < 2; ++i) {
+    RenderServiceOptions opts = service_opts;
+    opts.max_inflight_batches = sweeps[i];
+    const PhaseResult r = RunPhase(multi, opts);
+    char name[64];
+    std::snprintf(name, sizeof(name), "multi-scene[inflight=%zu]", sweeps[i]);
+    PrintPhase(name, r);
+    AddPhaseEntries(json, std::string("serve/") + name, r, effective_threads);
+    multi_rps[i] = r.stats.ThroughputRps();
+    if (r.stats.queue_peak > capacity) {
+      std::fprintf(stderr, "ERROR: queue grew past its bound (%zu > %zu)\n",
+                   r.stats.queue_peak, capacity);
+      return 1;
+    }
+  }
+  if (multi_rps[0] > 0.0) {
+    std::printf("multi-scene concurrency: %.1f -> %.1f rps "
+                "(%.2fx with %zu in-flight batches)\n",
+                multi_rps[0], multi_rps[1], multi_rps[1] / multi_rps[0],
+                sweeps[1]);
+    if (multi_rps[1] <= multi_rps[0]) {
+      std::printf("note: no concurrency gain measured — expected on "
+                  "single-core machines where one worker backs the pool\n");
+    }
+  }
 
   bench::PrintRule();
   bench::AddBuildTimings(json);

@@ -75,10 +75,12 @@ class WallTimer {
 };
 
 /// Machine-readable timing report, written (overwriting any previous run)
-/// as BENCH_<id>.json on destruction. Two entry shapes share the file:
-/// wall-time phases {name, wall_ms, threads} and serving percentiles
-/// {name, p50_ms, p95_ms, p99_ms, throughput_rps, threads}, so latency
-/// distributions land in the same per-commit trajectory as batch timings.
+/// as BENCH_<id>.json on destruction. Three entry shapes share the file:
+/// wall-time phases {name, wall_ms, threads}, serving percentiles
+/// {name, p50_ms, p95_ms, p99_ms, throughput_rps, threads} and serving
+/// outcome counts {name, completed, rejected, expired, threads}, so latency
+/// distributions and shed counts land in the same per-commit trajectory as
+/// batch timings.
 class JsonReport {
  public:
   explicit JsonReport(std::string bench_id) : bench_id_(std::move(bench_id)) {}
@@ -100,11 +102,28 @@ class JsonReport {
     Entry e;
     e.name = name;
     e.threads = threads;
-    e.percentiles = true;
+    e.kind = Entry::kPercentiles;
     e.p50_ms = p50_ms;
     e.p95_ms = p95_ms;
     e.p99_ms = p99_ms;
     e.throughput_rps = throughput_rps;
+    entries_.push_back(std::move(e));
+  }
+
+  /// Request-outcome counts for a serving phase (or one priority class of
+  /// it): completed vs explicitly shed. Tracking sheds per commit makes a
+  /// shedding regression — or a priority inversion starving one class —
+  /// visible in the trajectory, not just in aggregate latency.
+  void AddCounts(const std::string& name, unsigned long long completed,
+                 unsigned long long rejected, unsigned long long expired,
+                 unsigned threads) {
+    Entry e;
+    e.name = name;
+    e.threads = threads;
+    e.kind = Entry::kCounts;
+    e.completed = completed;
+    e.rejected = rejected;
+    e.expired = expired;
     entries_.push_back(std::move(e));
   }
 
@@ -117,13 +136,20 @@ class JsonReport {
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       const char* sep = i + 1 < entries_.size() ? "," : "";
-      if (e.percentiles) {
+      if (e.kind == Entry::kPercentiles) {
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"p50_ms\": %.3f, "
                      "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
                      "\"throughput_rps\": %.2f, \"threads\": %u}%s\n",
                      e.name.c_str(), e.p50_ms, e.p95_ms, e.p99_ms,
                      e.throughput_rps, e.threads, sep);
+      } else if (e.kind == Entry::kCounts) {
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"completed\": %llu, "
+                     "\"rejected\": %llu, \"expired\": %llu, "
+                     "\"threads\": %u}%s\n",
+                     e.name.c_str(), e.completed, e.rejected, e.expired,
+                     e.threads, sep);
       } else {
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
@@ -139,14 +165,18 @@ class JsonReport {
 
  private:
   struct Entry {
+    enum Kind { kWallTime, kPercentiles, kCounts };
     std::string name;
     double wall_ms = 0.0;
     unsigned threads = 0;
-    bool percentiles = false;
+    Kind kind = kWallTime;
     double p50_ms = 0.0;
     double p95_ms = 0.0;
     double p99_ms = 0.0;
     double throughput_rps = 0.0;
+    unsigned long long completed = 0;
+    unsigned long long rejected = 0;
+    unsigned long long expired = 0;
   };
   std::string bench_id_;
   std::vector<Entry> entries_;

@@ -5,8 +5,8 @@ namespace {
 
 // The pool whose region this thread is currently executing (or whose worker
 // it permanently is). Dispatching onto the same pool from such a thread runs
-// inline instead of re-entering the busy fork-join machinery; dispatching
-// onto a different, idle pool still fans out.
+// inline instead of re-entering the busy scheduler; dispatching onto a
+// different, idle pool still fans out.
 thread_local ThreadPool* tls_current_pool = nullptr;
 
 }  // namespace
@@ -16,15 +16,18 @@ ThreadPool::ThreadPool(unsigned workers) {
   worker_count_ = workers;
   threads_.reserve(workers - 1);
   for (unsigned i = 0; i + 1 < workers; ++i) {
-    threads_.emplace_back([this, i] { WorkerLoop(i); });
+    threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  stopping_ = true;
+  work_ready_.notify_all();
+  // Drain every live region — blocking dispatchers finish on their own, and
+  // detached completions must run before the workers join.
+  region_done_.wait(lock, [this] { return live_regions_ == 0; });
+  lock.unlock();
   work_ready_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
@@ -34,29 +37,58 @@ ThreadPool& ThreadPool::Global() {
   return pool;
 }
 
-void ThreadPool::WorkerLoop(unsigned pool_index) {
+void ThreadPool::CloseLocked(Region* region) {
+  for (auto it = open_.begin(); it != open_.end(); ++it) {
+    if (*it == region) {
+      open_.erase(it);
+      return;
+    }
+  }
+}
+
+void ThreadPool::FinishSlot(Region* region, std::unique_lock<std::mutex>& lock) {
+  if (--region->remaining != 0) return;
+  --live_regions_;
+  if (!region->detached) {
+    region->done = true;
+    region_done_.notify_all();
+    return;
+  }
+  std::function<void()> completion = std::move(region->on_complete);
+  region_done_.notify_all();  // the destructor waits on live_regions_
+  lock.unlock();
+  if (completion) completion();
+  delete region;
+  lock.lock();
+}
+
+void ThreadPool::WorkerLoop() {
   tls_current_pool = this;
-  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    Region region;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return stopping_ || generation_ != seen_generation;
-      });
-      if (stopping_) return;
-      seen_generation = generation_;
-      region = region_;
+    work_ready_.wait(lock, [this] { return stopping_ || !open_.empty(); });
+    if (open_.empty()) {
+      if (stopping_) return;  // queued regions drain even during shutdown
+      continue;
     }
-    // Slot 0 belongs to the dispatching thread. Threads beyond the region's
-    // parallelism neither run nor count towards completion, so a small
-    // region on a big pool is not gated on every thread waking up.
-    const unsigned slot = pool_index + 1;
-    if (slot < region.slots) {
-      region.invoke(region.ctx, slot);
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--outstanding_ == 0) work_done_.notify_all();
+    // FIFO by region: the front region always has unclaimed slots (fully
+    // claimed regions leave the queue immediately), so claiming is O(1).
+    Region* region = open_.front();
+    const unsigned slot = region->next_slot++;
+    if (region->next_slot == region->slots) open_.pop_front();
+    lock.unlock();
+    // A throwing body must not unwind the region protocol (the published
+    // Region would be freed mid-use) or escape the worker (terminate):
+    // capture the first exception for the region's dispatcher to rethrow.
+    std::exception_ptr error;
+    try {
+      region->Run(slot);
+    } catch (...) {
+      error = std::current_exception();
     }
+    lock.lock();
+    if (error && !region->error) region->error = error;
+    FinishSlot(region, lock);
   }
 }
 
@@ -65,29 +97,74 @@ void ThreadPool::Dispatch(void (*invoke)(void*, unsigned), void* ctx,
   slots = std::min(std::max(slots, 1u), worker_count_);
   if (slots == 1 || threads_.empty() || tls_current_pool == this) {
     // Sequential fallback; nested regions on the same pool also land here
-    // so they cannot clobber an in-flight fork-join. A different pool's
-    // worker dispatching here still fans out.
+    // so they cannot re-enter the scheduler from inside a slot. A different
+    // pool's worker dispatching here still fans out.
     for (unsigned s = 0; s < slots; ++s) invoke(ctx, s);
     return;
   }
-  // One region at a time: concurrent dispatchers queue up here.
-  std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    region_ = Region{invoke, ctx, slots};
-    ++generation_;
-    outstanding_ = slots - 1;  // participating pool threads
-  }
+  Region region;
+  region.invoke = invoke;
+  region.ctx = ctx;
+  region.slots = slots;
+  region.remaining = slots;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  open_.push_back(&region);
+  ++live_regions_;
   work_ready_.notify_all();
-  // Slot 0 runs on the dispatching thread, which may itself belong to
-  // another pool; mark it as ours for the duration so same-pool nesting
-  // stays inline, then restore.
+  // The dispatching thread claims slots of its own region alongside the
+  // workers: progress never depends on a free pool thread, and a second
+  // dispatcher arriving while the pool is busy still drives its own region.
+  // It may itself belong to another pool; mark it as ours for the duration
+  // so same-pool nesting stays inline, then restore.
   ThreadPool* const previous = tls_current_pool;
   tls_current_pool = this;
-  invoke(ctx, 0);
+  while (region.next_slot < region.slots) {
+    const unsigned slot = region.next_slot++;
+    if (region.next_slot == region.slots) CloseLocked(&region);
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      invoke(ctx, slot);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !region.error) region.error = error;
+    FinishSlot(&region, lock);
+  }
   tls_current_pool = previous;
+  region_done_.wait(lock, [&region] { return region.done; });
+  // Rethrow only after every slot finished: the Region leaves the scheduler
+  // intact whichever thread threw.
+  if (region.error) {
+    std::exception_ptr error = region.error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::Submit(unsigned slots, std::function<void(unsigned)> fn,
+                        std::function<void()> on_complete) {
+  slots = std::min(std::max(slots, 1u), worker_count_);
   std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [&] { return outstanding_ == 0; });
+  if (threads_.empty() || stopping_) {
+    // No workers to hand the region to (single-threaded pool, or shutdown
+    // already draining): run it inline, completion included.
+    lock.unlock();
+    for (unsigned s = 0; s < slots; ++s) fn(s);
+    if (on_complete) on_complete();
+    return;
+  }
+  auto* region = new Region;
+  region->body = std::move(fn);
+  region->on_complete = std::move(on_complete);
+  region->slots = slots;
+  region->remaining = slots;
+  region->detached = true;
+  open_.push_back(region);
+  ++live_regions_;
+  work_ready_.notify_all();
 }
 
 }  // namespace spnerf

@@ -1,9 +1,15 @@
-// Persistent fork-join thread pool and the parallel-for primitives built on
-// it. The pool keeps its workers alive across calls (no per-call thread
-// spawn); parallel regions hand out contiguous index chunks from an atomic
-// cursor, so load balances dynamically while every index is visited exactly
-// once. Results must be written to disjoint, pre-sized outputs so runs are
-// bit-reproducible regardless of the worker count or schedule.
+// Persistent task-scheduler thread pool and the parallel-for primitives
+// built on it. The pool keeps its workers alive across calls (no per-call
+// thread spawn) and schedules *regions* — fork-join parallel sections — from
+// a queue of live regions, so independent threads can have several regions
+// in flight at once: workers pull (region, slot) work items FIFO by region,
+// each region keeps its own claim cursor and completion latch, and a region
+// finishing never blocks another from starting. Parallel regions hand out
+// contiguous index chunks from an atomic cursor, so load balances
+// dynamically while every index is visited exactly once. Results must be
+// written to disjoint, pre-sized outputs so runs are bit-reproducible
+// regardless of the worker count, the schedule, or what other regions the
+// pool is running concurrently.
 #pragma once
 
 #include <algorithm>
@@ -11,6 +17,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -18,9 +27,13 @@
 
 namespace spnerf {
 
-/// A fixed set of worker threads executing fork-join parallel regions. The
-/// calling thread always participates as slot 0, so a pool constructed with
-/// `workers = W` runs regions at parallelism W using W-1 pool threads.
+/// A fixed set of worker threads executing parallel regions from a shared
+/// region queue. Blocking regions (RunOnWorkers) are driven jointly by the
+/// pool threads and the dispatching thread, which claims slots of its own
+/// region alongside the workers; detached regions (Submit) run entirely on
+/// pool threads and report completion through a callback. Regions from
+/// independent threads interleave on the shared workers instead of
+/// serialising — the pool is work-conserving across concurrent dispatchers.
 ///
 /// Use the process-wide lazy singleton via Global() for rendering and
 /// preprocessing; construct explicit instances in tests or when isolating
@@ -30,6 +43,9 @@ class ThreadPool {
  public:
   /// `workers = 0` sizes the pool to std::thread::hardware_concurrency().
   explicit ThreadPool(unsigned workers = 0);
+  /// Waits for every live region (blocking and detached) to finish, then
+  /// joins the workers. Detached completions always run before destruction
+  /// returns.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -48,11 +64,16 @@ class ThreadPool {
   /// Process-wide pool, created on first use.
   static ThreadPool& Global();
 
-  /// Invokes fn(slot) for every slot in [0, slots), slot 0 on the calling
-  /// thread, the rest on pool threads; returns when all slots finish.
-  /// `slots` is clamped to WorkerCount(). Regions dispatched from inside a
-  /// running region (any slot) execute inline on that thread; concurrent
-  /// dispatches from independent threads serialise.
+  /// Invokes fn(slot) for every slot in [0, slots), each exactly once, and
+  /// returns when all slots finish. `slots` is clamped to WorkerCount().
+  /// The calling thread participates by claiming slots of its own region
+  /// alongside the pool workers (so progress never depends on a free pool
+  /// thread); which thread runs which slot is unspecified. Regions
+  /// dispatched from inside a running region (any slot) execute inline on
+  /// that thread; concurrent dispatches from independent threads interleave
+  /// on the shared workers. If any slot body throws, every slot still runs
+  /// and the first exception is rethrown here once the region completes —
+  /// a throw never unwinds the scheduler or kills a pool worker.
   template <typename Fn>
   void RunOnWorkers(unsigned slots, Fn&& fn) {
     using Callable = std::remove_reference_t<Fn>;
@@ -61,33 +82,68 @@ class ThreadPool {
         const_cast<std::remove_const_t<Callable>*>(&fn), slots);
   }
 
- private:
-  void Dispatch(void (*invoke)(void*, unsigned), void* ctx, unsigned slots);
-  void WorkerLoop(unsigned pool_index);
+  /// Detached region: enqueues fn(slot) for every slot in [0, slots) on the
+  /// pool threads and returns immediately; `on_complete` (if any) runs on
+  /// the worker that finishes the last slot, after every slot has returned.
+  /// `slots` is clamped to WorkerCount(), exactly like RunOnWorkers — slots
+  /// are parallelism seats, not work items; hand out work inside fn via a
+  /// shared cursor.
+  /// When the pool has no worker threads (WorkerCount() == 1) the region —
+  /// completion included — runs inline on the calling thread before Submit
+  /// returns: the sequential fallback, same results, no asynchrony.
+  void Submit(unsigned slots, std::function<void(unsigned)> fn,
+              std::function<void()> on_complete = {});
 
+ private:
+  /// One live parallel region. `next_slot`/`remaining`/`error` are guarded
+  /// by the pool mutex; the claim cursor and the completion latch are
+  /// per-region, which is what lets independent regions proceed
+  /// concurrently.
   struct Region {
-    void (*invoke)(void*, unsigned) = nullptr;
+    void (*invoke)(void*, unsigned) = nullptr;  // blocking regions
     void* ctx = nullptr;
+    std::function<void(unsigned)> body;    // detached regions own their fn
+    std::function<void()> on_complete;     // detached only
     unsigned slots = 0;
+    unsigned next_slot = 0;   // claim cursor
+    unsigned remaining = 0;   // completion latch
+    bool detached = false;
+    bool done = false;        // blocking regions: completion flag
+    // First exception a slot body threw. A throw must never unwind past the
+    // region protocol (the Region would be freed while still published);
+    // blocking dispatchers rethrow it after the region completes, detached
+    // regions drop it (their submitters guard their own bodies).
+    std::exception_ptr error;
+
+    void Run(unsigned slot) { invoke ? invoke(ctx, slot) : body(slot); }
   };
+
+  void Dispatch(void (*invoke)(void*, unsigned), void* ctx, unsigned slots);
+  /// Removes `region` from the open queue (claim cursor exhausted).
+  void CloseLocked(Region* region);
+  /// Decrements the completion latch; on zero completes the region —
+  /// detached regions run their completion (lock dropped) and are deleted.
+  void FinishSlot(Region* region, std::unique_lock<std::mutex>& lock);
+  void WorkerLoop();
 
   unsigned worker_count_ = 1;
   std::vector<std::thread> threads_;  // worker_count_ - 1 entries
 
-  std::mutex dispatch_mutex_;  // serialises whole regions
   std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  Region region_;
-  std::uint64_t generation_ = 0;  // bumped per dispatched region
-  unsigned outstanding_ = 0;      // participating pool threads still running
+  std::condition_variable work_ready_;   // workers: open regions exist
+  std::condition_variable region_done_;  // dispatchers + destructor
+  std::deque<Region*> open_;       // regions with unclaimed slots, FIFO
+  std::size_t live_regions_ = 0;   // enqueued and not yet fully finished
   bool stopping_ = false;
 };
 
 /// Invokes fn(begin, end) on contiguous chunks of [0, n) across the pool's
 /// workers (ThreadPool::Global() unless `pool` is given). fn must only touch
 /// state disjoint per index. `max_threads` caps the parallelism; 0 uses
-/// every worker.
+/// every worker. Safe to call from any number of threads concurrently: each
+/// call is its own region with its own cursor, and the chunk decomposition
+/// depends only on (n, workers) — never on what else the pool is running —
+/// so outputs stay bit-identical to a sequential run.
 template <typename Fn>
 void ParallelFor(std::size_t n, Fn&& fn, unsigned max_threads = 0,
                  ThreadPool* pool = nullptr) {

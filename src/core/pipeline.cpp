@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "render/field_source.hpp"
 
@@ -133,10 +135,14 @@ double ScenePipeline::RenderComparison(const Camera& camera, Image* gt,
   add(spnerf_postmask, &post_src);
 
   std::vector<RenderResult> results = MakeEngine().RenderBatch(jobs);
+  double batch_wall_ms = 0.0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     *outputs[i] = std::move(results[i].image);
+    // wall_ms is per job (issue to that job's completion); the batch wall
+    // time is the slowest job's.
+    batch_wall_ms = std::max(batch_wall_ms, results[i].wall_ms);
   }
-  return results.empty() ? 0.0 : results.front().wall_ms;
+  return batch_wall_ms;
 }
 
 FrameWorkload ScenePipeline::MeasureWorkload(int tile_size, int frame_width,

@@ -83,7 +83,8 @@ class ScenePipeline {
                                    DecodeCounters* counters = nullptr) const;
   /// Renders the paper's compared paths for one camera as a single engine
   /// batch. Null output pointers skip that path (a null `vqrf` also skips
-  /// materialising the restored grid). Returns the batch wall time in ms.
+  /// materialising the restored grid). Returns the batch wall time in ms
+  /// (issue to the slowest job's completion).
   double RenderComparison(const Camera& camera, Image* gt, Image* vqrf,
                           Image* spnerf_premask, Image* spnerf_postmask) const;
   /// Restored dense grid, materialised on first use (large: FP32).

@@ -24,6 +24,110 @@ struct TileAccum {
 
 }  // namespace
 
+/// Everything one in-flight batch owns: the deterministic (job, tile) task
+/// list, the per-tile stat shards, the per-job completion latches and the
+/// promises the futures hang off. Shared by every thread draining the tile
+/// cursor and kept alive (shared_ptr) until the detached region finishes.
+struct RenderEngine::BatchState {
+  std::vector<RenderJob> jobs;
+  std::vector<VolumeRenderer> renderers;   // one per job
+  std::vector<TileTask> tasks;             // job-major, row-major tiles
+  std::vector<std::size_t> job_first;      // per job: first task index (+end)
+  std::vector<TileAccum> shards;           // one per task
+  std::vector<Image> images;               // one per job, written by tiles
+  std::vector<std::promise<RenderResult>> promises;
+  std::vector<std::atomic<int>> tiles_left;  // per-job completion latch
+  std::atomic<std::size_t> cursor{0};        // next unclaimed task
+  std::chrono::steady_clock::time_point issued;
+  std::mutex error_mutex;
+  // First render error per job; delivered through the job's future so a
+  // throwing tile never escapes a detached pool worker (std::terminate).
+  std::vector<std::exception_ptr> job_errors;
+
+  void RenderTile(std::size_t task_index);
+  /// Ordered reduction of the job's shards (shard order == tile enumeration
+  /// order, fixed by the image sizes alone) and promise fulfillment. Runs
+  /// exactly once per job, on whichever thread finishes its last tile.
+  void FinalizeJob(std::size_t job_index);
+  /// Claims tiles from the shared cursor until the batch runs dry.
+  void DrainTiles();
+  /// One future per job, in job order.
+  [[nodiscard]] std::vector<std::future<RenderResult>> TakeFutures();
+  /// Parallelism seats for this batch on `pool` under the engine's cap.
+  [[nodiscard]] unsigned Slots(const ThreadPool& pool, unsigned cap) const {
+    return static_cast<unsigned>(
+        std::min<std::size_t>(pool.ResolveWorkers(cap), tasks.size()));
+  }
+};
+
+std::vector<std::future<RenderResult>> RenderEngine::BatchState::TakeFutures() {
+  std::vector<std::future<RenderResult>> futures;
+  futures.reserve(promises.size());
+  for (std::promise<RenderResult>& p : promises) {
+    futures.push_back(p.get_future());
+  }
+  return futures;
+}
+
+void RenderEngine::BatchState::RenderTile(std::size_t task_index) {
+  const TileTask& t = tasks[task_index];
+  const RenderJob& job = jobs[t.job];
+  RenderStats* stats = job.collect_stats ? &shards[task_index].stats : nullptr;
+  DecodeCounters* counters =
+      job.collect_stats ? &shards[task_index].counters : nullptr;
+  Image& img = images[t.job];
+  const VolumeRenderer& renderer = renderers[t.job];
+  for (int y = t.y0; y < t.y1; ++y) {
+    for (int x = t.x0; x < t.x1; ++x) {
+      img.At(x, y) = renderer.RenderRay(*job.source, *job.mlp,
+                                        job.camera.PixelRay(x, y), stats,
+                                        counters);
+    }
+  }
+}
+
+void RenderEngine::BatchState::FinalizeJob(std::size_t job_index) {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (job_errors[job_index]) {
+      promises[job_index].set_exception(job_errors[job_index]);
+      return;
+    }
+  }
+  RenderResult result;
+  result.image = std::move(images[job_index]);
+  if (jobs[job_index].collect_stats) {
+    for (std::size_t i = job_first[job_index]; i < job_first[job_index + 1];
+         ++i) {
+      result.stats.Merge(shards[i].stats);
+      result.counters.Merge(shards[i].counters);
+    }
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - issued)
+                       .count();
+  promises[job_index].set_value(std::move(result));
+}
+
+void RenderEngine::BatchState::DrainTiles() {
+  for (;;) {
+    const std::size_t i = cursor.fetch_add(1);
+    if (i >= tasks.size()) break;
+    const std::size_t j = tasks[i].job;
+    try {
+      RenderTile(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!job_errors[j]) job_errors[j] = std::current_exception();
+    }
+    // acq_rel: the finalizing thread must see every other thread's shard
+    // and pixel writes for this job.
+    if (tiles_left[j].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      FinalizeJob(j);
+    }
+  }
+}
+
 RenderEngine::RenderEngine(RenderEngineOptions options) : options_(options) {
   SPNERF_CHECK_MSG(options_.tile_size > 0, "tile size must be positive");
   if (options_.pool == nullptr && options_.max_threads != 0 &&
@@ -45,25 +149,31 @@ RenderResult RenderEngine::Render(const RenderJob& job) const {
   return std::move(results.front());
 }
 
-std::vector<RenderResult> RenderEngine::RenderBatch(
-    const std::vector<RenderJob>& jobs) const {
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<RenderResult> results(jobs.size());
-  if (jobs.empty()) return results;
+std::shared_ptr<RenderEngine::BatchState> RenderEngine::PrepareBatch(
+    std::vector<RenderJob> jobs) const {
+  auto state = std::make_shared<BatchState>();
+  state->issued = std::chrono::steady_clock::now();
+  state->jobs = std::move(jobs);
+  const std::size_t n = state->jobs.size();
+  state->renderers.reserve(n);
+  state->images.resize(n);
+  state->promises.resize(n);
+  state->tiles_left = std::vector<std::atomic<int>>(n);
+  state->job_errors.resize(n);
+  state->job_first.reserve(n + 1);
 
   // Deterministic tile decomposition: row-major tiles per job, jobs in batch
-  // order. Shard indices follow the same enumeration, so the reduction below
-  // is a fixed-order fold for a given batch regardless of scheduling.
+  // order. Shard indices follow the same enumeration, so every reduction is
+  // a fixed-order fold for a given batch regardless of scheduling or what
+  // other batches share the pool.
   const int tile = options_.tile_size;
-  std::vector<TileTask> tasks;
-  std::vector<VolumeRenderer> renderers;
-  renderers.reserve(jobs.size());
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    const RenderJob& job = jobs[j];
+  for (std::size_t j = 0; j < n; ++j) {
+    const RenderJob& job = state->jobs[j];
     SPNERF_CHECK_MSG(job.source != nullptr && job.mlp != nullptr,
                      "render job needs a field source and an MLP");
-    renderers.emplace_back(job.options);
-    results[j].image = Image(job.camera.Width(), job.camera.Height());
+    state->renderers.emplace_back(job.options);
+    state->images[j] = Image(job.camera.Width(), job.camera.Height());
+    state->job_first.push_back(state->tasks.size());
     for (int y = 0; y < job.camera.Height(); y += tile) {
       for (int x = 0; x < job.camera.Width(); x += tile) {
         TileTask t;
@@ -72,59 +182,75 @@ std::vector<RenderResult> RenderEngine::RenderBatch(
         t.y0 = y;
         t.x1 = std::min(x + tile, job.camera.Width());
         t.y1 = std::min(y + tile, job.camera.Height());
-        tasks.push_back(t);
+        state->tasks.push_back(t);
       }
     }
+    state->tiles_left[j].store(
+        static_cast<int>(state->tasks.size() - state->job_first[j]),
+        std::memory_order_relaxed);
   }
+  state->job_first.push_back(state->tasks.size());
+  state->shards = std::vector<TileAccum>(state->tasks.size());
 
-  std::vector<TileAccum> shards(tasks.size());
-  const auto render_tile = [&](std::size_t task_index) {
-    const TileTask& t = tasks[task_index];
-    const RenderJob& job = jobs[t.job];
-    RenderStats* stats =
-        job.collect_stats ? &shards[task_index].stats : nullptr;
-    DecodeCounters* counters =
-        job.collect_stats ? &shards[task_index].counters : nullptr;
-    Image& img = results[t.job].image;
-    const VolumeRenderer& renderer = renderers[t.job];
-    for (int y = t.y0; y < t.y1; ++y) {
-      for (int x = t.x0; x < t.x1; ++x) {
-        img.At(x, y) = renderer.RenderRay(*job.source, *job.mlp,
-                                          job.camera.PixelRay(x, y), stats,
-                                          counters);
-      }
-    }
-  };
+  // A job with a zero-area camera has no tiles; its future must still
+  // resolve.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (state->job_first[j] == state->job_first[j + 1]) state->FinalizeJob(j);
+  }
+  return state;
+}
 
+std::vector<std::future<RenderResult>> RenderEngine::SubmitBatch(
+    std::vector<RenderJob> jobs) const {
+  std::shared_ptr<BatchState> state = PrepareBatch(std::move(jobs));
+  std::vector<std::future<RenderResult>> futures = state->TakeFutures();
+  if (state->tasks.empty()) return futures;
   ThreadPool& pool = SchedulePool();
-  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
-      pool.ResolveWorkers(options_.max_threads), tasks.size()));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < tasks.size(); ++i) render_tile(i);
-  } else {
-    std::atomic<std::size_t> cursor{0};
-    pool.RunOnWorkers(workers, [&](unsigned) {
-      for (;;) {
-        const std::size_t i = cursor.fetch_add(1);
-        if (i >= tasks.size()) break;
-        render_tile(i);
-      }
-    });
-  }
+  pool.Submit(state->Slots(pool, options_.max_threads),
+              [state](unsigned) { state->DrainTiles(); });
+  return futures;
+}
 
-  // Ordered reduction: shard order == tile enumeration order.
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    const TileTask& t = tasks[i];
-    if (!jobs[t.job].collect_stats) continue;
-    results[t.job].stats.Merge(shards[i].stats);
-    results[t.job].counters.Merge(shards[i].counters);
+void RenderEngine::SubmitBatch(
+    std::vector<RenderJob> jobs,
+    std::function<void(std::vector<std::future<RenderResult>>)> on_complete)
+    const {
+  std::shared_ptr<BatchState> state = PrepareBatch(std::move(jobs));
+  // The harvest runs after every job's promise is fulfilled (the region
+  // completes only once all tiles returned), so every delivered future is
+  // ready; the callback's own get() calls surface per-job render errors.
+  auto futures = std::make_shared<std::vector<std::future<RenderResult>>>(
+      state->TakeFutures());
+  auto harvest = [futures, callback = std::move(on_complete)]() {
+    callback(std::move(*futures));
+  };
+  if (state->tasks.empty()) {
+    harvest();
+    return;
   }
+  ThreadPool& pool = SchedulePool();
+  pool.Submit(state->Slots(pool, options_.max_threads),
+              [state](unsigned) { state->DrainTiles(); }, std::move(harvest));
+}
 
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
-  for (RenderResult& r : results) r.wall_ms = wall_ms;
+std::vector<RenderResult> RenderEngine::RenderBatch(
+    const std::vector<RenderJob>& jobs) const {
+  std::shared_ptr<BatchState> state = PrepareBatch(jobs);
+  std::vector<std::future<RenderResult>> futures = state->TakeFutures();
+  if (!state->tasks.empty()) {
+    ThreadPool& pool = SchedulePool();
+    const unsigned workers = state->Slots(pool, options_.max_threads);
+    // The calling thread takes one of the seats and helps drain the tile
+    // queue — blocking callers never leave their own core idle — while the
+    // remaining seats go to the pool as a detached region.
+    if (workers > 1) {
+      pool.Submit(workers - 1, [state](unsigned) { state->DrainTiles(); });
+    }
+    state->DrainTiles();
+  }
+  std::vector<RenderResult> results;
+  results.reserve(futures.size());
+  for (std::future<RenderResult>& f : futures) results.push_back(f.get());
   return results;
 }
 

@@ -1,16 +1,21 @@
 // Batched tile-based render engine: the single scheduling seam every
-// rendering caller goes through (benches, examples, the per-scene pipeline
-// and VolumeRenderer::Render itself).
+// rendering caller goes through (benches, examples, the per-scene pipeline,
+// VolumeRenderer::Render itself and the serving layer).
 //
 // A RenderJob names what to render (field source, MLP, camera, options); the
-// engine splits every job of a batch into square pixel tiles, feeds the
+// engine splits every job of a batch into square pixel tiles and feeds the
 // flattened (job, tile) list to the persistent ThreadPool through an atomic
-// cursor, and reduces the per-tile statistic shards in tile order. Tile
-// decomposition and reduction order depend only on the image sizes — never
-// on the worker count or schedule — so a stats-on render is bit-identical
-// from 1 thread to N.
+// cursor. Batches can be issued two ways: SubmitBatch enqueues the tiles as
+// a detached pool region and returns per-job futures immediately, so a
+// caller can keep several independent batches in flight on one pool;
+// RenderBatch is the blocking wrapper (submit, help render, wait). Tile
+// decomposition and per-job reduction order depend only on the image sizes
+// — never on the worker count, the schedule, or what other batches are in
+// flight — so a stats-on render is bit-identical from 1 thread to N.
 #pragma once
 
+#include <functional>
+#include <future>
 #include <memory>
 #include <vector>
 
@@ -22,7 +27,8 @@
 namespace spnerf {
 
 /// One view to render. `source` and `mlp` are non-owning and must outlive
-/// the engine call; one source instance may back many jobs of a batch.
+/// the batch — for SubmitBatch that means until every returned future is
+/// ready; one source instance may back many jobs of a batch.
 struct RenderJob {
   const FieldSource* source = nullptr;
   const Mlp* mlp = nullptr;
@@ -37,8 +43,12 @@ struct RenderResult {
   Image image;
   RenderStats stats;        // zero unless the job collected stats
   DecodeCounters counters;  // zero unless the job collected stats
-  /// Wall-clock of the engine call that produced this result. Jobs of one
-  /// batch share the scheduler, so they report the same batch wall time.
+  /// Wall-clock from this batch's issue (the SubmitBatch/RenderBatch call)
+  /// to the moment this job's last tile finished and its stats reduced —
+  /// the batch's own issue-to-completion span. Under concurrent batches
+  /// each batch reports its own clock (time spent interleaving with other
+  /// in-flight batches included); jobs of one batch may report slightly
+  /// different values because they complete tile-by-tile.
   double wall_ms = 0.0;
 };
 
@@ -64,14 +74,45 @@ class RenderEngine {
   /// Renders one view. Equivalent to a one-job batch.
   [[nodiscard]] RenderResult Render(const RenderJob& job) const;
 
-  /// Renders N views through one tile queue: tiles of all jobs interleave
-  /// across the workers, so short jobs do not leave the pool idle while a
-  /// long job finishes.
+  /// Renders N views through one tile queue, blocking until every job is
+  /// done: tiles of all jobs interleave across the workers (the calling
+  /// thread helps), so short jobs do not leave the pool idle while a long
+  /// job finishes. A wrapper over SubmitBatch.
   [[nodiscard]] std::vector<RenderResult> RenderBatch(
       const std::vector<RenderJob>& jobs) const;
 
+  /// Asynchronous submission: enqueues the batch's tiles as a detached pool
+  /// region and returns one future per job, each becoming ready when that
+  /// job's last tile finishes. Several batches can be in flight at once;
+  /// later batches overlap with earlier ones — their tiles start as soon
+  /// as any worker seat frees up (small batches interleave fully; a long
+  /// batch's tail no longer idles the pool). A job whose render throws
+  /// delivers the exception through its future (get() rethrows) instead of
+  /// terminating a pool worker. On a pool with no worker threads
+  /// (WorkerCount() == 1) the batch renders inline before SubmitBatch
+  /// returns — the sequential fallback; the futures still behave
+  /// identically.
+  [[nodiscard]] std::vector<std::future<RenderResult>> SubmitBatch(
+      std::vector<RenderJob> jobs) const;
+
+  /// Callback flavor of the async path: delivers the batch's per-job
+  /// futures — every one already ready — to `on_complete` once the whole
+  /// batch finished. get() on each future returns the job's result or
+  /// rethrows its render error. The callback runs on a pool worker (inline
+  /// on the calling thread when the pool has no worker threads — callers
+  /// must tolerate completion before SubmitBatch returns). Futures arrive
+  /// in job order.
+  void SubmitBatch(
+      std::vector<RenderJob> jobs,
+      std::function<void(std::vector<std::future<RenderResult>>)> on_complete)
+      const;
+
  private:
+  struct BatchState;
+
   [[nodiscard]] ThreadPool& SchedulePool() const;
+  [[nodiscard]] std::shared_ptr<BatchState> PrepareBatch(
+      std::vector<RenderJob> jobs) const;
 
   RenderEngineOptions options_;
   // Owned pool for explicit oversubscription (max_threads beyond the global

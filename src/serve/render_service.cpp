@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -15,6 +16,10 @@ namespace {
 
 double MsBetween(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+std::size_t PriorityClass(RequestPriority priority) {
+  return static_cast<std::size_t>(priority);
 }
 
 }  // namespace
@@ -64,6 +69,18 @@ struct RenderService::Pending {
   }
 };
 
+/// One issued engine batch. Owns everything the render references until the
+/// completion half runs: the coalesced requests, the acquired pipeline and
+/// the stateless field source backing every job.
+struct RenderService::InflightBatch {
+  std::vector<std::unique_ptr<Pending>> entries;
+  std::string key;
+  u64 dispatch_index = 0;
+  Clock::time_point issued{};
+  std::shared_ptr<const ScenePipeline> pipeline;
+  std::unique_ptr<SpNeRFFieldSource> source;
+};
+
 std::string RenderService::BatchKey(const RenderRequest& request) {
   // Engine fields are execution policy (service-owned, never change the
   // rendered bytes): exclude them so requests differing only there still
@@ -84,6 +101,8 @@ RenderService::RenderService(RenderServiceOptions options)
                    "serve: queue capacity must be positive");
   SPNERF_CHECK_MSG(options_.max_batch > 0,
                    "serve: max batch must be positive");
+  SPNERF_CHECK_MSG(options_.max_inflight_batches > 0,
+                   "serve: max inflight batches must be positive");
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -105,11 +124,26 @@ void RenderService::Shed(Pending& entry, RequestStatus status) {
   // at admission); report that wait.
   response.queue_ms = response.total_ms;
   if (status == RequestStatus::kExpired) {
-    stats_.RecordExpired();
+    stats_.RecordExpired(PriorityClass(entry.request.priority));
   } else {
-    stats_.RecordRejected();
+    stats_.RecordRejected(PriorityClass(entry.request.priority));
   }
   entry.promise.set_value(std::move(response));
+}
+
+void RenderService::SweepExpiredLocked(
+    std::chrono::steady_clock::time_point now,
+    std::vector<std::unique_ptr<Pending>>& out) {
+  auto alive = queue_.begin();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((*it)->ExpiredAt(now)) {
+      out.push_back(std::move(*it));
+    } else {
+      if (alive != it) *alive = std::move(*it);
+      ++alive;
+    }
+  }
+  queue_.erase(alive, queue_.end());
 }
 
 std::future<RenderResponse> RenderService::Submit(RenderRequest request) {
@@ -143,17 +177,7 @@ std::future<RenderResponse> RenderService::Submit(RenderRequest request) {
     // A full queue may be holding already-expired entries; shed those
     // first — dead work must neither consume capacity nor hold its
     // (earliest-deadline, hence highest) rank against live arrivals.
-    const Clock::time_point now = Clock::now();
-    auto alive = queue_.begin();
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if ((*it)->ExpiredAt(now)) {
-        dead.push_back(std::move(*it));
-      } else {
-        if (alive != it) *alive = std::move(*it);
-        ++alive;
-      }
-    }
-    queue_.erase(alive, queue_.end());
+    SweepExpiredLocked(Clock::now(), dead);
   }
   if (queue_.size() < options_.queue_capacity) {
     queue_.push_back(std::move(entry));
@@ -204,7 +228,7 @@ void RenderService::Drain() {
   Start();
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] {
-    return (queue_.empty() && !in_flight_) || stopping_;
+    return (queue_.empty() && inflight_batches_ == 0) || stopping_;
   });
 }
 
@@ -213,130 +237,180 @@ std::size_t RenderService::QueueDepth() const {
   return queue_.size();
 }
 
+std::size_t RenderService::InflightBatches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_batches_;
+}
+
+bool RenderService::HasDispatchableLocked() const {
+  if (queue_.empty()) return false;
+  if (inflight_keys_.empty()) return true;
+  for (const std::unique_ptr<Pending>& e : queue_) {
+    if (inflight_keys_.count(e->batch_key) == 0) return true;
+  }
+  return false;
+}
+
+void RenderService::ReleaseBatch(const InflightBatch& batch) {
+  // The dispatcher may be waiting for a free in-flight seat or for this
+  // batch's key; Drain() and the destructor wait for inflight to hit zero.
+  // Notify while holding the lock: the moment a waiter observes
+  // inflight_batches_ == 0 it may destroy the service, so the notify must
+  // complete before that observation is possible.
+  std::lock_guard<std::mutex> lock(mutex_);
+  inflight_keys_.erase(batch.key);
+  --inflight_batches_;
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+void RenderService::CompleteBatch(
+    const std::shared_ptr<InflightBatch>& batch,
+    std::vector<std::future<RenderResult>> results) {
+  const Clock::time_point done = Clock::now();
+  stats_.RecordBatch(batch->entries.size());
+  for (std::size_t i = 0; i < batch->entries.size(); ++i) {
+    Pending& entry = *batch->entries[i];
+    try {
+      RenderResult result = results[i].get();  // ready; rethrows job errors
+      RenderResponse response;
+      response.status = RequestStatus::kCompleted;
+      response.image = std::move(result.image);
+      response.queue_ms = MsBetween(entry.submitted, batch->issued);
+      response.total_ms = MsBetween(entry.submitted, done);
+      response.batch_size = batch->entries.size();
+      response.dispatch_index = batch->dispatch_index;
+      response.missed_deadline = entry.ExpiredAt(done);
+      stats_.RecordCompleted(response.queue_ms, response.total_ms,
+                             PriorityClass(entry.request.priority));
+      entry.promise.set_value(std::move(response));
+    } catch (const std::exception& e) {
+      // A render error must not wedge the service: fail this request's
+      // future with the error and keep serving the rest of the batch.
+      SPNERF_LOG_WARN << "serve: request failed mid-render (" << e.what()
+                      << ")";
+      entry.promise.set_exception(std::current_exception());
+    }
+  }
+  ReleaseBatch(*batch);
+}
+
+void RenderService::IssueBatch(std::shared_ptr<InflightBatch> batch) {
+  try {
+    // One pipeline serves the whole batch (identical batch key ==
+    // identical pipeline key); one stateless source backs every job. Both
+    // live in the batch context until the completion half retires it.
+    const RenderRequest& front = batch->entries.front()->request;
+    batch->pipeline = repository_.Acquire(front.config);
+    batch->source = std::make_unique<SpNeRFFieldSource>(
+        batch->pipeline->Codec(), front.config.render.fp16_mlp,
+        /*collect_counters=*/false);
+    batch->source->SetMasking(front.bitmap_masking);
+
+    std::vector<RenderJob> jobs;
+    jobs.reserve(batch->entries.size());
+    for (const std::unique_ptr<Pending>& entry : batch->entries) {
+      const RenderRequest& r = entry->request;
+      RenderJob job;
+      job.source = batch->source.get();
+      job.mlp = &batch->pipeline->GetMlp();
+      job.camera = batch->pipeline->MakeCamera(r.image_width, r.image_height,
+                                               r.view, r.n_views);
+      job.options = batch->pipeline->RenderOptionsWithSkip();
+      jobs.push_back(job);
+    }
+    engine_.SubmitBatch(
+        std::move(jobs),
+        [this, batch](std::vector<std::future<RenderResult>> results) {
+          CompleteBatch(batch, std::move(results));
+        });
+  } catch (const std::exception& e) {
+    // A failed pipeline build or job setup must not wedge the service:
+    // fail the batch's futures with the error instead of fulfilling them,
+    // and free the in-flight seat so the dispatcher keeps going. (Render
+    // errors surface per entry in CompleteBatch, not here.)
+    SPNERF_LOG_WARN << "serve: batch failed (" << e.what() << ")";
+    for (std::unique_ptr<Pending>& entry : batch->entries) {
+      entry->promise.set_exception(std::current_exception());
+    }
+    ReleaseBatch(*batch);
+  }
+}
+
 void RenderService::DispatcherLoop() {
   for (;;) {
-    std::vector<std::unique_ptr<Pending>> batch;
+    std::shared_ptr<InflightBatch> batch;
     std::vector<std::unique_ptr<Pending>> expired;
-    u64 dispatch_index = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] {
-        return stopping_ || (!paused_ && !queue_.empty());
+        return stopping_ ||
+               (!paused_ &&
+                inflight_batches_ < options_.max_inflight_batches &&
+                HasDispatchableLocked());
       });
       if (stopping_) {
-        // Complete the backlog as rejected so no future dangles.
+        // Complete the backlog as rejected so no future dangles, then wait
+        // out the in-flight batches — their completion halves touch the
+        // service and must finish before it tears down.
         std::vector<std::unique_ptr<Pending>> drained;
         drained.swap(queue_);
+        work_cv_.wait(lock, [this] { return inflight_batches_ == 0; });
         lock.unlock();
-        for (auto& entry : drained) Shed(*entry, RequestStatus::kRejected);
+        for (std::unique_ptr<Pending>& entry : drained) {
+          Shed(*entry, RequestStatus::kRejected);
+        }
         idle_cv_.notify_all();
         return;
       }
 
       // Deadline sweep: anything already past its deadline is shed before
       // it can consume render capacity.
-      const Clock::time_point now = Clock::now();
-      auto alive = queue_.begin();
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if ((*it)->ExpiredAt(now)) {
-          expired.push_back(std::move(*it));
-        } else {
-          if (alive != it) *alive = std::move(*it);
-          ++alive;
-        }
-      }
-      queue_.erase(alive, queue_.end());
+      SweepExpiredLocked(Clock::now(), expired);
 
-      if (!queue_.empty()) {
-        // Pop the best-ranked request, then coalesce same-key requests in
-        // scheduling order up to the batch cap.
-        auto best = std::min_element(
-            queue_.begin(), queue_.end(),
-            [](const std::unique_ptr<Pending>& a,
-               const std::unique_ptr<Pending>& b) { return a->Outranks(*b); });
-        const std::string key = (*best)->batch_key;
-        batch.push_back(std::move(*best));
+      // Issue half: pop the best-ranked request whose key has no batch in
+      // flight (same-key requests wait and coalesce into the next batch),
+      // then coalesce same-key requests in scheduling order up to the cap.
+      auto best = queue_.end();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (inflight_keys_.count((*it)->batch_key) != 0) continue;
+        if (best == queue_.end() || (*it)->Outranks(**best)) best = it;
+      }
+      if (best != queue_.end()) {
+        batch = std::make_shared<InflightBatch>();
+        batch->key = (*best)->batch_key;
+        batch->entries.push_back(std::move(*best));
         queue_.erase(best);
         // Mates join in scheduling order, not submission order: when
         // max_batch binds, the seats go to the highest-ranked same-key
         // requests (a batch-class mate must never displace an interactive
         // one into a later dispatch).
-        while (batch.size() < options_.max_batch) {
+        while (batch->entries.size() < options_.max_batch) {
           auto mate = queue_.end();
           for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-            if ((*it)->batch_key != key) continue;
+            if ((*it)->batch_key != batch->key) continue;
             if (mate == queue_.end() || (*it)->Outranks(**mate)) mate = it;
           }
           if (mate == queue_.end()) break;
-          batch.push_back(std::move(*mate));
+          batch->entries.push_back(std::move(*mate));
           queue_.erase(mate);
         }
-        in_flight_ = true;
-        dispatch_index = next_dispatch_++;
+        inflight_keys_.insert(batch->key);
+        ++inflight_batches_;
+        batch->dispatch_index = next_dispatch_++;
+        batch->issued = Clock::now();
       }
       stats_.RecordQueueDepth(queue_.size());
     }
 
-    for (auto& entry : expired) Shed(*entry, RequestStatus::kExpired);
-    if (batch.empty()) {
+    for (std::unique_ptr<Pending>& entry : expired) {
+      Shed(*entry, RequestStatus::kExpired);
+    }
+    if (!batch) {
       idle_cv_.notify_all();
       continue;
     }
-
-    const Clock::time_point dispatched = Clock::now();
-    try {
-      // One pipeline serves the whole batch (identical batch key ==
-      // identical pipeline key); one stateless source backs every job.
-      const std::shared_ptr<const ScenePipeline> pipeline =
-          repository_.Acquire(batch.front()->request.config);
-      SpNeRFFieldSource source(pipeline->Codec(),
-                               batch.front()->request.config.render.fp16_mlp,
-                               /*collect_counters=*/false);
-      source.SetMasking(batch.front()->request.bitmap_masking);
-
-      std::vector<RenderJob> jobs;
-      jobs.reserve(batch.size());
-      for (const auto& entry : batch) {
-        const RenderRequest& r = entry->request;
-        RenderJob job;
-        job.source = &source;
-        job.mlp = &pipeline->GetMlp();
-        job.camera = pipeline->MakeCamera(r.image_width, r.image_height,
-                                          r.view, r.n_views);
-        job.options = pipeline->RenderOptionsWithSkip();
-        jobs.push_back(job);
-      }
-      std::vector<RenderResult> results = engine_.RenderBatch(jobs);
-
-      stats_.RecordBatch(batch.size());
-      const Clock::time_point done = Clock::now();
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        Pending& entry = *batch[i];
-        RenderResponse response;
-        response.status = RequestStatus::kCompleted;
-        response.image = std::move(results[i].image);
-        response.queue_ms = MsBetween(entry.submitted, dispatched);
-        response.total_ms = MsBetween(entry.submitted, done);
-        response.batch_size = batch.size();
-        response.dispatch_index = dispatch_index;
-        response.missed_deadline = entry.ExpiredAt(done);
-        stats_.RecordCompleted(response.queue_ms, response.total_ms);
-        entry.promise.set_value(std::move(response));
-      }
-    } catch (const std::exception& e) {
-      // A failed build/render must not wedge the service: fail the batch's
-      // futures with the error instead of fulfilling them.
-      SPNERF_LOG_WARN << "serve: batch failed (" << e.what() << ")";
-      for (auto& entry : batch) {
-        entry->promise.set_exception(std::current_exception());
-      }
-    }
-
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      in_flight_ = false;
-    }
-    idle_cv_.notify_all();
+    IssueBatch(std::move(batch));
   }
 }
 

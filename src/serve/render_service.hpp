@@ -1,8 +1,11 @@
 // RenderService: the multi-tenant request-serving layer above core/.
 //
 // Callers Submit() asynchronous RenderRequests (scene + build params +
-// camera view + priority + optional deadline) and get a future. A single
-// dispatcher thread schedules the bounded queue:
+// camera view + priority + optional deadline) and get a future. A
+// dispatcher thread runs the *issue half* of the scheduling loop; the
+// *completion half* runs on the engine's pool workers as batches finish, so
+// up to `max_inflight_batches` engine batches with distinct batch keys
+// overlap on the shared ThreadPool instead of serialising:
 //
 //   * Admission. The queue holds at most `queue_capacity` requests. When it
 //     is full, the lowest-ranked queued request is shed (explicit kRejected
@@ -17,15 +20,23 @@
 //     time is never spent on work nobody can use. Once rendering starts a
 //     request always completes (the result is already paid for); a deadline
 //     that lapses mid-render is reported via RenderResponse::missed_deadline.
-//   * Batching. The dispatcher pops the best-ranked request, then coalesces
-//     every queued request with the same batch key — pipeline key (scene,
-//     build params, render options, camera intrinsics, MLP seed) plus
-//     masking flag — into one RenderEngine batch of up to `max_batch` jobs,
-//     so tiles of concurrent same-scene requests interleave across the
-//     shared ThreadPool instead of serialising per request.
+//   * Batching. The issue half pops the best-ranked request whose batch key
+//     — pipeline key (scene, build params, render options, camera
+//     intrinsics, MLP seed) plus masking flag — has no batch already in
+//     flight, then coalesces every queued same-key request (in scheduling
+//     order, up to `max_batch` jobs) into one RenderEngine batch, so tiles
+//     of concurrent same-scene requests interleave across the shared
+//     ThreadPool instead of serialising per request.
+//   * Concurrency. Batches are issued through RenderEngine::SubmitBatch and
+//     complete via callback; while one batch renders, the dispatcher issues
+//     the next one as long as fewer than `max_inflight_batches` are in
+//     flight. At most one batch per key is in flight at a time — same-key
+//     requests coalesce into the *next* batch rather than racing the
+//     current one, which keeps per-key dispatch order intact.
 //
 // Rendering itself inherits the engine's determinism: response images are
-// bit-identical for any worker count or batch composition.
+// bit-identical for any worker count, batch composition or number of
+// concurrently in-flight batches.
 #pragma once
 
 #include <condition_variable>
@@ -34,6 +45,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "core/pipeline_repository.hpp"
@@ -51,6 +63,12 @@ enum class RequestPriority : int {
 };
 
 const char* RequestPriorityName(RequestPriority priority);
+
+// The per-class ServiceStats counters index by the priority value; a new
+// scheduling class must widen them, not silently alias an existing bucket.
+static_assert(static_cast<std::size_t>(RequestPriority::kInteractive) + 1 ==
+                  kPriorityClassCount,
+              "kPriorityClassCount must cover every RequestPriority value");
 
 /// One frame request. `config` names the pipeline (resolved through the
 /// PipelineRepository, so same-config requests share built assets); the
@@ -80,16 +98,18 @@ const char* RequestStatusName(RequestStatus status);
 struct RenderResponse {
   RequestStatus status = RequestStatus::kRejected;
   Image image;  // empty unless kCompleted
-  /// Submit -> dispatch wait; for shed requests, submit -> shed (their
-  /// whole queued lifetime, ~0 when dropped straight at admission).
+  /// Submit -> issue (the batch handed to the engine); for shed requests,
+  /// submit -> shed (their whole queued lifetime, ~0 when dropped straight
+  /// at admission).
   double queue_ms = 0.0;
   /// Submit -> response ready.
   double total_ms = 0.0;
   /// Number of requests coalesced into the engine batch that served this
   /// one (>= 1 for completed requests).
   std::size_t batch_size = 0;
-  /// Monotonically increasing per-batch dispatch counter; requests of one
-  /// batch share it. Exposes the scheduling order to tests and benches.
+  /// Monotonically increasing per-batch issue counter; requests of one
+  /// batch share it. Exposes the issue order to tests and benches — under
+  /// concurrent batches, completion order may differ from issue order.
   u64 dispatch_index = 0;
   /// Completed, but after the request's deadline lapsed mid-render.
   bool missed_deadline = false;
@@ -100,6 +120,11 @@ struct RenderServiceOptions {
   std::size_t queue_capacity = 256;
   /// Cap on requests coalesced into one engine batch.
   std::size_t max_batch = 8;
+  /// Cap on engine batches in flight at once. 1 reproduces the serial
+  /// dispatcher (each batch finishes before the next issues); higher values
+  /// let distinct-key batches overlap on the shared pool. Same-key requests
+  /// never overlap regardless (one in-flight batch per key).
+  std::size_t max_inflight_batches = 4;
   /// Tile scheduler configuration for every render the service issues (the
   /// request's own PipelineConfig::engine is ignored: execution policy is
   /// service-owned, and it never changes the rendered bytes).
@@ -114,9 +139,9 @@ struct RenderServiceOptions {
 class RenderService {
  public:
   explicit RenderService(RenderServiceOptions options = {});
-  /// Drains nothing: queued requests are completed as kRejected, the
-  /// in-flight batch finishes, then the dispatcher joins. Call Drain()
-  /// first for a graceful stop.
+  /// Drains nothing: queued requests are completed as kRejected, in-flight
+  /// batches finish, then the dispatcher joins. Call Drain() first for a
+  /// graceful stop.
   ~RenderService();
 
   RenderService(const RenderService&) = delete;
@@ -136,6 +161,7 @@ class RenderService {
 
   [[nodiscard]] ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
   [[nodiscard]] std::size_t QueueDepth() const;
+  [[nodiscard]] std::size_t InflightBatches() const;
   [[nodiscard]] const RenderServiceOptions& Options() const { return options_; }
 
   /// Batch-coalescing identity of a request: the pipeline key plus every
@@ -144,10 +170,31 @@ class RenderService {
 
  private:
   struct Pending;
+  struct InflightBatch;
 
   void DispatcherLoop();
+  /// Issue half: acquires the pipeline, builds the jobs and hands the batch
+  /// to RenderEngine::SubmitBatch. Runs on the dispatcher thread, outside
+  /// the service lock.
+  void IssueBatch(std::shared_ptr<InflightBatch> batch);
+  /// Completion half: fulfills the batch's response futures (per-entry
+  /// render errors become per-entry future exceptions) and releases its
+  /// key/in-flight seat. Runs on an engine pool worker (or inline on the
+  /// dispatcher when the pool has no worker threads).
+  void CompleteBatch(const std::shared_ptr<InflightBatch>& batch,
+                     std::vector<std::future<RenderResult>> results);
+  /// Marks `batch` no longer in flight and wakes the dispatcher + drains.
+  void ReleaseBatch(const InflightBatch& batch);
   /// Completes `entry` as shed with `status` and records stats.
   void Shed(Pending& entry, RequestStatus status);
+  /// Moves every queue entry whose deadline passed by `now` into `out`,
+  /// compacting the queue. Caller must hold mutex_ and Shed() the swept
+  /// entries after releasing it.
+  void SweepExpiredLocked(std::chrono::steady_clock::time_point now,
+                          std::vector<std::unique_ptr<Pending>>& out);
+  /// True when some queued request's batch key has no batch in flight.
+  /// Caller must hold mutex_.
+  [[nodiscard]] bool HasDispatchableLocked() const;
 
   RenderServiceOptions options_;
   PipelineRepository& repository_;
@@ -158,11 +205,12 @@ class RenderService {
   std::condition_variable work_cv_;   // dispatcher wakeups
   std::condition_variable idle_cv_;   // Drain() wakeups
   std::vector<std::unique_ptr<Pending>> queue_;  // guarded by mutex_
+  std::unordered_set<std::string> inflight_keys_;  // guarded by mutex_
+  std::size_t inflight_batches_ = 0;  // guarded by mutex_
   u64 next_sequence_ = 0;             // guarded by mutex_
   u64 next_dispatch_ = 0;             // guarded by mutex_
   bool paused_ = false;               // guarded by mutex_
   bool stopping_ = false;             // guarded by mutex_
-  bool in_flight_ = false;            // guarded by mutex_
   std::thread dispatcher_;
 };
 

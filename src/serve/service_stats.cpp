@@ -4,6 +4,13 @@
 #include <cmath>
 
 namespace spnerf {
+namespace {
+
+std::size_t ClampClass(std::size_t priority_class) {
+  return std::min(priority_class, kPriorityClassCount - 1);
+}
+
+}  // namespace
 
 double LatencySample::Percentile(double p) const {
   if (samples_.empty()) return 0.0;
@@ -39,14 +46,16 @@ void ServiceStats::RecordSubmitted(std::size_t queue_depth_after) {
   data_.queue_peak = std::max(data_.queue_peak, queue_depth_after);
 }
 
-void ServiceStats::RecordRejected() {
+void ServiceStats::RecordRejected(std::size_t priority_class) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++data_.rejected;
+  ++data_.by_class[ClampClass(priority_class)].rejected;
 }
 
-void ServiceStats::RecordExpired() {
+void ServiceStats::RecordExpired(std::size_t priority_class) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++data_.expired;
+  ++data_.by_class[ClampClass(priority_class)].expired;
 }
 
 void ServiceStats::RecordBatch(std::size_t size) {
@@ -54,11 +63,15 @@ void ServiceStats::RecordBatch(std::size_t size) {
   if (size > 0) ++data_.batches;
 }
 
-void ServiceStats::RecordCompleted(double queue_ms, double total_ms) {
+void ServiceStats::RecordCompleted(double queue_ms, double total_ms,
+                                   std::size_t priority_class) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++data_.completed;
   data_.queue_latency.Record(queue_ms);
   data_.total_latency.Record(total_ms);
+  PriorityClassStats& cls = data_.by_class[ClampClass(priority_class)];
+  ++cls.completed;
+  cls.total_latency.Record(total_ms);
   last_complete_ = std::chrono::steady_clock::now();
   has_complete_ = true;
 }

@@ -1,10 +1,13 @@
 // Serving-layer metrics: exact latency percentiles, queue-depth tracking
-// and throughput over the service's lifetime. Latencies are kept as full
-// sample sets, so percentiles are true order statistics and merging two
-// collectors is exact (concatenation) — no sketch error enters the
+// and throughput over the service's lifetime, broken down by priority
+// class so a priority inversion shows up as a regression in the tracked
+// percentiles instead of hiding inside the aggregate. Latencies are kept as
+// full sample sets, so percentiles are true order statistics and merging
+// two collectors is exact (concatenation) — no sketch error enters the
 // BENCH_serving.json trajectory.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <mutex>
@@ -36,6 +39,20 @@ class LatencySample {
   std::vector<double> samples_;
 };
 
+/// Number of scheduling classes (RequestPriority values); class counters
+/// below index by static_cast<std::size_t>(priority).
+inline constexpr std::size_t kPriorityClassCount = 3;
+
+/// Per-priority-class slice of the collector: how many requests of the
+/// class completed / were shed, and the completed requests' exact
+/// submit-to-response latency samples.
+struct PriorityClassStats {
+  u64 completed = 0;
+  u64 rejected = 0;
+  u64 expired = 0;
+  LatencySample total_latency;
+};
+
 /// One consistent view of the collector. Latency samples cover completed
 /// requests only; shed requests (rejected/expired) are counted, not timed.
 struct ServiceStatsSnapshot {
@@ -48,6 +65,8 @@ struct ServiceStatsSnapshot {
   std::size_t queue_peak = 0;   // high-water mark
   LatencySample queue_latency;  // submit -> dispatch
   LatencySample total_latency;  // submit -> response ready
+  /// Indexed by static_cast<std::size_t>(RequestPriority).
+  std::array<PriorityClassStats, kPriorityClassCount> by_class;
   /// First submission to last completion; 0 until both exist.
   double span_ms = 0.0;
 
@@ -65,14 +84,17 @@ struct ServiceStatsSnapshot {
 };
 
 /// Thread-safe collector the RenderService reports into. All mutators take
-/// one internal lock; Snapshot() copies a consistent view.
+/// one internal lock; Snapshot() copies a consistent view. The per-class
+/// mutators take the request's priority class index
+/// (static_cast<std::size_t>(RequestPriority)).
 class ServiceStats {
  public:
   void RecordSubmitted(std::size_t queue_depth_after);
-  void RecordRejected();
-  void RecordExpired();
+  void RecordRejected(std::size_t priority_class);
+  void RecordExpired(std::size_t priority_class);
   void RecordBatch(std::size_t size);
-  void RecordCompleted(double queue_ms, double total_ms);
+  void RecordCompleted(double queue_ms, double total_ms,
+                       std::size_t priority_class);
   void RecordQueueDepth(std::size_t depth);
 
   [[nodiscard]] ServiceStatsSnapshot Snapshot() const;

@@ -1,8 +1,11 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <future>
 #include <gtest/gtest.h>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace spnerf {
@@ -126,6 +129,116 @@ TEST(ThreadPool, NestedDispatchRunsInlineWithoutDeadlock) {
     pool.RunOnWorkers(4, [&](unsigned) { ++inner_total; });
   });
   EXPECT_EQ(inner_total.load(), 16);
+}
+
+TEST(ParallelFor, ConcurrentRegionsFromIndependentThreads) {
+  // The task-scheduler property: N threads each dispatching their own
+  // ParallelFor onto one shared pool must all make progress (no deadlock,
+  // no serialisation hazard), every index of every region visited exactly
+  // once, and every output bit-identical to a sequential run.
+  ThreadPool pool(4);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 25;
+  constexpr std::size_t kN = 20000;
+  const auto f = [](std::size_t t, std::size_t i) {
+    return static_cast<double>(i) * 1.25 + static_cast<double>(t);
+  };
+
+  std::vector<std::vector<double>> outputs(kThreads,
+                                           std::vector<double>(kN, 0.0));
+  std::vector<std::vector<int>> hits(kThreads, std::vector<int>(kN, 0));
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        ParallelFor(
+            kN,
+            [&](std::size_t b, std::size_t e) {
+              for (std::size_t i = b; i < e; ++i) {
+                outputs[t][i] = f(t, i);
+                if (round == 0) ++hits[t][i];
+              }
+            },
+            /*max_threads=*/0, &pool);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    std::vector<double> expected(kN);
+    for (std::size_t i = 0; i < kN; ++i) expected[i] = f(t, i);
+    EXPECT_EQ(outputs[t], expected) << "thread " << t;
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[t][i], 1) << "thread " << t << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ConcurrentRunOnWorkersCoversEverySlot) {
+  // Several independent dispatchers on one pool: each region's slots run
+  // exactly once even while other regions are live.
+  ThreadPool pool(4);
+  constexpr std::size_t kThreads = 3;
+  constexpr int kRounds = 50;
+  std::vector<std::atomic<int>> totals(kThreads);
+  for (auto& t : totals) t = 0;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        pool.RunOnWorkers(4, [&](unsigned slot) {
+          ASSERT_LT(slot, 4u);
+          ++totals[t];
+        });
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (const auto& t : totals) EXPECT_EQ(t.load(), kRounds * 4);
+}
+
+TEST(ThreadPool, DetachedSubmitRunsEverySlotThenCompletion) {
+  ThreadPool pool(4);
+  std::atomic<int> slots_run{0};
+  std::atomic<int> at_completion{-1};
+  std::promise<void> done;
+  pool.Submit(
+      4, [&](unsigned) { ++slots_run; },
+      [&] {
+        at_completion = slots_run.load();  // every slot finished before this
+        done.set_value();
+      });
+  done.get_future().wait();
+  EXPECT_EQ(slots_run.load(), 4);
+  EXPECT_EQ(at_completion.load(), 4);
+}
+
+TEST(ThreadPool, DetachedSubmitOnSingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  int slots_run = 0;
+  bool completed = false;
+  pool.Submit(
+      8, [&](unsigned) { ++slots_run; }, [&] { completed = true; });
+  // No worker threads: the region and its completion ran before Submit
+  // returned.
+  EXPECT_EQ(slots_run, 1);  // slots clamp to WorkerCount()
+  EXPECT_TRUE(completed);
+}
+
+TEST(ThreadPool, ThrowingRegionBodyPropagatesWithoutWedgingThePool) {
+  // A throw from any slot (worker or dispatcher) must reach the dispatching
+  // caller after the region completes — never kill a worker thread or leak
+  // the region's completion latch.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.RunOnWorkers(4,
+                        [](unsigned) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The scheduler survives: the same pool keeps running regions.
+  std::atomic<int> total{0};
+  pool.RunOnWorkers(4, [&](unsigned) { ++total; });
+  EXPECT_EQ(total.load(), 4);
 }
 
 TEST(ThreadPool, NestedParallelForCoversIndices) {

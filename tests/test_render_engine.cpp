@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <memory>
 #include <vector>
 
+#include "common/error.hpp"
 #include "grid/occupancy.hpp"
 #include "scene/dataset.hpp"
 
@@ -231,6 +233,83 @@ TEST_F(RenderEngineTest, OversubscribedMaxThreadsStaysDeterministic) {
 
 TEST_F(RenderEngineTest, EmptyBatchReturnsNoResults) {
   EXPECT_TRUE(RenderEngine().RenderBatch({}).empty());
+  EXPECT_TRUE(RenderEngine().SubmitBatch({}).empty());
+}
+
+TEST_F(RenderEngineTest, SubmitBatchFuturesMatchBlockingRenderBatch) {
+  // The async path and its blocking wrapper are the same machinery: per-job
+  // futures must deliver bit-identical images, counters and stats.
+  const SpNeRFFieldSource source(*codec_, false, false);
+  ThreadPool pool(4);
+  RenderEngineOptions opts;
+  opts.pool = &pool;
+  const RenderEngine engine(opts);
+
+  std::vector<RenderJob> jobs;
+  for (int v = 0; v < 3; ++v) jobs.push_back(MakeJob(source, 32, v));
+  const std::vector<RenderResult> blocking = engine.RenderBatch(jobs);
+
+  std::vector<std::future<RenderResult>> futures = engine.SubmitBatch(jobs);
+  ASSERT_EQ(futures.size(), 3u);
+  for (std::size_t v = 0; v < futures.size(); ++v) {
+    RenderResult r = futures[v].get();
+    ExpectSameImage(r.image, blocking[v].image);
+    ExpectSameCounters(r.counters, blocking[v].counters);
+    ExpectSameStats(r.stats, blocking[v].stats);
+    EXPECT_GE(r.wall_ms, 0.0);
+  }
+}
+
+TEST_F(RenderEngineTest, ConcurrentSubmittedBatchesStayBitIdentical) {
+  // Two batches in flight on one pool at once: interleaving their tiles
+  // across the shared workers must not leak into pixels or stats.
+  const SpNeRFFieldSource source(*codec_, false, false);
+  ThreadPool pool(4);
+  RenderEngineOptions opts;
+  opts.pool = &pool;
+  const RenderEngine engine(opts);
+
+  std::vector<RenderJob> batch_a, batch_b;
+  for (int v = 0; v < 2; ++v) batch_a.push_back(MakeJob(source, 40, v));
+  for (int v = 2; v < 4; ++v) batch_b.push_back(MakeJob(source, 40, v));
+
+  std::vector<std::future<RenderResult>> fa = engine.SubmitBatch(batch_a);
+  std::vector<std::future<RenderResult>> fb = engine.SubmitBatch(batch_b);
+  for (std::size_t v = 0; v < 2; ++v) {
+    const RenderResult solo_a = engine.Render(batch_a[v]);
+    const RenderResult solo_b = engine.Render(batch_b[v]);
+    RenderResult ra = fa[v].get();
+    RenderResult rb = fb[v].get();
+    ExpectSameImage(ra.image, solo_a.image);
+    ExpectSameStats(ra.stats, solo_a.stats);
+    ExpectSameImage(rb.image, solo_b.image);
+    ExpectSameStats(rb.stats, solo_b.stats);
+  }
+}
+
+TEST_F(RenderEngineTest, SubmitBatchCallbackDeliversResultsInJobOrder) {
+  const SpNeRFFieldSource source(*codec_, false, false);
+  ThreadPool pool(4);
+  RenderEngineOptions opts;
+  opts.pool = &pool;
+  const RenderEngine engine(opts);
+
+  std::vector<RenderJob> jobs;
+  for (int v = 0; v < 3; ++v) jobs.push_back(MakeJob(source, 32, v));
+  std::promise<std::vector<RenderResult>> delivered;
+  engine.SubmitBatch(
+      jobs, [&](std::vector<std::future<RenderResult>> ready) {
+        // Every delivered future is ready; get() never blocks here.
+        std::vector<RenderResult> results;
+        for (std::future<RenderResult>& f : ready) results.push_back(f.get());
+        delivered.set_value(std::move(results));
+      });
+  std::vector<RenderResult> results = delivered.get_future().get();
+  ASSERT_EQ(results.size(), 3u);
+  for (int v = 0; v < 3; ++v) {
+    const RenderResult solo = engine.Render(jobs[static_cast<std::size_t>(v)]);
+    ExpectSameImage(results[static_cast<std::size_t>(v)].image, solo.image);
+  }
 }
 
 TEST_F(RenderEngineTest, StatsOffLeavesZeroStats) {
@@ -241,6 +320,36 @@ TEST_F(RenderEngineTest, StatsOffLeavesZeroStats) {
   EXPECT_EQ(r.stats.rays, 0u);
   EXPECT_EQ(r.counters.queries, 0u);
   EXPECT_FALSE(r.image.Empty());
+}
+
+/// Always throws from Sample: forces a render-time error on whatever pool
+/// worker claims the tile.
+class ThrowingFieldSource final : public FieldSource {
+ public:
+  [[nodiscard]] FieldSample Sample(Vec3f) const override {
+    throw SpnerfError("injected render failure");
+  }
+  [[nodiscard]] const char* Name() const override { return "throwing"; }
+};
+
+TEST_F(RenderEngineTest, RenderErrorFailsTheJobFutureNotTheProcess) {
+  // A throw inside a tile on a detached pool worker must surface through
+  // the job's future (get() rethrows), never escape the worker thread.
+  const ThrowingFieldSource source;
+  RenderJob job;
+  job.source = &source;
+  job.mlp = mlp_;
+  job.camera = OrbitCameras(1, Vec3f{0.5f, 0.45f, 0.5f}, 1.35f, 25.f, 35.f,
+                            24, 24)[0];
+  ThreadPool pool(4);
+  RenderEngineOptions opts;
+  opts.pool = &pool;
+  const RenderEngine engine(opts);
+  std::vector<std::future<RenderResult>> futures = engine.SubmitBatch({job});
+  ASSERT_EQ(futures.size(), 1u);
+  EXPECT_THROW(futures[0].get(), SpnerfError);
+  // The blocking wrapper propagates the same error to its caller.
+  EXPECT_THROW((void)engine.RenderBatch({job}), SpnerfError);
 }
 
 TEST_F(RenderEngineTest, VolumeRendererStatsPathMatchesEngine) {
