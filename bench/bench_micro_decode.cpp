@@ -1,9 +1,13 @@
 // Micro-benchmarks (google-benchmark): per-operation throughput of the
-// software components — spatial hash, online decode, trilinear sampling,
-// MLP forward (FP32/FP16), and the sparse-format lookups.
+// software components — spatial hash, online decode, trilinear sampling
+// (scalar and batched/deduplicated), MLP forward (FP32/FP16, scalar and
+// batched), and the sparse-format lookups. After the google-benchmark
+// suite, a hand-timed section writes scalar-vs-batched decode entries (and
+// their throughput ratios) to BENCH_micro_decode.json via bench_util.
 #include <benchmark/benchmark.h>
 
 #include "assets/asset_cache.hpp"
+#include "bench/bench_util.hpp"
 #include "common/rng.hpp"
 #include "encoding/sparse_formats.hpp"
 #include "encoding/spnerf_codec.hpp"
@@ -92,6 +96,54 @@ void BM_TrilinearSampleSpnerf(benchmark::State& state) {
 }
 BENCHMARK(BM_TrilinearSampleSpnerf);
 
+/// A wavefront-shaped front: samples of adjacent rays at one march depth —
+/// a jittered 32x32 patch spanning ~0.2 of the volume, so neighbouring
+/// samples share trilinear corner vertices like a real tile front does.
+std::vector<Vec3f> CoherentFront(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<Vec3f> points;
+  points.reserve(n);
+  const std::size_t side = 32;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float u = static_cast<float>(i % side) / static_cast<float>(side);
+    const float v = static_cast<float>((i / side) % side) /
+                    static_cast<float>(side);
+    points.push_back({0.4f + 0.2f * u + 0.004f * rng.NextFloat(),
+                      0.4f + 0.2f * v + 0.004f * rng.NextFloat(),
+                      0.45f + 0.1f * rng.NextFloat()});
+  }
+  return points;
+}
+
+void BM_SampleBatchSpnerf(benchmark::State& state) {
+  MicroData& d = Data();
+  SpNeRFFieldSource src(d.codec, false, false);
+  src.SetBatchDedup(state.range(0) != 0);
+  const std::vector<Vec3f> points = CoherentFront(1024, 8);
+  std::vector<FieldSample> out(points.size());
+  for (auto _ : state) {
+    src.SampleBatch(points, out, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+}
+BENCHMARK(BM_SampleBatchSpnerf)->Arg(1)->Arg(0);  // 1 = dedup, 0 = no dedup
+
+void BM_SampleBatchDense(benchmark::State& state) {
+  MicroData& d = Data();
+  const GridFieldSource src(d.dataset->full_grid);
+  const std::vector<Vec3f> points = CoherentFront(1024, 9);
+  std::vector<FieldSample> out(points.size());
+  for (auto _ : state) {
+    src.SampleBatch(points, out, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+}
+BENCHMARK(BM_SampleBatchDense);
+
 void BM_TrilinearSampleDense(benchmark::State& state) {
   MicroData& d = Data();
   const GridFieldSource src(d.dataset->full_grid);
@@ -131,6 +183,23 @@ void BM_MlpForwardFp16(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MlpForwardFp16);
+
+void BM_MlpForwardBatchFp32(benchmark::State& state) {
+  MicroData& d = Data();
+  Rng rng(6);
+  std::vector<std::array<float, kMlpInputDim>> in(256);
+  for (auto& sample : in)
+    for (auto& v : sample) v = rng.Uniform(-1.f, 1.f);
+  std::vector<Vec3f> out(in.size());
+  for (auto _ : state) {
+    d.mlp.ForwardBatch(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(in.size()) *
+                          static_cast<int64_t>(Mlp::MacsPerSample()));
+}
+BENCHMARK(BM_MlpForwardBatchFp32);
 
 /// Whole-tile render through the engine, stats on — the end-to-end hot path
 /// the refactor parallelised. Sweeps the worker count.
@@ -193,7 +262,57 @@ void BM_LookupCsc(benchmark::State& state) {
 }
 BENCHMARK(BM_LookupCsc);
 
+/// Hand-timed scalar-vs-batched decode comparison on a coherent front,
+/// written to BENCH_micro_decode.json so the batched-decode trajectory is
+/// tracked per commit alongside the render benches. Ratio entries store the
+/// throughput ratio in the wall_ms field (>1 = batch faster; tracked, not
+/// gated).
+void WriteBatchedDecodeJson() {
+  MicroData& d = Data();
+  SpNeRFFieldSource src(d.codec, false, false);
+  const std::vector<Vec3f> points = CoherentFront(1024, 10);
+  std::vector<FieldSample> out(points.size());
+  constexpr int kReps = 200;
+
+  bench::JsonReport json("micro_decode");
+  const auto time_ms = [&](auto&& body) {
+    body();  // warm up scratch + caches
+    const bench::WallTimer timer;
+    for (int r = 0; r < kReps; ++r) body();
+    return timer.ElapsedMs();
+  };
+
+  const double scalar_ms = time_ms([&] {
+    for (std::size_t i = 0; i < points.size(); ++i)
+      out[i] = src.Sample(points[i], nullptr);
+  });
+  src.SetBatchDedup(true);
+  const double dedup_ms =
+      time_ms([&] { src.SampleBatch(points, out, nullptr); });
+  src.SetBatchDedup(false);
+  const double nodedup_ms =
+      time_ms([&] { src.SampleBatch(points, out, nullptr); });
+
+  std::printf("\nbatched decode, %zu-sample coherent front x%d reps:\n"
+              "  scalar          %8.2f ms\n"
+              "  batch           %8.2f ms (%.2fx)\n"
+              "  batch no-dedup  %8.2f ms (%.2fx)\n",
+              points.size(), kReps, scalar_ms, dedup_ms,
+              scalar_ms / dedup_ms, nodedup_ms, scalar_ms / nodedup_ms);
+  json.Add("decode/scalar", scalar_ms, 1);
+  json.Add("decode/batch[dedup]", dedup_ms, 1);
+  json.Add("decode/batch[no-dedup]", nodedup_ms, 1);
+  json.Add("ratio/batch-vs-scalar[dedup]", scalar_ms / dedup_ms, 1);
+  json.Add("ratio/batch-vs-scalar[no-dedup]", scalar_ms / nodedup_ms, 1);
+}
+
 }  // namespace
 }  // namespace spnerf
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  spnerf::WriteBatchedDecodeJson();
+  return 0;
+}

@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
   }
 
   bench::JsonReport json("render_engine");
-  const auto run = [&](const char* name, unsigned workers) {
+  const auto run = [&](const char* name, unsigned workers, bool wavefront) {
+    for (RenderJob& job : jobs) job.options.wavefront = wavefront;
     RenderEngineOptions opts;
     opts.max_threads = workers;
     const bench::WallTimer timer;
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
       evals += r.stats.mlp_evals;
       queries += r.counters.queries;
     }
-    std::printf("%-12s %2u workers: %8.1f ms  (%llu rays, %llu MLP evals, "
+    std::printf("%-14s %2u workers: %8.1f ms  (%llu rays, %llu MLP evals, "
                 "%llu decodes)\n",
                 name, workers, wall_ms, static_cast<unsigned long long>(rays),
                 static_cast<unsigned long long>(evals),
@@ -70,11 +71,26 @@ int main(int argc, char** argv) {
   };
 
   bench::PrintRule();
-  const double seq_ms = run("sequential", 1);
-  const double par_ms = run("parallel", parallel_workers);
+  // "sequential"/"parallel" keep their historical names (and are now the
+  // wavefront path, the production default); the scalar per-ray reference
+  // runs at both worker counts so the wavefront-vs-scalar ratio is tracked
+  // per commit. The ratio entries store the ratio itself in the wall_ms
+  // field (>1 means wavefront is faster; tracked, not gated — 1-core CI
+  // measures small fronts).
+  const double seq_ms = run("sequential", 1, /*wavefront=*/true);
+  const double par_ms = run("parallel", parallel_workers, /*wavefront=*/true);
+  const double scalar_seq_ms = run("scalar[1t]", 1, /*wavefront=*/false);
+  const double scalar_par_ms =
+      run("scalar[par]", parallel_workers, /*wavefront=*/false);
   bench::PrintRule();
   std::printf("speedup: %.2fx on %u workers (target: >= 4x on 8)\n",
               seq_ms / par_ms, parallel_workers);
+  std::printf("wavefront vs scalar: %.2fx at 1 worker, %.2fx at %u workers\n",
+              scalar_seq_ms / seq_ms, scalar_par_ms / par_ms,
+              parallel_workers);
+  json.Add("ratio/wavefront-vs-scalar[1t]", scalar_seq_ms / seq_ms, 1);
+  json.Add("ratio/wavefront-vs-scalar[par]", scalar_par_ms / par_ms,
+           parallel_workers);
   bench::AddBuildTimings(json);
   return 0;
 }

@@ -6,6 +6,7 @@
 //
 // Usage: ./render_orbit [scene=chair] [views=8] [size=160] [res=128]
 //        [masking=1] [threads=0]
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -61,11 +62,14 @@ int main(int argc, char** argv) {
                 r.stats.evals_per_ray.Mean());
     total.Merge(r.stats);
   }
+  // wall_ms is per-job (issue -> that job's completion); the batch's wall
+  // time is the slowest job's span, not the first's.
+  double batch_ms = 0.0;
+  for (const RenderResult& r : results) batch_ms = std::max(batch_ms, r.wall_ms);
   std::printf("total: %llu rays, %llu samples, %llu MLP evaluations in "
               "%.1f ms\n",
               static_cast<unsigned long long>(total.rays),
               static_cast<unsigned long long>(total.steps),
-              static_cast<unsigned long long>(total.mlp_evals),
-              results.empty() ? 0.0 : results.front().wall_ms);
+              static_cast<unsigned long long>(total.mlp_evals), batch_ms);
   return 0;
 }

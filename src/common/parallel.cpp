@@ -57,7 +57,15 @@ void ThreadPool::FinishSlot(Region* region, std::unique_lock<std::mutex>& lock) 
   std::function<void()> completion = std::move(region->on_complete);
   region_done_.notify_all();  // the destructor waits on live_regions_
   lock.unlock();
-  if (completion) completion();
+  if (completion) {
+    // Same contract as detached slot bodies: an escaped exception is
+    // dropped, never propagated into the worker loop (where it would
+    // std::terminate the process). Submitters guard their own callbacks.
+    try {
+      completion();
+    } catch (...) {
+    }
+  }
   delete region;
   lock.lock();
 }

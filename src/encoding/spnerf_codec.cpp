@@ -58,17 +58,24 @@ SpNeRFModel SpNeRFModel::Preprocess(const VqrfModel& vqrf,
 
 VoxelData SpNeRFModel::Decode(Vec3i position, bool bitmap_masking,
                               DecodeCounters* counters) const {
+  DecodeClass cls;
+  const VoxelData out = DecodeClassified(position, bitmap_masking, cls);
+  if (counters) counters->AddQueries(cls, 1);
+  return out;
+}
+
+VoxelData SpNeRFModel::DecodeClassified(Vec3i position, bool bitmap_masking,
+                                        DecodeClass& cls) const {
   SPNERF_CHECK_MSG(source_ != nullptr, "decode on an empty SpNeRFModel");
-  if (counters) ++counters->queries;
 
   if (!dims_.Contains(position)) {
-    if (counters) ++counters->bitmap_zero;
+    cls = DecodeClass::kBitmapZero;
     return {};
   }
 
   // 1. Bitmap masking (BLU): zero bit => decoded value is exactly zero.
   if (bitmap_masking && !bitmap_.Test(position)) {
-    if (counters) ++counters->bitmap_zero;
+    cls = DecodeClass::kBitmapZero;
     return {};
   }
 
@@ -78,7 +85,7 @@ VoxelData SpNeRFModel::Decode(Vec3i position, bool bitmap_masking,
       tables_[static_cast<std::size_t>(k)].Lookup(position);
   if (!entry.Occupied()) {
     // Never-written slot: decodes to zero with or without masking.
-    if (counters) ++counters->empty_slot;
+    cls = DecodeClass::kEmptySlot;
     return {};
   }
 
@@ -88,14 +95,14 @@ VoxelData SpNeRFModel::Decode(Vec3i position, bool bitmap_masking,
   out.density = src.DensityQuantizer().Dequantize(entry.density_q);
   const int codebook_size = src.GetCodebook().Size();
   if (entry.payload < static_cast<u32>(codebook_size)) {
-    if (counters) ++counters->codebook_hits;
+    cls = DecodeClass::kCodebook;
     const auto base =
         static_cast<std::size_t>(entry.payload) * kColorFeatureDim;
     for (int c = 0; c < kColorFeatureDim; ++c)
       out.features[c] =
           src.FeatureQuantizer().Dequantize(src.CodebookInt8()[base + c]);
   } else {
-    if (counters) ++counters->true_grid_hits;
+    cls = DecodeClass::kTrueGrid;
     const auto slot = static_cast<std::size_t>(
         entry.payload - static_cast<u32>(codebook_size));
     const auto base = slot * kColorFeatureDim;
@@ -106,6 +113,17 @@ VoxelData SpNeRFModel::Decode(Vec3i position, bool bitmap_masking,
           src.FeatureQuantizer().Dequantize(src.KeptFeatures()[base + c]);
   }
   return out;
+}
+
+void SpNeRFModel::DecodeBatch(std::span<const Vec3i> positions,
+                              bool bitmap_masking, std::span<VoxelData> out,
+                              std::span<DecodeClass> classes) const {
+  SPNERF_CHECK_MSG(out.size() == positions.size() &&
+                       classes.size() == positions.size(),
+                   "DecodeBatch span sizes must match");
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    out[i] = DecodeClassified(positions[i], bitmap_masking, classes[i]);
+  }
 }
 
 HashBuildStats SpNeRFModel::AggregateBuildStats() const {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -35,6 +36,18 @@ struct SpNeRFParams {
   CollisionPolicy collision_policy = CollisionPolicy::kKeepFirst;
 };
 
+/// Outcome class of one vertex decode — which unit retired the query. A
+/// decode increments exactly one DecodeCounters bucket; batched decode paths
+/// record the class per unique vertex and replicate the counter increments
+/// per reference, so deduplicated lookups account identically to scalar
+/// ones.
+enum class DecodeClass : u8 {
+  kBitmapZero = 0,  // out of range, or masked out by the bitmap
+  kEmptySlot,       // hash slot never written
+  kCodebook,        // payload dispatched to the color codebook
+  kTrueGrid,        // payload dispatched to the true voxel grid
+};
+
 /// Counters accumulated across Decode() calls; mirrors what the SGPU units
 /// touch so the cycle simulator and benches can account traffic.
 struct DecodeCounters {
@@ -52,6 +65,20 @@ struct DecodeCounters {
     empty_slot += other.empty_slot;
     codebook_hits += other.codebook_hits;
     true_grid_hits += other.true_grid_hits;
+  }
+
+  /// Accounts `n` decode queries that all retired with outcome `cls` — the
+  /// batched-decode equivalent of `n` scalar Decode() calls hitting the same
+  /// vertex. Integer adds, so replicated references reduce to exactly the
+  /// scalar totals in any order.
+  void AddQueries(DecodeClass cls, u64 n) {
+    queries += n;
+    switch (cls) {
+      case DecodeClass::kBitmapZero: bitmap_zero += n; break;
+      case DecodeClass::kEmptySlot: empty_slot += n; break;
+      case DecodeClass::kCodebook: codebook_hits += n; break;
+      case DecodeClass::kTrueGrid: true_grid_hits += n; break;
+    }
   }
 };
 
@@ -84,6 +111,25 @@ class SpNeRFModel {
   /// tables with masking on and off).
   [[nodiscard]] VoxelData Decode(Vec3i position, bool bitmap_masking,
                                  DecodeCounters* counters) const;
+
+  /// Classified decode of one vertex: same payload bytes as Decode(), plus
+  /// the outcome class instead of counter side effects. The batched vertex
+  /// decode records the class per unique vertex so callers can replicate
+  /// DecodeCounters per reference (see DecodeCounters::AddQueries).
+  [[nodiscard]] VoxelData DecodeClassified(Vec3i position, bool bitmap_masking,
+                                           DecodeClass& cls) const;
+
+  /// Batched vertex decode: the wavefront's decode stage. `positions` is the
+  /// deduplicated vertex list of one sample front (each shared corner of
+  /// adjacent samples appears once); every vertex runs bitmap -> hash ->
+  /// unified 18-bit dispatch exactly as a scalar Decode() would, writing its
+  /// payload to `out[i]` and its outcome class to `classes[i]`. Counters are
+  /// the caller's job: one AddQueries per (sample, corner) reference keeps
+  /// DecodeCounters bit-identical to the scalar path while the table is
+  /// touched only once per unique vertex.
+  void DecodeBatch(std::span<const Vec3i> positions, bool bitmap_masking,
+                   std::span<VoxelData> out,
+                   std::span<DecodeClass> classes) const;
 
   /// Aggregate build-time collision statistics over all subgrid tables.
   [[nodiscard]] HashBuildStats AggregateBuildStats() const;

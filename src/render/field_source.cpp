@@ -1,24 +1,42 @@
 #include "render/field_source.hpp"
 
 #include <cmath>
+#include <unordered_map>
 
+#include "common/error.hpp"
 #include "common/half.hpp"
 
 namespace spnerf {
-namespace {
 
-struct VertexPayload {
-  float density;
-  std::array<float, kColorFeatureDim> features;
-};
-
-}  // namespace
+void FieldSource::SampleBatch(std::span<const Vec3f> positions,
+                              std::span<FieldSample> out,
+                              DecodeCounters* counters) const {
+  SPNERF_CHECK_MSG(out.size() == positions.size(),
+                   "SampleBatch span sizes must match");
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    out[i] = Sample(positions[i], counters);
+  }
+}
 
 FieldSample AnalyticFieldSource::Sample(Vec3f world) const {
   FieldSample s;
   s.density = scene_->Density(world);
   if (s.density > 0.0f) s.features = scene_->ColorFeature(world);
   return s;
+}
+
+void AnalyticFieldSource::SampleBatch(std::span<const Vec3f> positions,
+                                      std::span<FieldSample> out,
+                                      DecodeCounters* counters) const {
+  SPNERF_CHECK_MSG(out.size() == positions.size(),
+                   "SampleBatch span sizes must match");
+  (void)counters;  // no decode stage
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    FieldSample s;
+    s.density = scene_->Density(positions[i]);
+    if (s.density > 0.0f) s.features = scene_->ColorFeature(positions[i]);
+    out[i] = s;
+  }
 }
 
 FieldSample GridFieldSource::Sample(Vec3f world) const {
@@ -42,6 +60,55 @@ FieldSample GridFieldSource::Sample(Vec3f world) const {
     for (int c = 0; c < kColorFeatureDim; ++c) out.features[c] += w * f[c];
   }
   return out;
+}
+
+void GridFieldSource::SampleBatch(std::span<const Vec3f> positions,
+                                  std::span<FieldSample> out,
+                                  DecodeCounters* counters) const {
+  SPNERF_CHECK_MSG(out.size() == positions.size(),
+                   "SampleBatch span sizes must match");
+  (void)counters;  // no decode stage
+  struct Scratch {
+    std::vector<Vec3i> base;
+    std::vector<Vec3f> frac;
+    std::vector<u8> inside;
+  };
+  thread_local Scratch s;
+  const std::size_t n = positions.size();
+  s.base.resize(n);
+  s.frac.resize(n);
+  s.inside.resize(n);
+
+  const GridDims& dims = grid_->Dims();
+  for (std::size_t i = 0; i < n; ++i) {
+    s.inside[i] =
+        detail::SetupTrilinear(dims, positions[i], s.base[i], s.frac[i]) ? 1
+                                                                         : 0;
+  }
+  // Gather pass: the scalar corner loop per sample, against precomputed
+  // bases/fractions. Identical corner enumeration and accumulation order
+  // keep every sample bit-identical to Sample().
+  for (std::size_t i = 0; i < n; ++i) {
+    FieldSample acc;
+    if (s.inside[i]) {
+      const Vec3i base = s.base[i];
+      const Vec3f frac = s.frac[i];
+      for (int corner = 0; corner < 8; ++corner) {
+        const Vec3i v{base.x + (corner & 1), base.y + ((corner >> 1) & 1),
+                      base.z + ((corner >> 2) & 1)};
+        const float wx = (corner & 1) ? frac.x : 1.0f - frac.x;
+        const float wy = ((corner >> 1) & 1) ? frac.y : 1.0f - frac.y;
+        const float wz = ((corner >> 2) & 1) ? frac.z : 1.0f - frac.z;
+        const float w = wx * wy * wz;
+        if (w == 0.0f) continue;
+        const VoxelIndex idx = dims.Flatten(v);
+        acc.density += w * grid_->Density(idx);
+        const float* f = grid_->Features(idx);
+        for (int c = 0; c < kColorFeatureDim; ++c) acc.features[c] += w * f[c];
+      }
+    }
+    out[i] = acc;
+  }
 }
 
 FieldSample SpNeRFFieldSource::Sample(Vec3f world,
@@ -89,6 +156,132 @@ FieldSample SpNeRFFieldSource::Sample(Vec3f world,
   for (int c = 0; c < kColorFeatureDim; ++c)
     out.features[c] = feat_acc[c].ToFloat();
   return out;
+}
+
+void SpNeRFFieldSource::SampleBatch(std::span<const Vec3f> positions,
+                                    std::span<FieldSample> out,
+                                    DecodeCounters* counters) const {
+  SPNERF_CHECK_MSG(out.size() == positions.size(),
+                   "SampleBatch span sizes must match");
+  constexpr u32 kNoRef = 0xffffffffu;
+  struct Scratch {
+    std::vector<Vec3i> base;
+    std::vector<Vec3f> frac;
+    std::vector<u8> inside;
+    std::vector<u32> refs;  // 8 per sample: unique-vertex slot or kNoRef
+    std::unordered_map<u64, u32> vertex_slot;  // flattened index -> slot
+    std::vector<Vec3i> unique;
+    std::vector<u32> ref_count;  // per slot: (sample, corner) references
+    std::vector<VoxelData> decoded;
+    std::vector<DecodeClass> classes;
+  };
+  thread_local Scratch s;
+  const std::size_t n = positions.size();
+  s.base.resize(n);
+  s.frac.resize(n);
+  s.inside.resize(n);
+  s.refs.assign(n * 8, kNoRef);
+  s.vertex_slot.clear();
+  s.unique.clear();
+  s.ref_count.clear();
+
+  const GridDims& dims = model_->Dims();
+
+  // Setup + dedup pass: register every corner the scalar path would decode
+  // (non-zero Eq. (2) weight, under the active arithmetic mode) against the
+  // unique-vertex list. Adjacent samples of a wavefront share corners, so
+  // the list is much shorter than 8N references.
+  for (std::size_t i = 0; i < n; ++i) {
+    s.inside[i] =
+        detail::SetupTrilinear(dims, positions[i], s.base[i], s.frac[i]) ? 1
+                                                                         : 0;
+    if (!s.inside[i]) continue;
+    const Vec3i base = s.base[i];
+    const Vec3f frac = s.frac[i];
+    for (int corner = 0; corner < 8; ++corner) {
+      const float wx = (corner & 1) ? frac.x : 1.0f - frac.x;
+      const float wy = ((corner >> 1) & 1) ? frac.y : 1.0f - frac.y;
+      const float wz = ((corner >> 2) & 1) ? frac.z : 1.0f - frac.z;
+      // Replicate the scalar skip test exactly: float product for the FP32
+      // path, binary16 product for the TIU path (which may flush where the
+      // float product is tiny-but-non-zero).
+      const bool skip = fp16_tiu_ ? (Half(wx) * Half(wy) * Half(wz)).IsZero()
+                                  : (wx * wy * wz) == 0.0f;
+      if (skip) continue;
+      const Vec3i v{base.x + (corner & 1), base.y + ((corner >> 1) & 1),
+                    base.z + ((corner >> 2) & 1)};
+      u32 slot;
+      if (batch_dedup_) {
+        const auto [it, fresh] = s.vertex_slot.try_emplace(
+            dims.Flatten(v), static_cast<u32>(s.unique.size()));
+        slot = it->second;
+        if (fresh) {
+          s.unique.push_back(v);
+          s.ref_count.push_back(0);
+        }
+      } else {
+        slot = static_cast<u32>(s.unique.size());
+        s.unique.push_back(v);
+        s.ref_count.push_back(0);
+      }
+      ++s.ref_count[slot];
+      s.refs[i * 8 + static_cast<std::size_t>(corner)] = slot;
+    }
+  }
+
+  // Decode pass: each unique vertex runs bitmap/hash/18-bit lookup once;
+  // counters replicate per reference, so totals match scalar sampling
+  // exactly (integer adds commute).
+  s.decoded.resize(s.unique.size());
+  s.classes.resize(s.unique.size());
+  model_->DecodeBatch(s.unique, masking_, s.decoded, s.classes);
+  if (counters) {
+    for (std::size_t k = 0; k < s.unique.size(); ++k) {
+      counters->AddQueries(s.classes[k], s.ref_count[k]);
+    }
+  }
+
+  // Blend pass: the scalar corner loop per sample against the decoded
+  // table — same corner order, same accumulation order, same arithmetic
+  // mode, hence bit-identical blended samples.
+  for (std::size_t i = 0; i < n; ++i) {
+    FieldSample acc;
+    if (s.inside[i]) {
+      const Vec3f frac = s.frac[i];
+      const u32* refs = &s.refs[i * 8];
+      if (!fp16_tiu_) {
+        for (int corner = 0; corner < 8; ++corner) {
+          if (refs[corner] == kNoRef) continue;
+          const float wx = (corner & 1) ? frac.x : 1.0f - frac.x;
+          const float wy = ((corner >> 1) & 1) ? frac.y : 1.0f - frac.y;
+          const float wz = ((corner >> 2) & 1) ? frac.z : 1.0f - frac.z;
+          const float w = wx * wy * wz;
+          const VoxelData& d = s.decoded[refs[corner]];
+          acc.density += w * d.density;
+          for (int c = 0; c < kColorFeatureDim; ++c)
+            acc.features[c] += w * d.features[c];
+        }
+      } else {
+        Half density_acc(0.0f);
+        Half feat_acc[kColorFeatureDim] = {};
+        for (int corner = 0; corner < 8; ++corner) {
+          if (refs[corner] == kNoRef) continue;
+          const Half wx((corner & 1) ? frac.x : 1.0f - frac.x);
+          const Half wy(((corner >> 1) & 1) ? frac.y : 1.0f - frac.y);
+          const Half wz(((corner >> 2) & 1) ? frac.z : 1.0f - frac.z);
+          const Half w = wx * wy * wz;
+          const VoxelData& d = s.decoded[refs[corner]];
+          density_acc = Half::Fma(w, Half(d.density), density_acc);
+          for (int c = 0; c < kColorFeatureDim; ++c)
+            feat_acc[c] = Half::Fma(w, Half(d.features[c]), feat_acc[c]);
+        }
+        acc.density = density_acc.ToFloat();
+        for (int c = 0; c < kColorFeatureDim; ++c)
+          acc.features[c] = feat_acc[c].ToFloat();
+      }
+    }
+    out[i] = acc;
+  }
 }
 
 }  // namespace spnerf

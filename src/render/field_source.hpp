@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "common/types.hpp"
 #include "encoding/spnerf_codec.hpp"
@@ -36,6 +37,17 @@ class FieldSource {
     (void)counters;
     return Sample(world);
   }
+  /// Batched sampling: decodes `positions.size()` world positions into `out`
+  /// in one call — the wavefront renderer's decode+interpolate stage. The
+  /// contract is bit-identity with the scalar path: `out[i]` must equal
+  /// `Sample(positions[i], counters)` exactly (values AND counter activity),
+  /// so a batched render is byte-for-byte the scalar render. The default is
+  /// the scalar loop; real sources override it with SoA implementations
+  /// (shared-vertex dedup, no per-sample virtual dispatch). Thread-safe like
+  /// the two-argument Sample: distinct counter shards may batch concurrently.
+  virtual void SampleBatch(std::span<const Vec3f> positions,
+                           std::span<FieldSample> out,
+                           DecodeCounters* counters) const;
   [[nodiscard]] virtual const char* Name() const = 0;
 };
 
@@ -45,6 +57,11 @@ class AnalyticFieldSource final : public FieldSource {
   explicit AnalyticFieldSource(const Scene& scene) : scene_(&scene) {}
   using FieldSource::Sample;  // keep the counter-aware overload visible
   [[nodiscard]] FieldSample Sample(Vec3f world) const override;
+  /// Batched evaluation of the analytic fields (no decode stage; one devirt
+  /// call for the whole front instead of one per sample).
+  void SampleBatch(std::span<const Vec3f> positions,
+                   std::span<FieldSample> out,
+                   DecodeCounters* counters) const override;
   [[nodiscard]] const char* Name() const override { return "analytic"; }
 
  private:
@@ -59,6 +76,13 @@ class GridFieldSource final : public FieldSource {
   explicit GridFieldSource(const DenseGrid& grid) : grid_(&grid) {}
   using FieldSource::Sample;  // keep the counter-aware overload visible
   [[nodiscard]] FieldSample Sample(Vec3f world) const override;
+  /// Batched trilinear gather: a setup pass computes every sample's base
+  /// vertex and Eq. (2) weights into SoA scratch, then one gather pass walks
+  /// the grid — per-sample arithmetic (corner order, accumulation order) is
+  /// exactly the scalar body's, so results are bit-identical.
+  void SampleBatch(std::span<const Vec3f> positions,
+                   std::span<FieldSample> out,
+                   DecodeCounters* counters) const override;
   [[nodiscard]] const char* Name() const override { return "dense-grid"; }
 
  private:
@@ -95,6 +119,27 @@ class SpNeRFFieldSource final : public FieldSource {
   }
   [[nodiscard]] FieldSample Sample(Vec3f world,
                                    DecodeCounters* counters) const override;
+  /// Batched vertex decode + blend, the paper's dataflow in software: the
+  /// setup pass computes bases/fractions, the dedup pass maps every
+  /// non-zero-weight corner of the front to a unique-vertex list (adjacent
+  /// samples share 4 of their 8 corners along a ray and across neighbouring
+  /// rays), one SpNeRFModel::DecodeBatch call decodes each unique vertex
+  /// once, and the blend pass re-applies the scalar corner loop against the
+  /// decoded table. DecodeCounters are replicated per (sample, corner)
+  /// reference from the per-vertex outcome class, so counters — like the
+  /// blended values — are bit-identical to scalar sampling while the hash
+  /// tables see a fraction of the lookups.
+  void SampleBatch(std::span<const Vec3f> positions,
+                   std::span<FieldSample> out,
+                   DecodeCounters* counters) const override;
+
+  /// Disables shared-corner deduplication in SampleBatch (every non-zero
+  /// weight corner decodes individually, as scalar sampling does). For
+  /// benchmarking the dedup win; results and counters are identical either
+  /// way.
+  void SetBatchDedup(bool dedup) { batch_dedup_ = dedup; }
+  [[nodiscard]] bool BatchDedup() const { return batch_dedup_; }
+
   [[nodiscard]] const char* Name() const override { return "spnerf"; }
 
   [[nodiscard]] const DecodeCounters& Counters() const { return counters_; }
@@ -105,6 +150,7 @@ class SpNeRFFieldSource final : public FieldSource {
   bool fp16_tiu_;
   bool collect_counters_;
   bool masking_;
+  bool batch_dedup_ = true;
   mutable DecodeCounters counters_;  // one-argument Sample path only
 };
 

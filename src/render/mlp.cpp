@@ -1,5 +1,6 @@
 #include "render/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -92,6 +93,101 @@ Vec3f Mlp::ForwardFp16(const std::array<float, kMlpInputDim>& in) const {
     rgb[o] = Sigmoid(acc.ToFloat());
   }
   return rgb;
+}
+
+void Mlp::ForwardBatch(std::span<const std::array<float, kMlpInputDim>> in,
+                       std::span<Vec3f> out) const {
+  SPNERF_CHECK_MSG(out.size() == in.size(),
+                   "ForwardBatch span sizes must match");
+  if (in.empty()) return;  // an empty front never touches the weights
+  SPNERF_CHECK_MSG(!w_[0].empty(), "MLP is uninitialised");
+  // Block of samples shaded together: sized so both hidden activations
+  // (2 x kBlock x 128 floats = 32 KiB) stay L1/L2-resident while each
+  // weight row is reused kBlock times.
+  constexpr std::size_t kBlock = 32;
+  float h1[kBlock][kMlpHiddenDim];
+  float h2[kBlock][kMlpHiddenDim];
+  for (std::size_t b0 = 0; b0 < in.size(); b0 += kBlock) {
+    const std::size_t m = std::min(kBlock, in.size() - b0);
+    for (int o = 0; o < kMlpHiddenDim; ++o) {
+      const float bias = b_[0][static_cast<std::size_t>(o)];
+      const float* row = &w_[0][static_cast<std::size_t>(o) * kMlpInputDim];
+      for (std::size_t s = 0; s < m; ++s) {
+        const float* x = in[b0 + s].data();
+        float acc = bias;
+        for (int i = 0; i < kMlpInputDim; ++i) acc += row[i] * x[i];
+        h1[s][o] = acc > 0.0f ? acc : 0.0f;
+      }
+    }
+    for (int o = 0; o < kMlpHiddenDim; ++o) {
+      const float bias = b_[1][static_cast<std::size_t>(o)];
+      const float* row = &w_[1][static_cast<std::size_t>(o) * kMlpHiddenDim];
+      for (std::size_t s = 0; s < m; ++s) {
+        float acc = bias;
+        for (int i = 0; i < kMlpHiddenDim; ++i) acc += row[i] * h1[s][i];
+        h2[s][o] = acc > 0.0f ? acc : 0.0f;
+      }
+    }
+    for (int o = 0; o < kMlpOutputDim; ++o) {
+      const float bias = b_[2][static_cast<std::size_t>(o)];
+      const float* row = &w_[2][static_cast<std::size_t>(o) * kMlpHiddenDim];
+      for (std::size_t s = 0; s < m; ++s) {
+        float acc = bias;
+        for (int i = 0; i < kMlpHiddenDim; ++i) acc += row[i] * h2[s][i];
+        out[b0 + s][o] = Sigmoid(acc);
+      }
+    }
+  }
+}
+
+void Mlp::ForwardFp16Batch(std::span<const std::array<float, kMlpInputDim>> in,
+                           std::span<Vec3f> out) const {
+  SPNERF_CHECK_MSG(out.size() == in.size(),
+                   "ForwardBatch span sizes must match");
+  if (in.empty()) return;  // an empty front never touches the weights
+  SPNERF_CHECK_MSG(!w_[0].empty(), "MLP is uninitialised");
+  constexpr std::size_t kBlock = 32;
+  float h1[kBlock][kMlpHiddenDim];
+  float h2[kBlock][kMlpHiddenDim];
+  for (std::size_t b0 = 0; b0 < in.size(); b0 += kBlock) {
+    const std::size_t m = std::min(kBlock, in.size() - b0);
+    for (int o = 0; o < kMlpHiddenDim; ++o) {
+      const float bias = b_[0][static_cast<std::size_t>(o)];
+      const float* row = &w_[0][static_cast<std::size_t>(o) * kMlpInputDim];
+      for (std::size_t s = 0; s < m; ++s) {
+        const float* x = in[b0 + s].data();
+        Half acc(bias);
+        for (int i = 0; i < kMlpInputDim; ++i) {
+          acc = Half::Fma(Half(row[i]), Half(x[i]), acc);
+        }
+        const float a = acc.ToFloat();
+        h1[s][o] = a > 0.0f ? a : 0.0f;
+      }
+    }
+    for (int o = 0; o < kMlpHiddenDim; ++o) {
+      const float bias = b_[1][static_cast<std::size_t>(o)];
+      const float* row = &w_[1][static_cast<std::size_t>(o) * kMlpHiddenDim];
+      for (std::size_t s = 0; s < m; ++s) {
+        Half acc(bias);
+        for (int i = 0; i < kMlpHiddenDim; ++i) {
+          acc = Half::Fma(Half(row[i]), Half(h1[s][i]), acc);
+        }
+        const float a = acc.ToFloat();
+        h2[s][o] = a > 0.0f ? a : 0.0f;
+      }
+    }
+    for (int o = 0; o < kMlpOutputDim; ++o) {
+      const float bias = b_[2][static_cast<std::size_t>(o)];
+      const float* row = &w_[2][static_cast<std::size_t>(o) * kMlpHiddenDim];
+      for (std::size_t s = 0; s < m; ++s) {
+        Half acc(bias);
+        for (int i = 0; i < kMlpHiddenDim; ++i) {
+          acc = Half::Fma(Half(row[i]), Half(h2[s][i]), acc);
+        }
+        out[b0 + s][o] = Sigmoid(acc.ToFloat());
+      }
+    }
+  }
 }
 
 const std::vector<float>& Mlp::W(int layer) const {

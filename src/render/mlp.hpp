@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -29,6 +30,20 @@ class Mlp {
   /// used; the array is FP16 end-to-end).
   [[nodiscard]] Vec3f ForwardFp16(
       const std::array<float, kMlpInputDim>& in) const;
+
+  /// Batched forward pass: shades `in.size()` inputs as a blocked matrix
+  /// product — each weight row streams across a block of samples while it is
+  /// hot in cache, the software analogue of the systolic array's
+  /// weight-stationary reuse. The per-sample accumulation chain (bias first,
+  /// then inputs in index order) is exactly Forward()'s, so `out[i]` is
+  /// bit-identical to `Forward(in[i])`.
+  void ForwardBatch(std::span<const std::array<float, kMlpInputDim>> in,
+                    std::span<Vec3f> out) const;
+
+  /// FP16 flavour of ForwardBatch; `out[i]` is bit-identical to
+  /// `ForwardFp16(in[i])`.
+  void ForwardFp16Batch(std::span<const std::array<float, kMlpInputDim>> in,
+                        std::span<Vec3f> out) const;
 
   /// MAC count of one forward pass (used by performance models):
   /// 39*128 + 128*128 + 128*3.

@@ -77,13 +77,8 @@ void RenderEngine::BatchState::RenderTile(std::size_t task_index) {
       job.collect_stats ? &shards[task_index].counters : nullptr;
   Image& img = images[t.job];
   const VolumeRenderer& renderer = renderers[t.job];
-  for (int y = t.y0; y < t.y1; ++y) {
-    for (int x = t.x0; x < t.x1; ++x) {
-      img.At(x, y) = renderer.RenderRay(*job.source, *job.mlp,
-                                        job.camera.PixelRay(x, y), stats,
-                                        counters);
-    }
-  }
+  renderer.RenderTile(*job.source, *job.mlp, job.camera, t.x0, t.y0, t.x1,
+                      t.y1, img, stats, counters);
 }
 
 void RenderEngine::BatchState::FinalizeJob(std::size_t job_index) {
@@ -142,6 +137,11 @@ ThreadPool& RenderEngine::SchedulePool() const {
   if (options_.pool != nullptr) return *options_.pool;
   if (dedicated_ != nullptr) return *dedicated_;
   return ThreadPool::Global();
+}
+
+const RenderEngine& RenderEngine::Shared() {
+  static const RenderEngine engine;
+  return engine;
 }
 
 RenderResult RenderEngine::Render(const RenderJob& job) const {

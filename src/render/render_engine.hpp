@@ -71,6 +71,17 @@ class RenderEngine {
 
   [[nodiscard]] const RenderEngineOptions& Options() const { return options_; }
 
+  /// Process-wide default engine (default options, global pool) — the one
+  /// VolumeRenderer::Render schedules on when the caller passes no engine,
+  /// so convenience renders never construct a throwaway engine per call.
+  [[nodiscard]] static const RenderEngine& Shared();
+
+  /// The pool this engine schedules batches on (the explicit options pool,
+  /// the engine's dedicated oversubscription pool, or the global pool).
+  /// Exposed so layers above can co-schedule their own detached work — the
+  /// serving layer runs batch issue (pipeline acquisition, job setup) here.
+  [[nodiscard]] ThreadPool& Pool() const { return SchedulePool(); }
+
   /// Renders one view. Equivalent to a one-job batch.
   [[nodiscard]] RenderResult Render(const RenderJob& job) const;
 

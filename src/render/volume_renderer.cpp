@@ -98,15 +98,224 @@ Vec3f VolumeRenderer::RenderRay(const FieldSource& source, const Mlp& mlp,
   return color;
 }
 
+namespace {
+
+/// Per-ray march state of the wavefront tile marcher. The sample/shade
+/// buffers of the front are SoA (see WavefrontScratch); this is the per-ray
+/// bookkeeping that survives between wavefront iterations.
+struct WavefrontRay {
+  Ray ray;
+  ViewEmbedding view{};
+  Vec3f color{0.f, 0.f, 0.f};
+  float transmittance = 1.0f;
+  float t = 0.0f;
+  float t_far = 0.0f;
+  u64 steps = 0;
+  u64 evals = 0;
+  u64 skips = 0;
+  bool missed = false;
+  bool terminated = false;
+};
+
+/// Reusable SoA buffers of one wavefront tile; thread_local so a pool
+/// worker's buffers warm up once and are reused across every tile it
+/// renders, with no cross-thread sharing.
+struct WavefrontScratch {
+  std::vector<WavefrontRay> rays;     // per tile pixel, row-major
+  std::vector<u32> active;            // ray indices still marching
+  std::vector<u32> next_active;
+  std::vector<Vec3f> positions;       // front: sample positions
+  std::vector<u32> front_ray;         // front: owning ray index
+  std::vector<FieldSample> samples;   // front: SampleBatch output
+  std::vector<float> alphas;          // survivors: alpha at their sample
+  std::vector<u32> survivor_ray;      // survivors: owning ray index
+  std::vector<std::array<float, kMlpInputDim>> mlp_in;
+  std::vector<Vec3f> mlp_out;
+};
+
+}  // namespace
+
+void VolumeRenderer::RenderTileWavefront(const FieldSource& source,
+                                         const Mlp& mlp, const Camera& camera,
+                                         int x0, int y0, int x1, int y1,
+                                         Image& out, RenderStats* stats,
+                                         DecodeCounters* counters) const {
+  thread_local WavefrontScratch s;
+  const Aabb scene_box{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}};
+  const int width = x1 - x0;
+
+  // Ray setup, row-major over the tile (the same enumeration the scalar
+  // loop uses; every per-ray quantity below reduces in this order).
+  s.rays.clear();
+  s.active.clear();
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      WavefrontRay r;
+      r.ray = camera.PixelRay(x, y);
+      float t_near = 0.f, t_far = 0.f;
+      if (!IntersectAabb(r.ray, scene_box, t_near, t_far)) {
+        r.missed = true;
+      } else {
+        r.view = EmbedViewDirection(r.ray.direction);
+        r.t = t_near;
+        r.t_far = t_far;
+        s.active.push_back(static_cast<u32>(s.rays.size()));
+      }
+      s.rays.push_back(r);
+    }
+  }
+
+  // Wavefront march: each iteration advances every active ray to its next
+  // in-volume sample (empty-space skipping is per-ray control flow and
+  // needs no field access), gathers the front into one SampleBatch, gates
+  // it on the alpha threshold and shades the survivors through one
+  // ForwardBatch. A ray contributes at most one sample per iteration, so
+  // its compositing chain runs in strict t order with exactly the scalar
+  // path's arithmetic.
+  while (!s.active.empty()) {
+    s.positions.clear();
+    s.front_ray.clear();
+    for (const u32 idx : s.active) {
+      WavefrontRay& r = s.rays[idx];
+      // Advance to the next sample position (the scalar loop's skip logic,
+      // verbatim).
+      bool sampled = false;
+      while (r.t < r.t_far) {
+        if (options_.coarse_skip != nullptr) {
+          const Vec3f p = r.ray.At(r.t);
+          if (!options_.coarse_skip->OccupiedAtWorld(p)) {
+            const Aabb cell = options_.coarse_skip->CellBounds(
+                options_.coarse_skip->CellOfWorld(p));
+            const float exit_t = render_detail::CellExitT(r.ray, cell, r.t);
+            r.t = std::max(exit_t + 1e-5f, r.t + options_.step_size);
+            ++r.skips;
+            continue;
+          }
+        }
+        sampled = true;
+        break;
+      }
+      if (!sampled) continue;  // marched out of the box: ray retires
+      ++r.steps;
+      s.positions.push_back(r.ray.At(r.t));
+      s.front_ray.push_back(idx);
+      r.t += options_.step_size;
+    }
+
+    // Decode + interpolate the whole front in one call.
+    s.samples.resize(s.positions.size());
+    source.SampleBatch(s.positions, s.samples, counters);
+
+    // Alpha gate: survivors assemble their MLP inputs; the rest keep
+    // marching without shading, exactly like the scalar `continue`.
+    s.alphas.clear();
+    s.survivor_ray.clear();
+    s.mlp_in.clear();
+    for (std::size_t e = 0; e < s.samples.size(); ++e) {
+      const FieldSample& smp = s.samples[e];
+      const float sigma = smp.density > 0.0f ? smp.density : 0.0f;
+      const float alpha = 1.0f - std::exp(-sigma * options_.step_size);
+      if (alpha <= options_.alpha_threshold) continue;
+      WavefrontRay& r = s.rays[s.front_ray[e]];
+      ++r.evals;
+      s.alphas.push_back(alpha);
+      s.survivor_ray.push_back(s.front_ray[e]);
+      s.mlp_in.push_back(AssembleMlpInput(smp.features, r.view));
+    }
+
+    // Shade the survivors as one blocked matrix product.
+    s.mlp_out.resize(s.mlp_in.size());
+    if (options_.fp16_mlp) {
+      mlp.ForwardFp16Batch(s.mlp_in, s.mlp_out);
+    } else {
+      mlp.ForwardBatch(s.mlp_in, s.mlp_out);
+    }
+
+    // Composite. Each ray appears at most once per front, so per-ray
+    // accumulation order equals t order.
+    for (std::size_t k = 0; k < s.survivor_ray.size(); ++k) {
+      WavefrontRay& r = s.rays[s.survivor_ray[k]];
+      const float alpha = s.alphas[k];
+      const float weight = r.transmittance * alpha;
+      r.color += s.mlp_out[k] * weight;
+      r.transmittance *= 1.0f - alpha;
+      if (r.transmittance < options_.termination_transmittance) {
+        r.terminated = true;
+      }
+    }
+
+    // Next front: rays that sampled this round and neither terminated nor
+    // marched out. Front order preserves active order, so the active list
+    // stays in tile row-major order (determinism is not affected either
+    // way; rays are independent).
+    s.next_active.clear();
+    for (const u32 idx : s.front_ray) {
+      if (!s.rays[idx].terminated) s.next_active.push_back(idx);
+    }
+    s.active.swap(s.next_active);
+  }
+
+  // Finalize in row-major order: pixels, then the per-ray stat reductions
+  // in exactly the scalar loop's Add() order (RunningStats merges are
+  // order-sensitive; integer counters are not).
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const WavefrontRay& r =
+          s.rays[static_cast<std::size_t>(y - y0) *
+                     static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(x - x0)];
+      if (r.missed) {
+        out.At(x, y) = options_.background;
+        if (stats) {
+          ++stats->rays;
+          ++stats->missed_rays;
+          stats->steps_per_ray.Add(0.0);
+          stats->evals_per_ray.Add(0.0);
+        }
+        continue;
+      }
+      out.At(x, y) = r.color + options_.background * r.transmittance;
+      if (stats) {
+        ++stats->rays;
+        stats->steps += r.steps;
+        stats->mlp_evals += r.evals;
+        stats->coarse_skips += r.skips;
+        if (r.terminated) ++stats->terminated_rays;
+        stats->steps_per_ray.Add(static_cast<double>(r.steps));
+        stats->evals_per_ray.Add(static_cast<double>(r.evals));
+      }
+    }
+  }
+}
+
+void VolumeRenderer::RenderTile(const FieldSource& source, const Mlp& mlp,
+                                const Camera& camera, int x0, int y0, int x1,
+                                int y1, Image& out, RenderStats* stats,
+                                DecodeCounters* counters) const {
+  if (options_.wavefront) {
+    RenderTileWavefront(source, mlp, camera, x0, y0, x1, y1, out, stats,
+                        counters);
+    return;
+  }
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      out.At(x, y) =
+          RenderRay(source, mlp, camera.PixelRay(x, y), stats, counters);
+    }
+  }
+}
+
 Image VolumeRenderer::Render(const FieldSource& source, const Mlp& mlp,
-                             const Camera& camera, RenderStats* stats) const {
+                             const Camera& camera, RenderStats* stats,
+                             const RenderEngine* engine) const {
   RenderJob job;
   job.source = &source;
   job.mlp = &mlp;
   job.camera = camera;
   job.options = options_;
   job.collect_stats = stats != nullptr;
-  RenderResult result = RenderEngine().Render(job);
+  const RenderEngine& eng = engine != nullptr ? *engine : RenderEngine::Shared();
+  RenderResult result = eng.Render(job);
   if (stats) stats->Merge(result.stats);
   return std::move(result.image);
 }

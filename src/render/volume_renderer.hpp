@@ -26,6 +26,14 @@ struct RenderOptions {
   Vec3f background{1.0f, 1.0f, 1.0f};
   /// Use the FP16 systolic-array MLP path.
   bool fp16_mlp = false;
+  /// Wavefront (batched) tile marching: per tile, the active rays' next
+  /// sample positions are gathered into one FieldSource::SampleBatch call
+  /// and the surviving samples shade through one Mlp::ForwardBatch — the
+  /// software mirror of the accelerator's decode->TIU->systolic dataflow.
+  /// Images, RenderStats and DecodeCounters are bit-identical to the scalar
+  /// per-ray path (execution policy, not semantics; excluded from pipeline
+  /// keys). Off = the scalar reference path, kept for differential testing.
+  bool wavefront = true;
   /// Optional coarse occupancy for empty-space skipping (non-owning). All
   /// compared pipelines use the same skip structure, as DVGO/VQRF do.
   const CoarseOccupancy* coarse_skip = nullptr;
@@ -61,6 +69,8 @@ struct RenderStats {
   }
 };
 
+class RenderEngine;
+
 class VolumeRenderer {
  public:
   explicit VolumeRenderer(RenderOptions options = {}) : options_(options) {}
@@ -70,10 +80,23 @@ class VolumeRenderer {
   /// Renders one view through the tile engine (all workers, with or without
   /// stats). `stats`, when given, accumulates the workload counters of this
   /// view; the totals are identical for any worker count (per-tile shards,
-  /// ordered reduction).
+  /// ordered reduction). Schedules on `engine` when given, else on the
+  /// process-wide shared engine (RenderEngine::Shared()) — a per-call
+  /// engine is never constructed.
   [[nodiscard]] Image Render(const FieldSource& source, const Mlp& mlp,
                              const Camera& camera,
-                             RenderStats* stats = nullptr) const;
+                             RenderStats* stats = nullptr,
+                             const RenderEngine* engine = nullptr) const;
+
+  /// Renders one pixel tile [x0,x1) x [y0,y1) of `camera`'s image into
+  /// `out` — the unit of work the tile engine schedules. Dispatches to the
+  /// wavefront marcher (options().wavefront, the default) or the scalar
+  /// per-ray loop; both produce bit-identical pixels, stats and counters.
+  /// `stats`/`counters` are this tile's shard accumulators (may be null).
+  void RenderTile(const FieldSource& source, const Mlp& mlp,
+                  const Camera& camera, int x0, int y0, int x1, int y1,
+                  Image& out, RenderStats* stats = nullptr,
+                  DecodeCounters* counters = nullptr) const;
 
   /// Renders a single ray; exposed for tests, the trace generator and the
   /// tile engine. `counters` is the decode-counter shard handed to the
@@ -83,6 +106,12 @@ class VolumeRenderer {
                                 DecodeCounters* counters = nullptr) const;
 
  private:
+  /// The wavefront marcher behind RenderTile (options().wavefront == true).
+  void RenderTileWavefront(const FieldSource& source, const Mlp& mlp,
+                           const Camera& camera, int x0, int y0, int x1,
+                           int y1, Image& out, RenderStats* stats,
+                           DecodeCounters* counters) const;
+
   RenderOptions options_;
 };
 

@@ -290,6 +290,12 @@ void RenderService::CompleteBatch(
       SPNERF_LOG_WARN << "serve: request failed mid-render (" << e.what()
                       << ")";
       entry.promise.set_exception(std::current_exception());
+    } catch (...) {
+      // Non-std exceptions too: the completion half runs on a pool worker
+      // whose region drops escaped errors, so anything not caught here
+      // would leave this future unfulfilled forever.
+      SPNERF_LOG_WARN << "serve: request failed mid-render (non-std error)";
+      entry.promise.set_exception(std::current_exception());
     }
   }
   ReleaseBatch(*batch);
@@ -328,8 +334,17 @@ void RenderService::IssueBatch(std::shared_ptr<InflightBatch> batch) {
     // A failed pipeline build or job setup must not wedge the service:
     // fail the batch's futures with the error instead of fulfilling them,
     // and free the in-flight seat so the dispatcher keeps going. (Render
-    // errors surface per entry in CompleteBatch, not here.)
+    // errors surface per entry in CompleteBatch, not here.) The catch must
+    // be total: this runs inside a detached pool region, which drops
+    // escaped exceptions — anything uncaught would leak the batch's seat
+    // and key and wedge Drain()/teardown forever.
     SPNERF_LOG_WARN << "serve: batch failed (" << e.what() << ")";
+    for (std::unique_ptr<Pending>& entry : batch->entries) {
+      entry->promise.set_exception(std::current_exception());
+    }
+    ReleaseBatch(*batch);
+  } catch (...) {
+    SPNERF_LOG_WARN << "serve: batch failed (non-std error)";
     for (std::unique_ptr<Pending>& entry : batch->entries) {
       entry->promise.set_exception(std::current_exception());
     }
@@ -410,7 +425,20 @@ void RenderService::DispatcherLoop() {
       idle_cv_.notify_all();
       continue;
     }
-    IssueBatch(std::move(batch));
+    // The issue half (pipeline acquisition — possibly a cold build — and
+    // job setup) runs detached on the engine's pool, not on this thread:
+    // many tiny batches with distinct keys no longer serialise behind one
+    // dispatcher doing their setup, and the dispatcher loops straight back
+    // to pop the next dispatchable key. The batch's in-flight seat and key
+    // were claimed above under the lock, so per-key ordering and the
+    // inflight cap are unaffected by issue tasks completing out of order.
+    // On a pool with no worker threads Submit runs inline — the previous
+    // serial behaviour. The task only borrows `this` until SubmitBatch
+    // returns, which happens before the completion half can release the
+    // seat that a tearing-down destructor waits on.
+    engine_.Pool().Submit(1, [this, batch = std::move(batch)](unsigned) {
+      IssueBatch(batch);
+    });
   }
 }
 

@@ -2,10 +2,14 @@
 //
 // Callers Submit() asynchronous RenderRequests (scene + build params +
 // camera view + priority + optional deadline) and get a future. A
-// dispatcher thread runs the *issue half* of the scheduling loop; the
-// *completion half* runs on the engine's pool workers as batches finish, so
-// up to `max_inflight_batches` engine batches with distinct batch keys
-// overlap on the shared ThreadPool instead of serialising:
+// dispatcher thread runs the scheduling decisions of the *issue half*
+// (pop, coalesce, claim the in-flight seat), while the heavy part of the
+// issue — pipeline acquisition (possibly a cold build) and job setup —
+// runs as a detached task on the engine's pool; the *completion half* runs
+// on the engine's pool workers as batches finish. So up to
+// `max_inflight_batches` engine batches with distinct batch keys overlap
+// on the shared ThreadPool instead of serialising, and many tiny batches
+// cannot bottleneck on one thread doing their setup:
 //
 //   * Admission. The queue holds at most `queue_capacity` requests. When it
 //     is full, the lowest-ranked queued request is shed (explicit kRejected
@@ -173,9 +177,11 @@ class RenderService {
   struct InflightBatch;
 
   void DispatcherLoop();
-  /// Issue half: acquires the pipeline, builds the jobs and hands the batch
-  /// to RenderEngine::SubmitBatch. Runs on the dispatcher thread, outside
-  /// the service lock.
+  /// Issue half, heavy part: acquires the pipeline, builds the jobs and
+  /// hands the batch to RenderEngine::SubmitBatch. Runs as a detached task
+  /// on the engine's pool (inline on the dispatcher when the pool has no
+  /// worker threads), outside the service lock — the batch's seat and key
+  /// were already claimed by the dispatcher.
   void IssueBatch(std::shared_ptr<InflightBatch> batch);
   /// Completion half: fulfills the batch's response futures (per-entry
   /// render errors become per-entry future exceptions) and releases its

@@ -1,0 +1,216 @@
+// Differential suite for the wavefront (batched) sampling path: images,
+// RenderStats and DecodeCounters must be BIT-identical to the scalar
+// per-ray reference for every field source, fp16 mode and worker count —
+// the wavefront refactor is execution policy, never semantics.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "grid/occupancy.hpp"
+#include "render/field_source.hpp"
+#include "render/render_engine.hpp"
+#include "scene/dataset.hpp"
+
+namespace spnerf {
+namespace {
+
+void ExpectSameRunningStats(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_EQ(a.Mean(), b.Mean());
+  EXPECT_EQ(a.Variance(), b.Variance());
+  EXPECT_EQ(a.Min(), b.Min());
+  EXPECT_EQ(a.Max(), b.Max());
+  EXPECT_EQ(a.Sum(), b.Sum());
+}
+
+void ExpectSameStats(const RenderStats& a, const RenderStats& b) {
+  EXPECT_EQ(a.rays, b.rays);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.coarse_skips, b.coarse_skips);
+  EXPECT_EQ(a.mlp_evals, b.mlp_evals);
+  EXPECT_EQ(a.terminated_rays, b.terminated_rays);
+  EXPECT_EQ(a.missed_rays, b.missed_rays);
+  ExpectSameRunningStats(a.steps_per_ray, b.steps_per_ray);
+  ExpectSameRunningStats(a.evals_per_ray, b.evals_per_ray);
+}
+
+void ExpectSameCounters(const DecodeCounters& a, const DecodeCounters& b) {
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.bitmap_zero, b.bitmap_zero);
+  EXPECT_EQ(a.empty_slot, b.empty_slot);
+  EXPECT_EQ(a.codebook_hits, b.codebook_hits);
+  EXPECT_EQ(a.true_grid_hits, b.true_grid_hits);
+}
+
+void ExpectSameImage(const Image& a, const Image& b) {
+  ASSERT_EQ(a.Pixels().size(), b.Pixels().size());
+  for (std::size_t i = 0; i < a.Pixels().size(); ++i) {
+    ASSERT_EQ(a.Pixels()[i], b.Pixels()[i]) << "pixel " << i;
+  }
+}
+
+class WavefrontTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetParams p;
+    p.resolution_override = 40;
+    p.vqrf.codebook_size = 64;
+    p.vqrf.kmeans_iterations = 2;
+    dataset_ = new SceneDataset(BuildDataset(SceneId::kMic, p));
+    SpNeRFParams sp;
+    sp.subgrid_count = 8;
+    sp.table_size = 8192;
+    codec_ = new SpNeRFModel(SpNeRFModel::Preprocess(*dataset_->vqrf, sp));
+    occupancy_ = new CoarseOccupancy(
+        CoarseOccupancy::Build(BitGrid::FromGrid(dataset_->full_grid), 4));
+    mlp_ = new Mlp(Mlp::Random(11));
+  }
+
+  static void TearDownTestSuite() {
+    delete mlp_;
+    delete occupancy_;
+    delete codec_;
+    delete dataset_;
+    mlp_ = nullptr;
+    occupancy_ = nullptr;
+    codec_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// Renders one stats-on view of `source` through the tile engine.
+  static RenderResult RenderWith(const FieldSource& source, bool wavefront,
+                                 bool fp16_mlp, unsigned workers,
+                                 bool with_skip = true) {
+    // Camera partially off-box so missed rays exercise the miss path, with
+    // a 48x48 image over 32px tiles so tiles of both partial and full size
+    // reduce.
+    RenderJob job;
+    job.source = &source;
+    job.mlp = mlp_;
+    job.camera = Camera({-1.2f, 0.9f, 0.4f}, {0.5f, 0.45f, 0.5f},
+                        {0.f, 1.f, 0.f}, 55.f, 48, 48);
+    job.options.wavefront = wavefront;
+    job.options.fp16_mlp = fp16_mlp;
+    if (with_skip) job.options.coarse_skip = occupancy_;
+    job.collect_stats = true;
+    RenderEngineOptions opts;
+    opts.max_threads = workers;
+    return RenderEngine(opts).Render(job);
+  }
+
+  /// The differential matrix for one source: scalar reference at 1 worker
+  /// vs wavefront at 1/2/8 workers, fp16_mlp off and on.
+  static void RunDifferential(const FieldSource& source) {
+    for (const bool fp16 : {false, true}) {
+      const RenderResult scalar = RenderWith(source, false, fp16, 1);
+      EXPECT_GT(scalar.stats.mlp_evals, 0u);  // non-trivial view
+      for (const unsigned workers : {1u, 2u, 8u}) {
+        const RenderResult wave = RenderWith(source, true, fp16, workers);
+        SCOPED_TRACE(std::string("fp16=") + (fp16 ? "1" : "0") +
+                     " workers=" + std::to_string(workers));
+        ExpectSameImage(scalar.image, wave.image);
+        ExpectSameStats(scalar.stats, wave.stats);
+        ExpectSameCounters(scalar.counters, wave.counters);
+      }
+    }
+  }
+
+  static SceneDataset* dataset_;
+  static SpNeRFModel* codec_;
+  static CoarseOccupancy* occupancy_;
+  static Mlp* mlp_;
+};
+
+SceneDataset* WavefrontTest::dataset_ = nullptr;
+SpNeRFModel* WavefrontTest::codec_ = nullptr;
+CoarseOccupancy* WavefrontTest::occupancy_ = nullptr;
+Mlp* WavefrontTest::mlp_ = nullptr;
+
+TEST_F(WavefrontTest, AnalyticSourceBitIdentical) {
+  const AnalyticFieldSource source(dataset_->scene);
+  RunDifferential(source);
+}
+
+TEST_F(WavefrontTest, GridSourceBitIdentical) {
+  const GridFieldSource source(dataset_->full_grid);
+  RunDifferential(source);
+}
+
+TEST_F(WavefrontTest, SpNeRFSourceBitIdentical) {
+  const SpNeRFFieldSource source(*codec_, /*fp16_tiu=*/false,
+                                 /*collect_counters=*/false);
+  RunDifferential(source);
+}
+
+TEST_F(WavefrontTest, SpNeRFFp16TiuBitIdentical) {
+  // The TIU path rounds interpolation weights to binary16, including its
+  // own weight-flush skip test; the batched dedup must replicate it.
+  const SpNeRFFieldSource source(*codec_, /*fp16_tiu=*/true,
+                                 /*collect_counters=*/false);
+  RunDifferential(source);
+}
+
+TEST_F(WavefrontTest, NoSkipStructureBitIdentical) {
+  const SpNeRFFieldSource source(*codec_, false, false);
+  const RenderResult scalar = RenderWith(source, false, false, 1,
+                                         /*with_skip=*/false);
+  const RenderResult wave = RenderWith(source, true, false, 2,
+                                       /*with_skip=*/false);
+  ExpectSameImage(scalar.image, wave.image);
+  ExpectSameStats(scalar.stats, wave.stats);
+  ExpectSameCounters(scalar.counters, wave.counters);
+}
+
+TEST_F(WavefrontTest, DedupOffMatchesDedupOn) {
+  SpNeRFFieldSource dedup(*codec_, false, false);
+  SpNeRFFieldSource no_dedup(*codec_, false, false);
+  no_dedup.SetBatchDedup(false);
+  const RenderResult a = RenderWith(dedup, true, false, 2);
+  const RenderResult b = RenderWith(no_dedup, true, false, 2);
+  ExpectSameImage(a.image, b.image);
+  ExpectSameStats(a.stats, b.stats);
+  ExpectSameCounters(a.counters, b.counters);
+}
+
+TEST_F(WavefrontTest, SampleBatchMatchesScalarSamples) {
+  // Unit-level contract: SampleBatch == a Sample loop, values and counters,
+  // for random (partly out-of-box) positions.
+  const SpNeRFFieldSource source(*codec_, false, false);
+  Rng rng(3);
+  std::vector<Vec3f> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back({rng.Uniform(-0.1f, 1.1f), rng.Uniform(-0.1f, 1.1f),
+                      rng.Uniform(-0.1f, 1.1f)});
+  }
+  DecodeCounters scalar_counters, batch_counters;
+  std::vector<FieldSample> expected;
+  expected.reserve(points.size());
+  for (const Vec3f& p : points)
+    expected.push_back(source.Sample(p, &scalar_counters));
+  std::vector<FieldSample> got(points.size());
+  source.SampleBatch(points, got, &batch_counters);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(expected[i].density, got[i].density);
+    for (int c = 0; c < kColorFeatureDim; ++c)
+      EXPECT_EQ(expected[i].features[c], got[i].features[c]);
+  }
+  ExpectSameCounters(scalar_counters, batch_counters);
+}
+
+TEST_F(WavefrontTest, ForwardBatchMatchesForward) {
+  Rng rng(4);
+  std::vector<std::array<float, kMlpInputDim>> in(67);  // non-multiple of 32
+  for (auto& sample : in)
+    for (auto& v : sample) v = rng.Uniform(-1.f, 1.f);
+  std::vector<Vec3f> out(in.size());
+  mlp_->ForwardBatch(in, out);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(mlp_->Forward(in[i]), out[i]);
+  }
+  mlp_->ForwardFp16Batch(in, out);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(mlp_->ForwardFp16(in[i]), out[i]);
+  }
+}
+
+}  // namespace
+}  // namespace spnerf
