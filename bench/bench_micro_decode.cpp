@@ -304,6 +304,74 @@ void WriteBatchedDecodeJson() {
   json.Add("decode/batch[no-dedup]", nodedup_ms, 1);
   json.Add("ratio/batch-vs-scalar[dedup]", scalar_ms / dedup_ms, 1);
   json.Add("ratio/batch-vs-scalar[no-dedup]", scalar_ms / nodedup_ms, 1);
+
+  // Per-kernel SIMD-vs-scalar comparison: each kernel-bearing batch path
+  // runs forced to the scalar reference and forced to the best
+  // host-supported vector path, and the throughput ratio lands in the
+  // trajectory under a path-tagged name (e.g.
+  // "ratio/forward-batch-avx2-vs-scalar"). On a scalar-only host the best
+  // path IS scalar, so the entries still record (ratios ~1) and the name
+  // says why.
+  const simd::Path saved_path = simd::ActivePath();
+  const simd::Path vec_path = simd::BestSupportedPath();
+  const std::string tag = simd::PathName(vec_path);
+  const auto timed_pair = [&](auto&& body) {
+    simd::SetActivePath(simd::Path::kScalar);
+    const double scalar = time_ms(body);
+    simd::SetActivePath(vec_path);
+    const double vec = time_ms(body);
+    return std::pair<double, double>{scalar, vec};
+  };
+
+  Rng rng(11);
+  std::vector<std::array<float, kMlpInputDim>> mlp_in(1024);
+  for (auto& sample : mlp_in)
+    for (auto& v : sample) v = rng.Uniform(-1.f, 1.f);
+  std::vector<Vec3f> mlp_out(mlp_in.size());
+  const auto [mlp32_s, mlp32_v] =
+      timed_pair([&] { d.mlp.ForwardBatch(mlp_in, mlp_out); });
+  const auto [mlp16_s, mlp16_v] =
+      timed_pair([&] { d.mlp.ForwardFp16Batch(mlp_in, mlp_out); });
+
+  const GridFieldSource dense_src(d.dataset->full_grid);
+  const auto [tri_s, tri_v] =
+      timed_pair([&] { dense_src.SampleBatch(points, out, nullptr); });
+
+  src.SetBatchDedup(true);
+  const auto [blend_s, blend_v] =
+      timed_pair([&] { src.SampleBatch(points, out, nullptr); });
+  SpNeRFFieldSource tiu_src(d.codec, /*fp16_tiu=*/true, false);
+  const auto [tiu_s, tiu_v] =
+      timed_pair([&] { tiu_src.SampleBatch(points, out, nullptr); });
+  simd::SetActivePath(saved_path);
+
+  std::printf("\nper-kernel SIMD (%s) vs scalar:\n"
+              "  mlp fp32 batch     %8.2f -> %8.2f ms (%.2fx)\n"
+              "  mlp fp16 batch     %8.2f -> %8.2f ms (%.2fx)\n"
+              "  grid trilinear     %8.2f -> %8.2f ms (%.2fx)\n"
+              "  spnerf blend       %8.2f -> %8.2f ms (%.2fx)\n"
+              "  spnerf blend fp16  %8.2f -> %8.2f ms (%.2fx)\n",
+              tag.c_str(), mlp32_s, mlp32_v, mlp32_s / mlp32_v, mlp16_s,
+              mlp16_v, mlp16_s / mlp16_v, tri_s, tri_v, tri_s / tri_v,
+              blend_s, blend_v, blend_s / blend_v, tiu_s, tiu_v,
+              tiu_s / tiu_v);
+
+  json.Add("mlp/forward-batch-fp32[scalar]", mlp32_s, 1);
+  json.Add("mlp/forward-batch-fp32[" + tag + "]", mlp32_v, 1);
+  json.Add("ratio/forward-batch-" + tag + "-vs-scalar", mlp32_s / mlp32_v, 1);
+  json.Add("mlp/forward-batch-fp16[scalar]", mlp16_s, 1);
+  json.Add("mlp/forward-batch-fp16[" + tag + "]", mlp16_v, 1);
+  json.Add("ratio/forward-batch-fp16-" + tag + "-vs-scalar",
+           mlp16_s / mlp16_v, 1);
+  json.Add("trilinear/grid-batch[scalar]", tri_s, 1);
+  json.Add("trilinear/grid-batch[" + tag + "]", tri_v, 1);
+  json.Add("ratio/grid-trilinear-" + tag + "-vs-scalar", tri_s / tri_v, 1);
+  json.Add("blend/spnerf-batch[scalar]", blend_s, 1);
+  json.Add("blend/spnerf-batch[" + tag + "]", blend_v, 1);
+  json.Add("ratio/spnerf-blend-" + tag + "-vs-scalar", blend_s / blend_v, 1);
+  json.Add("blend/spnerf-batch-fp16[scalar]", tiu_s, 1);
+  json.Add("blend/spnerf-batch-fp16[" + tag + "]", tiu_v, 1);
+  json.Add("ratio/spnerf-blend-fp16-" + tag + "-vs-scalar", tiu_s / tiu_v, 1);
 }
 
 }  // namespace

@@ -91,6 +91,14 @@ int main(int argc, char** argv) {
   json.Add("ratio/wavefront-vs-scalar[1t]", scalar_seq_ms / seq_ms, 1);
   json.Add("ratio/wavefront-vs-scalar[par]", scalar_par_ms / par_ms,
            parallel_workers);
+  // Path-tagged twins of the ratios: the name says which SIMD kernels the
+  // wavefront runs dispatched on (also in the "host" block), so mixed-host
+  // trajectories stay interpretable.
+  const std::string simd_tag = simd::PathName(simd::ActivePath());
+  json.Add("ratio/wavefront-" + simd_tag + "-vs-scalar[1t]",
+           scalar_seq_ms / seq_ms, 1);
+  json.Add("ratio/wavefront-" + simd_tag + "-vs-scalar[par]",
+           scalar_par_ms / par_ms, parallel_workers);
   bench::AddBuildTimings(json);
   return 0;
 }

@@ -16,11 +16,25 @@
 
 #include "common/config.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "common/units.hpp"
 #include "core/experiments.hpp"
 #include "core/pipeline_repository.hpp"
 
 namespace spnerf::bench {
+
+/// Compile-target architecture tag for the bench host metadata.
+inline const char* HostArchName() {
+#if defined(__x86_64__)
+  return "x86_64";
+#elif defined(__aarch64__)
+  return "aarch64";
+#elif defined(__i386__)
+  return "x86";
+#else
+  return "unknown";
+#endif
+}
 
 /// Builds the default paper-scale experiment configuration, with optional
 /// command-line overrides:
@@ -131,8 +145,19 @@ class JsonReport {
     const std::string path = "BENCH_" + bench_id_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) return;
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"entries\": [\n",
-                 bench_id_.c_str());
+    // Host metadata: numbers from different machines / dispatch paths must
+    // never be compared as one trajectory, so every report says where it
+    // came from. `simd_detected` is what auto-detection would pick on this
+    // host; `simd_path` is what the wavefront kernels actually dispatched
+    // on when the report was written (tests/benches may have forced it).
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n"
+                 "  \"host\": {\"arch\": \"%s\", \"simd_detected\": \"%s\", "
+                 "\"simd_path\": \"%s\", \"compiler\": \"%s\"},\n"
+                 "  \"entries\": [\n",
+                 bench_id_.c_str(), HostArchName(),
+                 simd::PathName(simd::BestSupportedPath()),
+                 simd::PathName(simd::ActivePath()), simd::CompilerName());
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       const char* sep = i + 1 < entries_.size() ? "," : "";

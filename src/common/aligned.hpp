@@ -1,0 +1,110 @@
+// 64-byte-aligned allocation helpers for the SIMD hot paths. Wavefront
+// scratch buffers (SoA sample fronts, lane-major MLP activations) are
+// allocated through these so vector loads are always naturally aligned —
+// never faulting on aligned-load instructions and never taking the
+// split-cache-line penalty of an unaligned access.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+/// Cache-line / AVX-512-safe alignment for all SIMD scratch storage. One
+/// constant everywhere so a future wider ISA only changes this line.
+inline constexpr std::size_t kSimdAlignment = 64;
+
+/// Minimal std::allocator replacement returning `Alignment`-aligned blocks.
+/// Usable with any container; `AlignedVector` below is the common case.
+template <typename T, std::size_t Alignment = kSimdAlignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not be weaker than the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    // Round the byte size up to a multiple of the alignment: both
+    // std::aligned_alloc and the underlying OS interfaces require it, and
+    // it guarantees whole trailing vector lanes are addressable.
+    std::size_t bytes = n * sizeof(T);
+    bytes = (bytes + Alignment - 1) & ~(Alignment - 1);
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// std::vector whose data() is 64-byte aligned — the drop-in type for the
+/// thread_local wavefront scratch buffers.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Bump arena over one 64-byte-aligned block: Reserve() once per batch,
+/// then carve per-kernel scratch (lane-major activation planes, transposed
+/// inputs) with zero per-allocation cost. Reset() recycles the block, so a
+/// thread_local arena warms up to the largest batch a worker has seen and
+/// never allocates again. Pointers are invalidated by Reserve(), not by
+/// Reset(), so the pattern is: Reserve(total); Reset(); Alloc(); Alloc()...
+class AlignedArena {
+ public:
+  AlignedArena() = default;
+
+  /// Ensures capacity for `bytes` total (plus per-allocation alignment
+  /// padding already being accounted by callers sizing in aligned chunks).
+  void Reserve(std::size_t bytes) {
+    if (bytes <= storage_.size()) return;
+    storage_.clear();  // old block's contents are scratch; don't copy them
+    storage_.resize(bytes);
+    offset_ = 0;
+  }
+
+  /// Recycles the arena: previously carved spans become invalid scratch.
+  void Reset() { offset_ = 0; }
+
+  /// Carves `count` elements of T, 64-byte aligned. The arena must have
+  /// been Reserve()d large enough; this never grows (growth would silently
+  /// invalidate sibling spans carved from the same batch).
+  template <typename T>
+  [[nodiscard]] T* Alloc(std::size_t count) {
+    static_assert(alignof(T) <= kSimdAlignment);
+    const std::size_t bytes =
+        (count * sizeof(T) + kSimdAlignment - 1) & ~(kSimdAlignment - 1);
+    SPNERF_CHECK_MSG(offset_ + bytes <= storage_.size(),
+                     "AlignedArena::Alloc past reserved capacity");
+    T* p = reinterpret_cast<T*>(storage_.data() + offset_);
+    offset_ += bytes;
+    return p;
+  }
+
+  [[nodiscard]] std::size_t CapacityBytes() const { return storage_.size(); }
+
+ private:
+  AlignedVector<unsigned char> storage_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace spnerf

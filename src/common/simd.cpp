@@ -1,0 +1,114 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spnerf::simd {
+namespace {
+
+std::atomic<Path>& ActiveSlot() {
+  // First touch resolves the SPNF_SIMD override; the function-local static
+  // makes the resolution thread-safe without an explicit once_flag.
+  static std::atomic<Path> active{ResolveOverride(std::getenv("SPNF_SIMD"))};
+  return active;
+}
+
+}  // namespace
+
+const char* PathName(Path path) {
+  switch (path) {
+    case Path::kScalar: return "scalar";
+    case Path::kAvx2: return "avx2";
+    case Path::kNeon: return "neon";
+  }
+  return "scalar";
+}
+
+bool ParsePathName(std::string_view name, Path& out) {
+  if (name == "scalar") {
+    out = Path::kScalar;
+    return true;
+  }
+  if (name == "avx2") {
+    out = Path::kAvx2;
+    return true;
+  }
+  if (name == "neon") {
+    out = Path::kNeon;
+    return true;
+  }
+  return false;
+}
+
+bool PathSupported(Path path) {
+  switch (path) {
+    case Path::kScalar:
+      return true;
+    case Path::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      // F16C rides along: the fp16 kernels need the hardware half<->float
+      // converts, and every AVX2-capable core has shipped them.
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("f16c");
+#else
+      return false;
+#endif
+    case Path::kNeon:
+#if defined(__aarch64__)
+      return true;  // Advanced SIMD is architectural baseline on AArch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Path BestSupportedPath() {
+  if (PathSupported(Path::kAvx2)) return Path::kAvx2;
+  if (PathSupported(Path::kNeon)) return Path::kNeon;
+  return Path::kScalar;
+}
+
+Path ResolveOverride(const char* value) {
+  if (value == nullptr || value[0] == '\0') return BestSupportedPath();
+  Path requested;
+  if (!ParsePathName(value, requested)) {
+    std::fprintf(stderr,
+                 "[simd] unknown SPNF_SIMD value '%s'; using detected '%s'\n",
+                 value, PathName(BestSupportedPath()));
+    return BestSupportedPath();
+  }
+  if (!PathSupported(requested)) {
+    // A forced path the host cannot run degrades to the scalar oracle, not
+    // to a different vector ISA — forced runs stay deterministic.
+    std::fprintf(stderr,
+                 "[simd] SPNF_SIMD=%s unsupported on this host; using scalar\n",
+                 PathName(requested));
+    return Path::kScalar;
+  }
+  return requested;
+}
+
+Path ActivePath() { return ActiveSlot().load(std::memory_order_relaxed); }
+
+Path SetActivePath(Path requested) {
+  const Path applied = PathSupported(requested) ? requested : Path::kScalar;
+  ActiveSlot().store(applied, std::memory_order_relaxed);
+  return applied;
+}
+
+const char* CompilerName() {
+#define SPNF_STR2(x) #x
+#define SPNF_STR(x) SPNF_STR2(x)
+#if defined(__clang__)
+  return "clang-" SPNF_STR(__clang_major__) "." SPNF_STR(__clang_minor__);
+#elif defined(__GNUC__)
+  return "gcc-" SPNF_STR(__GNUC__) "." SPNF_STR(__GNUC_MINOR__);
+#else
+  return "unknown";
+#endif
+#undef SPNF_STR
+#undef SPNF_STR2
+}
+
+}  // namespace spnerf::simd

@@ -1,10 +1,13 @@
 #include "render/field_source.hpp"
 
+#include <climits>
 #include <cmath>
 #include <unordered_map>
 
+#include "common/aligned.hpp"
 #include "common/error.hpp"
 #include "common/half.hpp"
+#include "render/wavefront_kernels.hpp"
 
 namespace spnerf {
 
@@ -69,9 +72,9 @@ void GridFieldSource::SampleBatch(std::span<const Vec3f> positions,
                    "SampleBatch span sizes must match");
   (void)counters;  // no decode stage
   struct Scratch {
-    std::vector<Vec3i> base;
-    std::vector<Vec3f> frac;
-    std::vector<u8> inside;
+    AlignedVector<Vec3i> base;
+    AlignedVector<Vec3f> frac;
+    AlignedVector<u8> inside;
   };
   thread_local Scratch s;
   const std::size_t n = positions.size();
@@ -85,9 +88,29 @@ void GridFieldSource::SampleBatch(std::span<const Vec3f> positions,
         detail::SetupTrilinear(dims, positions[i], s.base[i], s.frac[i]) ? 1
                                                                          : 0;
   }
-  // Gather pass: the scalar corner loop per sample, against precomputed
-  // bases/fractions. Identical corner enumeration and accumulation order
-  // keep every sample bit-identical to Sample().
+  // Gather pass, vectorised across samples when a SIMD kernel is active.
+  // The kernels use 32-bit gather indices, so oversized grids (flattened
+  // feature index would overflow i32) take the scalar loop below instead.
+  if (const wavefront::KernelTable* kt = wavefront::Active();
+      kt != nullptr && kt->grid_trilinear != nullptr && n > 0 &&
+      dims.VoxelCount() * kColorFeatureDim <= static_cast<u64>(INT_MAX)) {
+    wavefront::GridTrilinearArgs args;
+    args.base = s.base.data();
+    args.frac = s.frac.data();
+    args.inside = s.inside.data();
+    args.density = grid_->DensityRaw().data();
+    args.features = grid_->FeaturesRaw().data();
+    args.ny = dims.ny;
+    args.nz = dims.nz;
+    args.out = out.data();
+    args.n = n;
+    kt->grid_trilinear(args);
+    return;
+  }
+  // Scalar reference gather pass (also the SIMD bit-exactness oracle): the
+  // scalar corner loop per sample, against precomputed bases/fractions.
+  // Identical corner enumeration and accumulation order keep every sample
+  // bit-identical to Sample().
   for (std::size_t i = 0; i < n; ++i) {
     FieldSample acc;
     if (s.inside[i]) {
@@ -163,16 +186,16 @@ void SpNeRFFieldSource::SampleBatch(std::span<const Vec3f> positions,
                                     DecodeCounters* counters) const {
   SPNERF_CHECK_MSG(out.size() == positions.size(),
                    "SampleBatch span sizes must match");
-  constexpr u32 kNoRef = 0xffffffffu;
+  constexpr u32 kNoRef = wavefront::kNoVertexRef;
   struct Scratch {
-    std::vector<Vec3i> base;
-    std::vector<Vec3f> frac;
-    std::vector<u8> inside;
-    std::vector<u32> refs;  // 8 per sample: unique-vertex slot or kNoRef
+    AlignedVector<Vec3i> base;
+    AlignedVector<Vec3f> frac;
+    AlignedVector<u8> inside;
+    AlignedVector<u32> refs;  // 8 per sample: unique-vertex slot or kNoRef
     std::unordered_map<u64, u32> vertex_slot;  // flattened index -> slot
     std::vector<Vec3i> unique;
     std::vector<u32> ref_count;  // per slot: (sample, corner) references
-    std::vector<VoxelData> decoded;
+    AlignedVector<VoxelData> decoded;
     std::vector<DecodeClass> classes;
   };
   thread_local Scratch s;
@@ -241,9 +264,28 @@ void SpNeRFFieldSource::SampleBatch(std::span<const Vec3f> positions,
     }
   }
 
-  // Blend pass: the scalar corner loop per sample against the decoded
-  // table — same corner order, same accumulation order, same arithmetic
-  // mode, hence bit-identical blended samples.
+  // Blend pass, vectorised across samples when a SIMD kernel is active
+  // (32-bit gather indices: fall back to scalar if the unique-vertex table
+  // could overflow them — practically unreachable for wavefront fronts).
+  if (const wavefront::KernelTable* kt = wavefront::Active();
+      kt != nullptr && kt->spnerf_blend_fp32 != nullptr && n > 0 &&
+      s.unique.size() * (1 + kColorFeatureDim) <=
+          static_cast<std::size_t>(INT_MAX)) {
+    wavefront::SpnerfBlendArgs args;
+    args.frac = s.frac.data();
+    args.inside = s.inside.data();
+    args.refs = s.refs.data();
+    args.decoded = s.decoded.data();
+    args.out = out.data();
+    args.n = n;
+    (fp16_tiu_ ? kt->spnerf_blend_fp16 : kt->spnerf_blend_fp32)(args);
+    return;
+  }
+
+  // Scalar reference blend pass (also the SIMD bit-exactness oracle): the
+  // scalar corner loop per sample against the decoded table — same corner
+  // order, same accumulation order, same arithmetic mode, hence
+  // bit-identical blended samples.
   for (std::size_t i = 0; i < n; ++i) {
     FieldSample acc;
     if (s.inside[i]) {

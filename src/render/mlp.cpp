@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/half.hpp"
+#include "render/wavefront_kernels.hpp"
 
 namespace spnerf {
 namespace {
@@ -30,7 +31,21 @@ Mlp Mlp::Random(u64 seed) {
     InitXavier(mlp.w_[layer], dims[layer], dims[layer + 1], rng);
     for (float& b : mlp.b_[layer]) b = rng.Uniform(-0.05f, 0.05f);
   }
+  mlp.PackHalfWeights();
   return mlp;
+}
+
+void Mlp::PackHalfWeights() {
+  for (int layer = 0; layer < 3; ++layer) {
+    wh_[layer].resize(w_[layer].size());
+    bh_[layer].resize(b_[layer].size());
+    for (std::size_t k = 0; k < w_[layer].size(); ++k) {
+      wh_[layer][k] = Half(w_[layer][k]).bits();
+    }
+    for (std::size_t k = 0; k < b_[layer].size(); ++k) {
+      bh_[layer][k] = Half(b_[layer][k]).bits();
+    }
+  }
 }
 
 Vec3f Mlp::Forward(const std::array<float, kMlpInputDim>& in) const {
@@ -101,6 +116,20 @@ void Mlp::ForwardBatch(std::span<const std::array<float, kMlpInputDim>> in,
                    "ForwardBatch span sizes must match");
   if (in.empty()) return;  // an empty front never touches the weights
   SPNERF_CHECK_MSG(!w_[0].empty(), "MLP is uninitialised");
+  if (const wavefront::KernelTable* kt = wavefront::Active();
+      kt != nullptr && kt->mlp_forward_fp32 != nullptr) {
+    wavefront::MlpBatchArgs args;
+    for (int layer = 0; layer < 3; ++layer) {
+      args.weights.w[layer] = w_[layer].data();
+      args.weights.b[layer] = b_[layer].data();
+    }
+    args.in = in.data();
+    args.out = out.data();
+    args.n = in.size();
+    kt->mlp_forward_fp32(args);
+    return;
+  }
+  // Scalar reference (also the bit-exactness oracle for the SIMD kernels).
   // Block of samples shaded together: sized so both hidden activations
   // (2 x kBlock x 128 floats = 32 KiB) stay L1/L2-resident while each
   // weight row is reused kBlock times.
@@ -146,6 +175,21 @@ void Mlp::ForwardFp16Batch(std::span<const std::array<float, kMlpInputDim>> in,
                    "ForwardBatch span sizes must match");
   if (in.empty()) return;  // an empty front never touches the weights
   SPNERF_CHECK_MSG(!w_[0].empty(), "MLP is uninitialised");
+  if (const wavefront::KernelTable* kt = wavefront::Active();
+      kt != nullptr && kt->mlp_forward_fp16 != nullptr && !wh_[0].empty()) {
+    wavefront::MlpBatchArgs args;
+    for (int layer = 0; layer < 3; ++layer) {
+      args.weights.w[layer] = w_[layer].data();
+      args.weights.b[layer] = b_[layer].data();
+      args.weights.wh[layer] = wh_[layer].data();
+      args.weights.bh[layer] = bh_[layer].data();
+    }
+    args.in = in.data();
+    args.out = out.data();
+    args.n = in.size();
+    kt->mlp_forward_fp16(args);
+    return;
+  }
   constexpr std::size_t kBlock = 32;
   float h1[kBlock][kMlpHiddenDim];
   float h2[kBlock][kMlpHiddenDim];
@@ -198,6 +242,16 @@ const std::vector<float>& Mlp::W(int layer) const {
 const std::vector<float>& Mlp::B(int layer) const {
   SPNERF_CHECK(layer >= 0 && layer < 3);
   return b_[layer];
+}
+
+const u16* Mlp::PackedHalfW(int layer) const {
+  SPNERF_CHECK(layer >= 0 && layer < 3);
+  return wh_[layer].data();
+}
+
+const u16* Mlp::PackedHalfB(int layer) const {
+  SPNERF_CHECK(layer >= 0 && layer < 3);
+  return bh_[layer].data();
 }
 
 }  // namespace spnerf

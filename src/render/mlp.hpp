@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "common/vec.hpp"
@@ -68,9 +69,21 @@ class Mlp {
   [[nodiscard]] const std::vector<float>& W(int layer) const;
   [[nodiscard]] const std::vector<float>& B(int layer) const;
 
+  // Packed-binary16 copies of W/B (bits of Half(w)), same row-major layout.
+  // Pre-packed at initialisation so the vectorised FP16 kernels gather
+  // half bits directly; Half::FromBits(PackedHalfW(l)[k]) ==
+  // Half(W(l)[k]) exactly, which is the quantisation ForwardFp16 applies
+  // on the fly. 64-byte aligned for SIMD loads.
+  [[nodiscard]] const u16* PackedHalfW(int layer) const;
+  [[nodiscard]] const u16* PackedHalfB(int layer) const;
+
  private:
+  void PackHalfWeights();
+
   std::vector<float> w_[3];
   std::vector<float> b_[3];
+  AlignedVector<u16> wh_[3];
+  AlignedVector<u16> bh_[3];
 };
 
 }  // namespace spnerf

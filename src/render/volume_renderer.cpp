@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/aligned.hpp"
 #include "render/embedding.hpp"
 #include "render/render_engine.hpp"
 
@@ -119,18 +120,20 @@ struct WavefrontRay {
 
 /// Reusable SoA buffers of one wavefront tile; thread_local so a pool
 /// worker's buffers warm up once and are reused across every tile it
-/// renders, with no cross-thread sharing.
+/// renders, with no cross-thread sharing. 64-byte aligned (AlignedVector)
+/// so the SIMD wavefront kernels can use natural aligned vector accesses
+/// on every front buffer.
 struct WavefrontScratch {
-  std::vector<WavefrontRay> rays;     // per tile pixel, row-major
-  std::vector<u32> active;            // ray indices still marching
-  std::vector<u32> next_active;
-  std::vector<Vec3f> positions;       // front: sample positions
-  std::vector<u32> front_ray;         // front: owning ray index
-  std::vector<FieldSample> samples;   // front: SampleBatch output
-  std::vector<float> alphas;          // survivors: alpha at their sample
-  std::vector<u32> survivor_ray;      // survivors: owning ray index
-  std::vector<std::array<float, kMlpInputDim>> mlp_in;
-  std::vector<Vec3f> mlp_out;
+  std::vector<WavefrontRay> rays;      // per tile pixel, row-major
+  AlignedVector<u32> active;           // ray indices still marching
+  AlignedVector<u32> next_active;
+  AlignedVector<Vec3f> positions;      // front: sample positions
+  AlignedVector<u32> front_ray;        // front: owning ray index
+  AlignedVector<FieldSample> samples;  // front: SampleBatch output
+  AlignedVector<float> alphas;         // survivors: alpha at their sample
+  AlignedVector<u32> survivor_ray;     // survivors: owning ray index
+  AlignedVector<std::array<float, kMlpInputDim>> mlp_in;
+  AlignedVector<Vec3f> mlp_out;
 };
 
 }  // namespace

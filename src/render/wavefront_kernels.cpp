@@ -1,0 +1,22 @@
+#include "render/wavefront_kernels.hpp"
+
+namespace spnerf::wavefront {
+
+const KernelTable* ForPath(simd::Path path) {
+  switch (path) {
+    case simd::Path::kScalar:
+      // The scalar reference lives inline at the call sites (mlp.cpp,
+      // field_source.cpp) so it can never rot independently of the oracle
+      // the differential tests compare against.
+      return nullptr;
+    case simd::Path::kAvx2:
+      return Avx2Table();
+    case simd::Path::kNeon:
+      return NeonTable();
+  }
+  return nullptr;
+}
+
+const KernelTable* Active() { return ForPath(simd::ActivePath()); }
+
+}  // namespace spnerf::wavefront

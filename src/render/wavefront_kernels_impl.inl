@@ -1,0 +1,484 @@
+// Generic lane-major implementations of the wavefront kernels, written
+// once against the lane-ops concept (common/simd_lanes_*.hpp) and included
+// by each per-ISA translation unit with SPNF_LANES defined to the ISA's
+// lane-ops struct and SPNF_PATH_NAME to its name.
+//
+// Bit-exactness design, shared by every kernel here:
+//   * Lanes are SAMPLES. Within a lane, every accumulation chain performs
+//     exactly the scalar reference's IEEE operations in the scalar order;
+//     nothing is reassociated and mul→add pairs are never contracted (the
+//     ISA TUs build with -ffp-contract=off).
+//   * Corners/inputs that the scalar loop skips contribute an exact +0.0f
+//     (masked gathers return +0, and the corresponding weight lanes are
+//     +0), and x + (+0.0f) == x bitwise for every x the accumulators can
+//     hold (they start at +0 and IEEE addition never produces -0 from a
+//     +0 running sum), so "skip" and "add nothing" coincide.
+//   * fp16 chains round through binary16 after every operation exactly as
+//     Half does: products/sums evaluate as float(double*double+double)
+//     (Half::Fma's pre-round chain) followed by an RNE float→half→float
+//     round trip. Skipped corners pass w == +0 through the same chain,
+//     which reproduces the accumulator unchanged.
+//
+// This file must only be included inside `namespace spnerf::wavefront`.
+
+namespace {
+
+using V = SPNF_LANES;
+constexpr int kW = V::kWidth;
+using F32 = typename V::F32;
+using I32 = typename V::I32;
+
+// FieldSample / VoxelData are gathered through raw float indexing
+// (density at float offset 0, features at 1..kColorFeatureDim).
+static_assert(sizeof(FieldSample) == (1 + kColorFeatureDim) * sizeof(float));
+static_assert(sizeof(VoxelData) == (1 + kColorFeatureDim) * sizeof(float));
+constexpr int kVoxelFloats = 1 + kColorFeatureDim;
+
+/// Samples shaded per MLP block — matches the scalar reference's blocking
+/// so both keep activations L1/L2-resident; bit-identity does not depend
+/// on the block size (chains are per-sample).
+constexpr std::size_t kBlock = 32;
+static_assert(kBlock % kW == 0);
+
+inline float SigmoidRef(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+inline float MaskAllOnes() { return std::bit_cast<float>(0xffffffffu); }
+
+/// relu(x) with the scalar reference's exact semantics (`x > 0 ? x : 0`):
+/// -0 and NaN both map to +0.
+inline F32 Relu(F32 x) {
+  const F32 z = V::Zero();
+  return V::Select(V::CmpGt(x, z), x, z);
+}
+
+// ------------------------------------------------------------------ MLP --
+
+/// Dense layer + ReLU over lane-major fp32 activations: dst[o][s] =
+/// relu(b[o] + sum_i w[o][i] * src[i][s]), the per-sample chain identical
+/// to Mlp::Forward. Rows are processed four at a time so four independent
+/// accumulation chains hide the FP add latency; the chain per row is
+/// untouched.
+void DenseLayerFp32(const float* w, const float* b, const float* src,
+                    int in_dim, float* dst, int out_dim, std::size_t mpad) {
+  int o = 0;
+  for (; o + 4 <= out_dim; o += 4) {
+    const float* r0 = w + static_cast<std::size_t>(o + 0) * in_dim;
+    const float* r1 = w + static_cast<std::size_t>(o + 1) * in_dim;
+    const float* r2 = w + static_cast<std::size_t>(o + 2) * in_dim;
+    const float* r3 = w + static_cast<std::size_t>(o + 3) * in_dim;
+    for (std::size_t g = 0; g < mpad; g += kW) {
+      F32 a0 = V::Set1(b[o + 0]);
+      F32 a1 = V::Set1(b[o + 1]);
+      F32 a2 = V::Set1(b[o + 2]);
+      F32 a3 = V::Set1(b[o + 3]);
+      for (int i = 0; i < in_dim; ++i) {
+        const F32 x = V::Load(src + static_cast<std::size_t>(i) * kBlock + g);
+        a0 = V::Add(a0, V::Mul(V::Set1(r0[i]), x));
+        a1 = V::Add(a1, V::Mul(V::Set1(r1[i]), x));
+        a2 = V::Add(a2, V::Mul(V::Set1(r2[i]), x));
+        a3 = V::Add(a3, V::Mul(V::Set1(r3[i]), x));
+      }
+      V::Store(dst + static_cast<std::size_t>(o + 0) * kBlock + g, Relu(a0));
+      V::Store(dst + static_cast<std::size_t>(o + 1) * kBlock + g, Relu(a1));
+      V::Store(dst + static_cast<std::size_t>(o + 2) * kBlock + g, Relu(a2));
+      V::Store(dst + static_cast<std::size_t>(o + 3) * kBlock + g, Relu(a3));
+    }
+  }
+  for (; o < out_dim; ++o) {
+    const float* row = w + static_cast<std::size_t>(o) * in_dim;
+    for (std::size_t g = 0; g < mpad; g += kW) {
+      F32 acc = V::Set1(b[o]);
+      for (int i = 0; i < in_dim; ++i) {
+        acc = V::Add(acc, V::Mul(V::Set1(row[i]),
+                                 V::Load(src + static_cast<std::size_t>(i) *
+                                                   kBlock +
+                                               g)));
+      }
+      V::Store(dst + static_cast<std::size_t>(o) * kBlock + g, Relu(acc));
+    }
+  }
+}
+
+/// Dense layer + ReLU over packed-binary16 lane-major activations. wq/bq
+/// are the binary16-VALUED float expansions of the packed half weights;
+/// every accumulation step rounds through binary16 exactly like
+/// Half::Fma, so dst round-trips through Half identically to the scalar
+/// ForwardFp16 chain.
+void DenseLayerFp16(const float* wq, const float* bq, const u16* src,
+                    int in_dim, u16* dst, int out_dim, std::size_t mpad) {
+  int o = 0;
+  for (; o + 4 <= out_dim; o += 4) {
+    const float* r0 = wq + static_cast<std::size_t>(o + 0) * in_dim;
+    const float* r1 = wq + static_cast<std::size_t>(o + 1) * in_dim;
+    const float* r2 = wq + static_cast<std::size_t>(o + 2) * in_dim;
+    const float* r3 = wq + static_cast<std::size_t>(o + 3) * in_dim;
+    for (std::size_t g = 0; g < mpad; g += kW) {
+      F32 a0 = V::Set1(bq[o + 0]);
+      F32 a1 = V::Set1(bq[o + 1]);
+      F32 a2 = V::Set1(bq[o + 2]);
+      F32 a3 = V::Set1(bq[o + 3]);
+      for (int i = 0; i < in_dim; ++i) {
+        const F32 x =
+            V::FromHalf(src + static_cast<std::size_t>(i) * kBlock + g);
+        a0 = V::RoundHalfValues(V::DoubleMulAdd(V::Set1(r0[i]), x, a0));
+        a1 = V::RoundHalfValues(V::DoubleMulAdd(V::Set1(r1[i]), x, a1));
+        a2 = V::RoundHalfValues(V::DoubleMulAdd(V::Set1(r2[i]), x, a2));
+        a3 = V::RoundHalfValues(V::DoubleMulAdd(V::Set1(r3[i]), x, a3));
+      }
+      V::ToHalf(dst + static_cast<std::size_t>(o + 0) * kBlock + g, Relu(a0));
+      V::ToHalf(dst + static_cast<std::size_t>(o + 1) * kBlock + g, Relu(a1));
+      V::ToHalf(dst + static_cast<std::size_t>(o + 2) * kBlock + g, Relu(a2));
+      V::ToHalf(dst + static_cast<std::size_t>(o + 3) * kBlock + g, Relu(a3));
+    }
+  }
+  for (; o < out_dim; ++o) {
+    const float* row = wq + static_cast<std::size_t>(o) * in_dim;
+    for (std::size_t g = 0; g < mpad; g += kW) {
+      F32 acc = V::Set1(bq[o]);
+      for (int i = 0; i < in_dim; ++i) {
+        const F32 x =
+            V::FromHalf(src + static_cast<std::size_t>(i) * kBlock + g);
+        acc = V::RoundHalfValues(V::DoubleMulAdd(V::Set1(row[i]), x, acc));
+      }
+      V::ToHalf(dst + static_cast<std::size_t>(o) * kBlock + g, Relu(acc));
+    }
+  }
+}
+
+/// Expands packed binary16 values to their float values (vector main loop,
+/// software-Half scalar tail so any length is exact).
+void ExpandHalf(float* dst, const u16* src, std::size_t count) {
+  std::size_t i = 0;
+  for (; i + kW <= count; i += kW) V::Store(dst + i, V::FromHalf(src + i));
+  for (; i < count; ++i) dst[i] = Half::FromBits(src[i]).ToFloat();
+}
+
+void MlpForwardFp32Kernel(const MlpBatchArgs& a) {
+  thread_local AlignedArena arena;
+  constexpr std::size_t kPlane = kBlock * sizeof(float);
+  arena.Reserve((kMlpInputDim + 2 * kMlpHiddenDim) * kPlane +
+                4 * kSimdAlignment);
+  arena.Reset();
+  float* xT = arena.Alloc<float>(kMlpInputDim * kBlock);
+  float* h1 = arena.Alloc<float>(kMlpHiddenDim * kBlock);
+  float* h2 = arena.Alloc<float>(kMlpHiddenDim * kBlock);
+  const MlpWeightsView& wv = a.weights;
+
+  for (std::size_t b0 = 0; b0 < a.n; b0 += kBlock) {
+    const std::size_t m = std::min(kBlock, a.n - b0);
+    const std::size_t mpad = (m + kW - 1) / kW * kW;
+    // Transpose the block to lane-major; pad lanes with zeros (their
+    // results are finite garbage and are never stored).
+    for (int i = 0; i < kMlpInputDim; ++i) {
+      float* dst = xT + static_cast<std::size_t>(i) * kBlock;
+      for (std::size_t s = 0; s < m; ++s) dst[s] = a.in[b0 + s][i];
+      for (std::size_t s = m; s < mpad; ++s) dst[s] = 0.0f;
+    }
+    DenseLayerFp32(wv.w[0], wv.b[0], xT, kMlpInputDim, h1, kMlpHiddenDim,
+                   mpad);
+    DenseLayerFp32(wv.w[1], wv.b[1], h1, kMlpHiddenDim, h2, kMlpHiddenDim,
+                   mpad);
+    for (int o = 0; o < kMlpOutputDim; ++o) {
+      const float* row = wv.w[2] + static_cast<std::size_t>(o) * kMlpHiddenDim;
+      for (std::size_t g = 0; g < mpad; g += kW) {
+        F32 acc = V::Set1(wv.b[2][o]);
+        for (int i = 0; i < kMlpHiddenDim; ++i) {
+          acc = V::Add(acc, V::Mul(V::Set1(row[i]),
+                                   V::Load(h2 + static_cast<std::size_t>(i) *
+                                                    kBlock +
+                                                g)));
+        }
+        alignas(kSimdAlignment) float tmp[kW];
+        V::Store(tmp, acc);
+        const std::size_t lim = std::min<std::size_t>(kW, m - g);
+        for (std::size_t l = 0; l < lim; ++l) {
+          a.out[b0 + g + l][o] = SigmoidRef(tmp[l]);
+        }
+      }
+    }
+  }
+}
+
+void MlpForwardFp16Kernel(const MlpBatchArgs& a) {
+  constexpr std::size_t kW0 =
+      static_cast<std::size_t>(kMlpInputDim) * kMlpHiddenDim;
+  constexpr std::size_t kW1 =
+      static_cast<std::size_t>(kMlpHiddenDim) * kMlpHiddenDim;
+  constexpr std::size_t kW2 =
+      static_cast<std::size_t>(kMlpHiddenDim) * kMlpOutputDim;
+  thread_local AlignedArena arena;
+  arena.Reserve(kMlpInputDim * kBlock * sizeof(float) +
+                (kMlpInputDim + 2 * kMlpHiddenDim) * kBlock * sizeof(u16) +
+                (kW0 + kW1 + kW2 + 2 * kMlpHiddenDim + kMlpOutputDim) *
+                    sizeof(float) +
+                12 * kSimdAlignment);
+  arena.Reset();
+  float* xT = arena.Alloc<float>(kMlpInputDim * kBlock);
+  u16* xh = arena.Alloc<u16>(kMlpInputDim * kBlock);
+  u16* h1 = arena.Alloc<u16>(kMlpHiddenDim * kBlock);
+  u16* h2 = arena.Alloc<u16>(kMlpHiddenDim * kBlock);
+  float* wq0 = arena.Alloc<float>(kW0);
+  float* wq1 = arena.Alloc<float>(kW1);
+  float* wq2 = arena.Alloc<float>(kW2);
+  float* bq0 = arena.Alloc<float>(kMlpHiddenDim);
+  float* bq1 = arena.Alloc<float>(kMlpHiddenDim);
+  float* bq2 = arena.Alloc<float>(kMlpOutputDim);
+  const MlpWeightsView& wv = a.weights;
+  ExpandHalf(wq0, wv.wh[0], kW0);
+  ExpandHalf(wq1, wv.wh[1], kW1);
+  ExpandHalf(wq2, wv.wh[2], kW2);
+  ExpandHalf(bq0, wv.bh[0], kMlpHiddenDim);
+  ExpandHalf(bq1, wv.bh[1], kMlpHiddenDim);
+  ExpandHalf(bq2, wv.bh[2], kMlpOutputDim);
+
+  for (std::size_t b0 = 0; b0 < a.n; b0 += kBlock) {
+    const std::size_t m = std::min(kBlock, a.n - b0);
+    const std::size_t mpad = (m + kW - 1) / kW * kW;
+    for (int i = 0; i < kMlpInputDim; ++i) {
+      float* dst = xT + static_cast<std::size_t>(i) * kBlock;
+      for (std::size_t s = 0; s < m; ++s) dst[s] = a.in[b0 + s][i];
+      for (std::size_t s = m; s < mpad; ++s) dst[s] = 0.0f;
+      // Quantize the row to the packed-binary16 lane format (the scalar
+      // chain's Half(x[i]) conversion, hoisted out of the o-loop).
+      u16* dsth = xh + static_cast<std::size_t>(i) * kBlock;
+      for (std::size_t g = 0; g < mpad; g += kW) {
+        V::ToHalf(dsth + g, V::Load(dst + g));
+      }
+    }
+    DenseLayerFp16(wq0, bq0, xh, kMlpInputDim, h1, kMlpHiddenDim, mpad);
+    DenseLayerFp16(wq1, bq1, h1, kMlpHiddenDim, h2, kMlpHiddenDim, mpad);
+    for (int o = 0; o < kMlpOutputDim; ++o) {
+      const float* row = wq2 + static_cast<std::size_t>(o) * kMlpHiddenDim;
+      for (std::size_t g = 0; g < mpad; g += kW) {
+        F32 acc = V::Set1(bq2[o]);
+        for (int i = 0; i < kMlpHiddenDim; ++i) {
+          const F32 x =
+              V::FromHalf(h2 + static_cast<std::size_t>(i) * kBlock + g);
+          acc = V::RoundHalfValues(V::DoubleMulAdd(V::Set1(row[i]), x, acc));
+        }
+        alignas(kSimdAlignment) float tmp[kW];
+        V::Store(tmp, acc);
+        const std::size_t lim = std::min<std::size_t>(kW, m - g);
+        for (std::size_t l = 0; l < lim; ++l) {
+          a.out[b0 + g + l][o] = SigmoidRef(tmp[l]);
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- trilinear blend --
+
+/// Per-lane-group pack of the Eq. (2) fractions. Dead lanes (outside the
+/// volume, or past the front's end) get zero fractions so their weight
+/// lanes stay finite; their gathers are masked off and produce +0
+/// contributions, so their outputs remain exactly zero like the scalar
+/// reference's default-initialised FieldSample.
+struct FracLanes {
+  alignas(kSimdAlignment) float fx[kW];
+  alignas(kSimdAlignment) float fy[kW];
+  alignas(kSimdAlignment) float fz[kW];
+};
+
+void PackFrac(FracLanes& fl, const Vec3f* frac, const u8* inside,
+              std::size_t i0, int m) {
+  for (int s = 0; s < kW; ++s) {
+    const bool live = s < m && inside[i0 + static_cast<std::size_t>(s)] != 0;
+    const Vec3f f = live ? frac[i0 + static_cast<std::size_t>(s)] : Vec3f{};
+    fl.fx[s] = f.x;
+    fl.fy[s] = f.y;
+    fl.fz[s] = f.z;
+  }
+}
+
+void SpnerfBlendFp32Kernel(const SpnerfBlendArgs& a) {
+  const float* dec = reinterpret_cast<const float*>(a.decoded);
+  for (std::size_t i0 = 0; i0 < a.n; i0 += kW) {
+    const int m = static_cast<int>(std::min<std::size_t>(kW, a.n - i0));
+    FracLanes fl;
+    PackFrac(fl, a.frac, a.inside, i0, m);
+    alignas(kSimdAlignment) i32 ridx[8][kW];
+    alignas(kSimdAlignment) float rmask[8][kW];
+    for (int s = 0; s < kW; ++s) {
+      for (int c = 0; c < 8; ++c) {
+        const u32 r = s < m ? a.refs[(i0 + static_cast<std::size_t>(s)) * 8 +
+                                     static_cast<std::size_t>(c)]
+                            : kNoVertexRef;
+        ridx[c][s] =
+            r == kNoVertexRef ? 0 : static_cast<i32>(r) * kVoxelFloats;
+        rmask[c][s] = r == kNoVertexRef ? 0.0f : MaskAllOnes();
+      }
+    }
+    const F32 one = V::Set1(1.0f);
+    const F32 fxv = V::Load(fl.fx);
+    const F32 fyv = V::Load(fl.fy);
+    const F32 fzv = V::Load(fl.fz);
+    F32 w[8], msk[8];
+    I32 idx[8];
+    for (int c = 0; c < 8; ++c) {
+      const F32 wx = (c & 1) ? fxv : V::Sub(one, fxv);
+      const F32 wy = ((c >> 1) & 1) ? fyv : V::Sub(one, fyv);
+      const F32 wz = ((c >> 2) & 1) ? fzv : V::Sub(one, fzv);
+      w[c] = V::Mul(V::Mul(wx, wy), wz);
+      msk[c] = V::Load(rmask[c]);
+      idx[c] = V::LoadI(ridx[c]);
+    }
+    alignas(kSimdAlignment) float res[kVoxelFloats][kW];
+    for (int ch = 0; ch < kVoxelFloats; ++ch) {
+      F32 acc = V::Zero();
+      for (int c = 0; c < 8; ++c) {
+        const F32 d = V::GatherMasked(dec + ch, idx[c], msk[c]);
+        acc = V::Add(acc, V::Mul(w[c], d));
+      }
+      V::Store(res[ch], acc);
+    }
+    for (int s = 0; s < m; ++s) {
+      FieldSample& o = a.out[i0 + static_cast<std::size_t>(s)];
+      o.density = res[0][s];
+      for (int ch = 0; ch < kColorFeatureDim; ++ch) {
+        o.features[static_cast<std::size_t>(ch)] = res[1 + ch][s];
+      }
+    }
+  }
+}
+
+void SpnerfBlendFp16Kernel(const SpnerfBlendArgs& a) {
+  const float* dec = reinterpret_cast<const float*>(a.decoded);
+  for (std::size_t i0 = 0; i0 < a.n; i0 += kW) {
+    const int m = static_cast<int>(std::min<std::size_t>(kW, a.n - i0));
+    FracLanes fl;
+    PackFrac(fl, a.frac, a.inside, i0, m);
+    alignas(kSimdAlignment) i32 ridx[8][kW];
+    alignas(kSimdAlignment) float rmask[8][kW];
+    for (int s = 0; s < kW; ++s) {
+      for (int c = 0; c < 8; ++c) {
+        const u32 r = s < m ? a.refs[(i0 + static_cast<std::size_t>(s)) * 8 +
+                                     static_cast<std::size_t>(c)]
+                            : kNoVertexRef;
+        ridx[c][s] =
+            r == kNoVertexRef ? 0 : static_cast<i32>(r) * kVoxelFloats;
+        rmask[c][s] = r == kNoVertexRef ? 0.0f : MaskAllOnes();
+      }
+    }
+    const F32 one = V::Set1(1.0f);
+    const F32 fxv = V::Load(fl.fx);
+    const F32 fyv = V::Load(fl.fy);
+    const F32 fzv = V::Load(fl.fz);
+    F32 w[8], msk[8];
+    I32 idx[8];
+    for (int c = 0; c < 8; ++c) {
+      // Half(wx) * Half(wy) * Half(wz): quantize each factor, round after
+      // each multiply — the GID's FP16 multiplier chain, per lane.
+      const F32 wx =
+          V::RoundHalfValues((c & 1) ? fxv : V::Sub(one, fxv));
+      const F32 wy =
+          V::RoundHalfValues(((c >> 1) & 1) ? fyv : V::Sub(one, fyv));
+      const F32 wz =
+          V::RoundHalfValues(((c >> 2) & 1) ? fzv : V::Sub(one, fzv));
+      const F32 t = V::RoundHalfValues(V::Mul(wx, wy));
+      w[c] = V::RoundHalfValues(V::Mul(t, wz));
+      msk[c] = V::Load(rmask[c]);
+      idx[c] = V::LoadI(ridx[c]);
+    }
+    alignas(kSimdAlignment) float res[kVoxelFloats][kW];
+    for (int ch = 0; ch < kVoxelFloats; ++ch) {
+      F32 acc = V::Zero();
+      for (int c = 0; c < 8; ++c) {
+        // Skipped corners (masked gather -> d = +0, and their weight lanes
+        // are exactly +0 because the dedup pass keyed the skip on the very
+        // same rounded product) leave acc bit-unchanged through the Fma.
+        const F32 d = V::RoundHalfValues(
+            V::GatherMasked(dec + ch, idx[c], msk[c]));
+        acc = V::RoundHalfValues(V::DoubleMulAdd(w[c], d, acc));
+      }
+      V::Store(res[ch], acc);
+    }
+    for (int s = 0; s < m; ++s) {
+      FieldSample& o = a.out[i0 + static_cast<std::size_t>(s)];
+      o.density = res[0][s];
+      for (int ch = 0; ch < kColorFeatureDim; ++ch) {
+        o.features[static_cast<std::size_t>(ch)] = res[1 + ch][s];
+      }
+    }
+  }
+}
+
+void GridTrilinearKernel(const GridTrilinearArgs& a) {
+  const i64 nynz = static_cast<i64>(a.ny) * a.nz;
+  const i64 corner_off[8] = {0,
+                             nynz,
+                             a.nz,
+                             nynz + a.nz,
+                             1,
+                             nynz + 1,
+                             a.nz + 1,
+                             nynz + a.nz + 1};
+  for (std::size_t i0 = 0; i0 < a.n; i0 += kW) {
+    const int m = static_cast<int>(std::min<std::size_t>(kW, a.n - i0));
+    FracLanes fl;
+    PackFrac(fl, a.frac, a.inside, i0, m);
+    alignas(kSimdAlignment) i32 didx[8][kW];
+    alignas(kSimdAlignment) i32 fidx[8][kW];
+    alignas(kSimdAlignment) float livef[kW];
+    for (int s = 0; s < kW; ++s) {
+      const std::size_t i = i0 + static_cast<std::size_t>(s);
+      const bool live = s < m && a.inside[i] != 0;
+      livef[s] = live ? MaskAllOnes() : 0.0f;
+      const Vec3i base = live ? a.base[i] : Vec3i{};
+      const i64 flat =
+          (static_cast<i64>(base.x) * a.ny + base.y) * a.nz + base.z;
+      for (int c = 0; c < 8; ++c) {
+        const i64 v = live ? flat + corner_off[c] : 0;
+        didx[c][s] = static_cast<i32>(v);
+        fidx[c][s] = static_cast<i32>(v * kColorFeatureDim);
+      }
+    }
+    const F32 livev = V::Load(livef);
+    const F32 one = V::Set1(1.0f);
+    const F32 fxv = V::Load(fl.fx);
+    const F32 fyv = V::Load(fl.fy);
+    const F32 fzv = V::Load(fl.fz);
+    F32 w[8], msk[8];
+    for (int c = 0; c < 8; ++c) {
+      const F32 wx = (c & 1) ? fxv : V::Sub(one, fxv);
+      const F32 wy = ((c >> 1) & 1) ? fyv : V::Sub(one, fyv);
+      const F32 wz = ((c >> 2) & 1) ? fzv : V::Sub(one, fzv);
+      w[c] = V::Mul(V::Mul(wx, wy), wz);
+      // The scalar loop skips w == 0 corners outright (no load, no add):
+      // mask them out of the gather so their contribution is Mul(+0, +0).
+      msk[c] = V::AndNot(V::CmpEq(w[c], V::Zero()), livev);
+    }
+    alignas(kSimdAlignment) float res[kVoxelFloats][kW];
+    {
+      F32 acc = V::Zero();
+      for (int c = 0; c < 8; ++c) {
+        const F32 d = V::GatherMasked(a.density, V::LoadI(didx[c]), msk[c]);
+        acc = V::Add(acc, V::Mul(w[c], d));
+      }
+      V::Store(res[0], acc);
+    }
+    for (int ch = 0; ch < kColorFeatureDim; ++ch) {
+      F32 acc = V::Zero();
+      for (int c = 0; c < 8; ++c) {
+        const F32 d =
+            V::GatherMasked(a.features + ch, V::LoadI(fidx[c]), msk[c]);
+        acc = V::Add(acc, V::Mul(w[c], d));
+      }
+      V::Store(res[1 + ch], acc);
+    }
+    for (int s = 0; s < m; ++s) {
+      FieldSample& o = a.out[i0 + static_cast<std::size_t>(s)];
+      o.density = res[0][s];
+      for (int ch = 0; ch < kColorFeatureDim; ++ch) {
+        o.features[static_cast<std::size_t>(ch)] = res[1 + ch][s];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable kTable = {
+    SPNF_PATH_NAME,        &MlpForwardFp32Kernel, &MlpForwardFp16Kernel,
+    &GridTrilinearKernel,  &SpnerfBlendFp32Kernel, &SpnerfBlendFp16Kernel,
+};
