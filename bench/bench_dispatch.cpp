@@ -1,0 +1,219 @@
+// Microbenchmarks for the lock-free dispatch layer: the bounded queues and
+// object pool in isolation (common/mpmc_queue.hpp, common/spsc_queue.hpp,
+// common/object_pool.hpp) and the ThreadPool scheduling paths under each
+// SPNF_DISPATCH mode. These are the per-operation costs the serving-layer
+// numbers in bench_serving decompose into; the machine-readable entries go
+// to BENCH_dispatch.json:
+//   dispatch/mpmc-uncontended   N push+pop pairs, one thread
+//   dispatch/mpmc-contended     N items through 2 producers + 2 consumers
+//   dispatch/spsc-pipe          N items through a 2-thread pipe
+//   dispatch/pool-churn         N acquire/release cycles, one thread
+//   dispatch/pool-contended     N cycles split across 4 threads
+//   dispatch/region-<mode>      N blocking fork-joins (RunOnWorkers)
+//   dispatch/submit-<mode>      N detached single-slot regions (Submit)
+//   ratio/region-locked-vs-lockfree   locked / lockfree fork-join wall
+//
+// Overrides: ops=N (queue/pool op count), regions=N (fork-join count),
+//            threads=N (pool workers; 0 = hardware concurrency)
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/dispatch.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/object_pool.hpp"
+#include "common/spsc_queue.hpp"
+
+namespace {
+
+using namespace spnerf;
+
+void PrintRow(const char* name, double wall_ms, std::size_t ops) {
+  std::printf("%-28s %9.2f ms | %8.1f ns/op\n", name, wall_ms,
+              ops ? wall_ms * 1e6 / static_cast<double>(ops) : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config args = Config::FromArgs(argc, argv);
+  const auto ops = static_cast<std::size_t>(args.GetInt("ops", 400000));
+  const auto regions = static_cast<std::size_t>(args.GetInt("regions", 4000));
+  const auto threads = static_cast<unsigned>(args.GetInt("threads", 0));
+
+  bench::PrintHeader("dispatch",
+                     "lock-free queue/pool/scheduler micro-costs");
+  bench::JsonReport json("dispatch");
+  std::size_t checksum = 0;  // defeats dead-code elimination
+
+  {
+    MpmcQueue<std::size_t> q(1024);
+    bench::WallTimer t;
+    for (std::size_t i = 0; i < ops; ++i) {
+      q.TryPush(i);
+      std::size_t v = 0;
+      q.TryPop(v);
+      checksum += v;
+    }
+    const double ms = t.ElapsedMs();
+    PrintRow("mpmc uncontended", ms, ops);
+    json.Add("dispatch/mpmc-uncontended", ms, 1);
+  }
+
+  {
+    constexpr std::size_t kSides = 2;
+    MpmcQueue<std::size_t> q(256);
+    std::atomic<std::size_t> popped{0};
+    bench::WallTimer t;
+    std::vector<std::thread> workers;
+    for (std::size_t c = 0; c < kSides; ++c) {
+      workers.emplace_back([&] {
+        std::size_t v = 0;
+        while (popped.load(std::memory_order_relaxed) < ops) {
+          if (q.TryPop(v)) {
+            popped.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+    for (std::size_t p = 0; p < kSides; ++p) {
+      workers.emplace_back([&, p] {
+        for (std::size_t i = p; i < ops; i += kSides) {
+          while (!q.TryPush(i)) std::this_thread::yield();
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    const double ms = t.ElapsedMs();
+    PrintRow("mpmc 2p/2c contended", ms, ops);
+    json.Add("dispatch/mpmc-contended", ms, kSides * 2);
+  }
+
+  {
+    SpscQueue<std::size_t> q(256);
+    std::atomic<std::size_t> sink{0};
+    bench::WallTimer t;
+    std::thread consumer([&] {
+      std::size_t got = 0, v = 0, local = 0;
+      while (got < ops) {
+        if (q.TryPop(v)) {
+          local += v;
+          ++got;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      sink.store(local, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < ops; ++i) {
+      while (!q.TryPush(i)) std::this_thread::yield();
+    }
+    consumer.join();
+    checksum += sink.load(std::memory_order_relaxed);
+    const double ms = t.ElapsedMs();
+    PrintRow("spsc pipe", ms, ops);
+    json.Add("dispatch/spsc-pipe", ms, 2);
+  }
+
+  {
+    ObjectPool<std::vector<std::size_t>> pool(16);
+    bench::WallTimer t;
+    for (std::size_t i = 0; i < ops; ++i) {
+      std::vector<std::size_t>* v = pool.Acquire();
+      checksum += v->capacity();
+      pool.Release(v);
+    }
+    const double ms = t.ElapsedMs();
+    PrintRow("pool churn", ms, ops);
+    json.Add("dispatch/pool-churn", ms, 1);
+  }
+
+  {
+    constexpr unsigned kChurners = 4;
+    ObjectPool<std::vector<std::size_t>> pool(16);
+    bench::WallTimer t;
+    std::vector<std::thread> workers;
+    for (unsigned w = 0; w < kChurners; ++w) {
+      workers.emplace_back([&] {
+        for (std::size_t i = 0; i < ops / kChurners; ++i) {
+          std::vector<std::size_t>* v = pool.Acquire();
+          pool.Release(v);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    const double ms = t.ElapsedMs();
+    PrintRow("pool churn x4", ms, ops / kChurners * kChurners);
+    json.Add("dispatch/pool-contended", ms, kChurners);
+  }
+
+  bench::PrintRule();
+
+  // Scheduler paths per dispatch mode: the blocking fork-join (the
+  // ParallelFor spine under every render) and the detached submit (the
+  // RenderService batch-issue path). Fresh pool per mode — the mode is
+  // captured at construction.
+  double region_ms[2] = {0.0, 0.0};
+  const dispatch::Mode modes[2] = {dispatch::Mode::kLocked,
+                                   dispatch::Mode::kLockFree};
+  for (int m = 0; m < 2; ++m) {
+    const dispatch::Mode prev = dispatch::SetActiveMode(modes[m]);
+    const char* mode_name = dispatch::ModeName(modes[m]);
+    ThreadPool pool(threads);
+    const unsigned slots = pool.WorkerCount();
+    std::atomic<std::size_t> body_runs{0};
+
+    {
+      bench::WallTimer t;
+      for (std::size_t r = 0; r < regions; ++r) {
+        pool.RunOnWorkers(slots, [&](unsigned) {
+          body_runs.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      region_ms[m] = t.ElapsedMs();
+      char row[64];
+      std::snprintf(row, sizeof(row), "fork-join [%s]", mode_name);
+      PrintRow(row, region_ms[m], regions);
+      json.Add(std::string("dispatch/region-") + mode_name, region_ms[m],
+               slots);
+    }
+
+    {
+      std::atomic<std::size_t> completions{0};
+      bench::WallTimer t;
+      for (std::size_t r = 0; r < regions; ++r) {
+        pool.Submit(
+            1, [&](unsigned) {},
+            [&] { completions.fetch_add(1, std::memory_order_release); });
+      }
+      while (completions.load(std::memory_order_acquire) < regions) {
+        std::this_thread::yield();
+      }
+      const double ms = t.ElapsedMs();
+      char row[64];
+      std::snprintf(row, sizeof(row), "detached submit [%s]", mode_name);
+      PrintRow(row, ms, regions);
+      json.Add(std::string("dispatch/submit-") + mode_name, ms, slots);
+    }
+    checksum += body_runs.load(std::memory_order_relaxed);
+    dispatch::SetActiveMode(prev);
+  }
+  if (region_ms[1] > 0.0) {
+    const double ratio = region_ms[0] / region_ms[1];
+    std::printf("fork-join speedup: locked %.2f ms -> lockfree %.2f ms "
+                "(%.2fx)\n", region_ms[0], region_ms[1], ratio);
+    // Ratio value rides in the wall_ms field (repo convention for ratio/
+    // entries); > 1 means the lock-free path wins.
+    json.Add("ratio/region-locked-vs-lockfree", ratio,
+             threads ? threads : ThreadPool::Global().WorkerCount());
+  }
+
+  bench::PrintRule();
+  std::printf("checksum %zu\n", checksum);
+  bench::AddBuildTimings(json);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "common/dispatch.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spnerf::dispatch {
+namespace {
+
+std::atomic<Mode>& ActiveSlot() {
+  // First touch resolves the SPNF_DISPATCH override; the function-local
+  // static makes the resolution thread-safe without an explicit once_flag.
+  static std::atomic<Mode> active{
+      ResolveOverride(std::getenv("SPNF_DISPATCH"))};
+  return active;
+}
+
+}  // namespace
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kLocked: return "locked";
+    case Mode::kLockFree: return "lockfree";
+  }
+  return "lockfree";
+}
+
+bool ParseModeName(std::string_view name, Mode& out) {
+  if (name == "locked") {
+    out = Mode::kLocked;
+    return true;
+  }
+  if (name == "lockfree") {
+    out = Mode::kLockFree;
+    return true;
+  }
+  return false;
+}
+
+Mode ResolveOverride(const char* value) {
+  if (value == nullptr || value[0] == '\0') return Mode::kLockFree;
+  Mode requested;
+  if (!ParseModeName(value, requested)) {
+    std::fprintf(
+        stderr,
+        "[dispatch] unknown SPNF_DISPATCH value '%s'; using 'lockfree'\n",
+        value);
+    return Mode::kLockFree;
+  }
+  return requested;
+}
+
+Mode ActiveMode() { return ActiveSlot().load(std::memory_order_relaxed); }
+
+Mode SetActiveMode(Mode mode) {
+  return ActiveSlot().exchange(mode, std::memory_order_relaxed);
+}
+
+}  // namespace spnerf::dispatch

@@ -1,0 +1,169 @@
+// Bounded multi-producer multi-consumer ring queue (Vyukov sequence-number
+// design). The dispatch-path workhorse: ThreadPool workers pull work tokens
+// from one of these instead of scanning a region list under a mutex, and the
+// RenderService admission fast path pushes requests through one instead of
+// taking the service lock (see ARCHITECTURE.md, "Dispatch path").
+//
+// Properties:
+//   * Fixed capacity (rounded up to a power of two), allocated once — the
+//     queue never allocates after construction, so Try* calls are safe on
+//     latency-critical paths and inside pool workers.
+//   * Lock-free: TryPush/TryPop are a bounded CAS loop each; a full or empty
+//     queue fails fast instead of blocking. No operation ever waits on
+//     another thread being scheduled (obstruction-free progress per call;
+//     lock-free across the queue: some thread always completes).
+//   * Per-slot FIFO: elements leave in ticket order. Producers that race
+//     still serialize through the enqueue ticket counter, so a
+//     single-threaded producer observes strict FIFO.
+//
+// Memory-order contract (the whole correctness argument — every operation
+// annotated):
+//   * `sequence` (per cell) is the handshake. A cell's sequence == its slot
+//     ticket means "free for the producer with that ticket"; ticket + 1
+//     means "holds the value of that ticket, free for the consumer";
+//     consumers then republish ticket + capacity for the next lap.
+//   * Producers/consumers load `sequence` with acquire: it synchronizes with
+//     the release store of the previous owner, making the cell's value (or
+//     vacancy) visible before it is reused.
+//   * The ticket counters advance by relaxed CAS — they only partition slots
+//     between contenders; all value publication rides the sequence.
+//   * After writing the value, the producer stores sequence with release
+//     (publishes the value); after moving the value out, the consumer stores
+//     sequence with release (publishes the vacancy).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace spnerf {
+
+/// Cache-line stride used to keep the producer and consumer tickets off each
+/// other's line (the classic false-sharing hazard of ring queues).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2). The ring
+  /// is allocated here and never again.
+  explicit MpmcQueue(std::size_t capacity) {
+    SPNERF_CHECK_MSG(capacity > 0, "mpmc queue capacity must be positive");
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      // relaxed: the constructor is single-threaded; publication to other
+      // threads happens through whatever hands them the queue reference.
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Non-blocking push. Returns false when the queue is full at the observed
+  /// ticket (the value is left untouched and can be retried or re-routed to
+  /// a slow path).
+  bool TryPush(T value) {
+    Cell* cell;
+    // relaxed: the ticket only stakes a claim; the cell handshake below
+    // carries all ordering.
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      // acquire: pairs with the consumer's release of the vacancy — after
+      // this read observes `seq == pos`, the cell's storage is ours.
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        // Free for this ticket: claim it. relaxed: see above.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        // The cell still holds a value a full lap behind: the queue is full.
+        return false;
+      } else {
+        // Another producer claimed this ticket; chase the counter.
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    // release: publishes the value to the consumer whose acquire load of
+    // `sequence` observes pos + 1.
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking pop. Returns false when the queue is empty at the observed
+  /// ticket.
+  bool TryPop(T& out) {
+    Cell* cell;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      // acquire: pairs with the producer's release — after this read
+      // observes `seq == pos + 1`, the value write is visible.
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty: the producer of this ticket has not landed
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    // release: publishes the vacancy (and the moved-from storage) to the
+    // producer that will reuse this cell one lap later.
+    cell->sequence.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate emptiness: exact when no producer is mid-push. Used only
+  /// for sleep/wake decisions (a waker may see a just-claimed-but-unwritten
+  /// cell as empty; the push side's wake protocol covers that window).
+  [[nodiscard]] bool Empty() const {
+    const std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    const Cell& cell = cells_[pos & mask_];
+    return cell.sequence.load(std::memory_order_acquire) != pos + 1;
+  }
+
+  [[nodiscard]] std::size_t Capacity() const { return capacity_; }
+
+  /// Approximate occupancy (racy by nature; for stats and tests only).
+  [[nodiscard]] std::size_t ApproxSize() const {
+    const std::size_t tail = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t head = dequeue_pos_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  // The two tickets live on their own cache lines: producers hammer one,
+  // consumers the other, and neither invalidates the ring metadata above.
+  alignas(kCacheLineSize) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace spnerf

@@ -1,0 +1,106 @@
+// Fixed-slab recycling object pool with a lock-free freelist. The dispatch
+// path's answer to per-request heap allocation: job/batch/request state is
+// acquired from a slab that was allocated once, and released back without
+// ever touching the allocator on the hot path.
+//
+// Design:
+//   * One contiguous slab of `capacity` default-constructed objects,
+//     allocated at pool construction and freed at destruction. Objects are
+//     RECYCLED, not destroyed: Acquire hands out a T* in whatever state the
+//     previous user left it (callers reset the fields they use — which is
+//     what lets a pooled std::vector member keep its grown capacity across
+//     uses, the actual allocation win).
+//   * The freelist is a Vyukov MPMC ring of slot pointers (common/
+//     mpmc_queue.hpp), so Acquire/Release are lock-free from any thread and
+//     ABA-safe by construction (a pointer re-enters the ring only after its
+//     slot was released, and ring cells handshake per lap).
+//   * Exhaustion degrades gracefully: Acquire() falls back to `new T()` and
+//     Release() routes by address — slab pointers return to the freelist,
+//     heap pointers are deleted. A saturated pool gets slower, never wrong.
+//     TryAcquire() exposes the no-fallback flavor for callers that want to
+//     shed instead of allocate.
+//
+// Lifetime contract: the pool must outlive every object it handed out.
+// Destroying the pool destroys the slab (all slab objects, acquired or
+// not); outstanding heap-fallback objects still route through Release.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <typeinfo>
+
+#include "common/error.hpp"
+#include "common/mpmc_queue.hpp"
+
+namespace spnerf {
+
+template <typename T>
+class ObjectPool {
+ public:
+  explicit ObjectPool(std::size_t capacity)
+      : slab_(std::make_unique<T[]>(capacity)),
+        capacity_(capacity),
+        free_(capacity) {
+    SPNERF_CHECK_MSG(capacity > 0, "object pool capacity must be positive");
+    for (std::size_t i = 0; i < capacity; ++i) {
+      const bool pushed = free_.TryPush(&slab_[i]);
+      SPNERF_CHECK_MSG(pushed, "object pool freelist must hold the slab");
+    }
+  }
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// Lock-free; nullptr when the slab is exhausted. The object is in the
+  /// state its previous user left it — reset what you use.
+  [[nodiscard]] T* TryAcquire() {
+    T* p = nullptr;
+    return free_.TryPop(p) ? p : nullptr;
+  }
+
+  /// Like TryAcquire, but falls back to the heap when the slab is exhausted
+  /// (graceful degradation — never nullptr). Release() routes either kind.
+  [[nodiscard]] T* Acquire() {
+    if (T* p = TryAcquire()) return p;
+    heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return new T();
+  }
+
+  /// Returns `p` to the freelist (slab pointers) or deletes it (heap
+  /// fallbacks). Lock-free for slab pointers; safe from any thread.
+  void Release(T* p) {
+    if (p == nullptr) return;
+    if (!Owns(p)) {
+      delete p;
+      return;
+    }
+    const bool pushed = free_.TryPush(p);
+    // The freelist ring holds exactly `capacity_` slots and only slab
+    // pointers enter it, at most once each (they are owned in between), so
+    // a push can only fail on a double release.
+    SPNERF_CHECK_MSG(pushed,
+                     "object pool double release: " << typeid(T).name());
+  }
+
+  /// True when `p` points into the slab (as opposed to a heap fallback).
+  [[nodiscard]] bool Owns(const T* p) const {
+    return p >= slab_.get() && p < slab_.get() + capacity_;
+  }
+
+  [[nodiscard]] std::size_t Capacity() const { return capacity_; }
+
+  /// Number of Acquire() calls that fell back to the heap (observability
+  /// for tests and benches: a hot pool sized right reports 0).
+  [[nodiscard]] std::size_t HeapFallbacks() const {
+    return heap_fallbacks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<T[]> slab_;
+  std::size_t capacity_ = 0;
+  MpmcQueue<T*> free_;
+  std::atomic<std::size_t> heap_fallbacks_{0};
+};
+
+}  // namespace spnerf

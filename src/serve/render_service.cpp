@@ -1,6 +1,7 @@
 #include "serve/render_service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <utility>
 
@@ -22,6 +23,12 @@ std::size_t PriorityClass(RequestPriority priority) {
   return static_cast<std::size_t>(priority);
 }
 
+/// Chunk size of the incremental full-queue expiry sweep at admission: the
+/// bounded work an admit pays per attempt to free a seat.
+constexpr std::size_t kAdmitSweepChunk = 32;
+
+constexpr std::size_t kNoBest = static_cast<std::size_t>(-1);
+
 }  // namespace
 
 const char* RequestPriorityName(RequestPriority priority) {
@@ -42,7 +49,8 @@ const char* RequestStatusName(RequestStatus status) {
   return "?";
 }
 
-/// One admitted request waiting in the queue.
+/// One admitted request waiting in the queue. Pooled: entries recycle
+/// through pending_pool_, keeping their grown request/key storage.
 struct RenderService::Pending {
   RenderRequest request;
   std::promise<RenderResponse> promise;
@@ -69,11 +77,15 @@ struct RenderService::Pending {
   }
 };
 
+void RenderService::PendingDeleter::operator()(Pending* entry) const {
+  if (entry != nullptr && pool != nullptr) pool->Release(entry);
+}
+
 /// One issued engine batch. Owns everything the render references until the
 /// completion half runs: the coalesced requests, the acquired pipeline and
 /// the stateless field source backing every job.
 struct RenderService::InflightBatch {
-  std::vector<std::unique_ptr<Pending>> entries;
+  std::vector<PendingHandle> entries;
   std::string key;
   u64 dispatch_index = 0;
   Clock::time_point issued{};
@@ -96,6 +108,14 @@ RenderService::RenderService(RenderServiceOptions options)
       repository_(options.repository ? *options.repository
                                      : PipelineRepository::Global()),
       engine_(options.engine),
+      mode_(dispatch::ActiveMode()),
+      // Enough recycled entries for the full queue plus every coalesced
+      // in-flight batch; past that Acquire degrades to the heap, never
+      // fails.
+      pending_pool_(std::make_shared<ObjectPool<Pending>>(
+          options.queue_capacity +
+          options.max_batch * options.max_inflight_batches + 8)),
+      inbox_(std::max<std::size_t>(options.queue_capacity, 1)),
       paused_(options.start_paused) {
   SPNERF_CHECK_MSG(options_.queue_capacity > 0,
                    "serve: queue capacity must be positive");
@@ -109,11 +129,30 @@ RenderService::RenderService(RenderServiceOptions options)
 RenderService::~RenderService() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_seq_cst);
     paused_ = false;
   }
   work_cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
+  // Shed fast-path stragglers that raced the stopping flag into the inbox
+  // after the dispatcher's final drain: their futures must still resolve.
+  Pending* raw = nullptr;
+  while (inbox_.TryPop(raw)) {
+    PendingHandle entry(raw, PendingDeleter{pending_pool_});
+    queued_count_.fetch_sub(1, std::memory_order_relaxed);
+    Shed(*entry, RequestStatus::kRejected);
+  }
+}
+
+RenderService::PendingHandle RenderService::AcquirePending() {
+  Pending* entry = pending_pool_->Acquire();
+  // Re-arm the recycled entry: the promise's previous shared state was
+  // consumed by its last use; request/key fields are overwritten by the
+  // caller (their string/vector storage keeps its capacity — the win).
+  entry->promise = std::promise<RenderResponse>{};
+  entry->deadline = Clock::time_point::max();
+  entry->sequence = 0;
+  return PendingHandle(entry, PendingDeleter{pending_pool_});
 }
 
 void RenderService::Shed(Pending& entry, RequestStatus status) {
@@ -131,23 +170,75 @@ void RenderService::Shed(Pending& entry, RequestStatus status) {
   entry.promise.set_value(std::move(response));
 }
 
-void RenderService::SweepExpiredLocked(
-    std::chrono::steady_clock::time_point now,
-    std::vector<std::unique_ptr<Pending>>& out) {
-  auto alive = queue_.begin();
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if ((*it)->ExpiredAt(now)) {
-      out.push_back(std::move(*it));
-    } else {
-      if (alive != it) *alive = std::move(*it);
-      ++alive;
-    }
+void RenderService::DecKeyCountLocked(const std::string& key) {
+  auto it = key_counts_.find(key);
+  if (it != key_counts_.end() && --it->second == 0) key_counts_.erase(it);
+}
+
+void RenderService::DrainInboxLocked() {
+  Pending* raw = nullptr;
+  while (inbox_.TryPop(raw)) {
+    PendingHandle entry(raw, PendingDeleter{pending_pool_});
+    // Inbox FIFO order is submission order per producer, so assigning the
+    // sequence here preserves the FIFO tie-break a locked-mode submit would
+    // have gotten under the mutex.
+    entry->sequence = next_sequence_++;
+    ++key_counts_[entry->batch_key];
+    queue_.push_back(std::move(entry));
   }
-  queue_.erase(alive, queue_.end());
+  // queued_count_ is unchanged: inbox entries were counted when their seat
+  // was claimed at admission.
+}
+
+bool RenderService::SweepSomeExpiredLocked(
+    std::chrono::steady_clock::time_point now,
+    std::vector<PendingHandle>& out) {
+  const std::size_t budget = queue_.size();  // at most one full cycle
+  std::size_t inspected = 0;
+  bool freed = false;
+  while (inspected < budget && !queue_.empty()) {
+    for (std::size_t c = 0;
+         c < kAdmitSweepChunk && inspected < budget && !queue_.empty();
+         ++c, ++inspected) {
+      if (sweep_pos_ >= queue_.size()) sweep_pos_ = 0;
+      if (queue_[sweep_pos_]->ExpiredAt(now)) {
+        DecKeyCountLocked(queue_[sweep_pos_]->batch_key);
+        out.push_back(std::move(queue_[sweep_pos_]));
+        // Swap-with-back removal: O(1), and queue order is free — every
+        // scheduling decision ranks by Outranks(), never by position.
+        queue_[sweep_pos_] = std::move(queue_.back());
+        queue_.pop_back();
+        queued_count_.fetch_sub(1, std::memory_order_relaxed);
+        freed = true;
+      } else {
+        ++sweep_pos_;
+      }
+    }
+    // A seat is free: stop — the admit only needed one, and the
+    // dispatcher's own integrated pass sheds the rest. Only a queue with
+    // nothing expired pays the full cycle (the cost the old full sweep
+    // always paid).
+    if (freed) break;
+  }
+  return freed;
+}
+
+void RenderService::WakeDispatcher() {
+  // Producer half of the dispatcher eventcount. The inbox push is already
+  // done; the fence orders it against the parked-flag read (Dekker with the
+  // dispatcher's seq_cst parked store + fence + inbox check): whichever
+  // side's seq_cst step comes first in the total order, either the
+  // dispatcher's predicate sees the push or this sees the announcement and
+  // notifies under the lock.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (dispatcher_parked_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    work_cv_.notify_all();
+  }
 }
 
 std::future<RenderResponse> RenderService::Submit(RenderRequest request) {
-  auto entry = std::make_unique<Pending>();
+  PendingHandle entry = AcquirePending();
   entry->request = std::move(request);
   // Execution policy is service-owned: normalising the ignored engine
   // fields keeps requests differing only in them on one batch key and one
@@ -163,27 +254,85 @@ std::future<RenderResponse> RenderService::Submit(RenderRequest request) {
   }
   std::future<RenderResponse> future = entry->promise.get_future();
 
+  if (stopping_.load(std::memory_order_acquire)) {
+    stats_.RecordSubmitted(0);
+    Shed(*entry, RequestStatus::kRejected);
+    return future;
+  }
+
+  if (mode_ == dispatch::Mode::kLockFree) {
+    // Admission fast path: claim a seat below capacity by CAS and ride the
+    // inbox ring to the dispatcher — no mutex anywhere. The dispatcher
+    // assigns the sequence when it folds the inbox in, which preserves
+    // submission order per producer (inbox is FIFO).
+    std::size_t n = queued_count_.load(std::memory_order_relaxed);
+    while (n < options_.queue_capacity) {
+      if (!queued_count_.compare_exchange_weak(n, n + 1,
+                                               std::memory_order_relaxed)) {
+        continue;
+      }
+      Pending* raw = entry.release();
+      if (!inbox_.TryPush(raw)) {
+        // Unreachable in steady state — the seat count bounds inbox
+        // occupancy by its capacity — but tolerate it: return the seat and
+        // take the locked path.
+        entry = PendingHandle(raw, PendingDeleter{pending_pool_});
+        queued_count_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      }
+      stats_.RecordSubmitted(n + 1);
+      WakeDispatcher();
+      return future;
+    }
+    // Queue full: shed/evict decisions need the ranked queue — fall
+    // through to the locked slow path (which still resolves every shed
+    // future before returning).
+  }
+  return SubmitLocked(std::move(entry), std::move(future));
+}
+
+std::future<RenderResponse> RenderService::SubmitLocked(
+    PendingHandle entry, std::future<RenderResponse> future) {
   std::unique_lock<std::mutex> lock(mutex_);
+  // Fold any inbox backlog in first: the capacity and eviction decisions
+  // below must rank against every admitted request, and this entry's
+  // sequence must come after theirs (they were submitted earlier).
+  DrainInboxLocked();
   entry->sequence = next_sequence_++;
-  if (stopping_) {
+  if (stopping_.load(std::memory_order_relaxed)) {
     lock.unlock();
     stats_.RecordSubmitted(0);
     Shed(*entry, RequestStatus::kRejected);
     return future;
   }
 
-  std::vector<std::unique_ptr<Pending>> dead;
-  if (queue_.size() >= options_.queue_capacity) {
+  // The atomic seat count — not queue_.size() — is the one capacity gate:
+  // lock-free admitters race this CAS without the lock.
+  auto claim_seat = [this] {
+    std::size_t n = queued_count_.load(std::memory_order_relaxed);
+    while (n < options_.queue_capacity) {
+      if (queued_count_.compare_exchange_weak(n, n + 1,
+                                              std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<PendingHandle> dead;
+  bool seated = claim_seat();
+  if (!seated) {
     // A full queue may be holding already-expired entries; shed those
     // first — dead work must neither consume capacity nor hold its
     // (earliest-deadline, hence highest) rank against live arrivals.
-    SweepExpiredLocked(Clock::now(), dead);
+    if (SweepSomeExpiredLocked(Clock::now(), dead)) seated = claim_seat();
   }
-  if (queue_.size() < options_.queue_capacity) {
+  if (seated) {
+    ++key_counts_[entry->batch_key];
     queue_.push_back(std::move(entry));
-    const std::size_t depth = queue_.size();
+    const std::size_t depth = queued_count_.load(std::memory_order_relaxed);
     lock.unlock();
-    for (auto& e : dead) Shed(*e, RequestStatus::kExpired);
+    for (PendingHandle& e : dead) Shed(*e, RequestStatus::kExpired);
     stats_.RecordSubmitted(depth);
     work_cv_.notify_one();
     return future;
@@ -196,21 +345,28 @@ std::future<RenderResponse> RenderService::Submit(RenderRequest request) {
   // worst entry.
   auto worst = std::max_element(
       queue_.begin(), queue_.end(),
-      [](const std::unique_ptr<Pending>& a,
-         const std::unique_ptr<Pending>& b) { return a->Outranks(*b); });
+      [](const PendingHandle& a, const PendingHandle& b) {
+        return a->Outranks(*b);
+      });
   if (worst != queue_.end() && entry->Outranks(**worst)) {
-    std::unique_ptr<Pending> evicted = std::move(*worst);
+    PendingHandle evicted = std::move(*worst);
     queue_.erase(worst);
+    DecKeyCountLocked(evicted->batch_key);
+    ++key_counts_[entry->batch_key];
     queue_.push_back(std::move(entry));
-    const std::size_t depth = queue_.size();
+    // The evicted entry's seat transfers to the incoming one:
+    // queued_count_ is unchanged.
+    const std::size_t depth = queued_count_.load(std::memory_order_relaxed);
     lock.unlock();
+    for (PendingHandle& e : dead) Shed(*e, RequestStatus::kExpired);
     stats_.RecordSubmitted(depth);
     Shed(*evicted, RequestStatus::kRejected);
     work_cv_.notify_one();
     return future;
   }
-  const std::size_t depth = queue_.size();
+  const std::size_t depth = queued_count_.load(std::memory_order_relaxed);
   lock.unlock();
+  for (PendingHandle& e : dead) Shed(*e, RequestStatus::kExpired);
   stats_.RecordSubmitted(depth);
   Shed(*entry, RequestStatus::kRejected);
   return future;
@@ -228,13 +384,16 @@ void RenderService::Drain() {
   Start();
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] {
-    return (queue_.empty() && inflight_batches_ == 0) || stopping_;
+    return (queued_count_.load(std::memory_order_relaxed) == 0 &&
+            inflight_batches_ == 0) ||
+           stopping_.load(std::memory_order_relaxed);
   });
 }
 
 std::size_t RenderService::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  // Admitted and not yet dispatched or shed, inbox included — maintained
+  // atomically in both modes, so no lock.
+  return queued_count_.load(std::memory_order_relaxed);
 }
 
 std::size_t RenderService::InflightBatches() const {
@@ -245,7 +404,7 @@ std::size_t RenderService::InflightBatches() const {
 bool RenderService::HasDispatchableLocked() const {
   if (queue_.empty()) return false;
   if (inflight_keys_.empty()) return true;
-  for (const std::unique_ptr<Pending>& e : queue_) {
+  for (const PendingHandle& e : queue_) {
     if (inflight_keys_.count(e->batch_key) == 0) return true;
   }
   return false;
@@ -315,7 +474,7 @@ void RenderService::IssueBatch(std::shared_ptr<InflightBatch> batch) {
 
     std::vector<RenderJob> jobs;
     jobs.reserve(batch->entries.size());
-    for (const std::unique_ptr<Pending>& entry : batch->entries) {
+    for (const PendingHandle& entry : batch->entries) {
       const RenderRequest& r = entry->request;
       RenderJob job;
       job.source = batch->source.get();
@@ -339,13 +498,13 @@ void RenderService::IssueBatch(std::shared_ptr<InflightBatch> batch) {
     // escaped exceptions — anything uncaught would leak the batch's seat
     // and key and wedge Drain()/teardown forever.
     SPNERF_LOG_WARN << "serve: batch failed (" << e.what() << ")";
-    for (std::unique_ptr<Pending>& entry : batch->entries) {
+    for (PendingHandle& entry : batch->entries) {
       entry->promise.set_exception(std::current_exception());
     }
     ReleaseBatch(*batch);
   } catch (...) {
     SPNERF_LOG_WARN << "serve: batch failed (non-std error)";
-    for (std::unique_ptr<Pending>& entry : batch->entries) {
+    for (PendingHandle& entry : batch->entries) {
       entry->promise.set_exception(std::current_exception());
     }
     ReleaseBatch(*batch);
@@ -355,70 +514,124 @@ void RenderService::IssueBatch(std::shared_ptr<InflightBatch> batch) {
 void RenderService::DispatcherLoop() {
   for (;;) {
     std::shared_ptr<InflightBatch> batch;
-    std::vector<std::unique_ptr<Pending>> expired;
+    std::vector<PendingHandle> expired;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      // Park announcement (Dekker pair with WakeDispatcher): parked is set
+      // seq_cst before the wait predicate reads the inbox, and a producer
+      // pushes before its fence + parked read — whichever side's seq_cst
+      // step comes first in the total order, either the predicate sees the
+      // push or the producer sees the announcement and notifies under the
+      // lock.
+      dispatcher_parked_.store(true, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
       work_cv_.wait(lock, [this] {
-        return stopping_ ||
+        return stopping_.load(std::memory_order_relaxed) || !inbox_.Empty() ||
                (!paused_ &&
                 inflight_batches_ < options_.max_inflight_batches &&
                 HasDispatchableLocked());
       });
-      if (stopping_) {
+      dispatcher_parked_.store(false, std::memory_order_relaxed);
+      // Fold admissions in before any decision: sequences, key counts and
+      // the ranked queue must cover every entry admitted so far.
+      DrainInboxLocked();
+
+      if (stopping_.load(std::memory_order_relaxed)) {
         // Complete the backlog as rejected so no future dangles, then wait
         // out the in-flight batches — their completion halves touch the
         // service and must finish before it tears down.
-        std::vector<std::unique_ptr<Pending>> drained;
+        std::vector<PendingHandle> drained;
         drained.swap(queue_);
+        key_counts_.clear();
+        if (!drained.empty()) {
+          queued_count_.fetch_sub(drained.size(), std::memory_order_relaxed);
+        }
         work_cv_.wait(lock, [this] { return inflight_batches_ == 0; });
         lock.unlock();
-        for (std::unique_ptr<Pending>& entry : drained) {
+        for (PendingHandle& entry : drained) {
           Shed(*entry, RequestStatus::kRejected);
         }
         idle_cv_.notify_all();
         return;
       }
 
-      // Deadline sweep: anything already past its deadline is shed before
-      // it can consume render capacity.
-      SweepExpiredLocked(Clock::now(), expired);
-
-      // Issue half: pop the best-ranked request whose key has no batch in
-      // flight (same-key requests wait and coalesce into the next batch),
-      // then coalesce same-key requests in scheduling order up to the cap.
-      auto best = queue_.end();
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (inflight_keys_.count((*it)->batch_key) != 0) continue;
-        if (best == queue_.end() || (*it)->Outranks(**best)) best = it;
-      }
-      if (best != queue_.end()) {
-        batch = std::make_shared<InflightBatch>();
-        batch->key = (*best)->batch_key;
-        batch->entries.push_back(std::move(*best));
-        queue_.erase(best);
-        // Mates join in scheduling order, not submission order: when
-        // max_batch binds, the seats go to the highest-ranked same-key
-        // requests (a batch-class mate must never displace an interactive
-        // one into a later dispatch).
-        while (batch->entries.size() < options_.max_batch) {
-          auto mate = queue_.end();
-          for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-            if ((*it)->batch_key != batch->key) continue;
-            if (mate == queue_.end() || (*it)->Outranks(**mate)) mate = it;
+      if (!paused_ && inflight_batches_ < options_.max_inflight_batches) {
+        // One integrated pass: shed anything already past its deadline
+        // (the expiry sweep rides the selection scan the dispatcher pays
+        // anyway — no separate full-queue sweep) while tracking the
+        // best-ranked survivor whose key has no batch in flight (same-key
+        // requests wait and coalesce into the next batch).
+        const Clock::time_point now = Clock::now();
+        std::size_t write = 0;
+        std::size_t best = kNoBest;
+        for (std::size_t read = 0; read < queue_.size(); ++read) {
+          if (queue_[read]->ExpiredAt(now)) {
+            DecKeyCountLocked(queue_[read]->batch_key);
+            expired.push_back(std::move(queue_[read]));
+            continue;
           }
-          if (mate == queue_.end()) break;
-          batch->entries.push_back(std::move(*mate));
-          queue_.erase(mate);
+          if (write != read) queue_[write] = std::move(queue_[read]);
+          if (inflight_keys_.count(queue_[write]->batch_key) == 0 &&
+              (best == kNoBest || queue_[write]->Outranks(*queue_[best]))) {
+            best = write;
+          }
+          ++write;
         }
-        inflight_keys_.insert(batch->key);
-        ++inflight_batches_;
-        batch->dispatch_index = next_dispatch_++;
-        batch->issued = Clock::now();
+        queue_.resize(write);
+        if (!expired.empty()) {
+          queued_count_.fetch_sub(expired.size(), std::memory_order_relaxed);
+        }
+
+        if (best != kNoBest) {
+          batch = std::make_shared<InflightBatch>();
+          batch->key = queue_[best]->batch_key;
+          const std::size_t same_key = key_counts_[batch->key];
+          DecKeyCountLocked(batch->key);
+          batch->entries.push_back(std::move(queue_[best]));
+          queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+          std::size_t removed = 1;
+          // Coalesce only when the key count says a mate exists — the
+          // batch-size-1 fast path skips the scan entirely. Mates join in
+          // scheduling order, not submission order: when max_batch binds,
+          // the seats go to the highest-ranked same-key requests (a
+          // batch-class mate must never displace an interactive one into a
+          // later dispatch).
+          if (same_key > 1 && options_.max_batch > 1) {
+            std::vector<std::size_t> mates;
+            for (std::size_t i = 0; i < queue_.size(); ++i) {
+              if (queue_[i]->batch_key == batch->key) mates.push_back(i);
+            }
+            std::sort(mates.begin(), mates.end(),
+                      [this](std::size_t a, std::size_t b) {
+                        return queue_[a]->Outranks(*queue_[b]);
+                      });
+            if (mates.size() > options_.max_batch - 1) {
+              mates.resize(options_.max_batch - 1);
+            }
+            for (std::size_t idx : mates) {
+              DecKeyCountLocked(batch->key);
+              batch->entries.push_back(std::move(queue_[idx]));
+            }
+            if (!mates.empty()) {
+              queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                          [](const PendingHandle& e) {
+                                            return e == nullptr;
+                                          }),
+                           queue_.end());
+              removed += mates.size();
+            }
+          }
+          queued_count_.fetch_sub(removed, std::memory_order_relaxed);
+          inflight_keys_.insert(batch->key);
+          ++inflight_batches_;
+          batch->dispatch_index = next_dispatch_++;
+          batch->issued = Clock::now();
+        }
       }
-      stats_.RecordQueueDepth(queue_.size());
+      stats_.RecordQueueDepth(queued_count_.load(std::memory_order_relaxed));
     }
 
-    for (std::unique_ptr<Pending>& entry : expired) {
+    for (PendingHandle& entry : expired) {
       Shed(*entry, RequestStatus::kExpired);
     }
     if (!batch) {

@@ -16,6 +16,14 @@
 //     status) if the incoming one outranks it; otherwise the incoming
 //     request is rejected immediately. The service never grows an unbounded
 //     backlog — overload turns into rejections, not latency collapse.
+//     Under the default lock-free dispatch mode (SPNF_DISPATCH, captured at
+//     construction), admission with a free seat is lock-free: the entry —
+//     recycled from a fixed slab pool, never a fresh allocation — claims a
+//     seat by CAS on the queued count and rides a bounded MPMC inbox ring
+//     to the dispatcher, which folds the inbox into the ranked queue at its
+//     own serialization point. Only a full queue (shed/evict decisions) or
+//     the locked oracle mode takes the service mutex, so overflow futures
+//     still resolve before Submit returns in every mode.
 //   * Scheduling order. Highest priority first; within a priority class,
 //     earliest absolute deadline first (requests without a deadline sort
 //     last); FIFO as the tie-break. Deterministic for a fixed submit order.
@@ -43,15 +51,21 @@
 // concurrently in-flight batches.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/dispatch.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/object_pool.hpp"
 #include "core/pipeline_repository.hpp"
 #include "serve/service_stats.hpp"
 
@@ -176,6 +190,34 @@ class RenderService {
   struct Pending;
   struct InflightBatch;
 
+  /// Routes recycled entries back to the slab pool (pure heap strays are
+  /// deleted there). Co-owns the pool: the last handles of a batch die on a
+  /// pool worker when the InflightBatch's final reference drops, which can
+  /// happen after the service destructor was already unblocked — the
+  /// captured shared_ptr keeps the slab alive until then (same contract as
+  /// the engine's batch pool). Out-of-line call operator: Pending is
+  /// complete only in the .cpp.
+  struct PendingDeleter {
+    std::shared_ptr<ObjectPool<Pending>> pool;
+    void operator()(Pending* entry) const;
+  };
+  /// Owning handle over a pooled Pending. Destruction recycles the entry —
+  /// its grown string/config storage included — instead of freeing it.
+  using PendingHandle = std::unique_ptr<Pending, PendingDeleter>;
+
+  /// Pops a recycled entry from pending_pool_ (heap fallback past the cap)
+  /// and re-arms its promise.
+  [[nodiscard]] PendingHandle AcquirePending();
+  /// Admission slow path (and the whole locked-mode path): folds the inbox
+  /// into the ranked queue under mutex_, then seats, evicts or rejects the
+  /// entry exactly like the pre-lock-free service did. Every shed future is
+  /// resolved before this returns.
+  std::future<RenderResponse> SubmitLocked(PendingHandle entry,
+                                           std::future<RenderResponse> future);
+  /// Producer half of the dispatcher eventcount: publish (the inbox push),
+  /// seq_cst fence, then lock + notify only when the dispatcher announced
+  /// itself parked.
+  void WakeDispatcher();
   void DispatcherLoop();
   /// Issue half, heavy part: acquires the pipeline, builds the jobs and
   /// hands the batch to RenderEngine::SubmitBatch. Runs as a detached task
@@ -193,11 +235,23 @@ class RenderService {
   void ReleaseBatch(const InflightBatch& batch);
   /// Completes `entry` as shed with `status` and records stats.
   void Shed(Pending& entry, RequestStatus status);
-  /// Moves every queue entry whose deadline passed by `now` into `out`,
-  /// compacting the queue. Caller must hold mutex_ and Shed() the swept
-  /// entries after releasing it.
-  void SweepExpiredLocked(std::chrono::steady_clock::time_point now,
-                          std::vector<std::unique_ptr<Pending>>& out);
+  /// Moves every inbox entry into the ranked queue (assigning its sequence
+  /// — inbox FIFO order is submission order for each producer) and its key
+  /// count. Caller must hold mutex_. queued_count_ is unchanged: inbox
+  /// entries were counted when their seat was claimed at admission.
+  void DrainInboxLocked();
+  /// Incremental expiry sweep for a full-queue admission: scans bounded
+  /// chunks from a rotating cursor and stops as soon as one seat frees, so
+  /// an admit over a deep backlog of expired entries does O(chunk) work,
+  /// not O(queue). Falls through to a full cycle only when nothing is
+  /// expired — the cost the old full sweep always paid. Swept entries land
+  /// in `out`; caller must hold mutex_ and Shed() them after releasing it.
+  /// Returns whether any entry was freed.
+  bool SweepSomeExpiredLocked(std::chrono::steady_clock::time_point now,
+                              std::vector<PendingHandle>& out);
+  /// Drops one queued-count reference for `key` in key_counts_. Caller must
+  /// hold mutex_.
+  void DecKeyCountLocked(const std::string& key);
   /// True when some queued request's batch key has no batch in flight.
   /// Caller must hold mutex_.
   [[nodiscard]] bool HasDispatchableLocked() const;
@@ -206,17 +260,47 @@ class RenderService {
   PipelineRepository& repository_;
   RenderEngine engine_;
   ServiceStats stats_;
+  /// Dispatch mode, captured once at construction (common/dispatch.hpp).
+  /// kLocked routes every Submit through SubmitLocked — the pre-lock-free
+  /// mutex path, kept as the differential oracle.
+  dispatch::Mode mode_;
+
+  /// Recycled request entries: admission acquires, the handle's deleter
+  /// releases. Sized for the queue plus every coalesced in-flight batch, so
+  /// the steady-state serving path never allocates per request. Held by
+  /// shared_ptr because every handle's deleter co-owns it (see
+  /// PendingDeleter).
+  std::shared_ptr<ObjectPool<Pending>> pending_pool_;
+  /// Lock-free admission inbox (bounded MPMC ring). Fast-path Submit pushes
+  /// raw entry pointers here; only the dispatcher (or a slow-path Submit)
+  /// pops, folding them into queue_ under mutex_.
+  MpmcQueue<Pending*> inbox_;
+  /// Entries admitted and not yet dispatched or shed == inbox occupancy +
+  /// queue_.size(). The admission capacity gate in both modes: a seat is
+  /// claimed by CAS below queue_capacity, so the lock-free fast path and
+  /// the locked slow path share one source of truth.
+  std::atomic<std::size_t> queued_count_{0};
+  /// Dispatcher parked-announcement flag for WakeDispatcher's eventcount.
+  std::atomic<bool> dispatcher_parked_{false};
+  /// Atomic so the lock-free fast path can check shutdown without the lock;
+  /// stragglers that race the flag are shed by the destructor's final inbox
+  /// drain.
+  std::atomic<bool> stopping_{false};
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // dispatcher wakeups
   std::condition_variable idle_cv_;   // Drain() wakeups
-  std::vector<std::unique_ptr<Pending>> queue_;  // guarded by mutex_
+  std::vector<PendingHandle> queue_;  // guarded by mutex_
+  /// Queued entries per batch key (inbox excluded until drained). Lets the
+  /// dispatcher skip the coalescing mate-scan entirely when the chosen
+  /// request is the only one of its key — the batch-size-1 fast path.
+  std::unordered_map<std::string, std::size_t> key_counts_;  // guarded by mutex_
   std::unordered_set<std::string> inflight_keys_;  // guarded by mutex_
   std::size_t inflight_batches_ = 0;  // guarded by mutex_
+  std::size_t sweep_pos_ = 0;         // guarded by mutex_; expiry sweep cursor
   u64 next_sequence_ = 0;             // guarded by mutex_
   u64 next_dispatch_ = 0;             // guarded by mutex_
   bool paused_ = false;               // guarded by mutex_
-  bool stopping_ = false;             // guarded by mutex_
   std::thread dispatcher_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace spnerf {
 namespace {
@@ -12,9 +13,62 @@ std::size_t ClampClass(std::size_t priority_class) {
 
 }  // namespace
 
+u64 LatencySample::KeyFor(double ms) const {
+  // SplitMix64 finalizer over (seed ^ value bits): a deterministic,
+  // order-free hash — every occurrence of the same value gets the same key,
+  // which is exactly what makes the bottom-K retained set a function of the
+  // recorded multiset alone (KMV sketch property).
+  u64 x;
+  static_assert(sizeof(x) == sizeof(ms), "double must be 64-bit");
+  std::memcpy(&x, &ms, sizeof(x));
+  x ^= seed_;
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void LatencySample::Record(double ms) {
+  ++total_;
+  const Entry entry{KeyFor(ms), ms};
+  if (entries_.size() < cap_) {
+    entries_.push_back(entry);
+    // Becoming full re-organizes the store into a max-heap once; from here
+    // on every eviction is O(log cap).
+    if (entries_.size() == cap_) {
+      std::make_heap(entries_.begin(), entries_.end(), EntryLess);
+    }
+    return;
+  }
+  // Full: keep the entry only if it displaces the current largest key.
+  if (!EntryLess(entry, entries_.front())) return;
+  std::pop_heap(entries_.begin(), entries_.end(), EntryLess);
+  entries_.back() = entry;
+  std::push_heap(entries_.begin(), entries_.end(), EntryLess);
+}
+
+void LatencySample::Merge(const LatencySample& other) {
+  total_ += other.total_;
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+  if (entries_.size() >= cap_) {
+    // Bottom-K of the union: sort ascending, truncate, restore the heap.
+    // The k smallest of a multiset union equal the k smallest of the union
+    // of each side's k smallest — so this retains exactly what one
+    // reservoir fed both streams would have.
+    std::sort(entries_.begin(), entries_.end(), EntryLess);
+    if (entries_.size() > cap_) entries_.resize(cap_);
+    if (entries_.size() == cap_) {
+      std::make_heap(entries_.begin(), entries_.end(), EntryLess);
+    }
+  }
+}
+
 double LatencySample::Percentile(double p) const {
-  if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
+  if (entries_.empty()) return 0.0;
+  std::vector<double> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& e : entries_) sorted.push_back(e.value);
   std::sort(sorted.begin(), sorted.end());
   // Nearest-rank: the smallest value with at least p% of samples <= it.
   const double clamped = std::clamp(p, 0.0, 100.0);
@@ -24,68 +78,99 @@ double LatencySample::Percentile(double p) const {
 }
 
 double LatencySample::MeanMs() const {
-  if (samples_.empty()) return 0.0;
+  if (entries_.empty()) return 0.0;
   double sum = 0.0;
-  for (double s : samples_) sum += s;
-  return sum / static_cast<double>(samples_.size());
+  for (const Entry& e : entries_) sum += e.value;
+  return sum / static_cast<double>(entries_.size());
 }
 
 double LatencySample::MaxMs() const {
-  return samples_.empty() ? 0.0
-                          : *std::max_element(samples_.begin(), samples_.end());
+  if (entries_.empty()) return 0.0;
+  double max = entries_.front().value;
+  for (const Entry& e : entries_) max = std::max(max, e.value);
+  return max;
+}
+
+void ServiceStats::BumpQueuePeak(std::size_t depth) {
+  std::size_t peak = queue_peak_.load(std::memory_order_relaxed);
+  while (depth > peak && !queue_peak_.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
+  }
 }
 
 void ServiceStats::RecordSubmitted(std::size_t queue_depth_after) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.submitted;
-  if (!has_submit_) {
-    first_submit_ = std::chrono::steady_clock::now();
-    has_submit_ = true;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // One-time span start: only the very first request ever takes the lock.
+  if (!has_submit_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!has_submit_.load(std::memory_order_relaxed)) {
+      first_submit_ = std::chrono::steady_clock::now();
+      has_submit_.store(true, std::memory_order_release);
+    }
   }
-  data_.queue_depth = queue_depth_after;
-  data_.queue_peak = std::max(data_.queue_peak, queue_depth_after);
+  queue_depth_.store(queue_depth_after, std::memory_order_relaxed);
+  BumpQueuePeak(queue_depth_after);
 }
 
 void ServiceStats::RecordRejected(std::size_t priority_class) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.rejected;
-  ++data_.by_class[ClampClass(priority_class)].rejected;
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  class_counters_[ClampClass(priority_class)].rejected.fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void ServiceStats::RecordExpired(std::size_t priority_class) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.expired;
-  ++data_.by_class[ClampClass(priority_class)].expired;
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  class_counters_[ClampClass(priority_class)].expired.fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void ServiceStats::RecordBatch(std::size_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (size > 0) ++data_.batches;
+  if (size > 0) batches_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServiceStats::RecordCompleted(double queue_ms, double total_ms,
                                    std::size_t priority_class) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t cls = ClampClass(priority_class);
+  class_counters_[cls].completed.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
-  ++data_.completed;
-  data_.queue_latency.Record(queue_ms);
-  data_.total_latency.Record(total_ms);
-  PriorityClassStats& cls = data_.by_class[ClampClass(priority_class)];
-  ++cls.completed;
-  cls.total_latency.Record(total_ms);
+  queue_latency_.Record(queue_ms);
+  total_latency_.Record(total_ms);
+  class_latency_[cls].Record(total_ms);
   last_complete_ = std::chrono::steady_clock::now();
-  has_complete_ = true;
+  has_complete_.store(true, std::memory_order_release);
 }
 
 void ServiceStats::RecordQueueDepth(std::size_t depth) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  data_.queue_depth = depth;
-  data_.queue_peak = std::max(data_.queue_peak, depth);
+  queue_depth_.store(depth, std::memory_order_relaxed);
+  BumpQueuePeak(depth);
 }
 
 ServiceStatsSnapshot ServiceStats::Snapshot() const {
+  ServiceStatsSnapshot snap;
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.expired = expired_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  snap.queue_peak = queue_peak_.load(std::memory_order_relaxed);
+  for (std::size_t c = 0; c < kPriorityClassCount; ++c) {
+    snap.by_class[c].completed =
+        class_counters_[c].completed.load(std::memory_order_relaxed);
+    snap.by_class[c].rejected =
+        class_counters_[c].rejected.load(std::memory_order_relaxed);
+    snap.by_class[c].expired =
+        class_counters_[c].expired.load(std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  ServiceStatsSnapshot snap = data_;
-  if (has_submit_ && has_complete_) {
+  snap.queue_latency = queue_latency_;
+  snap.total_latency = total_latency_;
+  for (std::size_t c = 0; c < kPriorityClassCount; ++c) {
+    snap.by_class[c].total_latency = class_latency_[c];
+  }
+  if (has_submit_.load(std::memory_order_acquire) &&
+      has_complete_.load(std::memory_order_acquire)) {
     snap.span_ms = std::chrono::duration<double, std::milli>(last_complete_ -
                                                              first_submit_)
                        .count();

@@ -1,13 +1,27 @@
-// Serving-layer metrics: exact latency percentiles, queue-depth tracking
-// and throughput over the service's lifetime, broken down by priority
-// class so a priority inversion shows up as a regression in the tracked
-// percentiles instead of hiding inside the aggregate. Latencies are kept as
-// full sample sets, so percentiles are true order statistics and merging
-// two collectors is exact (concatenation) — no sketch error enters the
-// BENCH_serving.json trajectory.
+// Serving-layer metrics: latency percentiles, queue-depth tracking and
+// throughput over the service's lifetime, broken down by priority class so
+// a priority inversion shows up as a regression in the tracked percentiles
+// instead of hiding inside the aggregate.
+//
+// Latencies live in a bounded deterministic reservoir (LatencySample):
+// below the cap every recorded value is kept and percentiles are true order
+// statistics; past the cap the reservoir keeps the bottom-K entries of a
+// seeded value-hash order — a KMV-style sketch whose retained set depends
+// only on the recorded multiset of values, never on arrival order or on how
+// recording was sharded across collectors. Merging is therefore exact in
+// the sketch sense: Merge(R(A), R(B)) retains exactly the same samples as
+// R(A ++ B), so distributed collectors lose nothing relative to a single
+// one.
+//
+// The counter side of the collector is lock-free (relaxed atomics +
+// CAS-max for the queue peak): RecordSubmitted sits on the RenderService
+// admission fast path, which must not reintroduce a lock behind the
+// service's own lock-free inbox. Only latency recording (completion path)
+// and Snapshot() take the internal mutex.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <mutex>
@@ -17,26 +31,54 @@
 
 namespace spnerf {
 
-/// Exact latency sample set. Every recorded value is kept; Percentile()
-/// returns the nearest-rank order statistic and Merge() concatenates, so
-/// merged percentiles equal the percentiles of the union — exact, unlike
-/// digest/histogram sketches.
+/// Bounded deterministic latency reservoir. Exact below the cap (every
+/// value kept, percentiles are nearest-rank order statistics); past the cap
+/// it keeps the `cap` entries with the smallest seeded value-hash keys
+/// (bottom-K), so memory is bounded while the retained set stays a
+/// deterministic, order-independent, merge-stable function of the recorded
+/// values. Count() always reports the number of values recorded, not
+/// retained.
 class LatencySample {
  public:
-  void Record(double ms) { samples_.push_back(ms); }
-  void Merge(const LatencySample& other) {
-    samples_.insert(samples_.end(), other.samples_.begin(),
-                    other.samples_.end());
-  }
+  static constexpr std::size_t kDefaultCap = 8192;
 
-  [[nodiscard]] std::size_t Count() const { return samples_.size(); }
-  /// Nearest-rank percentile, `p` in [0, 100]. Returns 0 when empty.
+  explicit LatencySample(std::size_t cap = kDefaultCap,
+                         u64 seed = 0x9e3779b97f4a7c15ull)
+      : cap_(cap == 0 ? 1 : cap), seed_(seed) {}
+
+  void Record(double ms);
+  /// Folds another reservoir in. Both sides should share cap and seed (the
+  /// defaults everywhere); the result keeps this side's. Retains exactly
+  /// what a single reservoir fed the concatenated streams would retain.
+  void Merge(const LatencySample& other);
+
+  /// Values recorded over the reservoir's lifetime (not retained samples).
+  [[nodiscard]] std::size_t Count() const { return total_; }
+  /// Samples currently retained: == Count() until the cap is reached.
+  [[nodiscard]] std::size_t Retained() const { return entries_.size(); }
+  [[nodiscard]] std::size_t Cap() const { return cap_; }
+  /// Nearest-rank percentile over the retained samples, `p` in [0, 100] —
+  /// exact while Count() <= Cap(). Returns 0 when empty.
   [[nodiscard]] double Percentile(double p) const;
-  [[nodiscard]] double MeanMs() const;
-  [[nodiscard]] double MaxMs() const;
+  [[nodiscard]] double MeanMs() const;  // over retained samples
+  [[nodiscard]] double MaxMs() const;   // over retained samples
 
  private:
-  std::vector<double> samples_;
+  struct Entry {
+    u64 key = 0;
+    double value = 0.0;
+  };
+  static bool EntryLess(const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.value < b.value;
+  }
+  [[nodiscard]] u64 KeyFor(double ms) const;
+
+  std::size_t cap_;
+  u64 seed_;
+  std::size_t total_ = 0;
+  // Plain vector below the cap; re-organized into a max-heap (EntryLess)
+  // once full so eviction of the largest key is O(log cap).
+  std::vector<Entry> entries_;
 };
 
 /// Number of scheduling classes (RequestPriority values); class counters
@@ -44,7 +86,7 @@ class LatencySample {
 inline constexpr std::size_t kPriorityClassCount = 3;
 
 /// Per-priority-class slice of the collector: how many requests of the
-/// class completed / were shed, and the completed requests' exact
+/// class completed / were shed, and the completed requests'
 /// submit-to-response latency samples.
 struct PriorityClassStats {
   u64 completed = 0;
@@ -53,8 +95,8 @@ struct PriorityClassStats {
   LatencySample total_latency;
 };
 
-/// One consistent view of the collector. Latency samples cover completed
-/// requests only; shed requests (rejected/expired) are counted, not timed.
+/// One view of the collector. Latency samples cover completed requests
+/// only; shed requests (rejected/expired) are counted, not timed.
 struct ServiceStatsSnapshot {
   u64 submitted = 0;
   u64 completed = 0;
@@ -83,9 +125,13 @@ struct ServiceStatsSnapshot {
   }
 };
 
-/// Thread-safe collector the RenderService reports into. All mutators take
-/// one internal lock; Snapshot() copies a consistent view. The per-class
-/// mutators take the request's priority class index
+/// Thread-safe collector the RenderService reports into. Counter mutators
+/// (submitted/rejected/expired/batch/queue-depth) are lock-free — they sit
+/// on the admission fast path; RecordCompleted and Snapshot() take the
+/// internal mutex for the latency reservoirs. Snapshot() is consistent for
+/// any quiesced service; while mutators race it, individual counters are
+/// each correct but may be from moments a few operations apart. The
+/// per-class mutators take the request's priority class index
 /// (static_cast<std::size_t>(RequestPriority)).
 class ServiceStats {
  public:
@@ -100,12 +146,33 @@ class ServiceStats {
   [[nodiscard]] ServiceStatsSnapshot Snapshot() const;
 
  private:
+  void BumpQueuePeak(std::size_t depth);
+
+  std::atomic<u64> submitted_{0};
+  std::atomic<u64> completed_{0};
+  std::atomic<u64> rejected_{0};
+  std::atomic<u64> expired_{0};
+  std::atomic<u64> batches_{0};
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::size_t> queue_peak_{0};
+  struct ClassCounters {
+    std::atomic<u64> completed{0};
+    std::atomic<u64> rejected{0};
+    std::atomic<u64> expired{0};
+  };
+  std::array<ClassCounters, kPriorityClassCount> class_counters_;
+  std::atomic<bool> has_submit_{false};
+  std::atomic<bool> has_complete_{false};
+
+  // Guards the latency reservoirs and the span timestamps (completion path
+  // and the one-time first-submit stamp only — never the admission path
+  // after the first request).
   mutable std::mutex mutex_;
-  ServiceStatsSnapshot data_;
+  LatencySample queue_latency_;
+  LatencySample total_latency_;
+  std::array<LatencySample, kPriorityClassCount> class_latency_;
   std::chrono::steady_clock::time_point first_submit_{};
   std::chrono::steady_clock::time_point last_complete_{};
-  bool has_submit_ = false;
-  bool has_complete_ = false;
 };
 
 }  // namespace spnerf

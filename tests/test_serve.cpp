@@ -2,17 +2,33 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/dispatch.hpp"
 #include "common/rng.hpp"
 #include "serve/load_generator.hpp"
 
 namespace spnerf {
 namespace {
+
+/// Flips the process-global dispatch mode for one scope; services and pools
+/// constructed inside pick it up, everything after sees the previous mode.
+class ScopedDispatchMode {
+ public:
+  explicit ScopedDispatchMode(dispatch::Mode mode)
+      : previous_(dispatch::SetActiveMode(mode)) {}
+  ~ScopedDispatchMode() { dispatch::SetActiveMode(previous_); }
+  ScopedDispatchMode(const ScopedDispatchMode&) = delete;
+  ScopedDispatchMode& operator=(const ScopedDispatchMode&) = delete;
+
+ private:
+  dispatch::Mode previous_;
+};
 
 /// Tiny build parameters so service tests stay fast; every test isolates
 /// itself behind a memory-only AssetCache (no disk store) and its own
@@ -438,6 +454,161 @@ TEST_F(ServeTest, TraceRendersIdenticallyAcrossWorkerCounts) {
   }
 }
 
+// -------------------------------------------------- dispatch modes ------
+
+TEST_F(ServeTest, DispatchModesRenderIdenticallyAcrossWorkerCounts) {
+  // The lock-free path's differential oracle, end-to-end: the same trace
+  // replayed under SPNF_DISPATCH=locked and =lockfree must produce
+  // bit-identical images and identical outcome counters at every worker
+  // count. Batch composition under live replay is timing-dependent (and
+  // covered deterministically below); pixels and outcomes are not allowed
+  // to be.
+  LoadGeneratorOptions load;
+  load.request_count = 6;
+  load.arrival_rate_rps = 10000.0;  // effectively a burst
+  load.scenes = {SceneId::kMic};
+  load.hot_scene_count = 1;
+  load.base = SmallRequest();
+  const std::vector<TimedRequest> trace = LoadGenerator(load).GenerateTrace();
+
+  for (unsigned workers : {1u, 2u, 8u}) {
+    std::vector<std::vector<Image>> by_mode;
+    std::vector<ServiceStatsSnapshot> stats_by_mode;
+    for (dispatch::Mode mode :
+         {dispatch::Mode::kLocked, dispatch::Mode::kLockFree}) {
+      ScopedDispatchMode scoped(mode);
+      ThreadPool pool(workers);
+      RenderServiceOptions opts = PausedOptions(/*capacity=*/16);
+      opts.engine.pool = &pool;
+      opts.start_paused = false;
+      RenderService service(opts);
+      ReplayResult replay = ReplayTrace(service, trace);
+      service.Drain();
+      std::vector<Image> run;
+      for (RenderResponse& r : replay.responses) {
+        ASSERT_EQ(r.status, RequestStatus::kCompleted)
+            << dispatch::ModeName(mode) << " workers " << workers;
+        run.push_back(std::move(r.image));
+      }
+      by_mode.push_back(std::move(run));
+      stats_by_mode.push_back(service.Stats());
+    }
+    ASSERT_EQ(by_mode[0].size(), by_mode[1].size());
+    for (std::size_t i = 0; i < by_mode[0].size(); ++i) {
+      ASSERT_EQ(by_mode[1][i].Pixels(), by_mode[0][i].Pixels())
+          << "request " << i << " differs between modes at " << workers
+          << " workers";
+    }
+    EXPECT_EQ(stats_by_mode[1].submitted, stats_by_mode[0].submitted);
+    EXPECT_EQ(stats_by_mode[1].completed, stats_by_mode[0].completed);
+    EXPECT_EQ(stats_by_mode[1].rejected, stats_by_mode[0].rejected);
+    EXPECT_EQ(stats_by_mode[1].expired, stats_by_mode[0].expired);
+  }
+}
+
+TEST_F(ServeTest, DispatchModesAgreeOnSchedulingOfAStagedBacklog) {
+  // Deterministic half of the differential contract: a fully staged backlog
+  // (paused service) drains through identical scheduling decisions in both
+  // modes — per-request status, batch membership, dispatch order and every
+  // outcome counter, including admission-control eviction and rejection.
+  struct Outcome {
+    RequestStatus status;
+    std::size_t batch_size;
+    u64 dispatch_index;
+  };
+  std::vector<std::vector<Outcome>> outcomes_by_mode;
+  std::vector<ServiceStatsSnapshot> stats_by_mode;
+  for (dispatch::Mode mode :
+       {dispatch::Mode::kLocked, dispatch::Mode::kLockFree}) {
+    ScopedDispatchMode scoped(mode);
+    RenderService service(PausedOptions(/*capacity=*/4, /*max_batch=*/2));
+    const std::vector<RequestPriority> priorities = {
+        RequestPriority::kNormal,      RequestPriority::kBatch,
+        RequestPriority::kInteractive, RequestPriority::kNormal,
+        RequestPriority::kInteractive,  // full queue: evicts the batch entry
+        RequestPriority::kBatch,        // full queue, lowest rank: rejected
+    };
+    std::vector<std::future<RenderResponse>> futures;
+    for (std::size_t i = 0; i < priorities.size(); ++i) {
+      RenderRequest r = SmallRequest(SceneId::kMic, static_cast<int>(i));
+      r.priority = priorities[i];
+      futures.push_back(service.Submit(r));
+    }
+    service.Drain();
+    std::vector<Outcome> outcomes;
+    for (auto& f : futures) {
+      const RenderResponse r = f.get();
+      outcomes.push_back({r.status, r.batch_size, r.dispatch_index});
+    }
+    outcomes_by_mode.push_back(std::move(outcomes));
+    stats_by_mode.push_back(service.Stats());
+  }
+  ASSERT_EQ(outcomes_by_mode[0].size(), outcomes_by_mode[1].size());
+  for (std::size_t i = 0; i < outcomes_by_mode[0].size(); ++i) {
+    EXPECT_EQ(outcomes_by_mode[1][i].status, outcomes_by_mode[0][i].status)
+        << "request " << i;
+    EXPECT_EQ(outcomes_by_mode[1][i].batch_size,
+              outcomes_by_mode[0][i].batch_size)
+        << "request " << i;
+    EXPECT_EQ(outcomes_by_mode[1][i].dispatch_index,
+              outcomes_by_mode[0][i].dispatch_index)
+        << "request " << i;
+  }
+  EXPECT_EQ(stats_by_mode[1].submitted, stats_by_mode[0].submitted);
+  EXPECT_EQ(stats_by_mode[1].completed, stats_by_mode[0].completed);
+  EXPECT_EQ(stats_by_mode[1].rejected, stats_by_mode[0].rejected);
+  EXPECT_EQ(stats_by_mode[1].expired, stats_by_mode[0].expired);
+  EXPECT_EQ(stats_by_mode[1].batches, stats_by_mode[0].batches);
+  EXPECT_EQ(stats_by_mode[1].queue_peak, stats_by_mode[0].queue_peak);
+  // Sanity on the scenario itself (not just cross-mode agreement): the two
+  // interactive requests share the first batch, the eviction and rejection
+  // landed on the batch-class entries.
+  const std::vector<Outcome>& o = outcomes_by_mode[0];
+  EXPECT_EQ(o[1].status, RequestStatus::kRejected);  // evicted by request 4
+  EXPECT_EQ(o[5].status, RequestStatus::kRejected);  // shed at admission
+  EXPECT_EQ(o[2].status, RequestStatus::kCompleted);
+  EXPECT_EQ(o[4].status, RequestStatus::kCompleted);
+  EXPECT_EQ(o[2].dispatch_index, o[4].dispatch_index);
+  EXPECT_EQ(o[2].batch_size, 2u);
+}
+
+TEST_F(ServeTest, DeepExpiredBacklogDoesNotStallAdmission) {
+  // The incremental expiry sweep: admission into a queue full of dead work
+  // frees a bounded chunk (enough for a seat), never walks the entire
+  // backlog with the lock held. The rest of the corpses are reaped by the
+  // dispatcher's own pass.
+  constexpr std::size_t kCapacity = 256;
+  RenderService service(PausedOptions(kCapacity));
+  RenderRequest doomed = SmallRequest();
+  doomed.deadline_ms = 0.0001;
+  std::vector<std::future<RenderResponse>> dead;
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    dead.push_back(service.Submit(doomed));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  std::future<RenderResponse> live =
+      service.Submit(SmallRequest(SceneId::kMic, 1));
+  // Seated, not shed: the future is still pending on the paused service.
+  EXPECT_NE(live.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  // The sweep was incremental: at least one seat freed, but nowhere near
+  // the whole backlog examined.
+  const std::size_t depth = service.QueueDepth();
+  EXPECT_LE(depth, kCapacity);
+  EXPECT_GE(depth, kCapacity - 64);
+
+  service.Drain();
+  EXPECT_EQ(live.get().status, RequestStatus::kCompleted);
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.expired, kCapacity);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  for (auto& f : dead) {
+    EXPECT_EQ(f.get().status, RequestStatus::kExpired);
+  }
+}
+
 // ------------------------------------------------------------- stats ----
 
 TEST(LatencySample, NearestRankPercentilesAreExact) {
@@ -465,6 +636,45 @@ TEST(LatencySample, MergeEqualsUnionExactly) {
   for (double p : {1.0, 50.0, 95.0, 99.0, 99.9}) {
     EXPECT_EQ(a.Percentile(p), all.Percentile(p)) << "p" << p;
   }
+}
+
+TEST(LatencySample, RetainedIsBoundedPastCap) {
+  LatencySample s(/*cap=*/128);
+  Rng rng(11);
+  double max_recorded = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.NextDouble() * 100.0;
+    max_recorded = std::max(max_recorded, v);
+    s.Record(v);
+  }
+  EXPECT_EQ(s.Count(), 5000u);
+  EXPECT_EQ(s.Retained(), 128u);
+  EXPECT_EQ(s.Cap(), 128u);
+  // Percentiles come from the retained subset: plausible, bounded values.
+  EXPECT_GE(s.Percentile(50), 0.0);
+  EXPECT_LE(s.Percentile(50), s.Percentile(99));
+  EXPECT_LE(s.MaxMs(), max_recorded);
+}
+
+TEST(LatencySample, MergeAtCapMatchesSingleReservoir) {
+  // The KMV merge-stability property past the cap: two sharded reservoirs
+  // merged retain exactly the samples one reservoir fed the concatenated
+  // stream would — sharding a latency stream across collectors loses
+  // nothing.
+  LatencySample a(/*cap=*/128), b(/*cap=*/128), all(/*cap=*/128);
+  Rng rng(13);
+  for (int i = 0; i < 4000; ++i) {
+    const double v = rng.NextDouble() * 50.0;
+    (i % 3 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_EQ(a.Retained(), all.Retained());
+  for (double p : {5.0, 50.0, 95.0, 99.0}) {
+    EXPECT_EQ(a.Percentile(p), all.Percentile(p)) << "p" << p;
+  }
+  EXPECT_EQ(a.MaxMs(), all.MaxMs());
 }
 
 TEST(LatencySample, EmptySampleIsZero) {
