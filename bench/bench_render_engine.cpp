@@ -99,6 +99,29 @@ int main(int argc, char** argv) {
            scalar_seq_ms / seq_ms, 1);
   json.Add("ratio/wavefront-" + simd_tag + "-vs-scalar[par]",
            scalar_par_ms / par_ms, parallel_workers);
+
+  // Tracing-overhead gate: the parallel wavefront sweep re-run with full
+  // tracing off and on. The ratio (wall_off / wall_full, so 1.0 = free,
+  // < 0.95 would breach the observability contract) lands in the obs block
+  // and, per repo convention, in an entries row.
+  {
+    const obs::TraceLevel prev = obs::SetActiveTraceLevel(obs::TraceLevel::kOff);
+    const double off_ms = run("parallel[trace=off]", parallel_workers,
+                              /*wavefront=*/true);
+    obs::SetActiveTraceLevel(obs::TraceLevel::kFull);
+    const double full_ms = run("parallel[trace=full]", parallel_workers,
+                               /*wavefront=*/true);
+    obs::SetActiveTraceLevel(prev);
+    if (full_ms > 0.0) {
+      const double ratio = off_ms / full_ms;
+      std::printf("tracing overhead: off %.1f ms -> full %.1f ms (%.3fx)\n",
+                  off_ms, full_ms, ratio);
+      json.AddObsRatio("render/trace-overhead[full]", ratio);
+      json.Add("render/trace-overhead", ratio, parallel_workers);
+    }
+  }
+
   bench::AddBuildTimings(json);
+  json.CaptureObsSnapshot();
   return 0;
 }

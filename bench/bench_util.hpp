@@ -20,6 +20,8 @@
 #include "common/units.hpp"
 #include "core/experiments.hpp"
 #include "core/pipeline_repository.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spnerf::bench {
 
@@ -124,6 +126,22 @@ class JsonReport {
     entries_.push_back(std::move(e));
   }
 
+  /// Overhead ratio entry for the observability gate (e.g.
+  /// "serve/trace-overhead[full]" = rps_full / rps_off). Written into the
+  /// `obs` block so trajectory tooling can assert the tracing contract
+  /// (>= 0.95 full, >= 0.99 counters-only) per commit.
+  void AddObsRatio(const std::string& name, double ratio) {
+    obs_ratios_.push_back({name, ratio});
+  }
+
+  /// Captures the process metrics registry into the report's `obs` block
+  /// (call once, after the measured phases). Every BENCH_*.json then embeds
+  /// the run's counter/gauge/histogram snapshot next to its timings.
+  void CaptureObsSnapshot() {
+    obs_snapshot_ = obs::MetricsRegistry::Global().Snapshot();
+    have_obs_snapshot_ = true;
+  }
+
   /// Request-outcome counts for a serving phase (or one priority class of
   /// it): completed vs explicitly shed. Tracking sheds per commit makes a
   /// shedding regression — or a priority inversion starving one class —
@@ -182,7 +200,54 @@ class JsonReport {
                      e.name.c_str(), e.wall_ms, e.threads, sep);
       }
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    // The observability block: the run's trace level, any recorded
+    // tracing-overhead ratios, and (when captured) the full metrics
+    // snapshot. Metric names are repo-chosen identifiers (no escaping
+    // needed).
+    std::fprintf(f, "  \"obs\": {\n    \"trace_level\": \"%s\"",
+                 obs::TraceLevelName(obs::ActiveTraceLevel()));
+    if (!obs_ratios_.empty()) {
+      std::fprintf(f, ",\n    \"ratios\": [\n");
+      for (std::size_t i = 0; i < obs_ratios_.size(); ++i) {
+        std::fprintf(f, "      {\"name\": \"%s\", \"ratio\": %.4f}%s\n",
+                     obs_ratios_[i].first.c_str(), obs_ratios_[i].second,
+                     i + 1 < obs_ratios_.size() ? "," : "");
+      }
+      std::fprintf(f, "    ]");
+    }
+    if (have_obs_snapshot_) {
+      std::fprintf(f, ",\n    \"counters\": [\n");
+      for (std::size_t i = 0; i < obs_snapshot_.counters.size(); ++i) {
+        const auto& c = obs_snapshot_.counters[i];
+        std::fprintf(f, "      {\"name\": \"%s\", \"value\": %llu}%s\n",
+                     c.name.c_str(), static_cast<unsigned long long>(c.value),
+                     i + 1 < obs_snapshot_.counters.size() ? "," : "");
+      }
+      std::fprintf(f, "    ],\n    \"gauges\": [\n");
+      for (std::size_t i = 0; i < obs_snapshot_.gauges.size(); ++i) {
+        const auto& g = obs_snapshot_.gauges[i];
+        std::fprintf(f, "      {\"name\": \"%s\", \"value\": %lld}%s\n",
+                     g.name.c_str(), static_cast<long long>(g.value),
+                     i + 1 < obs_snapshot_.gauges.size() ? "," : "");
+      }
+      std::fprintf(f, "    ],\n    \"histograms\": [\n");
+      for (std::size_t i = 0; i < obs_snapshot_.histograms.size(); ++i) {
+        const auto& h = obs_snapshot_.histograms[i];
+        std::fprintf(
+            f,
+            "      {\"name\": \"%s\", \"count\": %llu, \"sum\": %llu, "
+            "\"p50\": %llu, \"p99\": %llu, \"max\": %llu}%s\n",
+            h.name.c_str(), static_cast<unsigned long long>(h.hist.count),
+            static_cast<unsigned long long>(h.hist.sum),
+            static_cast<unsigned long long>(h.hist.Percentile(50.0)),
+            static_cast<unsigned long long>(h.hist.Percentile(99.0)),
+            static_cast<unsigned long long>(h.hist.max),
+            i + 1 < obs_snapshot_.histograms.size() ? "," : "");
+      }
+      std::fprintf(f, "    ]");
+    }
+    std::fprintf(f, "\n  }\n}\n");
     std::fclose(f);
     std::printf("[json] wrote %s (%zu entries)\n", path.c_str(),
                 entries_.size());
@@ -205,6 +270,9 @@ class JsonReport {
   };
   std::string bench_id_;
   std::vector<Entry> entries_;
+  std::vector<std::pair<std::string, double>> obs_ratios_;
+  obs::MetricsSnapshot obs_snapshot_;
+  bool have_obs_snapshot_ = false;
 };
 
 /// Drains the build/preprocess phase timings accumulated by the pipeline

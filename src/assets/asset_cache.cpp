@@ -12,6 +12,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spnerf {
 namespace {
@@ -139,6 +141,26 @@ AssetCache::AssetCache(AssetCacheOptions options)
 
 void AssetCache::RecordTiming(const std::string& name, double wall_ms,
                               unsigned threads, AssetOrigin origin) {
+  if (obs::CountersEnabled()) {
+    struct CacheMetrics {
+      obs::Counter& memory_hits = obs::MetricsRegistry::Global().GetCounter(
+          "assets/memory-hits");
+      obs::Counter& disk_hits = obs::MetricsRegistry::Global().GetCounter(
+          "assets/disk-hits");
+      obs::Counter& builds = obs::MetricsRegistry::Global().GetCounter(
+          "assets/builds");
+      obs::Histogram& acquire_us = obs::MetricsRegistry::Global().GetHistogram(
+          "assets/acquire-us");
+    };
+    static CacheMetrics metrics;
+    switch (origin) {
+      case AssetOrigin::kMemory: metrics.memory_hits.Add(); break;
+      case AssetOrigin::kDisk: metrics.disk_hits.Add(); break;
+      case AssetOrigin::kBuilt: metrics.builds.Add(); break;
+    }
+    metrics.acquire_us.Record(
+        wall_ms > 0.0 ? static_cast<u64>(wall_ms * 1000.0) : 0);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   timings_.push_back(AssetTimingEntry{name, wall_ms, threads, origin});
   switch (origin) {
@@ -195,11 +217,20 @@ std::shared_ptr<const T> AssetCache::AcquireImpl(const AssetKey& key,
                                                  SaveFn&& save) {
   const std::string live_key = key.kind + key.hash;
   const auto start = std::chrono::steady_clock::now();
+  // Acquisition span tagged with the asset name and, once known, the origin
+  // tier it resolved from. Interning per acquire is fine — acquisition is
+  // not a per-event hot path.
+  obs::TraceSpan acquire_span("assets", "acquire");
+  if (acquire_span.Active()) {
+    acquire_span.AddStrArg("asset", obs::InternString(name));
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (auto* hit = live_.Find(live_key)) {
       const std::shared_ptr<const void> value = *hit;
       lock.unlock();
+      acquire_span.AddStrArg("origin",
+                             obs::InternString(AssetOriginName(AssetOrigin::kMemory)));
       RecordTiming(name, ElapsedMs(start), 1, AssetOrigin::kMemory);
       return std::static_pointer_cast<const T>(value);
     }
@@ -214,6 +245,8 @@ std::shared_ptr<const T> AssetCache::AcquireImpl(const AssetKey& key,
         std::lock_guard<std::mutex> lock(mutex_);
         live_.Insert(live_key, loaded);
       }
+      acquire_span.AddStrArg("origin",
+                             obs::InternString(AssetOriginName(AssetOrigin::kDisk)));
       RecordTiming(name, ElapsedMs(start), 1, AssetOrigin::kDisk);
       return loaded;
     }
@@ -225,6 +258,8 @@ std::shared_ptr<const T> AssetCache::AcquireImpl(const AssetKey& key,
     std::lock_guard<std::mutex> lock(mutex_);
     live_.Insert(live_key, built);
   }
+  acquire_span.AddStrArg("origin",
+                         obs::InternString(AssetOriginName(AssetOrigin::kBuilt)));
   RecordTiming(name, ElapsedMs(start), build_threads, AssetOrigin::kBuilt);
   return built;
 }

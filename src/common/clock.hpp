@@ -1,0 +1,99 @@
+// Virtualizable monotonic clock for the serving layer. RenderService,
+// ServiceStats and LoadGenerator take time through a ClockSource instead of
+// calling std::chrono::steady_clock directly, so deadline-expiry and
+// queue-timing tests can drive a ManualClock — advance virtual time past a
+// deadline instead of sleeping real wall time (faster, and deflaked on
+// loaded CI runners).
+//
+// Scope note: this is the SCHEDULING clock (deadlines, queue ages, arrival
+// pacing). The tracing layer (obs/trace.hpp) deliberately keeps its own
+// real monotonic clock, so spans still measure wall time when a test runs
+// the service on manual time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/types.hpp"
+
+namespace spnerf {
+
+/// Injectable monotonic time source. Implementations must be thread-safe:
+/// the service reads the clock from submit threads, the dispatcher and
+/// completion callbacks concurrently.
+class ClockSource {
+ public:
+  using time_point = std::chrono::steady_clock::time_point;
+  using duration = std::chrono::steady_clock::duration;
+
+  virtual ~ClockSource() = default;
+
+  [[nodiscard]] virtual time_point Now() const = 0;
+
+  /// Returns no earlier than `tp` (in this clock's timeline). The system
+  /// clock blocks; a manual clock jumps its own time forward instead.
+  virtual void SleepUntil(time_point tp) = 0;
+};
+
+/// The real steady clock.
+class SystemClockSource final : public ClockSource {
+ public:
+  [[nodiscard]] time_point Now() const override {
+    return std::chrono::steady_clock::now();
+  }
+  void SleepUntil(time_point tp) override {
+    std::this_thread::sleep_until(tp);
+  }
+};
+
+/// The process-wide system clock — the default when no clock is injected.
+inline ClockSource& SystemClock() {
+  static SystemClockSource clock;
+  return clock;
+}
+
+/// Test clock: time moves only when told to. Starts one hour past the
+/// steady-clock epoch so deadline arithmetic (now - queue_age, now +
+/// deadline) never underflows the time_point range.
+class ManualClock final : public ClockSource {
+ public:
+  ManualClock()
+      : now_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::hours(1))
+                    .count()) {}
+
+  [[nodiscard]] time_point Now() const override {
+    return time_point(std::chrono::duration_cast<duration>(
+        std::chrono::nanoseconds(now_ns_.load(std::memory_order_acquire))));
+  }
+
+  /// Jumps time forward to `tp`; never moves backward (monotonicity), so a
+  /// SleepUntil racing an Advance keeps the later of the two times.
+  void SleepUntil(time_point tp) override {
+    const i64 target = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           tp.time_since_epoch())
+                           .count();
+    i64 seen = now_ns_.load(std::memory_order_relaxed);
+    while (seen < target &&
+           !now_ns_.compare_exchange_weak(seen, target,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  void Advance(duration d) {
+    now_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count(),
+        std::memory_order_release);
+  }
+
+  void AdvanceMs(double ms) {
+    now_ns_.fetch_add(static_cast<i64>(ms * 1e6), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<i64> now_ns_;
+};
+
+}  // namespace spnerf

@@ -1,5 +1,8 @@
 #include "common/parallel.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace spnerf {
 namespace {
 
@@ -16,6 +19,27 @@ thread_local ThreadPool* tls_current_pool = nullptr;
 constexpr int kWorkerSpinIters = 64;
 constexpr int kDispatchSpinIters = 128;
 
+/// Pool-layer metric handles, resolved once per process. Every record site
+/// is gated on obs::CountersEnabled() — the off level costs one relaxed
+/// load per site.
+struct PoolMetrics {
+  obs::Counter& regions = obs::MetricsRegistry::Global().GetCounter(
+      "pool/regions");
+  obs::Counter& parks = obs::MetricsRegistry::Global().GetCounter(
+      "pool/parks");
+  obs::Counter& wakes = obs::MetricsRegistry::Global().GetCounter(
+      "pool/wakes");
+  obs::Counter& token_overflow = obs::MetricsRegistry::Global().GetCounter(
+      "pool/token-overflow");
+  obs::Gauge& tokens = obs::MetricsRegistry::Global().GetGauge(
+      "pool/tokens");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
 }  // namespace
 
 void ThreadPool::Region::ResetForDetached(std::function<void(unsigned)> fn,
@@ -31,6 +55,7 @@ void ThreadPool::Region::ResetForDetached(std::function<void(unsigned)> fn,
   token_refs.store(0, std::memory_order_relaxed);
   detached = true;
   done = false;
+  trace_start_ns = obs::FullTracingEnabled() ? obs::TraceNowNs() : 0;
   error_claimed.store(false, std::memory_order_relaxed);
   error = nullptr;
 }
@@ -116,6 +141,7 @@ void ThreadPool::Dispatch(void (*invoke)(void*, unsigned), void* ctx,
 void ThreadPool::Submit(unsigned slots, std::function<void(unsigned)> fn,
                         std::function<void()> on_complete) {
   slots = std::min(std::max(slots, 1u), worker_count_);
+  if (obs::CountersEnabled()) Metrics().regions.Add();
   if (mode_ == dispatch::Mode::kLockFree) {
     if (threads_.empty()) {
       // No workers to hand the region to: run it inline, completion
@@ -171,6 +197,15 @@ void ThreadPool::FinishSlotLocked(Region* region,
     region_done_.notify_all();
     return;
   }
+  if (region->trace_start_ns != 0 && obs::FullTracingEnabled()) {
+    obs::TraceEvent ev;
+    ev.category = "pool";
+    ev.name = "region-detached";
+    ev.start_ns = region->trace_start_ns;
+    ev.end_ns = obs::TraceNowNs();
+    ev.AddArg("slots", static_cast<i64>(region->slots));
+    obs::Emit(ev);
+  }
   std::function<void()> completion = std::move(region->on_complete);
   region->body = nullptr;  // drop captured state before the record is pooled
   region_done_.notify_all();  // the destructor waits on live_regions_
@@ -223,6 +258,9 @@ void ThreadPool::WorkerLoopLocked() {
 
 void ThreadPool::DispatchLocked(void (*invoke)(void*, unsigned), void* ctx,
                                 unsigned slots) {
+  if (obs::CountersEnabled()) Metrics().regions.Add();
+  obs::TraceSpan region_span("pool", "region");
+  region_span.AddArg("slots", static_cast<i64>(slots));
   Region region;
   region.invoke = invoke;
   region.ctx = ctx;
@@ -293,11 +331,13 @@ void ThreadPool::PushTokens(Region* region, unsigned count) {
   // relaxed: the refs travel to consumers through the ring's release/acquire
   // handshake; RMW coherence on token_refs rules out underflow.
   region->token_refs.fetch_add(count, std::memory_order_relaxed);
+  if (obs::CountersEnabled()) Metrics().tokens.Add(static_cast<i64>(count));
   unsigned spilled = 0;
   for (unsigned i = 0; i < count; ++i) {
     if (!tokens_.TryPush(region)) ++spilled;
   }
   if (spilled > 0) {
+    if (obs::CountersEnabled()) Metrics().token_overflow.Add(spilled);
     // Ring full: spill to the mutex-guarded overflow list. Notifying under
     // the same mutex the workers' wait predicate runs under makes this leg
     // lost-wakeup-free by construction (no eventcount subtlety needed).
@@ -311,6 +351,7 @@ void ThreadPool::PushTokens(Region* region, unsigned count) {
   // makes dispatch onto an awake pool lock-free.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    if (obs::CountersEnabled()) Metrics().wakes.Add();
     std::lock_guard<std::mutex> lock(mutex_);
     work_ready_.notify_all();
   }
@@ -331,6 +372,7 @@ bool ThreadPool::PopToken(Region*& region) {
 }
 
 void ThreadPool::DropTokenRef(Region* region) {
+  if (obs::CountersEnabled()) Metrics().tokens.Add(-1);
   // acq_rel: a blocking dispatcher's acquire load of token_refs == 0 must
   // order after every token consumer's accesses to the region.
   if (region->token_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -386,6 +428,17 @@ void ThreadPool::FinishSlotLockFree(Region* region) {
   // Last slot of a detached region: every body has returned. Recycle the
   // record before the completion runs so a completion that re-submits can
   // reuse it.
+  if (region->trace_start_ns != 0 && obs::FullTracingEnabled()) {
+    // Submission-to-last-slot lifetime of the detached region; read fields
+    // before Release hands the record to the next submitter.
+    obs::TraceEvent ev;
+    ev.category = "pool";
+    ev.name = "region-detached";
+    ev.start_ns = region->trace_start_ns;
+    ev.end_ns = obs::TraceNowNs();
+    ev.AddArg("slots", static_cast<i64>(region->slots));
+    obs::Emit(ev);
+  }
   std::function<void()> completion = std::move(region->on_complete);
   region->body = nullptr;  // drop captured state before the record is pooled
   region->on_complete = nullptr;
@@ -436,6 +489,7 @@ void ThreadPool::WorkerLoopLockFree() {
     }
     idle = 0;
     // Eventcount consumer side: announce, fence, re-check, then park.
+    if (obs::CountersEnabled()) Metrics().parks.Add();
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (PopToken(region)) {
@@ -466,6 +520,9 @@ void ThreadPool::WorkerLoopLockFree() {
 
 void ThreadPool::DispatchLockFree(void (*invoke)(void*, unsigned), void* ctx,
                                   unsigned slots) {
+  if (obs::CountersEnabled()) Metrics().regions.Add();
+  obs::TraceSpan region_span("pool", "region");
+  region_span.AddArg("slots", static_cast<i64>(slots));
   Region region;  // lives on the dispatcher's stack — see token_refs
   region.invoke = invoke;
   region.ctx = ctx;

@@ -143,6 +143,9 @@ class ThreadPool {
     std::atomic<unsigned> token_refs{0};
     bool detached = false;
     bool done = false;  // locked mode, blocking regions: completion flag
+    /// Trace-clock stamp of the detached region's submission; 0 = tracing
+    /// off. The last finisher emits the region-lifetime span from it.
+    u64 trace_start_ns = 0;
     /// First exception a slot body threw (claimed via `error_claimed`).
     /// Blocking dispatchers rethrow it after the region completes; detached
     /// regions drop it (their submitters guard their own bodies).

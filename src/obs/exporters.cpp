@@ -1,0 +1,167 @@
+#include "obs/exporters.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace spnerf::obs {
+namespace {
+
+void AppendJsonEscaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+/// Chrome trace timestamps are microseconds; emit ns-resolution as
+/// fixed-point micros ("12.345") so nothing is rounded away and the output
+/// stays locale/precision independent.
+void AppendMicros(std::ostream& out, u64 ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out << buf;
+}
+
+void AppendEventArgs(std::ostream& out, const TraceEvent& ev) {
+  out << "\"args\":{";
+  bool first = true;
+  if (ev.flow != 0) {
+    out << "\"request\":" << ev.flow;
+    first = false;
+  }
+  for (const TraceArg& arg : ev.args) {
+    if (arg.kind == TraceArgKind::kNone || arg.key == nullptr) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    AppendJsonEscaped(out, arg.key);
+    out << "\":";
+    if (arg.kind == TraceArgKind::kStr) {
+      out << "\"";
+      AppendJsonEscaped(out, InternedString(static_cast<u32>(arg.value)));
+      out << "\"";
+    } else {
+      out << arg.value;
+    }
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& out, const TraceSnapshot& snapshot) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const ThreadTrace& thread : snapshot.threads) {
+    for (const TraceEvent& ev : thread.events) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "{\"name\":\"";
+      AppendJsonEscaped(out, ev.name == nullptr ? "?" : ev.name);
+      out << "\",\"cat\":\"";
+      AppendJsonEscaped(out, ev.category == nullptr ? "?" : ev.category);
+      if (ev.IsInstant()) {
+        out << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+        AppendMicros(out, ev.start_ns);
+      } else {
+        out << "\",\"ph\":\"X\",\"ts\":";
+        AppendMicros(out, ev.start_ns);
+        out << ",\"dur\":";
+        AppendMicros(out, ev.end_ns - ev.start_ns);
+      }
+      out << ",\"pid\":1,\"tid\":" << thread.tid << ",";
+      AppendEventArgs(out, ev);
+      out << "}";
+    }
+    if (thread.dropped != 0) {
+      // One counter event per overflowing thread: visible as a track in the
+      // viewer, and greppable in the raw JSON.
+      if (!first) out << ",\n";
+      first = false;
+      out << "{\"name\":\"trace_dropped\",\"cat\":\"obs\",\"ph\":\"C\","
+             "\"ts\":0,\"pid\":1,\"tid\":"
+          << thread.tid << ",\"args\":{\"dropped\":" << thread.dropped
+          << "}}";
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_total\":"
+      << snapshot.dropped_total << "}}\n";
+}
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "spnerf_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+void WritePrometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+  for (const MetricsSnapshot::CounterEntry& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name) + "_total";
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << c.value << "\n";
+  }
+  for (const MetricsSnapshot::GaugeEntry& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << g.value << "\n";
+  }
+  for (const MetricsSnapshot::HistogramEntry& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    u64 cumulative = 0;
+    for (std::size_t i = 0; i < kHistogramBucketCount; ++i) {
+      if (h.hist.counts[i] == 0) continue;  // cumulative encoding stays exact
+      cumulative += h.hist.counts[i];
+      out << name << "_bucket{le=\"" << Histogram::BucketUpperBound(i)
+          << "\"} " << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.hist.count << "\n";
+    out << name << "_sum " << h.hist.sum << "\n";
+    out << name << "_count " << h.hist.count << "\n";
+  }
+}
+
+bool WriteChromeTraceFile(const std::string& path,
+                          const TraceSnapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[obs] cannot open trace file %s\n", path.c_str());
+    return false;
+  }
+  WriteChromeTrace(out, snapshot);
+  return out.good();
+}
+
+bool WritePrometheusFile(const std::string& path,
+                         const MetricsSnapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[obs] cannot open metrics file %s\n", path.c_str());
+    return false;
+  }
+  WritePrometheus(out, snapshot);
+  return out.good();
+}
+
+}  // namespace spnerf::obs

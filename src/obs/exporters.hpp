@@ -1,0 +1,47 @@
+// Exporters for the observability layer: Chrome `trace_event` JSON (load
+// the file in chrome://tracing or https://ui.perfetto.dev) for drained
+// trace snapshots, and Prometheus text exposition (version 0.0.4) for
+// metrics snapshots. Both emit deterministic output for a given snapshot —
+// entries are pre-sorted and numbers formatted with fixed rules — so the
+// golden tests in tests/test_obs.cpp can compare byte-for-byte.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace spnerf::obs {
+
+/// Writes `snapshot` as a Chrome trace_event JSON object:
+///   * spans become "ph":"X" complete events (ts/dur in microseconds, as
+///     the format requires), instants become "ph":"i" thread-scoped events;
+///   * the event's flow id is surfaced as args.request so timelines can be
+///     filtered per request;
+///   * per-thread overflow drops become one "trace_dropped" counter event
+///     per thread plus a process-level metadata summary — drops are never
+///     silent (lossy-but-honest contract, obs/trace.hpp).
+void WriteChromeTrace(std::ostream& out, const TraceSnapshot& snapshot);
+
+/// Writes `snapshot` in Prometheus text exposition format: counters as
+/// `<name>_total`, gauges bare, histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum`/`_count`. Empty histogram buckets are elided (the
+/// cumulative encoding keeps the series exact); metric names are sanitized
+/// via PrometheusName.
+void WritePrometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Registry metric names use '/' and '-' ("serve/queue-us"); Prometheus
+/// allows [a-zA-Z0-9_:]. Maps every illegal char to '_' and prefixes
+/// "spnerf_": "serve/queue-us" -> "spnerf_serve_queue_us".
+[[nodiscard]] std::string PrometheusName(std::string_view name);
+
+/// File-writing wrappers; return false (with a stderr note) when the file
+/// cannot be opened.
+bool WriteChromeTraceFile(const std::string& path,
+                          const TraceSnapshot& snapshot);
+bool WritePrometheusFile(const std::string& path,
+                         const MetricsSnapshot& snapshot);
+
+}  // namespace spnerf::obs

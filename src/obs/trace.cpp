@@ -1,0 +1,346 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/spsc_queue.hpp"
+
+namespace spnerf::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Level
+// ---------------------------------------------------------------------------
+
+std::atomic<TraceLevel>& LevelSlot() {
+  // First touch resolves the SPNF_TRACE override; the function-local static
+  // makes the resolution thread-safe without an explicit once_flag.
+  static std::atomic<TraceLevel> active{
+      ResolveTraceOverride(std::getenv("SPNF_TRACE"))};
+  return active;
+}
+
+// ---------------------------------------------------------------------------
+// Trace clock
+// ---------------------------------------------------------------------------
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// ---------------------------------------------------------------------------
+// Interning
+// ---------------------------------------------------------------------------
+
+// Fixed open-addressing table of owned C strings. Slot i holds id i+1; a
+// published pointer is immutable for process lifetime, so readers only need
+// an acquire load. Insertion is the cold path (first occurrence of a
+// string) and may allocate; it races via CAS, losers free their copy.
+constexpr std::size_t kInternCapacity = 1024;
+
+std::atomic<const char*> g_intern_slots[kInternCapacity];
+
+u64 HashString(std::string_view s) {
+  // FNV-1a: cheap, stable, and plenty for a 1k-slot table.
+  u64 h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread rings + registry
+// ---------------------------------------------------------------------------
+
+struct ThreadRing {
+  explicit ThreadRing(std::size_t capacity, u32 tid_in)
+      : ring(capacity), tid(tid_in) {}
+  SpscQueue<TraceEvent> ring;
+  std::atomic<u64> dropped{0};
+  u32 tid;
+};
+
+std::atomic<std::size_t> g_default_ring_capacity{kDefaultTraceRingCapacity};
+
+// The registry owns every ring ever created (shared_ptr, so a ring outlives
+// its thread and late drains still see its events/drops). Locked only on
+// thread-first-event registration and on drain — never on record.
+struct RingRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  u32 next_tid = 1;
+};
+
+RingRegistry& Registry() {
+  static RingRegistry* reg = new RingRegistry();  // leaked: record sites may
+  return *reg;                                    // outlive static dtors
+}
+
+ThreadRing& LocalRing() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    RingRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto created = std::make_shared<ThreadRing>(
+        g_default_ring_capacity.load(std::memory_order_relaxed),
+        reg.next_tid++);
+    reg.rings.push_back(created);
+    return created;
+  }();
+  return *ring;
+}
+
+// Serializes drains: the rings' consumer side is single-consumer by
+// contract, so only one DrainTrace may pop at a time.
+std::mutex& DrainMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+}  // namespace
+
+const char* TraceLevelName(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff: return "off";
+    case TraceLevel::kCounters: return "counters";
+    case TraceLevel::kFull: return "full";
+  }
+  return "counters";
+}
+
+bool ParseTraceLevelName(std::string_view name, TraceLevel& out) {
+  if (name == "off") {
+    out = TraceLevel::kOff;
+    return true;
+  }
+  if (name == "counters") {
+    out = TraceLevel::kCounters;
+    return true;
+  }
+  if (name == "full") {
+    out = TraceLevel::kFull;
+    return true;
+  }
+  return false;
+}
+
+TraceLevel ResolveTraceOverride(const char* value) {
+  if (value == nullptr || value[0] == '\0') return TraceLevel::kCounters;
+  TraceLevel requested;
+  if (!ParseTraceLevelName(value, requested)) {
+    std::fprintf(stderr,
+                 "[obs] unknown SPNF_TRACE value '%s'; using 'counters'\n",
+                 value);
+    return TraceLevel::kCounters;
+  }
+  return requested;
+}
+
+TraceLevel ActiveTraceLevel() {
+  return LevelSlot().load(std::memory_order_relaxed);
+}
+
+TraceLevel SetActiveTraceLevel(TraceLevel level) {
+  return LevelSlot().exchange(level, std::memory_order_relaxed);
+}
+
+bool CountersEnabled() { return ActiveTraceLevel() >= TraceLevel::kCounters; }
+
+bool FullTracingEnabled() { return ActiveTraceLevel() == TraceLevel::kFull; }
+
+u64 TraceNowNs() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - TraceEpoch())
+                              .count());
+}
+
+u32 InternString(std::string_view s) {
+  if (s.empty()) return kInternOverflowId;
+  const u64 hash = HashString(s);
+  for (std::size_t probe = 0; probe < kInternCapacity; ++probe) {
+    const std::size_t slot = (hash + probe) & (kInternCapacity - 1);
+    const char* existing =
+        g_intern_slots[slot].load(std::memory_order_acquire);
+    if (existing == nullptr) {
+      // Cold path: first occurrence. Copy the string, try to claim the slot.
+      char* copy = new char[s.size() + 1];
+      std::memcpy(copy, s.data(), s.size());
+      copy[s.size()] = '\0';
+      const char* expected = nullptr;
+      if (g_intern_slots[slot].compare_exchange_strong(
+              expected, copy, std::memory_order_release,
+              std::memory_order_acquire)) {
+        return static_cast<u32>(slot + 1);
+      }
+      delete[] copy;  // lost the race; re-check the winner below
+      existing = expected;
+    }
+    if (s == existing) return static_cast<u32>(slot + 1);
+  }
+  return kInternOverflowId;  // table full — lossy but honest
+}
+
+const char* InternedString(u32 id) {
+  if (id == kInternOverflowId || id > kInternCapacity) return "?";
+  const char* s = g_intern_slots[id - 1].load(std::memory_order_acquire);
+  return s == nullptr ? "?" : s;
+}
+
+void TraceEvent::AddArg(const char* key, i64 value) {
+  for (TraceArg& arg : args) {
+    if (arg.kind == TraceArgKind::kNone) {
+      arg = TraceArg{key, value, TraceArgKind::kInt};
+      return;
+    }
+  }
+}
+
+void TraceEvent::AddStrArg(const char* key, u32 interned_id) {
+  for (TraceArg& arg : args) {
+    if (arg.kind == TraceArgKind::kNone) {
+      arg = TraceArg{key, static_cast<i64>(interned_id), TraceArgKind::kStr};
+      return;
+    }
+  }
+}
+
+i64 TraceEvent::ArgValue(std::string_view key, i64 fallback) const {
+  for (const TraceArg& arg : args) {
+    if (arg.kind != TraceArgKind::kNone && arg.key != nullptr &&
+        key == arg.key) {
+      return arg.value;
+    }
+  }
+  return fallback;
+}
+
+bool TraceEvent::HasArg(std::string_view key) const {
+  for (const TraceArg& arg : args) {
+    if (arg.kind != TraceArgKind::kNone && arg.key != nullptr &&
+        key == arg.key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Emit(const TraceEvent& event) {
+  if (!FullTracingEnabled()) return;
+  ThreadRing& ring = LocalRing();
+  if (!ring.ring.TryPush(event)) {
+    ring.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EmitInstant(const char* category, const char* name, u64 flow) {
+  if (!FullTracingEnabled()) return;
+  TraceEvent ev;
+  ev.start_ns = ev.end_ns = TraceNowNs();
+  ev.category = category;
+  ev.name = name;
+  ev.flow = flow;
+  Emit(ev);
+}
+
+TraceSpan::TraceSpan(const char* category, const char* name, u64 flow) {
+  if (!FullTracingEnabled()) return;
+  active_ = true;
+  event_.category = category;
+  event_.name = name;
+  event_.flow = flow;
+  event_.start_ns = TraceNowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  event_.end_ns = TraceNowNs();
+  Emit(event_);
+}
+
+void TraceSpan::AddArg(const char* key, i64 value) {
+  if (active_) event_.AddArg(key, value);
+}
+
+void TraceSpan::AddStrArg(const char* key, u32 interned_id) {
+  if (active_) event_.AddStrArg(key, interned_id);
+}
+
+void TraceSpan::SetFlow(u64 flow) {
+  if (active_) event_.flow = flow;
+}
+
+std::vector<TraceEvent> TraceSnapshot::Flatten() const {
+  std::vector<TraceEvent> all;
+  std::size_t total = 0;
+  for (const ThreadTrace& t : threads) total += t.events.size();
+  all.reserve(total);
+  for (const ThreadTrace& t : threads) {
+    all.insert(all.end(), t.events.begin(), t.events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.end_ns > b.end_ns;  // enclosing span first
+                   });
+  return all;
+}
+
+std::vector<TraceEvent> TraceSnapshot::EventsForFlow(u64 flow) const {
+  std::vector<TraceEvent> all = Flatten();
+  all.erase(std::remove_if(all.begin(), all.end(),
+                           [flow](const TraceEvent& e) { return e.flow != flow; }),
+            all.end());
+  return all;
+}
+
+TraceSnapshot DrainTrace() {
+  std::lock_guard<std::mutex> drain_lock(DrainMutex());
+  // Snapshot the ring list, then pop outside the registry lock so recording
+  // threads registering new rings are never blocked by a long drain.
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    RingRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    rings = reg.rings;
+  }
+  TraceSnapshot snapshot;
+  snapshot.threads.reserve(rings.size());
+  for (const std::shared_ptr<ThreadRing>& ring : rings) {
+    ThreadTrace trace;
+    trace.tid = ring->tid;
+    TraceEvent ev;
+    while (ring->ring.TryPop(ev)) trace.events.push_back(ev);
+    trace.dropped = ring->dropped.load(std::memory_order_relaxed);
+    snapshot.dropped_total += trace.dropped;
+    if (!trace.events.empty() || trace.dropped != 0) {
+      snapshot.threads.push_back(std::move(trace));
+    }
+  }
+  return snapshot;
+}
+
+u64 TotalTraceDropped() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  u64 total = 0;
+  for (const std::shared_ptr<ThreadRing>& ring : reg.rings) {
+    total += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t SetDefaultTraceRingCapacity(std::size_t capacity) {
+  return g_default_ring_capacity.exchange(capacity,
+                                          std::memory_order_relaxed);
+}
+
+}  // namespace spnerf::obs

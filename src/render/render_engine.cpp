@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spnerf {
 namespace {
@@ -26,6 +28,21 @@ struct TileAccum {
 // batches well below this; past it Acquire falls back to the heap (slower,
 // never wrong).
 constexpr std::size_t kBatchPoolCapacity = 16;
+
+/// Engine-layer metric handles, resolved once per process.
+struct EngineMetrics {
+  obs::Counter& batches = obs::MetricsRegistry::Global().GetCounter(
+      "render/batches");
+  obs::Counter& tiles = obs::MetricsRegistry::Global().GetCounter(
+      "render/tiles");
+  obs::Histogram& batch_jobs = obs::MetricsRegistry::Global().GetHistogram(
+      "render/batch-jobs");
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics metrics;
+  return metrics;
+}
 
 }  // namespace
 
@@ -48,6 +65,7 @@ struct RenderEngine::BatchState {
   std::size_t tiles_left_capacity = 0;
   std::atomic<std::size_t> cursor{0};        // next unclaimed task
   std::chrono::steady_clock::time_point issued;
+  u64 trace_issue_ns = 0;  // trace-clock issue stamp; 0 = tracing off
   std::mutex error_mutex;
   // First render error per job; delivered through the job's future so a
   // throwing tile never escapes a detached pool worker (std::terminate).
@@ -125,19 +143,39 @@ void RenderEngine::BatchState::FinalizeJob(std::size_t job_index) {
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - issued)
                        .count();
+  if (trace_issue_ns != 0 && obs::FullTracingEnabled()) {
+    // The job's issue-to-finalize span on the engine layer, correlated to
+    // the submitting request through the job's flow id.
+    obs::TraceEvent ev;
+    ev.category = "render";
+    ev.name = "render";
+    ev.start_ns = trace_issue_ns;
+    ev.end_ns = obs::TraceNowNs();
+    ev.flow = jobs[job_index].trace_flow;
+    ev.AddArg("tiles", static_cast<i64>(job_first[job_index + 1] -
+                                        job_first[job_index]));
+    obs::Emit(ev);
+  }
   promises[job_index].set_value(std::move(result));
 }
 
 void RenderEngine::BatchState::DrainTiles() {
+  const bool counters = obs::CountersEnabled();
   for (;;) {
     const std::size_t i = cursor.fetch_add(1);
     if (i >= tasks.size()) break;
     const std::size_t j = tasks[i].job;
-    try {
-      RenderTile(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!job_errors[j]) job_errors[j] = std::current_exception();
+    if (counters) Metrics().tiles.Add();
+    {
+      // Scoped so the tile span closes before FinalizeJob's own span opens
+      // — keeps per-thread spans properly nested for the Chrome viewer.
+      obs::TraceSpan tile_span("render", "tile", jobs[j].trace_flow);
+      try {
+        RenderTile(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!job_errors[j]) job_errors[j] = std::current_exception();
+      }
     }
     // acq_rel: the finalizing thread must see every other thread's shard
     // and pixel writes for this job.
@@ -191,8 +229,13 @@ std::shared_ptr<RenderEngine::BatchState> RenderEngine::PrepareBatch(
   std::shared_ptr<BatchState> state(
       raw, [pool = batch_pool_](BatchState* s) { pool->Release(s); });
   state->issued = std::chrono::steady_clock::now();
+  state->trace_issue_ns = obs::FullTracingEnabled() ? obs::TraceNowNs() : 0;
   state->jobs = std::move(jobs);
   const std::size_t n = state->jobs.size();
+  if (obs::CountersEnabled()) {
+    Metrics().batches.Add();
+    Metrics().batch_jobs.Record(n);
+  }
   state->renderers.reserve(n);
   state->images.resize(n);
   state->promises.resize(n);  // fresh promises; the vector keeps capacity

@@ -37,6 +37,10 @@ struct RenderJob {
   /// Collect RenderStats and DecodeCounters for this view. Stats-on tiles
   /// render at full parallelism (per-tile shards, ordered reduction).
   bool collect_stats = false;
+  /// Trace correlation id (obs/trace.hpp flow). Layers above set it to their
+  /// request id so engine tile/job spans land on the request's timeline;
+  /// 0 means uncorrelated.
+  u64 trace_flow = 0;
 };
 
 struct RenderResult {

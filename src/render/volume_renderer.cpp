@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/aligned.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "render/embedding.hpp"
 #include "render/render_engine.hpp"
 
@@ -206,6 +208,11 @@ void VolumeRenderer::RenderTileWavefront(const FieldSource& source,
     }
 
     // Decode + interpolate the whole front in one call.
+    if (obs::CountersEnabled()) {
+      static obs::Histogram& front_size =
+          obs::MetricsRegistry::Global().GetHistogram("render/front-size");
+      front_size.Record(s.positions.size());
+    }
     s.samples.resize(s.positions.size());
     source.SampleBatch(s.positions, s.samples, counters);
 

@@ -64,19 +64,20 @@ std::vector<TimedRequest> LoadGenerator::GenerateTrace() const {
 }
 
 ReplayResult ReplayTrace(RenderService& service,
-                         const std::vector<TimedRequest>& trace) {
-  using Clock = std::chrono::steady_clock;
+                         const std::vector<TimedRequest>& trace,
+                         ClockSource* clock) {
+  ClockSource& clk = clock ? *clock : SystemClock();
   service.Start();
 
   std::vector<std::future<RenderResponse>> futures;
   futures.reserve(trace.size());
-  const Clock::time_point start = Clock::now();
+  const ClockSource::time_point start = clk.Now();
   for (const TimedRequest& t : trace) {
     // Open loop: submission times come from the trace alone, never from
     // service progress; a slow service accumulates backlog (and sheds).
-    std::this_thread::sleep_until(
-        start + std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double, std::milli>(t.arrival_ms)));
+    clk.SleepUntil(start +
+                   std::chrono::duration_cast<ClockSource::duration>(
+                       std::chrono::duration<double, std::milli>(t.arrival_ms)));
     futures.push_back(service.Submit(t.request));
   }
 
@@ -85,9 +86,8 @@ ReplayResult ReplayTrace(RenderService& service,
   for (std::future<RenderResponse>& f : futures) {
     result.responses.push_back(f.get());
   }
-  result.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
-                                                             start)
-                       .count();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(clk.Now() - start).count();
   return result;
 }
 

@@ -64,8 +64,12 @@ struct ReplayResult {
 };
 
 /// Replays a trace open-loop: sleeps to each arrival time, submits, then
-/// waits for every future. Implies service.Start().
+/// waits for every future. Implies service.Start(). Arrival pacing runs on
+/// `clock` (the system clock when null) — pass the service's ManualClock to
+/// replay on virtual time: SleepUntil then jumps straight to each arrival
+/// instead of sleeping wall time.
 ReplayResult ReplayTrace(RenderService& service,
-                         const std::vector<TimedRequest>& trace);
+                         const std::vector<TimedRequest>& trace,
+                         ClockSource* clock = nullptr);
 
 }  // namespace spnerf

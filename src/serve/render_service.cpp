@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "render/field_source.hpp"
 
 namespace spnerf {
@@ -21,6 +24,63 @@ double MsBetween(Clock::time_point from, Clock::time_point to) {
 
 std::size_t PriorityClass(RequestPriority priority) {
   return static_cast<std::size_t>(priority);
+}
+
+u64 ToMicros(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<u64>(ms * 1000.0);
+}
+
+/// Registry handles for the serving layer, resolved once (the registry map
+/// lookup never sits on a request path). Recording through them is gated on
+/// obs::CountersEnabled() at each site.
+struct ServeMetrics {
+  obs::Counter& submitted;
+  obs::Counter& completed;
+  obs::Counter& rejected;
+  obs::Counter& expired;
+  obs::Counter& batches;
+  obs::Counter& coalesced;  // requests that shared another request's batch
+  obs::Gauge& queue_depth;
+  obs::Histogram& queue_us;
+  obs::Histogram& total_us;
+  obs::Histogram& batch_size;
+};
+
+ServeMetrics& Metrics() {
+  auto& reg = obs::MetricsRegistry::Global();
+  static ServeMetrics m{reg.GetCounter("serve/submitted"),
+                        reg.GetCounter("serve/completed"),
+                        reg.GetCounter("serve/rejected"),
+                        reg.GetCounter("serve/expired"),
+                        reg.GetCounter("serve/batches"),
+                        reg.GetCounter("serve/coalesced"),
+                        reg.GetGauge("serve/queue-depth"),
+                        reg.GetHistogram("serve/queue-us"),
+                        reg.GetHistogram("serve/total-us"),
+                        reg.GetHistogram("serve/batch-size")};
+  return m;
+}
+
+/// Interned tag ids for the request-span args, resolved once per process so
+/// full-trace recording never re-probes the intern table for fixed names.
+u32 PriorityTagId(RequestPriority priority) {
+  static const u32 ids[kPriorityClassCount] = {
+      obs::InternString("batch"), obs::InternString("normal"),
+      obs::InternString("interactive")};
+  return ids[PriorityClass(priority)];
+}
+
+u32 OutcomeTagId(RequestStatus status) {
+  static const u32 ids[3] = {obs::InternString("completed"),
+                             obs::InternString("rejected"),
+                             obs::InternString("expired")};
+  return ids[static_cast<std::size_t>(status)];
+}
+
+u32 ModeTagId(dispatch::Mode mode) {
+  static const u32 ids[2] = {obs::InternString("locked"),
+                             obs::InternString("lockfree")};
+  return ids[static_cast<std::size_t>(mode)];
 }
 
 /// Chunk size of the incremental full-queue expiry sweep at admission: the
@@ -59,6 +119,15 @@ struct RenderService::Pending {
   /// Absolute deadline; Clock::time_point::max() when none.
   Clock::time_point deadline = Clock::time_point::max();
   u64 sequence = 0;
+  /// Trace correlation id (flow of every span this request emits). Assigned
+  /// at every admission; 0 only on recycled entries not yet re-armed.
+  u64 request_id = 0;
+  /// Trace-clock submit stamp (obs::TraceNowNs — NOT the scheduling clock),
+  /// recorded only under full tracing; 0 otherwise. Start of the request's
+  /// "request" and "queue" spans.
+  u64 trace_submit_ns = 0;
+  /// Interned batch key for span tags (0 unless full tracing).
+  u32 trace_key_id = 0;
 
   [[nodiscard]] bool ExpiredAt(Clock::time_point now) const {
     return deadline != Clock::time_point::max() && now >= deadline;
@@ -89,6 +158,9 @@ struct RenderService::InflightBatch {
   std::string key;
   u64 dispatch_index = 0;
   Clock::time_point issued{};
+  /// Trace-clock issue stamp (end of each entry's "queue" span, start of
+  /// the batch's "issue" span); 0 unless full tracing.
+  u64 trace_issue_ns = 0;
   std::shared_ptr<const ScenePipeline> pipeline;
   std::unique_ptr<SpNeRFFieldSource> source;
 };
@@ -107,6 +179,7 @@ RenderService::RenderService(RenderServiceOptions options)
     : options_(options),
       repository_(options.repository ? *options.repository
                                      : PipelineRepository::Global()),
+      clock_(options.clock ? *options.clock : SystemClock()),
       engine_(options.engine),
       mode_(dispatch::ActiveMode()),
       // Enough recycled entries for the full queue plus every coalesced
@@ -123,6 +196,7 @@ RenderService::RenderService(RenderServiceOptions options)
                    "serve: max batch must be positive");
   SPNERF_CHECK_MSG(options_.max_inflight_batches > 0,
                    "serve: max inflight batches must be positive");
+  stats_.SetClock(&clock_);
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -152,13 +226,16 @@ RenderService::PendingHandle RenderService::AcquirePending() {
   entry->promise = std::promise<RenderResponse>{};
   entry->deadline = Clock::time_point::max();
   entry->sequence = 0;
+  entry->request_id = 0;
+  entry->trace_submit_ns = 0;
+  entry->trace_key_id = 0;
   return PendingHandle(entry, PendingDeleter{pending_pool_});
 }
 
 void RenderService::Shed(Pending& entry, RequestStatus status) {
   RenderResponse response;
   response.status = status;
-  response.total_ms = MsBetween(entry.submitted, Clock::now());
+  response.total_ms = MsBetween(entry.submitted, clock_.Now());
   // A shed request spent its whole life queued (~0 when dropped straight
   // at admission); report that wait.
   response.queue_ms = response.total_ms;
@@ -166,6 +243,26 @@ void RenderService::Shed(Pending& entry, RequestStatus status) {
     stats_.RecordExpired(PriorityClass(entry.request.priority));
   } else {
     stats_.RecordRejected(PriorityClass(entry.request.priority));
+  }
+  if (obs::CountersEnabled()) {
+    (status == RequestStatus::kExpired ? Metrics().expired
+                                       : Metrics().rejected)
+        .Add();
+  }
+  if (entry.trace_submit_ns != 0) {
+    // A shed request's whole timeline is its queue wait: one "request" span
+    // submit -> shed, tagged with the terminal outcome.
+    obs::TraceEvent ev;
+    ev.start_ns = entry.trace_submit_ns;
+    ev.end_ns = obs::TraceNowNs();
+    ev.category = "serve";
+    ev.name = "request";
+    ev.flow = entry.request_id;
+    ev.AddStrArg("priority", PriorityTagId(entry.request.priority));
+    ev.AddStrArg("key", entry.trace_key_id);
+    ev.AddStrArg("mode", ModeTagId(mode_));
+    ev.AddStrArg("outcome", OutcomeTagId(status));
+    obs::Emit(ev);
   }
   entry.promise.set_value(std::move(response));
 }
@@ -245,12 +342,23 @@ std::future<RenderResponse> RenderService::Submit(RenderRequest request) {
   // PipelineRepository entry (engine options never change rendered bytes).
   entry->request.config.engine = RenderEngineOptions{};
   entry->batch_key = BatchKey(entry->request);
-  entry->submitted = Clock::now();
+  entry->submitted = clock_.Now();
   if (entry->request.deadline_ms > 0.0) {
     entry->deadline =
         entry->submitted + std::chrono::duration_cast<Clock::duration>(
                                std::chrono::duration<double, std::milli>(
                                    entry->request.deadline_ms));
+  }
+  entry->request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::CountersEnabled()) Metrics().submitted.Add();
+  if (obs::FullTracingEnabled()) {
+    // Stamp the span start on the trace clock and intern the batch key once
+    // per request — every later event of this request reuses both. The
+    // intern lookup is lock-free (allocation only on a key's first-ever
+    // occurrence); recording stays lock-free end to end.
+    entry->trace_submit_ns = obs::TraceNowNs();
+    entry->trace_key_id = obs::InternString(entry->batch_key);
+    obs::EmitInstant("serve", "admit", entry->request_id);
   }
   std::future<RenderResponse> future = entry->promise.get_future();
 
@@ -325,7 +433,7 @@ std::future<RenderResponse> RenderService::SubmitLocked(
     // A full queue may be holding already-expired entries; shed those
     // first — dead work must neither consume capacity nor hold its
     // (earliest-deadline, hence highest) rank against live arrivals.
-    if (SweepSomeExpiredLocked(Clock::now(), dead)) seated = claim_seat();
+    if (SweepSomeExpiredLocked(clock_.Now(), dead)) seated = claim_seat();
   }
   if (seated) {
     ++key_counts_[entry->batch_key];
@@ -426,7 +534,17 @@ void RenderService::ReleaseBatch(const InflightBatch& batch) {
 void RenderService::CompleteBatch(
     const std::shared_ptr<InflightBatch>& batch,
     std::vector<std::future<RenderResult>> results) {
-  const Clock::time_point done = Clock::now();
+  const Clock::time_point done = clock_.Now();
+  const u64 done_ns =
+      obs::FullTracingEnabled() ? obs::TraceNowNs() : 0;
+  // Explicitly reset (emitted) BEFORE ReleaseBatch: once the in-flight seat
+  // frees (what Drain() and teardown wait on), every span of the batch is
+  // already in its ring — a trace drain right after Drain() sees them all.
+  std::optional<obs::TraceSpan> complete_span;
+  complete_span.emplace("serve", "complete",
+                        batch->entries.front()->request_id);
+  complete_span->AddArg("batch",
+                        static_cast<i64>(batch->dispatch_index));
   stats_.RecordBatch(batch->entries.size());
   for (std::size_t i = 0; i < batch->entries.size(); ++i) {
     Pending& entry = *batch->entries[i];
@@ -442,6 +560,26 @@ void RenderService::CompleteBatch(
       response.missed_deadline = entry.ExpiredAt(done);
       stats_.RecordCompleted(response.queue_ms, response.total_ms,
                              PriorityClass(entry.request.priority));
+      if (obs::CountersEnabled()) {
+        Metrics().completed.Add();
+        Metrics().queue_us.Record(ToMicros(response.queue_ms));
+        Metrics().total_us.Record(ToMicros(response.total_ms));
+      }
+      if (entry.trace_submit_ns != 0 && done_ns != 0) {
+        // The request's envelope span, submit -> response ready, carrying
+        // every tag the timeline reconstruction needs.
+        obs::TraceEvent ev;
+        ev.start_ns = entry.trace_submit_ns;
+        ev.end_ns = done_ns;
+        ev.category = "serve";
+        ev.name = "request";
+        ev.flow = entry.request_id;
+        ev.AddStrArg("priority", PriorityTagId(entry.request.priority));
+        ev.AddStrArg("key", entry.trace_key_id);
+        ev.AddStrArg("mode", ModeTagId(mode_));
+        ev.AddStrArg("outcome", OutcomeTagId(RequestStatus::kCompleted));
+        obs::Emit(ev);
+      }
       entry.promise.set_value(std::move(response));
     } catch (const std::exception& e) {
       // A render error must not wedge the service: fail this request's
@@ -457,10 +595,33 @@ void RenderService::CompleteBatch(
       entry.promise.set_exception(std::current_exception());
     }
   }
+  complete_span.reset();
   ReleaseBatch(*batch);
 }
 
 void RenderService::IssueBatch(std::shared_ptr<InflightBatch> batch) {
+  if (batch->trace_issue_ns != 0) {
+    // Retroactive "queue" span per coalesced request: submit -> issue, on
+    // timestamps captured at those moments (spans carry explicit times, so
+    // recording after the fact costs the hot path nothing).
+    for (const PendingHandle& entry : batch->entries) {
+      if (entry->trace_submit_ns == 0) continue;
+      obs::TraceEvent ev;
+      ev.start_ns = entry->trace_submit_ns;
+      ev.end_ns = batch->trace_issue_ns;
+      ev.category = "serve";
+      ev.name = "queue";
+      ev.flow = entry->request_id;
+      ev.AddStrArg("priority", PriorityTagId(entry->request.priority));
+      ev.AddArg("batch", static_cast<i64>(batch->dispatch_index));
+      obs::Emit(ev);
+    }
+  }
+  obs::TraceSpan issue_span("serve", "issue",
+                            batch->entries.front()->request_id);
+  issue_span.AddArg("batch", static_cast<i64>(batch->dispatch_index));
+  issue_span.AddArg("jobs", static_cast<i64>(batch->entries.size()));
+  issue_span.AddStrArg("key", batch->entries.front()->trace_key_id);
   try {
     // One pipeline serves the whole batch (identical batch key ==
     // identical pipeline key); one stateless source backs every job. Both
@@ -482,6 +643,8 @@ void RenderService::IssueBatch(std::shared_ptr<InflightBatch> batch) {
       job.camera = batch->pipeline->MakeCamera(r.image_width, r.image_height,
                                                r.view, r.n_views);
       job.options = batch->pipeline->RenderOptionsWithSkip();
+      // Links the engine's render/tile spans into this request's timeline.
+      job.trace_flow = entry->request_id;
       jobs.push_back(job);
     }
     engine_.SubmitBatch(
@@ -561,7 +724,7 @@ void RenderService::DispatcherLoop() {
         // anyway — no separate full-queue sweep) while tracking the
         // best-ranked survivor whose key has no batch in flight (same-key
         // requests wait and coalesce into the next batch).
-        const Clock::time_point now = Clock::now();
+        const Clock::time_point now = clock_.Now();
         std::size_t write = 0;
         std::size_t best = kNoBest;
         for (std::size_t read = 0; read < queue_.size(); ++read) {
@@ -625,10 +788,24 @@ void RenderService::DispatcherLoop() {
           inflight_keys_.insert(batch->key);
           ++inflight_batches_;
           batch->dispatch_index = next_dispatch_++;
-          batch->issued = Clock::now();
+          batch->issued = clock_.Now();
+          if (obs::CountersEnabled()) {
+            Metrics().batches.Add();
+            Metrics().batch_size.Record(batch->entries.size());
+            if (batch->entries.size() > 1) {
+              Metrics().coalesced.Add(batch->entries.size() - 1);
+            }
+          }
+          if (obs::FullTracingEnabled()) {
+            batch->trace_issue_ns = obs::TraceNowNs();
+          }
         }
       }
-      stats_.RecordQueueDepth(queued_count_.load(std::memory_order_relaxed));
+      const std::size_t depth = queued_count_.load(std::memory_order_relaxed);
+      stats_.RecordQueueDepth(depth);
+      if (obs::CountersEnabled()) {
+        Metrics().queue_depth.Set(static_cast<i64>(depth));
+      }
     }
 
     for (PendingHandle& entry : expired) {

@@ -63,6 +63,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/dispatch.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/object_pool.hpp"
@@ -149,6 +150,10 @@ struct RenderServiceOptions {
   RenderEngineOptions engine;
   /// Pipeline source; nullptr uses PipelineRepository::Global().
   PipelineRepository* repository = nullptr;
+  /// Scheduling clock (submit stamps, deadlines, queue ages); nullptr uses
+  /// the real steady clock. Tests inject a ManualClock and advance virtual
+  /// time past deadlines instead of sleeping wall time (common/clock.hpp).
+  ClockSource* clock = nullptr;
   /// Start with dispatching paused; Start() (or Drain()) begins it. Lets
   /// tests and benches stage a backlog deterministically.
   bool start_paused = false;
@@ -258,6 +263,9 @@ class RenderService {
 
   RenderServiceOptions options_;
   PipelineRepository& repository_;
+  /// Injected scheduling clock (options.clock or the system clock). The
+  /// tracing layer keeps its own real clock — see common/clock.hpp.
+  ClockSource& clock_;
   RenderEngine engine_;
   ServiceStats stats_;
   /// Dispatch mode, captured once at construction (common/dispatch.hpp).
@@ -282,6 +290,10 @@ class RenderService {
   std::atomic<std::size_t> queued_count_{0};
   /// Dispatcher parked-announcement flag for WakeDispatcher's eventcount.
   std::atomic<bool> dispatcher_parked_{false};
+  /// Request correlation ids for the tracing layer: every admitted request
+  /// gets one (relaxed fetch_add — stays on the lock-free fast path), and
+  /// every span/instant of its lifetime carries it as the trace flow id.
+  std::atomic<u64> next_request_id_{1};
   /// Atomic so the lock-free fast path can check shutdown without the lock;
   /// stragglers that race the flag are shed by the destructor's final inbox
   /// drain.

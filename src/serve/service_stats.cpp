@@ -104,7 +104,7 @@ void ServiceStats::RecordSubmitted(std::size_t queue_depth_after) {
   if (!has_submit_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!has_submit_.load(std::memory_order_relaxed)) {
-      first_submit_ = std::chrono::steady_clock::now();
+      first_submit_ = clock_->Now();
       has_submit_.store(true, std::memory_order_release);
     }
   }
@@ -137,7 +137,7 @@ void ServiceStats::RecordCompleted(double queue_ms, double total_ms,
   queue_latency_.Record(queue_ms);
   total_latency_.Record(total_ms);
   class_latency_[cls].Record(total_ms);
-  last_complete_ = std::chrono::steady_clock::now();
+  last_complete_ = clock_->Now();
   has_complete_.store(true, std::memory_order_release);
 }
 

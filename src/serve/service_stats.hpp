@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/types.hpp"
 
 namespace spnerf {
@@ -135,6 +136,11 @@ struct ServiceStatsSnapshot {
 /// (static_cast<std::size_t>(RequestPriority)).
 class ServiceStats {
  public:
+  /// Clock behind the span timestamps (first submit / last complete).
+  /// Defaults to the system clock; the owning service injects its own
+  /// before any recording, so virtual-time tests measure virtual spans.
+  void SetClock(ClockSource* clock) { clock_ = clock; }
+
   void RecordSubmitted(std::size_t queue_depth_after);
   void RecordRejected(std::size_t priority_class);
   void RecordExpired(std::size_t priority_class);
@@ -171,6 +177,7 @@ class ServiceStats {
   LatencySample queue_latency_;
   LatencySample total_latency_;
   std::array<LatencySample, kPriorityClassCount> class_latency_;
+  ClockSource* clock_ = &SystemClock();
   std::chrono::steady_clock::time_point first_submit_{};
   std::chrono::steady_clock::time_point last_complete_{};
 };

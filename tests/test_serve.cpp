@@ -9,8 +9,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/dispatch.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "serve/load_generator.hpp"
 
 namespace spnerf {
@@ -141,13 +143,18 @@ TEST_F(ServeTest, LowPriorityNeverEvictsEqualRank) {
 }
 
 TEST_F(ServeTest, ExpiredDeadlineIsShedWithoutRendering) {
-  RenderService service(PausedOptions(8));
+  // Deadlines run on the injected scheduling clock: advance virtual time
+  // past the deadline instead of sleeping real wall time.
+  ManualClock clock;
+  RenderServiceOptions opts = PausedOptions(8);
+  opts.clock = &clock;
+  RenderService service(opts);
   RenderRequest doomed = SmallRequest();
   doomed.deadline_ms = 1.0;
   RenderRequest fine = SmallRequest(SceneId::kMic, 1);
   std::future<RenderResponse> f_doomed = service.Submit(doomed);
   std::future<RenderResponse> f_fine = service.Submit(fine);
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  clock.AdvanceMs(20.0);
   service.Drain();
 
   const RenderResponse r = f_doomed.get();
@@ -241,12 +248,15 @@ TEST_F(ServeTest, MaskingSplitsTheBatchKey) {
 TEST_F(ServeTest, ExpiredEntriesYieldTheirSeatsAtAdmission) {
   // A full queue of already-dead work must not reject live arrivals: the
   // admission path sweeps expired entries before deciding to shed.
-  RenderService service(PausedOptions(/*capacity=*/2));
+  ManualClock clock;
+  RenderServiceOptions opts = PausedOptions(/*capacity=*/2);
+  opts.clock = &clock;
+  RenderService service(opts);
   RenderRequest doomed = SmallRequest();
   doomed.deadline_ms = 1.0;
   std::future<RenderResponse> d0 = service.Submit(doomed);
   std::future<RenderResponse> d1 = service.Submit(doomed);
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  clock.AdvanceMs(20.0);
 
   std::future<RenderResponse> live = service.Submit(SmallRequest());
   // The dead entries were shed to make room; the live request is queued.
@@ -365,6 +375,70 @@ TEST_F(ServeTest, EngineFieldsNeverSplitTheBatchKey) {
   b.config.engine.tile_size = 7;
   b.config.engine.max_threads = 4;
   EXPECT_EQ(RenderService::BatchKey(a), RenderService::BatchKey(b));
+}
+
+// ------------------------------------------------------------ tracing ---
+
+TEST_F(ServeTest, FullTracingReconstructsRequestTimelines) {
+  // End-to-end contract for the observability layer: under SPNF_TRACE=full
+  // every request's lifetime is reconstructible from the drained trace via
+  // its flow id — an admit instant, a queue span nested inside the request
+  // envelope span, and the envelope tagged with priority class, pipeline
+  // key, dispatch mode and outcome.
+  obs::DrainTrace();  // discard events any earlier test left behind
+  const obs::TraceLevel prev_level =
+      obs::SetActiveTraceLevel(obs::TraceLevel::kFull);
+  {
+    RenderService service(PausedOptions(/*capacity=*/8, /*max_batch=*/8));
+    std::future<RenderResponse> f0 =
+        service.Submit(SmallRequest(SceneId::kMic, 0));
+    std::future<RenderResponse> f1 =
+        service.Submit(SmallRequest(SceneId::kMic, 1));
+    service.Drain();
+    ASSERT_EQ(f0.get().status, RequestStatus::kCompleted);
+    ASSERT_EQ(f1.get().status, RequestStatus::kCompleted);
+  }  // service destruction joins every emitting thread before the drain
+  obs::SetActiveTraceLevel(prev_level);
+
+  const obs::TraceSnapshot snap = obs::DrainTrace();
+  for (const u64 flow : {u64{1}, u64{2}}) {  // per-service ids start at 1
+    const std::vector<obs::TraceEvent> events = snap.EventsForFlow(flow);
+    const obs::TraceEvent* admit = nullptr;
+    const obs::TraceEvent* queue = nullptr;
+    const obs::TraceEvent* request = nullptr;
+    for (const obs::TraceEvent& e : events) {
+      const std::string_view name = e.name;
+      if (name == "admit") admit = &e;
+      if (name == "queue") queue = &e;
+      if (name == "request") request = &e;
+    }
+    ASSERT_NE(admit, nullptr) << "flow " << flow;
+    ASSERT_NE(queue, nullptr) << "flow " << flow;
+    ASSERT_NE(request, nullptr) << "flow " << flow;
+    EXPECT_TRUE(admit->IsInstant());
+    // The queue wait nests inside the request envelope.
+    EXPECT_GE(queue->start_ns, request->start_ns);
+    EXPECT_LE(queue->end_ns, request->end_ns);
+    // The envelope carries every tag the timeline viewer filters on.
+    const auto tag = [&](const char* key) {
+      return std::string_view(obs::InternedString(
+          static_cast<u32>(request->ArgValue(key))));
+    };
+    EXPECT_EQ(tag("priority"), "normal");
+    EXPECT_NE(tag("key"), "?");  // the interned pipeline key
+    EXPECT_TRUE(tag("mode") == "locked" || tag("mode") == "lockfree");
+    EXPECT_EQ(tag("outcome"), "completed");
+  }
+  // Same key, one coalesced batch: the issue and complete spans ride the
+  // batch leader's flow (the first submission).
+  bool has_issue = false, has_complete = false;
+  for (const obs::TraceEvent& e : snap.EventsForFlow(1)) {
+    const std::string_view name = e.name;
+    has_issue |= name == "issue";
+    has_complete |= name == "complete";
+  }
+  EXPECT_TRUE(has_issue);
+  EXPECT_TRUE(has_complete);
 }
 
 // ----------------------------------------------------- load generation --
@@ -578,14 +652,17 @@ TEST_F(ServeTest, DeepExpiredBacklogDoesNotStallAdmission) {
   // backlog with the lock held. The rest of the corpses are reaped by the
   // dispatcher's own pass.
   constexpr std::size_t kCapacity = 256;
-  RenderService service(PausedOptions(kCapacity));
+  ManualClock clock;
+  RenderServiceOptions manual_opts = PausedOptions(kCapacity);
+  manual_opts.clock = &clock;
+  RenderService service(manual_opts);
   RenderRequest doomed = SmallRequest();
   doomed.deadline_ms = 0.0001;
   std::vector<std::future<RenderResponse>> dead;
   for (std::size_t i = 0; i < kCapacity; ++i) {
     dead.push_back(service.Submit(doomed));
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  clock.AdvanceMs(5.0);
 
   std::future<RenderResponse> live =
       service.Submit(SmallRequest(SceneId::kMic, 1));
