@@ -98,8 +98,11 @@ PipelineAssets BuildPipelineAssets(SceneId id, const DatasetParams& dp,
   assets.dataset = std::make_shared<const SceneDataset>(BuildDataset(id, dp));
   assets.codec = MakeCodecAsset(assets.dataset, sp);
   // Coarse skip from the full grid's occupancy: a superset of every lossy
-  // representation, so all pipelines march identical rays.
+  // representation, so all pipelines march identical rays. The octree is
+  // the coarse bitmap's bottom-up reduction (leaf level bit-identical).
   assets.coarse = MakeCoarseAsset(*assets.dataset, coarse_factor);
+  assets.octree = std::make_shared<const OccupancyOctree>(
+      OccupancyOctree::Build(*assets.coarse));
   return assets;
 }
 
@@ -321,12 +324,37 @@ std::shared_ptr<const CoarseOccupancy> AssetCache::AcquireCoarse(
       });
 }
 
+std::shared_ptr<const OccupancyOctree> AssetCache::AcquireOctree(
+    SceneId id, const DatasetParams& dp, int factor,
+    const std::shared_ptr<const CoarseOccupancy>& coarse) {
+  SPNERF_CHECK_MSG(coarse != nullptr, "AcquireOctree needs a coarse bitmap");
+  return AcquireImpl<OccupancyOctree>(
+      OctreeAssetKey(DatasetAssetKey(id, dp), factor),
+      std::string("octree/") + SceneName(id), 1,
+      [&](std::istream& in) -> std::shared_ptr<const OccupancyOctree> {
+        auto loaded =
+            std::make_shared<OccupancyOctree>(LoadOccupancyOctree(in));
+        SPNERF_CHECK_MSG(
+            loaded->LeafBits().Words() == coarse->Bits().Words(),
+            "octree asset leaf level disagrees with the coarse bitmap");
+        return loaded;
+      },
+      [&] {
+        return std::make_shared<const OccupancyOctree>(
+            OccupancyOctree::Build(*coarse));
+      },
+      [](std::ostream& out, const OccupancyOctree& v) {
+        SaveOccupancyOctree(v, out);
+      });
+}
+
 PipelineAssets AssetCache::Acquire(SceneId id, const DatasetParams& dp,
                                    const SpNeRFParams& sp, int coarse_factor) {
   PipelineAssets assets;
   assets.dataset = AcquireDataset(id, dp);
   assets.codec = AcquireCodec(id, dp, sp, assets.dataset);
   assets.coarse = AcquireCoarse(id, dp, coarse_factor, assets.dataset);
+  assets.octree = AcquireOctree(id, dp, coarse_factor, assets.coarse);
   return assets;
 }
 

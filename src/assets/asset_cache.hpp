@@ -22,6 +22,7 @@
 #include "assets/asset_key.hpp"
 #include "common/lru.hpp"
 #include "grid/occupancy.hpp"
+#include "grid/occupancy_octree.hpp"
 #include "scene/dataset.hpp"
 
 namespace spnerf {
@@ -47,6 +48,7 @@ struct PipelineAssets {
   std::shared_ptr<const SceneDataset> dataset;
   std::shared_ptr<const SpNeRFModel> codec;
   std::shared_ptr<const CoarseOccupancy> coarse;
+  std::shared_ptr<const OccupancyOctree> octree;
 };
 
 /// Preprocesses a codec over `dataset`, bundling the dataset with the model
@@ -99,6 +101,12 @@ class AssetCache {
   std::shared_ptr<const CoarseOccupancy> AcquireCoarse(
       SceneId id, const DatasetParams& dp, int factor,
       const std::shared_ptr<const SceneDataset>& dataset);
+
+  /// Occupancy octree reduced from `coarse` (which must have been acquired
+  /// for the same dataset + factor).
+  std::shared_ptr<const OccupancyOctree> AcquireOctree(
+      SceneId id, const DatasetParams& dp, int factor,
+      const std::shared_ptr<const CoarseOccupancy>& coarse);
 
   /// Everything a pipeline needs, acquired in dependency order.
   PipelineAssets Acquire(SceneId id, const DatasetParams& dp,

@@ -57,6 +57,9 @@ class ScenePipeline {
   [[nodiscard]] const SpNeRFModel& Codec() const { return *assets_.codec; }
   [[nodiscard]] const Mlp& GetMlp() const { return mlp_; }
   [[nodiscard]] const CoarseOccupancy& Skip() const { return *assets_.coarse; }
+  [[nodiscard]] const OccupancyOctree& Octree() const {
+    return *assets_.octree;
+  }
 
   /// Orbit camera `view` of `n_views` at the configured radius/elevation.
   [[nodiscard]] Camera MakeCamera(int width, int height, int view = 0,
@@ -67,7 +70,8 @@ class ScenePipeline {
   [[nodiscard]] RenderEngine MakeEngine() const {
     return RenderEngine(config_.engine);
   }
-  /// Render options with this pipeline's coarse skip attached. Callers
+  /// Render options with this pipeline's skip structures attached (coarse
+  /// bitmap + occupancy octree; SPNF_SKIP picks which one marches). Callers
   /// building their own RenderJobs (orbit sweeps, codec A/B batches) use
   /// this so every path marches identical rays.
   [[nodiscard]] RenderOptions RenderOptionsWithSkip() const;

@@ -1,0 +1,57 @@
+#include "render/skip_mode.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spnerf::skip {
+namespace {
+
+std::atomic<Mode>& ActiveSlot() {
+  // First touch resolves the SPNF_SKIP override; the function-local static
+  // makes the resolution thread-safe without an explicit once_flag.
+  static std::atomic<Mode> active{ResolveOverride(std::getenv("SPNF_SKIP"))};
+  return active;
+}
+
+}  // namespace
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kFlat: return "flat";
+    case Mode::kOctree: return "octree";
+  }
+  return "octree";
+}
+
+bool ParseModeName(std::string_view name, Mode& out) {
+  if (name == "flat") {
+    out = Mode::kFlat;
+    return true;
+  }
+  if (name == "octree") {
+    out = Mode::kOctree;
+    return true;
+  }
+  return false;
+}
+
+Mode ResolveOverride(const char* value) {
+  if (value == nullptr || value[0] == '\0') return Mode::kOctree;
+  Mode requested;
+  if (!ParseModeName(value, requested)) {
+    std::fprintf(stderr,
+                 "[skip] unknown SPNF_SKIP value '%s'; using 'octree'\n",
+                 value);
+    return Mode::kOctree;
+  }
+  return requested;
+}
+
+Mode ActiveMode() { return ActiveSlot().load(std::memory_order_relaxed); }
+
+Mode SetActiveMode(Mode mode) {
+  return ActiveSlot().exchange(mode, std::memory_order_relaxed);
+}
+
+}  // namespace spnerf::skip

@@ -1,6 +1,9 @@
 #include "render/volume_renderer.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <string>
 
 #include "common/aligned.hpp"
 #include "obs/metrics.hpp"
@@ -16,7 +19,7 @@ float CellExitT(const Ray& ray, const Aabb& cell, float t) {
   float exit_t = std::numeric_limits<float>::max();
   for (int axis = 0; axis < 3; ++axis) {
     const float d = ray.direction[axis];
-    if (std::fabs(d) < 1e-12f) continue;
+    if (std::fabs(d) < kDegenerateDirectionEpsilon) continue;
     const float boundary = d > 0.f ? cell.hi[axis] : cell.lo[axis];
     const float tx = (boundary - ray.origin[axis]) / d;
     if (tx > t && tx < exit_t) exit_t = tx;
@@ -29,7 +32,154 @@ float CellExitT(const Ray& ray, const Aabb& cell, float t) {
   return exit_t;
 }
 
+float CellExitTDda(const Ray& ray, Vec3i cell, const GridDims& dims, float t) {
+  float exit_t = std::numeric_limits<float>::max();
+  for (int axis = 0; axis < 3; ++axis) {
+    const float d = ray.direction[axis];
+    if (std::fabs(d) < kDegenerateDirectionEpsilon) continue;
+    const int n = axis == 0 ? dims.nx : axis == 1 ? dims.ny : dims.nz;
+    const int c = axis == 0 ? cell.x : axis == 1 ? cell.y : cell.z;
+    // The exact CellBounds expressions for the one face ahead of the ray:
+    // identical operands, identical division, so the float is identical.
+    const float boundary = d > 0.f
+                               ? static_cast<float>(c + 1) / static_cast<float>(n)
+                               : static_cast<float>(c) / static_cast<float>(n);
+    const float tx = (boundary - ray.origin[axis]) / d;
+    if (tx > t && tx < exit_t) exit_t = tx;
+  }
+  if (exit_t == std::numeric_limits<float>::max()) {
+    return std::nextafter(t, std::numeric_limits<float>::infinity());
+  }
+  return exit_t;
+}
+
 }  // namespace render_detail
+
+namespace {
+
+/// Pre-resolved metric handles for the skip instrumentation (handle lookup
+/// takes the registry mutex; resolving once keeps the march wait-free).
+/// Octrees deeper than kMaxLevels fold into the last bucket — 12 levels
+/// already covers a 2048^3 coarse grid.
+struct SkipObsHandles {
+  static constexpr int kMaxLevels = 12;
+  std::array<obs::Counter*, kMaxLevels> level{};
+  obs::Counter* outside = nullptr;
+  obs::Histogram* cells_per_ray = nullptr;
+
+  SkipObsHandles() {
+    auto& reg = obs::MetricsRegistry::Global();
+    for (int l = 0; l < kMaxLevels; ++l) {
+      level[static_cast<std::size_t>(l)] =
+          &reg.GetCounter("render/skip-l" + std::to_string(l));
+    }
+    outside = &reg.GetCounter("render/skip-outside");
+    cells_per_ray = &reg.GetHistogram("render/skipped-cells-per-ray");
+  }
+};
+
+SkipObsHandles& SkipObs() {
+  static SkipObsHandles handles;
+  return handles;
+}
+
+/// Local accumulator for the per-level skip counters (octree mode only);
+/// flushed to the registry once per ray (scalar path) or tile (wavefront).
+struct SkipShard {
+  std::array<u32, SkipObsHandles::kMaxLevels> level{};
+  u32 outside = 0;
+
+  void Flush() const {
+    SkipObsHandles& h = SkipObs();
+    for (std::size_t l = 0; l < level.size(); ++l) {
+      if (level[l] != 0) h.level[l]->Add(level[l]);
+    }
+    if (outside != 0) h.outside->Add(outside);
+  }
+};
+
+/// The shared empty-space-skipping advance of both marchers: moves `t`
+/// forward to the ray's next occupied sample position (returns true) or
+/// past `t_far` (returns false), counting skipped cells into `skips`.
+///
+/// Flat and octree modes replay the IDENTICAL t-update chain — the same
+/// `ray.At(t)` world points, the same clamped cell, the same exit boundary
+/// floats, the same `max(exit_t + eps, t + step)` — so images, stats and
+/// decode counters are bit-identical across modes. The octree mode merely
+/// answers the occupancy question cheaper (the cached empty node covers
+/// whole regions with six integer compares, no bitmap probe) and computes
+/// only the <= 3 exit boundaries the ray can cross (CellExitTDda) instead
+/// of materialising the cell Aabb (6 divisions per empty cell).
+/// CellExitTDda with the boundary divisions replaced by the octree's
+/// precomputed plane tables (table[i] is bitwise float(i)/float(n)): an
+/// empty iteration pays 3 divisions where the flat chain pays 9. The
+/// comparison structure mirrors CellExitT exactly — only the boundary
+/// operand's provenance changes, never its value.
+float CellExitTCached(const Ray& ray, Vec3i cell, const float* bx,
+                      const float* by, const float* bz, float t) {
+  float exit_t = std::numeric_limits<float>::max();
+  for (int axis = 0; axis < 3; ++axis) {
+    const float d = ray.direction[axis];
+    if (std::fabs(d) < render_detail::kDegenerateDirectionEpsilon) continue;
+    const float* table = axis == 0 ? bx : axis == 1 ? by : bz;
+    const int c = axis == 0 ? cell.x : axis == 1 ? cell.y : cell.z;
+    const float boundary = table[c + (d > 0.f ? 1 : 0)];
+    const float tx = (boundary - ray.origin[axis]) / d;
+    if (tx > t && tx < exit_t) exit_t = tx;
+  }
+  if (exit_t == std::numeric_limits<float>::max()) {
+    return std::nextafter(t, std::numeric_limits<float>::infinity());
+  }
+  return exit_t;
+}
+
+bool AdvanceToOccupied(const RenderOptions& opt, bool use_octree,
+                       const Ray& ray, float t_far, float& t, u64& skips,
+                       OctreeRayCache& cache, SkipShard* shard) {
+  const CoarseOccupancy* coarse = opt.coarse_skip;
+  if (coarse == nullptr) return t < t_far;
+  if (!use_octree) {
+    // Flat probe: the original reference chain, verbatim.
+    while (t < t_far) {
+      const Vec3f p = ray.At(t);
+      if (coarse->OccupiedAtWorld(p)) return true;
+      const Aabb cell = coarse->CellBounds(coarse->CellOfWorld(p));
+      const float exit_t = render_detail::CellExitT(ray, cell, t);
+      t = std::max(exit_t + render_detail::kSkipForwardEpsilon,
+                   t + opt.step_size);
+      ++skips;
+    }
+    return false;
+  }
+  const OccupancyOctree& tree = *opt.octree_skip;
+  const float* bx = tree.BoundaryX();
+  const float* by = tree.BoundaryY();
+  const float* bz = tree.BoundaryZ();
+  while (t < t_far) {
+    const Vec3f p = ray.At(t);
+    // OccupiedAtWorld's out-of-box rule, inlined: outside points are
+    // unoccupied but still march through their clamped boundary cell.
+    const bool inside = !(p.x < 0.f || p.x > 1.f || p.y < 0.f || p.y > 1.f ||
+                          p.z < 0.f || p.z > 1.f);
+    const Vec3i cell = coarse->CellOfWorld(p);
+    if (inside && tree.OccupiedAt(cell, cache)) return true;
+    if (shard != nullptr) {
+      if (inside) {
+        ++shard->level[static_cast<std::size_t>(
+            std::min(cache.level, SkipObsHandles::kMaxLevels - 1))];
+      } else {
+        ++shard->outside;
+      }
+    }
+    const float exit_t = CellExitTCached(ray, cell, bx, by, bz, t);
+    t = std::max(exit_t + render_detail::kSkipForwardEpsilon,
+                 t + opt.step_size);
+    ++skips;
+  }
+  return false;
+}
+
+}  // namespace
 
 Vec3f VolumeRenderer::RenderRay(const FieldSource& source, const Mlp& mlp,
                                 const Ray& ray, RenderStats* stats,
@@ -51,23 +201,19 @@ Vec3f VolumeRenderer::RenderRay(const FieldSource& source, const Mlp& mlp,
   float transmittance = 1.0f;
   u64 ray_steps = 0;
   u64 ray_evals = 0;
+  u64 ray_skips = 0;
   bool terminated = false;
 
-  float t = t_near;
-  while (t < t_far) {
-    // Empty-space skipping: jump to the exit of unoccupied supervoxels.
-    if (options_.coarse_skip != nullptr) {
-      const Vec3f p = ray.At(t);
-      if (!options_.coarse_skip->OccupiedAtWorld(p)) {
-        const Aabb cell = options_.coarse_skip->CellBounds(
-            options_.coarse_skip->CellOfWorld(p));
-        const float exit_t = render_detail::CellExitT(ray, cell, t);
-        t = std::max(exit_t + 1e-5f, t + options_.step_size);
-        if (stats) ++stats->coarse_skips;
-        continue;
-      }
-    }
+  const bool count_obs = obs::CountersEnabled();
+  OctreeRayCache dda;
+  SkipShard shard;
+  SkipShard* shard_ptr = (count_obs && use_octree_) ? &shard : nullptr;
 
+  float t = t_near;
+  // Empty-space skipping: jump to the exit of unoccupied supervoxels until
+  // the next occupied sample position (or out of the box).
+  while (AdvanceToOccupied(options_, use_octree_, ray, t_far, t, ray_skips,
+                           dda, shard_ptr)) {
     ++ray_steps;
     const FieldSample s = source.Sample(ray.At(t), counters);
     t += options_.step_size;
@@ -93,10 +239,15 @@ Vec3f VolumeRenderer::RenderRay(const FieldSource& source, const Mlp& mlp,
   color += options_.background * transmittance;
   if (stats) {
     stats->steps += ray_steps;
+    stats->coarse_skips += ray_skips;
     stats->mlp_evals += ray_evals;
     if (terminated) ++stats->terminated_rays;
     stats->steps_per_ray.Add(static_cast<double>(ray_steps));
     stats->evals_per_ray.Add(static_cast<double>(ray_evals));
+  }
+  if (count_obs) {
+    if (shard_ptr != nullptr) shard_ptr->Flush();
+    SkipObs().cells_per_ray->Record(ray_skips);
   }
   return color;
 }
@@ -116,6 +267,7 @@ struct WavefrontRay {
   u64 steps = 0;
   u64 evals = 0;
   u64 skips = 0;
+  OctreeRayCache dda;  // octree skip mode: cached empty-node range
   bool missed = false;
   bool terminated = false;
 };
@@ -148,6 +300,9 @@ void VolumeRenderer::RenderTileWavefront(const FieldSource& source,
   thread_local WavefrontScratch s;
   const Aabb scene_box{{0.f, 0.f, 0.f}, {1.f, 1.f, 1.f}};
   const int width = x1 - x0;
+  const bool count_obs = obs::CountersEnabled();
+  SkipShard skip_shard;
+  SkipShard* skip_shard_ptr = (count_obs && use_octree_) ? &skip_shard : nullptr;
 
   // Ray setup, row-major over the tile (the same enumeration the scalar
   // loop uses; every per-ray quantity below reduces in this order).
@@ -183,24 +338,12 @@ void VolumeRenderer::RenderTileWavefront(const FieldSource& source,
     for (const u32 idx : s.active) {
       WavefrontRay& r = s.rays[idx];
       // Advance to the next sample position (the scalar loop's skip logic,
-      // verbatim).
-      bool sampled = false;
-      while (r.t < r.t_far) {
-        if (options_.coarse_skip != nullptr) {
-          const Vec3f p = r.ray.At(r.t);
-          if (!options_.coarse_skip->OccupiedAtWorld(p)) {
-            const Aabb cell = options_.coarse_skip->CellBounds(
-                options_.coarse_skip->CellOfWorld(p));
-            const float exit_t = render_detail::CellExitT(r.ray, cell, r.t);
-            r.t = std::max(exit_t + 1e-5f, r.t + options_.step_size);
-            ++r.skips;
-            continue;
-          }
-        }
-        sampled = true;
-        break;
+      // shared: AdvanceToOccupied replays the identical t-update chain in
+      // either skip mode).
+      if (!AdvanceToOccupied(options_, use_octree_, r.ray, r.t_far, r.t,
+                             r.skips, r.dda, skip_shard_ptr)) {
+        continue;  // marched out of the box: ray retires
       }
-      if (!sampled) continue;  // marched out of the box: ray retires
       ++r.steps;
       s.positions.push_back(r.ray.At(r.t));
       s.front_ray.push_back(idx);
@@ -285,6 +428,7 @@ void VolumeRenderer::RenderTileWavefront(const FieldSource& source,
         continue;
       }
       out.At(x, y) = r.color + options_.background * r.transmittance;
+      if (count_obs) SkipObs().cells_per_ray->Record(r.skips);
       if (stats) {
         ++stats->rays;
         stats->steps += r.steps;
@@ -296,6 +440,7 @@ void VolumeRenderer::RenderTileWavefront(const FieldSource& source,
       }
     }
   }
+  if (skip_shard_ptr != nullptr) skip_shard_ptr->Flush();
 }
 
 void VolumeRenderer::RenderTile(const FieldSource& source, const Mlp& mlp,

@@ -7,9 +7,11 @@
 #include "common/image.hpp"
 #include "common/stats.hpp"
 #include "grid/occupancy.hpp"
+#include "grid/occupancy_octree.hpp"
 #include "render/camera.hpp"
 #include "render/field_source.hpp"
 #include "render/mlp.hpp"
+#include "render/skip_mode.hpp"
 
 namespace spnerf {
 
@@ -37,6 +39,13 @@ struct RenderOptions {
   /// Optional coarse occupancy for empty-space skipping (non-owning). All
   /// compared pipelines use the same skip structure, as DVGO/VQRF do.
   const CoarseOccupancy* coarse_skip = nullptr;
+  /// Optional occupancy octree reduced from `coarse_skip` (non-owning).
+  /// When attached and SPNF_SKIP resolves to octree (the default), empty
+  /// space is skipped through the octree's cached-node DDA path; images,
+  /// RenderStats and DecodeCounters stay bit-identical to the flat probe
+  /// (execution policy, not semantics; excluded from pipeline keys).
+  /// Ignored when `coarse_skip` is null.
+  const OccupancyOctree* octree_skip = nullptr;
 };
 
 /// Per-frame statistics. `mlp_evals` and the per-ray distributions drive the
@@ -73,7 +82,16 @@ class RenderEngine;
 
 class VolumeRenderer {
  public:
-  explicit VolumeRenderer(RenderOptions options = {}) : options_(options) {}
+  /// Captures the process-global skip mode (skip::ActiveMode) at
+  /// construction — the engine builds one renderer per job, so a job never
+  /// changes skip structure mid-render. The octree path engages only when
+  /// both skip structures are attached; otherwise the renderer falls back
+  /// to the flat probe (or no skipping at all), whatever the mode says.
+  explicit VolumeRenderer(RenderOptions options = {})
+      : options_(options),
+        use_octree_(options.coarse_skip != nullptr &&
+                    options.octree_skip != nullptr &&
+                    skip::ActiveMode() == skip::Mode::kOctree) {}
 
   [[nodiscard]] const RenderOptions& Options() const { return options_; }
 
@@ -113,15 +131,37 @@ class VolumeRenderer {
                            DecodeCounters* counters) const;
 
   RenderOptions options_;
+  bool use_octree_ = false;  // skip mode, resolved once at construction
 };
 
 namespace render_detail {
+
+/// Forward-progress bump added past every empty-cell exit distance before
+/// resuming the march: `t = max(exit_t + kSkipForwardEpsilon, t + step)`.
+/// For grazing rays travelling along a cell face — where the exit boundary
+/// is the very plane the ray rides on — the bump alone guarantees strictly
+/// monotone progress. Shared by the scalar, wavefront and octree-DDA skip
+/// paths; it is part of the bit-exactness contract, not a tunable.
+inline constexpr float kSkipForwardEpsilon = 1e-5f;
+
+/// Direction components with |d| below this are treated as parallel to the
+/// axis: their boundary planes can never be crossed and would divide by
+/// ~zero. Shared by every exit-distance computation.
+inline constexpr float kDegenerateDirectionEpsilon = 1e-12f;
 
 /// Distance along `ray` at which it exits `cell` (entered at parameter `t`).
 /// Always strictly greater than `t`: a degenerate (zero-area) cell, or a ray
 /// grazing a face, would otherwise return `t` unchanged and stall the
 /// empty-space-skipping march.
 float CellExitT(const Ray& ray, const Aabb& cell, float t);
+
+/// CellExitT over coarse cell `cell` of a `dims`-sized grid spanning
+/// [0,1]^3, without materialising the cell's Aabb: only the (at most 3)
+/// boundary planes the ray can exit through are computed, saving the 6
+/// divisions of CoarseOccupancy::CellBounds per empty cell. Bit-identical
+/// to `CellExitT(ray, CellBounds(cell), t)` by construction — the boundary
+/// expressions, comparison structure and axis order are the same.
+float CellExitTDda(const Ray& ray, Vec3i cell, const GridDims& dims, float t);
 
 }  // namespace render_detail
 

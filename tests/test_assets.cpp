@@ -134,6 +134,49 @@ TEST(AssetIo, CoarseRoundTripIsByteIdentical) {
   EXPECT_EQ(again.str(), out.str());
 }
 
+TEST(AssetIo, OctreeRoundTripIsByteIdentical) {
+  const CoarseOccupancy coarse =
+      CoarseOccupancy::Build(BitGrid::FromGrid(SmallDataset().full_grid), 4);
+  const OccupancyOctree original = OccupancyOctree::Build(coarse);
+  std::ostringstream out(std::ios::binary);
+  SaveOccupancyOctree(original, out);
+
+  std::istringstream in(out.str(), std::ios::binary);
+  const OccupancyOctree loaded = LoadOccupancyOctree(in);
+  EXPECT_EQ(loaded.Factor(), original.Factor());
+  ASSERT_EQ(loaded.Levels(), original.Levels());
+  for (int l = 0; l < loaded.Levels(); ++l) {
+    EXPECT_EQ(loaded.Level(l).Dims(), original.Level(l).Dims()) << l;
+    EXPECT_EQ(loaded.Level(l).Words(), original.Level(l).Words()) << l;
+  }
+
+  std::ostringstream again(std::ios::binary);
+  SaveOccupancyOctree(loaded, again);
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(AssetIo, OctreeLoadRejectsInconsistentPyramid) {
+  // A flipped bit anywhere above the leaf level breaks the OR-reduction
+  // invariant; the load path must reject it, never traverse it.
+  const CoarseOccupancy coarse =
+      CoarseOccupancy::Build(BitGrid::FromGrid(SmallDataset().full_grid), 4);
+  const OccupancyOctree tree = OccupancyOctree::Build(coarse);
+  ASSERT_GE(tree.Levels(), 2);
+  std::ostringstream out(std::ios::binary);
+  SaveOccupancyOctree(tree, out);
+  std::string bytes = out.str();
+
+  // The root level is serialized first: header (12) + factor (4) +
+  // level count (4) + root dims (12) + word-count (8) puts its single
+  // occupancy word at offset 40. The mic scene is non-empty, so the root
+  // bit is set; clearing it contradicts every occupied leaf below.
+  ASSERT_GT(bytes.size(), 48u);
+  ASSERT_NE(bytes[40], 0);
+  bytes[40] = 0;
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW((void)LoadOccupancyOctree(in), SpnerfError);
+}
+
 TEST(AssetIo, CodecLoadRejectsMismatchedSource) {
   const SceneDataset& ds = SmallDataset();
   const SpNeRFModel codec = SpNeRFModel::Preprocess(*ds.vqrf, SmallCodecParams());
@@ -229,6 +272,19 @@ TEST(AssetKey, SensitiveToEveryContentField) {
   EXPECT_NE(CodecAssetKey(dk, s).hash, codec_key);
 
   EXPECT_NE(CoarseAssetKey(dk, 4).hash, CoarseAssetKey(dk, 8).hash);
+  EXPECT_NE(OctreeAssetKey(dk, 4).hash, OctreeAssetKey(dk, 8).hash);
+  // Same fields, distinct kind: octree and coarse artifacts never collide
+  // in the on-disk store (the kind prefixes the file name).
+  EXPECT_NE(OctreeAssetKey(dk, 4).FileName(), CoarseAssetKey(dk, 4).FileName());
+}
+
+TEST(AssetKey, OctreeKeyVersionsWithTheFormat) {
+  // kAssetFormatVersion is hashed into every key; the octree kind rode in
+  // with v2, so pin the canonical prefix the hash is derived from. If the
+  // version bumps again, every octree artifact must become unreachable.
+  AssetKeyBuilder b;
+  b.Field("format", static_cast<u64>(kAssetFormatVersion));
+  EXPECT_EQ(b.Canonical(), "format=u2;");
 }
 
 TEST(AssetKey, InsensitiveToExecutionPolicy) {
@@ -282,29 +338,34 @@ TEST_F(AssetCacheTest, ColdBuildPersistsAndWarmLoadsFromDisk) {
 
   AssetCache cold(Options());
   const PipelineAssets built = cold.Acquire(SceneId::kMic, dp, sp, 4);
-  ASSERT_TRUE(built.dataset && built.codec && built.coarse);
-  EXPECT_EQ(cold.GetStats().builds, 3u);
+  ASSERT_TRUE(built.dataset && built.codec && built.coarse && built.octree);
+  EXPECT_EQ(cold.GetStats().builds, 4u);
   EXPECT_EQ(cold.GetStats().disk_hits, 0u);
 
-  // All three artifacts landed on disk.
+  // All four artifacts landed on disk.
   const AssetKey dk = DatasetAssetKey(SceneId::kMic, dp);
   EXPECT_TRUE(std::filesystem::exists(root_ / dk.FileName()));
   EXPECT_TRUE(
       std::filesystem::exists(root_ / CodecAssetKey(dk, sp).FileName()));
   EXPECT_TRUE(std::filesystem::exists(root_ / CoarseAssetKey(dk, 4).FileName()));
+  EXPECT_TRUE(std::filesystem::exists(root_ / OctreeAssetKey(dk, 4).FileName()));
 
   // A fresh cache over the same root deserializes instead of rebuilding.
   AssetCache warm(Options());
   const PipelineAssets loaded = warm.Acquire(SceneId::kMic, dp, sp, 4);
   EXPECT_EQ(warm.GetStats().builds, 0u);
-  EXPECT_EQ(warm.GetStats().disk_hits, 3u);
+  EXPECT_EQ(warm.GetStats().disk_hits, 4u);
   EXPECT_EQ(loaded.dataset->full_grid.DensityRaw(),
             built.dataset->full_grid.DensityRaw());
   EXPECT_EQ(loaded.coarse->Bits().Words(), built.coarse->Bits().Words());
+  ASSERT_EQ(loaded.octree->Levels(), built.octree->Levels());
+  for (int l = 0; l < loaded.octree->Levels(); ++l) {
+    EXPECT_EQ(loaded.octree->Level(l).Words(), built.octree->Level(l).Words());
+  }
 
   // Same cache again: everything is a live memory hit, same instances.
   const PipelineAssets again = warm.Acquire(SceneId::kMic, dp, sp, 4);
-  EXPECT_EQ(warm.GetStats().memory_hits, 3u);
+  EXPECT_EQ(warm.GetStats().memory_hits, 4u);
   EXPECT_EQ(again.dataset.get(), loaded.dataset.get());
   EXPECT_EQ(again.codec.get(), loaded.codec.get());
 }
@@ -390,7 +451,7 @@ TEST_F(AssetCacheTest, RepositoryPipelineRendersIdenticallyToDirectBuild) {
   AssetCache reloaded(Options());
   PipelineRepository repo(&reloaded);
   const auto p = repo.Acquire(config);
-  EXPECT_EQ(reloaded.GetStats().disk_hits, 3u);
+  EXPECT_EQ(reloaded.GetStats().disk_hits, 4u);
   const Image got = p->RenderSpnerf(p->MakeCamera(24, 24), true);
   ASSERT_EQ(want.Width(), got.Width());
   EXPECT_EQ(Mse(want, got), 0.0);

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "grid/occupancy.hpp"
+#include "grid/occupancy_octree.hpp"
 #include "scene/dataset.hpp"
 
 namespace spnerf {
@@ -30,13 +31,16 @@ class RenderEngineTest : public ::testing::Test {
     mlp_ = new Mlp(Mlp::Random(11));
     occupancy_ = new CoarseOccupancy(
         CoarseOccupancy::Build(BitGrid::FromGrid(dataset_->full_grid), 4));
+    octree_ = new OccupancyOctree(OccupancyOctree::Build(*occupancy_));
   }
 
   static void TearDownTestSuite() {
+    delete octree_;
     delete occupancy_;
     delete mlp_;
     delete codec_;
     delete dataset_;
+    octree_ = nullptr;
     occupancy_ = nullptr;
     mlp_ = nullptr;
     codec_ = nullptr;
@@ -51,6 +55,7 @@ class RenderEngineTest : public ::testing::Test {
     job.camera = OrbitCameras(4, Vec3f{0.5f, 0.45f, 0.5f}, 1.35f, 25.f, 35.f,
                               size, size)[static_cast<std::size_t>(view)];
     job.options.coarse_skip = occupancy_;
+    job.options.octree_skip = octree_;
     job.collect_stats = true;
     return job;
   }
@@ -59,12 +64,14 @@ class RenderEngineTest : public ::testing::Test {
   static SpNeRFModel* codec_;
   static Mlp* mlp_;
   static CoarseOccupancy* occupancy_;
+  static OccupancyOctree* octree_;
 };
 
 SceneDataset* RenderEngineTest::dataset_ = nullptr;
 SpNeRFModel* RenderEngineTest::codec_ = nullptr;
 Mlp* RenderEngineTest::mlp_ = nullptr;
 CoarseOccupancy* RenderEngineTest::occupancy_ = nullptr;
+OccupancyOctree* RenderEngineTest::octree_ = nullptr;
 
 void ExpectSameImage(const Image& a, const Image& b) {
   ASSERT_EQ(a.Width(), b.Width());

@@ -233,6 +233,44 @@ TEST(CellExitT, NormalCellReturnsExitBoundary)
   EXPECT_NEAR(exit_t, 1.25f, 1e-5f);
 }
 
+TEST(CellExitT, GrazingRayAlongCellFaceAdvances) {
+  // Regression for the documented skip epsilons: a ray travelling exactly
+  // in the plane of a cell face has a direction component at or below
+  // kDegenerateDirectionEpsilon on that axis with the origin exactly on
+  // the boundary. The degenerate axis must be ignored (no 0/0 or huge
+  // negative boundary t), the remaining axes must still yield the exit,
+  // and the flat CellExitT and the division-free CellExitTDda used by the
+  // octree marcher must agree bitwise.
+  const GridDims dims{10, 10, 10};
+  const Vec3i cell{3, 4, 5};
+  const Aabb bounds{
+      {float(cell.x) / 10.f, float(cell.y) / 10.f, float(cell.z) / 10.f},
+      {float(cell.x + 1) / 10.f, float(cell.y + 1) / 10.f,
+       float(cell.z + 1) / 10.f}};
+  Ray ray;
+  // Origin y sits EXACTLY on the cell's low y face; x starts inside.
+  ray.origin = Vec3f{0.31f, float(cell.y) / 10.f, 0.53f};
+  // Sub-epsilon components count as degenerate, exactly like zero.
+  for (const float dy : {0.f, 1e-13f, -1e-13f}) {
+    ray.direction = Vec3f{1.f, dy, 0.f};
+    for (const float t : {0.f, 0.005f, 0.08f}) {
+      const float flat = render_detail::CellExitT(ray, bounds, t);
+      const float dda = render_detail::CellExitTDda(ray, cell, dims, t);
+      EXPECT_GT(flat, t) << "dy=" << dy << " t=" << t;
+      EXPECT_EQ(flat, dda) << "dy=" << dy << " t=" << t;  // bitwise
+      // The x exit is at world x = 0.4, i.e. t = 0.4 - 0.31 = 0.09.
+      EXPECT_NEAR(flat, 0.09f, 1e-5f);
+    }
+  }
+  // Fully degenerate direction (all axes grazing): only the nextafter
+  // guard advances, and both variants must still agree bitwise.
+  ray.direction = Vec3f{0.f, 0.f, 0.f};
+  const float t = 0.25f;
+  const float flat = render_detail::CellExitT(ray, bounds, t);
+  EXPECT_GT(flat, t);
+  EXPECT_EQ(flat, render_detail::CellExitTDda(ray, cell, dims, t));
+}
+
 TEST(VolumeRenderer, Fp16MlpOptionChangesOutputSlightly) {
   const SlabSource src(0.4f, 0.6f, 100.f, 0.3f);
   const Mlp mlp = Mlp::Random(10);

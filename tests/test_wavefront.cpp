@@ -7,8 +7,10 @@
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "grid/occupancy.hpp"
+#include "grid/occupancy_octree.hpp"
 #include "render/field_source.hpp"
 #include "render/render_engine.hpp"
+#include "render/skip_mode.hpp"
 #include "scene/dataset.hpp"
 
 namespace spnerf {
@@ -26,6 +28,20 @@ class ScopedSimdPath {
 
  private:
   simd::Path saved_;
+};
+
+/// Forces the SPNF_SKIP empty-space-skipping mode for one scope, restoring
+/// the previous mode on exit. Renderers capture the mode at construction,
+/// so the scope must cover the Render call, not just job setup.
+class ScopedSkipMode {
+ public:
+  explicit ScopedSkipMode(skip::Mode m) : saved_(skip::SetActiveMode(m)) {}
+  ~ScopedSkipMode() { skip::SetActiveMode(saved_); }
+  ScopedSkipMode(const ScopedSkipMode&) = delete;
+  ScopedSkipMode& operator=(const ScopedSkipMode&) = delete;
+
+ private:
+  skip::Mode saved_;
 };
 
 /// Batch sizes the per-kernel differential suites sweep: empty, single
@@ -82,15 +98,18 @@ class WavefrontTest : public ::testing::Test {
     codec_ = new SpNeRFModel(SpNeRFModel::Preprocess(*dataset_->vqrf, sp));
     occupancy_ = new CoarseOccupancy(
         CoarseOccupancy::Build(BitGrid::FromGrid(dataset_->full_grid), 4));
+    octree_ = new OccupancyOctree(OccupancyOctree::Build(*occupancy_));
     mlp_ = new Mlp(Mlp::Random(11));
   }
 
   static void TearDownTestSuite() {
     delete mlp_;
+    delete octree_;
     delete occupancy_;
     delete codec_;
     delete dataset_;
     mlp_ = nullptr;
+    octree_ = nullptr;
     occupancy_ = nullptr;
     codec_ = nullptr;
     dataset_ = nullptr;
@@ -110,7 +129,10 @@ class WavefrontTest : public ::testing::Test {
                         {0.f, 1.f, 0.f}, 55.f, 48, 48);
     job.options.wavefront = wavefront;
     job.options.fp16_mlp = fp16_mlp;
-    if (with_skip) job.options.coarse_skip = occupancy_;
+    if (with_skip) {
+      job.options.coarse_skip = occupancy_;
+      job.options.octree_skip = octree_;
+    }
     job.collect_stats = true;
     RenderEngineOptions opts;
     opts.max_threads = workers;
@@ -134,15 +156,44 @@ class WavefrontTest : public ::testing::Test {
     }
   }
 
+  /// Octree-vs-flat differential for one source: the octree marcher must
+  /// replay the flat skip chain bit-for-bit, so images, RenderStats
+  /// (including coarse_skips/steps) and DecodeCounters match EXACTLY
+  /// against the flat scalar reference for every execution policy.
+  static void RunSkipDifferential(const FieldSource& source) {
+    for (const bool fp16 : {false, true}) {
+      RenderResult flat;
+      {
+        const ScopedSkipMode g(skip::Mode::kFlat);
+        flat = RenderWith(source, /*wavefront=*/false, fp16, 1);
+      }
+      EXPECT_GT(flat.stats.coarse_skips, 0u);  // skipping actually engaged
+      const ScopedSkipMode g(skip::Mode::kOctree);
+      for (const bool wavefront : {false, true}) {
+        for (const unsigned workers : {1u, 2u, 8u}) {
+          const RenderResult tree = RenderWith(source, wavefront, fp16, workers);
+          SCOPED_TRACE(std::string("fp16=") + (fp16 ? "1" : "0") +
+                       " wavefront=" + (wavefront ? "1" : "0") +
+                       " workers=" + std::to_string(workers));
+          ExpectSameImage(flat.image, tree.image);
+          ExpectSameStats(flat.stats, tree.stats);
+          ExpectSameCounters(flat.counters, tree.counters);
+        }
+      }
+    }
+  }
+
   static SceneDataset* dataset_;
   static SpNeRFModel* codec_;
   static CoarseOccupancy* occupancy_;
+  static OccupancyOctree* octree_;
   static Mlp* mlp_;
 };
 
 SceneDataset* WavefrontTest::dataset_ = nullptr;
 SpNeRFModel* WavefrontTest::codec_ = nullptr;
 CoarseOccupancy* WavefrontTest::occupancy_ = nullptr;
+OccupancyOctree* WavefrontTest::octree_ = nullptr;
 Mlp* WavefrontTest::mlp_ = nullptr;
 
 TEST_F(WavefrontTest, AnalyticSourceBitIdentical) {
@@ -167,6 +218,73 @@ TEST_F(WavefrontTest, SpNeRFFp16TiuBitIdentical) {
   const SpNeRFFieldSource source(*codec_, /*fp16_tiu=*/true,
                                  /*collect_counters=*/false);
   RunDifferential(source);
+}
+
+TEST_F(WavefrontTest, OctreeSkipAnalyticBitIdentical) {
+  const AnalyticFieldSource source(dataset_->scene);
+  RunSkipDifferential(source);
+}
+
+TEST_F(WavefrontTest, OctreeSkipGridBitIdentical) {
+  const GridFieldSource source(dataset_->full_grid);
+  RunSkipDifferential(source);
+}
+
+TEST_F(WavefrontTest, OctreeSkipSpNeRFBitIdentical) {
+  const SpNeRFFieldSource source(*codec_, /*fp16_tiu=*/false,
+                                 /*collect_counters=*/false);
+  RunSkipDifferential(source);
+}
+
+TEST_F(WavefrontTest, OctreeSkipSimdPathsBitIdentical) {
+  // The skip mode is orthogonal to the SIMD dispatch path: forcing either
+  // SIMD path must leave the octree-vs-flat differential bit-identical.
+  const SpNeRFFieldSource source(*codec_, /*fp16_tiu=*/true,
+                                 /*collect_counters=*/false);
+  for (const simd::Path path :
+       {simd::Path::kScalar, simd::BestSupportedPath()}) {
+    const ScopedSimdPath sp(path);
+    RenderResult flat, tree;
+    {
+      const ScopedSkipMode g(skip::Mode::kFlat);
+      flat = RenderWith(source, /*wavefront=*/true, /*fp16_mlp=*/true, 2);
+    }
+    {
+      const ScopedSkipMode g(skip::Mode::kOctree);
+      tree = RenderWith(source, /*wavefront=*/true, /*fp16_mlp=*/true, 2);
+    }
+    SCOPED_TRACE(std::string("simd=") + simd::PathName(path));
+    ExpectSameImage(flat.image, tree.image);
+    ExpectSameStats(flat.stats, tree.stats);
+    ExpectSameCounters(flat.counters, tree.counters);
+  }
+}
+
+TEST_F(WavefrontTest, OctreeModeWithoutOctreeFallsBackToFlat) {
+  // octree mode active but no octree attached: the renderer must degrade
+  // to the flat chain rather than dropping skipping entirely.
+  const SpNeRFFieldSource source(*codec_, false, false);
+  RenderResult flat, degraded;
+  {
+    const ScopedSkipMode g(skip::Mode::kFlat);
+    flat = RenderWith(source, false, false, 1);
+  }
+  {
+    const ScopedSkipMode g(skip::Mode::kOctree);
+    RenderJob job;
+    job.source = &source;
+    job.mlp = mlp_;
+    job.camera = Camera({-1.2f, 0.9f, 0.4f}, {0.5f, 0.45f, 0.5f},
+                        {0.f, 1.f, 0.f}, 55.f, 48, 48);
+    job.options.wavefront = false;
+    job.options.coarse_skip = occupancy_;  // octree_skip left null
+    job.collect_stats = true;
+    RenderEngineOptions opts;
+    opts.max_threads = 1;
+    degraded = RenderEngine(opts).Render(job);
+  }
+  ExpectSameImage(flat.image, degraded.image);
+  ExpectSameStats(flat.stats, degraded.stats);
 }
 
 TEST_F(WavefrontTest, NoSkipStructureBitIdentical) {
@@ -340,6 +458,34 @@ TEST_F(WavefrontTest, SimdForcedPathRenderBitIdentical) {
   ExpectSameImage(scalar_r.image, simd_r.image);
   ExpectSameStats(scalar_r.stats, simd_r.stats);
   ExpectSameCounters(scalar_r.counters, simd_r.counters);
+}
+
+TEST(SkipModeTest, ResolveOverrideRules) {
+  // The SPNF_SKIP resolution rule is pure and exposed exactly so this
+  // test can pin it without spawning subprocesses: absent/garbage ->
+  // octree (the default fast path); a parseable name -> that mode.
+  EXPECT_EQ(skip::ResolveOverride(nullptr), skip::Mode::kOctree);
+  EXPECT_EQ(skip::ResolveOverride(""), skip::Mode::kOctree);
+  EXPECT_EQ(skip::ResolveOverride("definitely-not-a-mode"),
+            skip::Mode::kOctree);
+  EXPECT_EQ(skip::ResolveOverride("flat"), skip::Mode::kFlat);
+  EXPECT_EQ(skip::ResolveOverride("octree"), skip::Mode::kOctree);
+  EXPECT_STREQ(skip::ModeName(skip::Mode::kFlat), "flat");
+  EXPECT_STREQ(skip::ModeName(skip::Mode::kOctree), "octree");
+  skip::Mode parsed = skip::Mode::kOctree;
+  EXPECT_TRUE(skip::ParseModeName("flat", parsed));
+  EXPECT_EQ(parsed, skip::Mode::kFlat);
+  EXPECT_FALSE(skip::ParseModeName("FLAT", parsed));  // contract: lower-case
+  EXPECT_EQ(parsed, skip::Mode::kFlat);               // untouched on failure
+}
+
+TEST(SkipModeTest, SetActiveModeRoundTrips) {
+  const skip::Mode before = skip::ActiveMode();
+  const skip::Mode prev = skip::SetActiveMode(skip::Mode::kFlat);
+  EXPECT_EQ(prev, before);  // returns the displaced mode for scoped saves
+  EXPECT_EQ(skip::ActiveMode(), skip::Mode::kFlat);
+  skip::SetActiveMode(before);
+  EXPECT_EQ(skip::ActiveMode(), before);
 }
 
 TEST(SimdDispatchTest, ResolveOverrideRules) {
