@@ -7,9 +7,21 @@
 //   * unsaturated — offered load well below measured capacity. Nothing may
 //     be shed here; any rejection is a bug and fails the process (CI runs
 //     this as a smoke gate).
-//   * saturated — offered load far above capacity with a small queue. The
-//     service must shed load via explicit rejections/expiries while the
-//     queue stays bounded, instead of growing an unbounded backlog.
+//   * saturated — offered load far above capacity (8x the measured warmup
+//     service rate, >= 200 requests) with a small queue and the
+//     interactive-heavy deadline trace. Replayed twice at the identical
+//     offered load: fixed quality (ladder off — the service must shed via
+//     explicit rejections/expiries while the queue stays bounded) and with
+//     the adaptive quality ladder on (degrade-before-drop). The ladder run
+//     must shed strictly less than the fixed run whenever the fixed run
+//     sheds at all; both shed rates land in BENCH_serving.json as
+//     serve/shed-rate[fixed|ladder], next to the per-rung completion
+//     distribution.
+//   * PSNR-vs-deadline curve — each quality rung rendered directly through
+//     the pipeline on the lead scene and compared against the rung-0
+//     reference (PSNR/SSIM + measured per-frame wall time), so the
+//     quality/cost tradeoff the governor trades along is a tracked
+//     trajectory (quality/rung<r> entries).
 //   * multi-scene saturated — the same overload spread uniformly across
 //     every scene (distinct batch keys), replayed once with
 //     max_inflight_batches=1 (the serial dispatcher) and once with the
@@ -27,7 +39,7 @@
 // Overrides: requests=N scenes=N res=R img=S threads=N capacity=N batch=N
 //            inflight=N (max_inflight_batches for the concurrent phases)
 //            seed=S rate=R (unsaturated offered rate in requests/s; the
-//            saturated phases always offer 16x the unsaturated rate.
+//            saturated phases always offer 32x the unsaturated rate.
 //            0 = derive both from measured closed-loop frame latency)
 //            dimg=S (dispatch-sweep frame size) drequests=N (its length)
 #include <algorithm>
@@ -38,7 +50,10 @@
 
 #include "bench/bench_util.hpp"
 #include "common/dispatch.hpp"
+#include "core/pipeline.hpp"
 #include "obs/exporters.hpp"
+#include "render/field_source.hpp"
+#include "render/quality.hpp"
 #include "serve/load_generator.hpp"
 
 namespace {
@@ -84,6 +99,26 @@ void PrintPhase(const char* name, const PhaseResult& r) {
                 static_cast<unsigned long long>(cls.completed),
                 static_cast<unsigned long long>(cls.rejected + cls.expired));
   }
+  u64 degraded = 0;
+  for (std::size_t q = 1; q < kQualityRungCount; ++q) {
+    degraded += r.stats.by_rung[q];
+  }
+  if (degraded > 0) {
+    std::printf("             rungs");
+    for (std::size_t q = 0; q < kQualityRungCount; ++q) {
+      std::printf("  %s=%llu", QualityRungName(static_cast<QualityRung>(q)),
+                  static_cast<unsigned long long>(r.stats.by_rung[q]));
+    }
+    std::printf("\n");
+  }
+}
+
+/// Fraction of submitted requests the service shed (rejected + expired).
+double ShedRate(const ServiceStatsSnapshot& s) {
+  return s.submitted > 0
+             ? static_cast<double>(s.rejected + s.expired) /
+                   static_cast<double>(s.submitted)
+             : 0.0;
 }
 
 /// Aggregate percentile + outcome-count entries, plus one percentile and
@@ -192,13 +227,94 @@ int main(int argc, char** argv) {
   PrintPhase("unsaturated", unsat);
   AddPhaseEntries(json, "serve/unsaturated", unsat, effective_threads);
 
-  load.arrival_rate_rps =
-      rate_override > 0.0 ? 16.0 * rate_override : 4.0 * capacity_rps;
-  load.deadline_fraction = 0.3;
-  load.deadline_ms = 8.0 * frame_ms;
-  const PhaseResult sat = RunPhase(load, service_opts);
-  PrintPhase("saturated", sat);
+  // Saturated ladder comparison: the interactive-heavy deadline trace at
+  // 8x the measured warmup service rate (guaranteed overload) with at
+  // least 200 requests, replayed twice at the identical offered load —
+  // fixed full quality vs the adaptive ladder. The comparison is the
+  // tentpole gate: at equal load, degrading must strictly beat dropping.
+  LoadGeneratorOptions sat_load = InteractiveHeavyTrace(frame_ms);
+  sat_load.seed = seed;
+  sat_load.request_count = std::max<std::size_t>(200, requests / 2);
+  sat_load.scenes = scenes;
+  sat_load.hot_scene_count = load.hot_scene_count;
+  sat_load.base = base;
+  sat_load.arrival_rate_rps =
+      rate_override > 0.0 ? 32.0 * rate_override : 8.0 * capacity_rps;
+
+  RenderServiceOptions ladder_opts = service_opts;
+  ladder_opts.ladder.enabled = true;
+  ladder_opts.ladder.default_cost_ms = frame_ms;
+
+  const PhaseResult sat = RunPhase(sat_load, service_opts);
+  PrintPhase("saturated[fixed]", sat);
   AddPhaseEntries(json, "serve/saturated", sat, effective_threads);
+
+  const PhaseResult sat_ladder = RunPhase(sat_load, ladder_opts);
+  PrintPhase("saturated[ladder]", sat_ladder);
+  AddPhaseEntries(json, "serve/saturated[ladder]", sat_ladder,
+                  effective_threads);
+  for (std::size_t q = 0; q < kQualityRungCount; ++q) {
+    json.AddCounts(
+        std::string("serve/saturated[ladder]/rung") + std::to_string(q),
+        sat_ladder.stats.by_rung[q], 0, 0, effective_threads);
+  }
+  // Shed-rate fractions ride the wall_ms field (repo convention for
+  // ratio-valued entries): shed = (rejected + expired) / submitted.
+  const double fixed_shed = ShedRate(sat.stats);
+  const double ladder_shed = ShedRate(sat_ladder.stats);
+  json.Add("serve/shed-rate[fixed]", fixed_shed, effective_threads);
+  json.Add("serve/shed-rate[ladder]", ladder_shed, effective_threads);
+  std::printf("degrade-before-drop: fixed shed %.1f%% -> ladder shed %.1f%% "
+              "(%llu of %llu completions degraded)\n",
+              100.0 * fixed_shed, 100.0 * ladder_shed,
+              static_cast<unsigned long long>(
+                  sat_ladder.stats.completed - sat_ladder.stats.by_rung[0]),
+              static_cast<unsigned long long>(sat_ladder.stats.completed));
+  bench::PrintRule();
+
+  // PSNR-vs-deadline curve: each rung rendered directly through the lead
+  // scene's pipeline and compared against the rung-0 reference. The wall
+  // time next to each PSNR is the rung's measured per-frame cost — the
+  // exact (quality, latency) frontier the governor trades along.
+  {
+    PipelineConfig quality_config = base.config;
+    quality_config.scene_id = scenes.front();
+    const std::shared_ptr<const ScenePipeline> pipeline =
+        PipelineRepository::Global().Acquire(quality_config);
+    const RenderOptions base_options = pipeline->RenderOptionsWithSkip();
+    SpNeRFFieldSource source(pipeline->Codec(),
+                             quality_config.render.fp16_mlp);
+    RenderEngineOptions engine_opts;
+    engine_opts.max_threads = threads;
+    RenderEngine engine(engine_opts);
+    Image reference;
+    for (std::size_t q = 0; q < kQualityRungCount; ++q) {
+      const auto rung = static_cast<QualityRung>(q);
+      const int divisor = RungResolutionDivisor(rung);
+      RenderJob job;
+      job.source = &source;
+      job.mlp = &pipeline->GetMlp();
+      job.camera = pipeline->MakeCamera(ReducedDim(img, divisor),
+                                        ReducedDim(img, divisor), 0,
+                                        base.n_views);
+      job.options = ApplyRung(base_options, rung);
+      bench::WallTimer rung_timer;
+      std::vector<RenderResult> results = engine.RenderBatch({job});
+      const double rung_ms = rung_timer.ElapsedMs();
+      Image image = divisor > 1
+                        ? UpsampleBilinear(results.front().image, img, img)
+                        : std::move(results.front().image);
+      if (q == 0) reference = std::move(image);
+      const bench::ImageQuality quality = bench::MeasureQuality(
+          reference, q == 0 ? reference : image);
+      std::printf("quality rung %zu (%-7s): PSNR %5.1f dB  SSIM %.4f  "
+                  "%8.2f ms/frame\n",
+                  q, QualityRungName(rung), quality.psnr_db, quality.ssim,
+                  rung_ms);
+      json.AddQuality("quality/rung" + std::to_string(q), quality.psnr_db,
+                      quality.ssim, rung_ms, effective_threads);
+    }
+  }
   bench::PrintRule();
 
   // Multi-scene saturated sweep: the same overload spread uniformly over
@@ -207,6 +323,10 @@ int main(int argc, char** argv) {
   // and with concurrent in-flight batches. The throughput ratio is the
   // concurrent-region scheduler's headline serving win.
   LoadGeneratorOptions multi = load;
+  multi.arrival_rate_rps =
+      rate_override > 0.0 ? 16.0 * rate_override : 4.0 * capacity_rps;
+  multi.deadline_fraction = 0.3;
+  multi.deadline_ms = 8.0 * frame_ms;
   multi.hot_scene_count = scenes.size();  // uniform: every scene is hot
   double multi_rps[2] = {0.0, 0.0};
   const std::size_t sweeps[2] = {1, std::max<std::size_t>(inflight, 2)};
@@ -420,15 +540,25 @@ int main(int argc, char** argv) {
                                                  unsat.stats.expired));
     return 1;
   }
-  if (sat.stats.queue_peak > capacity) {
+  if (sat.stats.queue_peak > capacity ||
+      sat_ladder.stats.queue_peak > capacity) {
     std::fprintf(stderr,
-                 "ERROR: queue grew past its bound (%zu > %zu)\n",
-                 sat.stats.queue_peak, capacity);
+                 "ERROR: queue grew past its bound (%zu/%zu > %zu)\n",
+                 sat.stats.queue_peak, sat_ladder.stats.queue_peak, capacity);
     return 1;
   }
-  if (sat.stats.rejected == 0) {
+  if (sat.stats.rejected + sat.stats.expired == 0) {
     std::printf("note: saturated run shed nothing — offered rate likely too "
                 "low for this machine\n");
+  }
+  // The tentpole gate: at identical offered load, degrading must strictly
+  // beat dropping whenever the fixed-quality run shed at all.
+  if (fixed_shed > 0.0 && ladder_shed >= fixed_shed) {
+    std::fprintf(stderr,
+                 "ERROR: quality ladder did not reduce shedding "
+                 "(fixed %.3f vs ladder %.3f)\n",
+                 fixed_shed, ladder_shed);
+    return 1;
   }
   return 0;
 }

@@ -14,9 +14,13 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/config.hpp"
+#include "common/image.hpp"
 #include "common/parallel.hpp"
 #include "common/simd.hpp"
+#include "common/ssim.hpp"
 #include "common/units.hpp"
 #include "core/experiments.hpp"
 #include "core/pipeline_repository.hpp"
@@ -91,12 +95,13 @@ class WallTimer {
 };
 
 /// Machine-readable timing report, written (overwriting any previous run)
-/// as BENCH_<id>.json on destruction. Three entry shapes share the file:
+/// as BENCH_<id>.json on destruction. Four entry shapes share the file:
 /// wall-time phases {name, wall_ms, threads}, serving percentiles
-/// {name, p50_ms, p95_ms, p99_ms, throughput_rps, threads} and serving
-/// outcome counts {name, completed, rejected, expired, threads}, so latency
-/// distributions and shed counts land in the same per-commit trajectory as
-/// batch timings.
+/// {name, p50_ms, p95_ms, p99_ms, throughput_rps, threads}, serving
+/// outcome counts {name, completed, rejected, expired, threads} and image
+/// quality {name, psnr_db, ssim, wall_ms, threads}, so latency
+/// distributions, shed counts and degraded-render quality land in the same
+/// per-commit trajectory as batch timings.
 class JsonReport {
  public:
   explicit JsonReport(std::string bench_id) : bench_id_(std::move(bench_id)) {}
@@ -159,6 +164,22 @@ class JsonReport {
     entries_.push_back(std::move(e));
   }
 
+  /// Quality-vs-cost entry for a degraded render (e.g. "quality/rung2"):
+  /// PSNR/SSIM against the full-quality reference next to the measured
+  /// per-frame wall time, so the PSNR-vs-deadline tradeoff curve lands in
+  /// the per-commit trajectory.
+  void AddQuality(const std::string& name, double psnr_db, double ssim,
+                  double wall_ms, unsigned threads) {
+    Entry e;
+    e.name = name;
+    e.threads = threads;
+    e.kind = Entry::kQuality;
+    e.psnr_db = psnr_db;
+    e.ssim = ssim;
+    e.wall_ms = wall_ms;
+    entries_.push_back(std::move(e));
+  }
+
   ~JsonReport() {
     const std::string path = "BENCH_" + bench_id_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -186,6 +207,13 @@ class JsonReport {
                      "\"throughput_rps\": %.2f, \"threads\": %u}%s\n",
                      e.name.c_str(), e.p50_ms, e.p95_ms, e.p99_ms,
                      e.throughput_rps, e.threads, sep);
+      } else if (e.kind == Entry::kQuality) {
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"psnr_db\": %.3f, "
+                     "\"ssim\": %.4f, \"wall_ms\": %.3f, "
+                     "\"threads\": %u}%s\n",
+                     e.name.c_str(), e.psnr_db, e.ssim, e.wall_ms, e.threads,
+                     sep);
       } else if (e.kind == Entry::kCounts) {
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"completed\": %llu, "
@@ -255,7 +283,7 @@ class JsonReport {
 
  private:
   struct Entry {
-    enum Kind { kWallTime, kPercentiles, kCounts };
+    enum Kind { kWallTime, kPercentiles, kCounts, kQuality };
     std::string name;
     double wall_ms = 0.0;
     unsigned threads = 0;
@@ -264,6 +292,8 @@ class JsonReport {
     double p95_ms = 0.0;
     double p99_ms = 0.0;
     double throughput_rps = 0.0;
+    double psnr_db = 0.0;
+    double ssim = 0.0;
     unsigned long long completed = 0;
     unsigned long long rejected = 0;
     unsigned long long expired = 0;
@@ -274,6 +304,22 @@ class JsonReport {
   obs::MetricsSnapshot obs_snapshot_;
   bool have_obs_snapshot_ = false;
 };
+
+/// Reference-vs-candidate image quality pair for degraded-rendering
+/// entries. PSNR is capped at 99 dB so bit-identical pairs (infinite PSNR)
+/// stay finite in the JSON trajectory.
+struct ImageQuality {
+  double psnr_db = 0.0;
+  double ssim = 0.0;
+};
+
+inline ImageQuality MeasureQuality(const Image& reference,
+                                   const Image& candidate) {
+  ImageQuality q;
+  q.psnr_db = std::min(Psnr(reference, candidate), 99.0);
+  q.ssim = Ssim(reference, candidate);
+  return q;
+}
 
 /// Drains the build/preprocess phase timings accumulated by the pipeline
 /// repository (cold builds, disk loads, memory hits) into the JSON report,

@@ -1,5 +1,6 @@
 #include "common/image.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -69,6 +70,43 @@ double Psnr(const Image& a, const Image& b) {
   const double mse = Mse(a, b);
   if (mse <= 0.0) return std::numeric_limits<double>::infinity();
   return 10.0 * std::log10(1.0 / mse);
+}
+
+Image UpsampleBilinear(const Image& src, int width, int height) {
+  SPNERF_CHECK_MSG(!src.Empty(), "upsample of an empty image");
+  if (src.Width() == width && src.Height() == height) return src;
+  Image out(width, height);
+  const float sx =
+      static_cast<float>(src.Width()) / static_cast<float>(width);
+  const float sy =
+      static_cast<float>(src.Height()) / static_cast<float>(height);
+  for (int y = 0; y < height; ++y) {
+    // Half-pixel centers: destination center y+0.5 maps to source
+    // coordinate (y+0.5)*sy, whose surrounding sample centers are at
+    // integer+0.5. Edge-clamped so boundary pixels interpolate with
+    // themselves.
+    const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+    const float floor_y = std::floor(fy);
+    const float wy = fy - floor_y;
+    const int y0 = std::clamp(static_cast<int>(floor_y), 0, src.Height() - 1);
+    const int y1 = std::clamp(static_cast<int>(floor_y) + 1, 0,
+                              src.Height() - 1);
+    for (int x = 0; x < width; ++x) {
+      const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+      const float floor_x = std::floor(fx);
+      const float wx = fx - floor_x;
+      const int x0 =
+          std::clamp(static_cast<int>(floor_x), 0, src.Width() - 1);
+      const int x1 =
+          std::clamp(static_cast<int>(floor_x) + 1, 0, src.Width() - 1);
+      const Vec3f top =
+          src.At(x0, y0) * (1.0f - wx) + src.At(x1, y0) * wx;
+      const Vec3f bottom =
+          src.At(x0, y1) * (1.0f - wx) + src.At(x1, y1) * wx;
+      out.At(x, y) = top * (1.0f - wy) + bottom * wy;
+    }
+  }
+  return out;
 }
 
 }  // namespace spnerf

@@ -40,4 +40,12 @@ double Mse(const Image& a, const Image& b);
 /// Returns +inf (represented as 99.0 dB cap optionally by callers) when MSE=0.
 double Psnr(const Image& a, const Image& b);
 
+/// Bilinear upsample (or general resample) of `src` to `width` x `height`,
+/// half-pixel-center mapping with edge clamping. Deterministic by
+/// construction — fixed-order pure float arithmetic, no threading — so the
+/// quality ladder's reduced-resolution rungs produce byte-identical output
+/// on every worker count, SIMD path and dispatch mode. Matching dims return
+/// a plain copy (pixels byte-identical to `src`).
+Image UpsampleBilinear(const Image& src, int width, int height);
+
 }  // namespace spnerf

@@ -152,6 +152,42 @@ bool AdvanceToOccupied(const RenderOptions& opt, bool use_octree,
     return false;
   }
   const OccupancyOctree& tree = *opt.octree_skip;
+  if (opt.octree_level_cap > 0) {
+    // Degraded-preview march (quality ladder): occupancy is answered `cap`
+    // levels above the leaves. The capped bit ORs every descendant leaf, so
+    // it is conservative — a region is only skipped when every leaf under
+    // it is empty — and the march crosses empty space in capped-level cells
+    // (2^cap wider per axis), so the skip loop runs far fewer iterations on
+    // sparse rays. Exit distances use the division DDA on the capped grid;
+    // this path trades the leaf chain's bit-identity for cost, so it never
+    // engages at rung 0 (octree_level_cap stays 0 there).
+    const int leaf_level = tree.Levels() - 1;
+    const int cap = std::min(opt.octree_level_cap, leaf_level);
+    const int level = leaf_level - cap;
+    const BitGrid& bits = tree.Level(level);
+    const GridDims& dims = bits.Dims();
+    while (t < t_far) {
+      const Vec3f p = ray.At(t);
+      const bool inside = !(p.x < 0.f || p.x > 1.f || p.y < 0.f ||
+                            p.y > 1.f || p.z < 0.f || p.z > 1.f);
+      const Vec3i leaf = coarse->CellOfWorld(p);
+      const Vec3i cell{leaf.x >> cap, leaf.y >> cap, leaf.z >> cap};
+      if (inside && bits.Test(cell)) return true;
+      if (shard != nullptr) {
+        if (inside) {
+          ++shard->level[static_cast<std::size_t>(
+              std::min(level, SkipObsHandles::kMaxLevels - 1))];
+        } else {
+          ++shard->outside;
+        }
+      }
+      const float exit_t = render_detail::CellExitTDda(ray, cell, dims, t);
+      t = std::max(exit_t + render_detail::kSkipForwardEpsilon,
+                   t + opt.step_size);
+      ++skips;
+    }
+    return false;
+  }
   const float* bx = tree.BoundaryX();
   const float* by = tree.BoundaryY();
   const float* bz = tree.BoundaryZ();

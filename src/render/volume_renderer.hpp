@@ -46,6 +46,16 @@ struct RenderOptions {
   /// (execution policy, not semantics; excluded from pipeline keys).
   /// Ignored when `coarse_skip` is null.
   const OccupancyOctree* octree_skip = nullptr;
+  /// Degraded-preview skip granularity (quality ladder, render/quality.hpp):
+  /// when > 0 and the octree path is active, the empty-space march answers
+  /// occupancy this many octree levels ABOVE the leaves — the capped level's
+  /// OR-reduced bit is conservative (true whenever any descendant leaf is
+  /// occupied), so no occupied sample is ever skipped; empty space is
+  /// crossed in capped-level cells, which are 2^cap wider per axis, so a
+  /// sparse ray pays far fewer skip iterations. 0 (the default, and rung 0)
+  /// is the exact leaf-level chain — bit-identical to no cap. Ignored on
+  /// the flat path (SPNF_SKIP=flat has no coarser level to answer from).
+  int octree_level_cap = 0;
 };
 
 /// Per-frame statistics. `mlp_evals` and the per-ray distributions drive the

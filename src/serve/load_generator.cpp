@@ -16,6 +16,24 @@ LoadGenerator::LoadGenerator(LoadGeneratorOptions options)
                    "load generator needs a positive arrival rate");
 }
 
+LoadGeneratorOptions InteractiveHeavyTrace(double frame_ms) {
+  SPNERF_CHECK_MSG(frame_ms > 0.0,
+                   "interactive-heavy trace needs a positive frame time");
+  LoadGeneratorOptions opts;
+  opts.interactive_fraction = 0.6;
+  opts.batch_fraction = 0.1;
+  // kInteractive (2): every interactive request carries a deadline barely
+  // above one frame — exactly the regime where degrade-over-drop pays.
+  opts.deadline_bands[static_cast<std::size_t>(
+      RequestPriority::kInteractive)] =
+      DeadlineBand{1.5 * frame_ms, 3.0 * frame_ms, 1.0};
+  // kNormal (1): looser but still bounded.
+  opts.deadline_bands[static_cast<std::size_t>(RequestPriority::kNormal)] =
+      DeadlineBand{4.0 * frame_ms, 8.0 * frame_ms, 0.8};
+  // kBatch (0) stays deadline-free.
+  return opts;
+}
+
 std::vector<TimedRequest> LoadGenerator::GenerateTrace() const {
   Rng rng(options_.seed);
   const std::size_t hot =
@@ -55,9 +73,23 @@ std::vector<TimedRequest> LoadGenerator::GenerateTrace() const {
       t.request.priority = RequestPriority::kNormal;
     }
 
-    t.request.deadline_ms =
-        rng.NextDouble() < options_.deadline_fraction ? options_.deadline_ms
-                                                      : 0.0;
+    const std::size_t cls = static_cast<std::size_t>(t.request.priority);
+    const DeadlineBand& band =
+        options_.deadline_bands[std::min(cls, std::size_t{2})];
+    if (band.Enabled()) {
+      // Per-class band: an extra pair of draws, but only on traces that opt
+      // in — legacy options consume the exact legacy draw sequence.
+      if (rng.NextDouble() < band.fraction) {
+        t.request.deadline_ms =
+            band.min_ms + rng.NextDouble() * (band.max_ms - band.min_ms);
+      } else {
+        t.request.deadline_ms = 0.0;
+      }
+    } else {
+      t.request.deadline_ms =
+          rng.NextDouble() < options_.deadline_fraction ? options_.deadline_ms
+                                                        : 0.0;
+    }
     trace.push_back(std::move(t));
   }
   return trace;

@@ -6,11 +6,25 @@
 // many workers later serve it — the replay half is where wall time enters.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "serve/render_service.hpp"
 
 namespace spnerf {
+
+/// Per-priority-class deadline distribution: with probability `fraction` a
+/// request of the class carries a relative deadline drawn uniformly from
+/// [min_ms, max_ms]. Disabled (fraction == 0) classes fall back to the
+/// trace-wide deadline_fraction/deadline_ms pair, which also keeps the PRNG
+/// draw sequence — and therefore every pre-existing trace — unchanged.
+struct DeadlineBand {
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  double fraction = 0.0;
+
+  [[nodiscard]] bool Enabled() const { return fraction > 0.0; }
+};
 
 struct LoadGeneratorOptions {
   u64 seed = 2025;
@@ -30,6 +44,10 @@ struct LoadGeneratorOptions {
   /// Fraction of requests carrying a deadline, and that relative deadline.
   double deadline_fraction = 0.0;
   double deadline_ms = 250.0;
+  /// Optional per-class deadline bands, indexed by
+  /// static_cast<std::size_t>(RequestPriority). An enabled band overrides
+  /// the flat deadline pair for its class.
+  std::array<DeadlineBand, 3> deadline_bands{};
   /// Template request: scene_id and view are overwritten per draw, the
   /// rest (build params, render options, image size) is taken as-is.
   RenderRequest base;
@@ -40,6 +58,14 @@ struct TimedRequest {
   double arrival_ms = 0.0;
   RenderRequest request;
 };
+
+/// Trace preset for deadline/ladder experiments: interactive-heavy class mix
+/// (60% interactive, 10% batch) with tight per-class deadline bands scaled
+/// from the measured per-frame service time — every interactive request
+/// deadlines at [1.5, 3]x frame time, 80% of normal requests at [4, 8]x,
+/// batch stays deadline-free. Seeded and pure like every trace, so the same
+/// frame_ms yields the identical trace on any worker count.
+LoadGeneratorOptions InteractiveHeavyTrace(double frame_ms);
 
 class LoadGenerator {
  public:

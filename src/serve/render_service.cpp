@@ -7,10 +7,12 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/image.hpp"
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "render/field_source.hpp"
+#include "render/quality.hpp"
 
 namespace spnerf {
 
@@ -44,6 +46,11 @@ struct ServeMetrics {
   obs::Histogram& queue_us;
   obs::Histogram& total_us;
   obs::Histogram& batch_size;
+  /// Quality-ladder instrumentation: completions per rung, plus the rung
+  /// value distribution ("serve/rung") — its p50/p99 say how degraded the
+  /// served traffic was at a glance.
+  std::array<obs::Counter*, kQualityRungCount> rung_completed;
+  obs::Histogram& rung_dist;
 };
 
 ServeMetrics& Metrics() {
@@ -57,7 +64,12 @@ ServeMetrics& Metrics() {
                         reg.GetGauge("serve/queue-depth"),
                         reg.GetHistogram("serve/queue-us"),
                         reg.GetHistogram("serve/total-us"),
-                        reg.GetHistogram("serve/batch-size")};
+                        reg.GetHistogram("serve/batch-size"),
+                        {&reg.GetCounter("serve/rung0"),
+                         &reg.GetCounter("serve/rung1"),
+                         &reg.GetCounter("serve/rung2"),
+                         &reg.GetCounter("serve/rung3")},
+                        reg.GetHistogram("serve/rung")};
   return m;
 }
 
@@ -156,6 +168,9 @@ void RenderService::PendingDeleter::operator()(Pending* entry) const {
 struct RenderService::InflightBatch {
   std::vector<PendingHandle> entries;
   std::string key;
+  /// Quality rung the whole batch renders at — coalescing is keyed on
+  /// (batch key, rung), so every entry shares these options.
+  QualityRung rung = QualityRung::kFull;
   u64 dispatch_index = 0;
   Clock::time_point issued{};
   /// Trace-clock issue stamp (end of each entry's "queue" span, start of
@@ -181,6 +196,7 @@ RenderService::RenderService(RenderServiceOptions options)
                                      : PipelineRepository::Global()),
       clock_(options.clock ? *options.clock : SystemClock()),
       engine_(options.engine),
+      governor_(options.ladder, options.queue_capacity),
       mode_(dispatch::ActiveMode()),
       // Enough recycled entries for the full queue plus every coalesced
       // in-flight batch; past that Acquire degrades to the heap, never
@@ -446,7 +462,13 @@ std::future<RenderResponse> RenderService::SubmitLocked(
     return future;
   }
 
-  // Still full of live work. Load shedding: drop the lowest-ranked request
+  // Still full of live work: degrade over reject — open the governor's
+  // pressure window before any shedding decision, so subsequent issues run
+  // cheap rungs, the queue drains faster and the next admission finds a
+  // seat instead of this dead end. (A disabled governor ignores it.)
+  if (governor_.Enabled()) governor_.NotePressure();
+
+  // Load shedding: drop the lowest-ranked request
   // — the incoming one, unless it outranks something already queued (a
   // full queue of batch work must not lock out an interactive request).
   // Outranks() is a strict total order, so max_element under it is the
@@ -546,24 +568,49 @@ void RenderService::CompleteBatch(
   complete_span->AddArg("batch",
                         static_cast<i64>(batch->dispatch_index));
   stats_.RecordBatch(batch->entries.size());
+  // Online cost-model refinement: the batch's issue->complete span on the
+  // service's scheduling clock (virtual under ManualClock — deterministic
+  // tests never see measured wall time), amortised per request. Also how
+  // warmup full-quality renders calibrate a scene's ladder.
+  if (governor_.Enabled() && !batch->entries.empty()) {
+    governor_.Observe(batch->key, batch->rung,
+                      MsBetween(batch->issued, done) /
+                          static_cast<double>(batch->entries.size()));
+  }
+  const std::size_t rung_index = static_cast<std::size_t>(batch->rung);
+  const int divisor = RungResolutionDivisor(batch->rung);
   for (std::size_t i = 0; i < batch->entries.size(); ++i) {
     Pending& entry = *batch->entries[i];
     try {
       RenderResult result = results[i].get();  // ready; rethrows job errors
       RenderResponse response;
       response.status = RequestStatus::kCompleted;
-      response.image = std::move(result.image);
+      // Reduced-resolution rungs upsample back to the requested size here,
+      // off the render hot path; rung 0 moves the full-quality image
+      // through untouched.
+      if (divisor > 1) {
+        response.image = UpsampleBilinear(
+            result.image, entry.request.image_width,
+            entry.request.image_height);
+      } else {
+        response.image = std::move(result.image);
+      }
       response.queue_ms = MsBetween(entry.submitted, batch->issued);
       response.total_ms = MsBetween(entry.submitted, done);
       response.batch_size = batch->entries.size();
       response.dispatch_index = batch->dispatch_index;
       response.missed_deadline = entry.ExpiredAt(done);
+      response.rung = batch->rung;
       stats_.RecordCompleted(response.queue_ms, response.total_ms,
-                             PriorityClass(entry.request.priority));
+                             PriorityClass(entry.request.priority),
+                             rung_index);
       if (obs::CountersEnabled()) {
         Metrics().completed.Add();
         Metrics().queue_us.Record(ToMicros(response.queue_ms));
         Metrics().total_us.Record(ToMicros(response.total_ms));
+        Metrics().rung_completed[std::min(
+            rung_index, kQualityRungCount - 1)]->Add();
+        Metrics().rung_dist.Record(static_cast<u64>(rung_index));
       }
       if (entry.trace_submit_ns != 0 && done_ns != 0) {
         // The request's envelope span, submit -> response ready, carrying
@@ -621,6 +668,7 @@ void RenderService::IssueBatch(std::shared_ptr<InflightBatch> batch) {
                             batch->entries.front()->request_id);
   issue_span.AddArg("batch", static_cast<i64>(batch->dispatch_index));
   issue_span.AddArg("jobs", static_cast<i64>(batch->entries.size()));
+  issue_span.AddArg("rung", static_cast<i64>(batch->rung));
   issue_span.AddStrArg("key", batch->entries.front()->trace_key_id);
   try {
     // One pipeline serves the whole batch (identical batch key ==
@@ -633,6 +681,15 @@ void RenderService::IssueBatch(std::shared_ptr<InflightBatch> batch) {
         /*collect_counters=*/false);
     batch->source->SetMasking(front.bitmap_masking);
 
+    // One set of rung-applied options serves the whole batch — coalescing
+    // guaranteed every entry the same rung. Rung 0 leaves the options (and
+    // below, the camera dims) untouched, so the ladder-off render path is
+    // replayed byte for byte. Reduced-resolution rungs render at (w/d, h/d)
+    // and the completion half upsamples back to the requested size.
+    const RenderOptions rung_options =
+        ApplyRung(batch->pipeline->RenderOptionsWithSkip(), batch->rung);
+    const int divisor = RungResolutionDivisor(batch->rung);
+
     std::vector<RenderJob> jobs;
     jobs.reserve(batch->entries.size());
     for (const PendingHandle& entry : batch->entries) {
@@ -640,9 +697,10 @@ void RenderService::IssueBatch(std::shared_ptr<InflightBatch> batch) {
       RenderJob job;
       job.source = batch->source.get();
       job.mlp = &batch->pipeline->GetMlp();
-      job.camera = batch->pipeline->MakeCamera(r.image_width, r.image_height,
-                                               r.view, r.n_views);
-      job.options = batch->pipeline->RenderOptionsWithSkip();
+      job.camera = batch->pipeline->MakeCamera(
+          ReducedDim(r.image_width, divisor),
+          ReducedDim(r.image_height, divisor), r.view, r.n_views);
+      job.options = rung_options;
       // Links the engine's render/tile spans into this request's timeline.
       job.trace_flow = entry->request_id;
       jobs.push_back(job);
@@ -748,6 +806,23 @@ void RenderService::DispatcherLoop() {
         if (best != kNoBest) {
           batch = std::make_shared<InflightBatch>();
           batch->key = queue_[best]->batch_key;
+          // Quality-ladder decision, made once per batch at issue time. A
+          // pure function of (priority, remaining deadline on the service
+          // clock, queue depth now, cost model), so a staged backlog
+          // replays the identical rung sequence in any dispatch mode at
+          // any worker count. A disabled governor always answers kFull.
+          const std::size_t depth_at_issue =
+              queued_count_.load(std::memory_order_relaxed);
+          const auto decide_rung = [&](const Pending& e) {
+            const bool has_deadline =
+                e.deadline != Clock::time_point::max();
+            const double remaining_ms =
+                has_deadline ? MsBetween(now, e.deadline) : 0.0;
+            return governor_.Decide(PriorityClass(e.request.priority),
+                                    has_deadline, remaining_ms,
+                                    depth_at_issue, e.batch_key);
+          };
+          batch->rung = decide_rung(*queue_[best]);
           const std::size_t same_key = key_counts_[batch->key];
           DecKeyCountLocked(batch->key);
           batch->entries.push_back(std::move(queue_[best]));
@@ -758,11 +833,18 @@ void RenderService::DispatcherLoop() {
           // scheduling order, not submission order: when max_batch binds,
           // the seats go to the highest-ranked same-key requests (a
           // batch-class mate must never displace an interactive one into a
-          // later dispatch).
+          // later dispatch). Under the ladder, coalescing is keyed on
+          // (batch key, rung): a mate only joins when its own governor
+          // decision matches the leader's, so every entry of a batch
+          // shares one set of render options; mismatched mates wait for
+          // the next dispatch of their key.
           if (same_key > 1 && options_.max_batch > 1) {
             std::vector<std::size_t> mates;
             for (std::size_t i = 0; i < queue_.size(); ++i) {
-              if (queue_[i]->batch_key == batch->key) mates.push_back(i);
+              if (queue_[i]->batch_key == batch->key &&
+                  decide_rung(*queue_[i]) == batch->rung) {
+                mates.push_back(i);
+              }
             }
             std::sort(mates.begin(), mates.end(),
                       [this](std::size_t a, std::size_t b) {
@@ -803,6 +885,9 @@ void RenderService::DispatcherLoop() {
       }
       const std::size_t depth = queued_count_.load(std::memory_order_relaxed);
       stats_.RecordQueueDepth(depth);
+      // Close the pressure window once the backlog has drained below the
+      // low-water mark (no-op while it isn't open).
+      governor_.NoteDepth(depth);
       if (obs::CountersEnabled()) {
         Metrics().queue_depth.Set(static_cast<i64>(depth));
       }

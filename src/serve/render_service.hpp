@@ -45,6 +45,18 @@
 //     flight. At most one batch per key is in flight at a time — same-key
 //     requests coalesce into the *next* batch rather than racing the
 //     current one, which keeps per-key dispatch order intact.
+//   * Quality ladder (opt-in, options.ladder.enabled). At issue time the
+//     QualityGovernor maps (remaining deadline, queue depth, per-rung EWMA
+//     cost model, priority class) to a quality rung (render/quality.hpp);
+//     the whole batch renders at that rung — coalescing is keyed on
+//     (pipeline key, rung), so a mate only joins when its own decision
+//     matches the leader's — reduced-resolution rungs upsample back to the
+//     requested size in the completion half, and the chosen rung is
+//     recorded in the response and the per-rung stats/obs counters. A
+//     full-queue admission opens the governor's pressure window (degrade
+//     over reject). Rung 0 output is bit-identical to the ladder-off
+//     service; rung decisions are pure functions of scheduling state, so
+//     they replay deterministically under a ManualClock.
 //
 // Rendering itself inherits the engine's determinism: response images are
 // bit-identical for any worker count, batch composition or number of
@@ -68,6 +80,7 @@
 #include "common/mpmc_queue.hpp"
 #include "common/object_pool.hpp"
 #include "core/pipeline_repository.hpp"
+#include "serve/quality_governor.hpp"
 #include "serve/service_stats.hpp"
 
 namespace spnerf {
@@ -132,6 +145,10 @@ struct RenderResponse {
   u64 dispatch_index = 0;
   /// Completed, but after the request's deadline lapsed mid-render.
   bool missed_deadline = false;
+  /// Quality rung the request was served at (render/quality.hpp). kFull
+  /// unless the ladder is enabled and the governor degraded under pressure;
+  /// kFull responses are bit-identical to the ladder-off service's.
+  QualityRung rung = QualityRung::kFull;
 };
 
 struct RenderServiceOptions {
@@ -157,6 +174,10 @@ struct RenderServiceOptions {
   /// Start with dispatching paused; Start() (or Drain()) begins it. Lets
   /// tests and benches stage a backlog deterministically.
   bool start_paused = false;
+  /// Adaptive quality ladder (degrade-before-drop). Disabled by default:
+  /// every request renders at full quality, bit-identical to the
+  /// pre-ladder service.
+  QualityLadderOptions ladder;
 };
 
 class RenderService {
@@ -183,6 +204,10 @@ class RenderService {
   void Drain();
 
   [[nodiscard]] ServiceStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  /// The ladder's governor — benches/tests seed or inspect the cost model
+  /// through it (SeedCost is how determinism tests inject a frozen model).
+  [[nodiscard]] QualityGovernor& Governor() { return governor_; }
+  [[nodiscard]] const QualityGovernor& Governor() const { return governor_; }
   [[nodiscard]] std::size_t QueueDepth() const;
   [[nodiscard]] std::size_t InflightBatches() const;
   [[nodiscard]] const RenderServiceOptions& Options() const { return options_; }
@@ -268,6 +293,9 @@ class RenderService {
   ClockSource& clock_;
   RenderEngine engine_;
   ServiceStats stats_;
+  /// Quality-ladder policy (options_.ladder); a disabled governor always
+  /// answers kFull.
+  QualityGovernor governor_;
   /// Dispatch mode, captured once at construction (common/dispatch.hpp).
   /// kLocked routes every Submit through SubmitLocked — the pre-lock-free
   /// mutex path, kept as the differential oracle.

@@ -129,10 +129,13 @@ void ServiceStats::RecordBatch(std::size_t size) {
 }
 
 void ServiceStats::RecordCompleted(double queue_ms, double total_ms,
-                                   std::size_t priority_class) {
+                                   std::size_t priority_class,
+                                   std::size_t rung) {
   completed_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t cls = ClampClass(priority_class);
   class_counters_[cls].completed.fetch_add(1, std::memory_order_relaxed);
+  rung_completed_[std::min(rung, kQualityRungCount - 1)].fetch_add(
+      1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   queue_latency_.Record(queue_ms);
   total_latency_.Record(total_ms);
@@ -162,6 +165,9 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
         class_counters_[c].rejected.load(std::memory_order_relaxed);
     snap.by_class[c].expired =
         class_counters_[c].expired.load(std::memory_order_relaxed);
+  }
+  for (std::size_t r = 0; r < kQualityRungCount; ++r) {
+    snap.by_rung[r] = rung_completed_[r].load(std::memory_order_relaxed);
   }
   std::lock_guard<std::mutex> lock(mutex_);
   snap.queue_latency = queue_latency_;

@@ -29,6 +29,7 @@
 
 #include "common/clock.hpp"
 #include "common/types.hpp"
+#include "render/quality.hpp"
 
 namespace spnerf {
 
@@ -110,6 +111,10 @@ struct ServiceStatsSnapshot {
   LatencySample total_latency;  // submit -> response ready
   /// Indexed by static_cast<std::size_t>(RequestPriority).
   std::array<PriorityClassStats, kPriorityClassCount> by_class;
+  /// Completed requests per quality rung (render/quality.hpp). Without the
+  /// ladder everything lands in rung 0; under it the distribution shows how
+  /// much quality pressure the load applied.
+  std::array<u64, kQualityRungCount> by_rung{};
   /// First submission to last completion; 0 until both exist.
   double span_ms = 0.0;
 
@@ -145,8 +150,10 @@ class ServiceStats {
   void RecordRejected(std::size_t priority_class);
   void RecordExpired(std::size_t priority_class);
   void RecordBatch(std::size_t size);
+  /// `rung` is the quality rung the request was served at (0 when the
+  /// ladder is off).
   void RecordCompleted(double queue_ms, double total_ms,
-                       std::size_t priority_class);
+                       std::size_t priority_class, std::size_t rung = 0);
   void RecordQueueDepth(std::size_t depth);
 
   [[nodiscard]] ServiceStatsSnapshot Snapshot() const;
@@ -167,6 +174,7 @@ class ServiceStats {
     std::atomic<u64> expired{0};
   };
   std::array<ClassCounters, kPriorityClassCount> class_counters_;
+  std::array<std::atomic<u64>, kQualityRungCount> rung_completed_{};
   std::atomic<bool> has_submit_{false};
   std::atomic<bool> has_complete_{false};
 
